@@ -1,0 +1,37 @@
+"""Section 7.3: higher video quality is (slightly) less approximable.
+
+The paper's counter-intuitive finding: although higher-quality videos
+carry less information per bit, their larger frames collect more flips
+per frame at a fixed error rate, and under CABAC each flip still poisons
+its whole frame — so lower CRF tolerates errors slightly worse.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_crf_approximability
+
+
+def test_crf_approximability(benchmark, bench_video, scale):
+    points = benchmark.pedantic(
+        run_crf_approximability, args=(bench_video,),
+        kwargs={"crfs": (18, 24, 30),
+                "gop_size": min(12, scale.num_frames),
+                "probe_rate": 1e-5, "runs": scale.runs,
+                "rng": np.random.default_rng(48)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("crf", "payload bits", "clean PSNR (dB)", "loss @1e-5 (dB)"),
+        [(p.crf, p.payload_bits, f"{p.clean_psnr_db:.2f}",
+          f"{p.loss_at_probe_db:.3f}") for p in points],
+        title="Section 7.3 — quality target vs approximability"))
+    by_crf = {p.crf: p for p in points}
+    # Lower CRF -> better quality and more bits...
+    assert by_crf[18].clean_psnr_db > by_crf[30].clean_psnr_db
+    assert by_crf[18].payload_bits > by_crf[30].payload_bits
+    # ...and at a fixed per-bit error rate, at least as much damage
+    # exposure (more expected flips per frame).
+    expected_flips_18 = by_crf[18].payload_bits * 1e-5
+    expected_flips_30 = by_crf[30].payload_bits * 1e-5
+    assert expected_flips_18 > expected_flips_30

@@ -1,0 +1,41 @@
+"""Figure 10: cumulative quality loss per importance class + storage.
+
+Regenerates (a) cumulative quality-loss curves — class i's curve exposes
+every MB of importance <= 2^i to the swept error rate — and (b) the
+cumulative storage occupied per class. These curves are the direct input
+to the Table 1 assignment.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_figure10
+
+RATES = (1e-8, 1e-6, 1e-4, 1e-2)
+
+
+def test_figure10_classes(benchmark, bench_video, bench_config, scale):
+    result = benchmark.pedantic(
+        run_figure10, args=(bench_video, bench_config),
+        kwargs={"rates": RATES, "runs": scale.runs,
+                "rng": np.random.default_rng(43)},
+        rounds=1, iterations=1)
+    print()
+    print("Figure 10(a) — cumulative quality loss (dB), classes <= i exposed")
+    header = ["class i"] + [f"{rate:.0e}" for rate in RATES]
+    rows = []
+    for curve in result.curves:
+        rows.append([str(curve.class_index)]
+                    + [f"{curve.loss_at(rate):.3f}" for rate in RATES])
+    print(format_table(header, rows))
+    print()
+    print("Figure 10(b) — cumulative storage per importance class")
+    print(format_table(
+        ("class i", "cumulative storage %"),
+        [(c, f"{100 * s:.1f}") for c, s in
+         zip(result.class_indices, result.cumulative_storage)]))
+    # Shapes: storage cumulative and complete; loss grows with class at
+    # the top rate (more exposed bits can only hurt more).
+    assert result.cumulative_storage == sorted(result.cumulative_storage)
+    assert abs(result.cumulative_storage[-1] - 1.0) < 1e-9
+    top_rate_losses = [curve.loss_at(RATES[-1]) for curve in result.curves]
+    assert top_rate_losses[-1] >= top_rate_losses[0] - 0.5

@@ -1,0 +1,46 @@
+"""Figure 11: overall storage gains — the paper's headline exhibit.
+
+Regenerates the density/quality points for the three designs (uniform
+correction, VideoApp's variable correction, ideal overhead-free
+correction) across CRF settings, plus the headline metrics: ECC-overhead
+reduction (paper: 47%), density gain over uniform MLC (paper: 12.5%),
+density vs SLC (paper: 2.57x), and worst quality loss (paper: < 0.3 dB).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_figure11
+
+
+def test_figure11_density(benchmark, bench_suite, scale):
+    result = benchmark.pedantic(
+        run_figure11, args=(bench_suite,),
+        kwargs={"crfs": scale.crfs, "runs": scale.runs,
+                "gop_size": min(12, scale.num_frames),
+                "rng": np.random.default_rng(45)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("design", "crf", "cells/pixel", "PSNR (dB)"),
+        [(p.design, p.crf, f"{p.cells_per_pixel:.4f}", f"{p.psnr_db:.2f}")
+         for p in sorted(result.points, key=lambda p: (p.crf, p.design))],
+        title="Figure 11 — storage density vs quality"))
+    print()
+    print(format_table(("headline metric", "measured", "paper"), [
+        ("ECC overhead reduction",
+         f"{100 * result.ecc_overhead_reduction:.1f}%", "47%"),
+        ("density gain vs uniform MLC",
+         f"{100 * result.density_gain_vs_uniform:.1f}%", "12.5%"),
+        ("density vs SLC", f"{result.density_gain_vs_slc:.2f}x", "2.57x"),
+        ("worst quality loss",
+         f"{result.worst_quality_loss_db:.3f} dB", "< 0.3 dB"),
+    ]))
+    # Shape: the win directions of the paper.
+    for crf in scale.crfs:
+        cells = {p.design: p.cells_per_pixel for p in result.points
+                 if p.crf == crf}
+        assert cells["ideal"] < cells["variable"] < cells["uniform"]
+    assert result.ecc_overhead_reduction > 0.2
+    assert result.density_gain_vs_uniform > 0.05
+    assert result.density_gain_vs_slc > 2.2
+    assert result.worst_quality_loss_db < 0.5

@@ -1,0 +1,33 @@
+"""Figure 3: frame PSNR after a single bit flip vs affected MB position.
+
+Regenerates the paper's surface plot as a numeric grid: one bit flip is
+injected per macroblock position in inter-only P-frames and the damaged
+frame's PSNR (against the clean decode) is averaged per position. The
+paper's shape: damage shrinks toward the bottom-right corner because
+coding errors only propagate forward in scan order.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_figure3
+
+
+def test_figure3_flip_position(benchmark, bench_video, bench_config, scale):
+    result = benchmark.pedantic(
+        run_figure3, args=(bench_video, bench_config),
+        kwargs={"max_frames": max(2, scale.runs)},
+        rounds=1, iterations=1)
+    grid = result.psnr_grid
+    print()
+    print("Figure 3 — frame PSNR (dB) after one bit flip, by MB position")
+    print("(rows = MB y from top, cols = MB x from left)")
+    header = ["y\\x"] + [str(c) for c in range(grid.shape[1])]
+    rows = [[str(r)] + [f"{grid[r, c]:.1f}" if np.isfinite(grid[r, c])
+                        else "-" for c in range(grid.shape[1])]
+            for r in range(grid.shape[0])]
+    print(format_table(header, rows))
+    top_left, bottom_right = result.corners()
+    print(f"top-left {top_left:.1f} dB vs bottom-right {bottom_right:.1f} dB")
+    assert bottom_right > top_left
+    row_means = np.nanmean(grid, axis=1)
+    assert row_means[-1] > row_means[0]

@@ -1,0 +1,38 @@
+"""Figure 9: quality loss vs error rate across equal-storage bins.
+
+Regenerates both panels: (a) the per-bin quality-degradation curves over
+the error-probability axis, and (b) the maximum importance per bin
+(log2). The paper's claim under validation: the order of the curves
+follows the bin importance order.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_figure9
+
+RATES = (1e-8, 1e-6, 1e-4, 1e-2)
+
+
+def test_figure9_bins(benchmark, bench_video, bench_config, scale):
+    num_bins = 8
+    result = benchmark.pedantic(
+        run_figure9, args=(bench_video, bench_config),
+        kwargs={"num_bins": num_bins, "rates": RATES, "runs": scale.runs,
+                "rng": np.random.default_rng(42)},
+        rounds=1, iterations=1)
+    matrix = result.losses_matrix()
+    print()
+    print("Figure 9(a) — max quality loss (dB) per bin at each error rate")
+    header = ["bin"] + [f"{rate:.0e}" for rate in RATES]
+    rows = [[str(b)] + [f"{-matrix[b, r]:.2f}" for r in range(len(RATES))]
+            for b in range(num_bins)]
+    print(format_table(header, rows))
+    print()
+    print("Figure 9(b) — max importance per bin (log2)")
+    print(format_table(("bin", "log2(max importance)"),
+                       [(b, f"{v:.1f}")
+                        for b, v in enumerate(result.max_importance_log2)]))
+    # Shape checks: bin importance ascends; at the highest rate the top
+    # bin hurts at least as much as the bottom bin.
+    assert result.max_importance_log2 == sorted(result.max_importance_log2)
+    assert matrix[-1, -1] >= matrix[0, -1] - 0.5

@@ -1,0 +1,33 @@
+"""GOP-size ablation: I-frame checkpoints vs storage (Section 2.3.1).
+
+The paper's background states the trade this bench measures: encoders
+insert periodic I-frames "as checkpoints to refresh the stream and limit
+the propagation of eventual errors, at the expense of extra storage".
+Shorter GOPs pay in bits (I-frames compress worst) and are repaid in
+bounded importance — no bit flip can damage past the next checkpoint.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_gop_ablation
+
+
+def test_gop_ablation(benchmark, bench_video, scale):
+    points = benchmark.pedantic(
+        run_gop_ablation, args=(bench_video,),
+        kwargs={"gop_sizes": (4, 6, 12), "crf": 24,
+                "probe_rate": 1e-4, "runs": scale.runs,
+                "rng": np.random.default_rng(52)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("gop size", "payload bits", "max importance (MBs)",
+         "loss @1e-4 (dB)"),
+        [(p.gop_size, p.payload_bits, f"{p.max_importance:.0f}",
+          f"{p.loss_at_probe_db:.2f}") for p in points],
+        title="I-frame period: containment vs storage"))
+    by_gop = {p.gop_size: p for p in points}
+    # Short GOPs: more bits, bounded importance.
+    assert by_gop[4].payload_bits > by_gop[12].payload_bits
+    assert by_gop[4].max_importance < by_gop[12].max_importance

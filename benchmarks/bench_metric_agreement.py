@@ -1,0 +1,32 @@
+"""Section 6.1: the importance methodology relates to every metric.
+
+The paper measures PSNR but states its results "relate well" to SSIM,
+MS-SSIM, and VIFP for bit-flip distortions. This bench damages the probe
+video repeatedly at several error rates, scores every decode with all
+four metrics, and reports the Spearman rank correlation of each metric
+against PSNR: a correlation near 1 means any of them would order the
+importance curves the same way.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_metric_agreement
+
+
+def test_metric_agreement(benchmark, bench_video, bench_config, scale):
+    result = benchmark.pedantic(
+        run_metric_agreement, args=(bench_video, bench_config),
+        kwargs={"rates": (1e-5, 1e-4, 1e-3),
+                "trials_per_rate": max(3, scale.runs),
+                "rng": np.random.default_rng(51)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("metric", "Spearman rank corr. vs PSNR"),
+        [(name, f"{value:.3f}")
+         for name, value in sorted(result.spearman.items())],
+        title=f"Section 6.1 — metric agreement over {result.trials} "
+              f"damaged decodes"))
+    for name, value in result.spearman.items():
+        assert value > 0.7, (name, value)

@@ -1,0 +1,36 @@
+"""Section 8: encoder-knob ablations.
+
+Regenerates the paper's discussion experiments: slices (limit coding
+error reach at a storage cost), extra B-frames (more unreferenced bits,
+more approximable but bigger), and CAVLC (more error-tolerant, ~10-15%
+bigger than CABAC).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_section8
+
+
+def test_section8_ablations(benchmark, bench_video, scale):
+    ablations = benchmark.pedantic(
+        run_section8, args=(bench_video,),
+        kwargs={"base_crf": 24, "gop_size": min(12, scale.num_frames),
+                "probe_rate": 1e-4, "runs": scale.runs,
+                "rng": np.random.default_rng(46)},
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "payload bits", "unreferenced %", "no-ECC classes %",
+         "loss @1e-4 (dB)"),
+        [(a.name, a.payload_bits,
+          f"{100 * a.unreferenced_fraction:.1f}",
+          f"{100 * a.low_class_fraction:.1f}",
+          f"{a.loss_at_probe_db:.2f}") for a in ablations],
+        title="Section 8 — encoder options vs approximability"))
+    by_name = {a.name: a for a in ablations}
+    baseline = by_name["baseline (CABAC, 1 slice)"]
+    # The paper's directions:
+    assert by_name["CAVLC"].payload_bits > baseline.payload_bits
+    assert by_name["B-frames x2"].unreferenced_fraction \
+        > baseline.unreferenced_fraction
+    assert by_name["2 slices"].payload_bits >= baseline.payload_bits

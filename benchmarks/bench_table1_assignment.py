@@ -1,0 +1,53 @@
+"""Table 1: error-correction assignment to importance classes.
+
+Runs the paper's budget-driven optimizer on measured Figure 10 curves
+(0.3 dB budget, storage-proportional shares) and prints the resulting
+class->scheme table next to the paper's published Table 1.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, run_figure10_suite, run_table1
+from repro.core import PAPER_TABLE1, assign_schemes_conservative
+
+RATES = (1e-8, 1e-6, 1e-4, 1e-3, 1e-2)
+
+
+def test_table1_assignment(benchmark, bench_suite, bench_config, scale):
+    def derive():
+        fig10 = run_figure10_suite(bench_suite, bench_config, rates=RATES,
+                                   runs=scale.runs,
+                                   rng=np.random.default_rng(44))
+        return fig10, run_table1(fig10, budget_db=0.3)
+
+    fig10, assignment = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("importance classes", "scheme", "error rate", "overhead %"),
+        [(r["classes"], r["scheme"], r["error_rate"],
+          f"{r['overhead_percent']:.2f}") for r in assignment.rows()],
+        title="Table 1 (derived from measured curves, 0.3 dB budget)"))
+    print()
+    conservative = assign_schemes_conservative(fig10.curves,
+                                               fig10.storage_fractions)
+    print(format_table(
+        ("importance classes", "scheme"),
+        [(r["classes"], r["scheme"]) for r in conservative.rows()],
+        title="Section 7.2.1 alternative (approximate only where it "
+              "beats compression)"))
+    print()
+    print(format_table(
+        ("importance classes", "scheme"),
+        [(r["classes"], r["scheme"]) for r in PAPER_TABLE1.rows()],
+        title="Table 1 (paper, for reference)"))
+    # The conservative strategy never weakens below the budget one by
+    # more than the menu allows, and both ladders strengthen.
+    conservative_strengths = [conservative.scheme_for_class(i).t
+                              for i in fig10.class_indices]
+    assert conservative_strengths == sorted(conservative_strengths)
+    # Shape: schemes strengthen with importance; the weakest class gets
+    # one of the cheap options.
+    strengths = [assignment.scheme_for_class(i).t
+                 for i in fig10.class_indices]
+    assert strengths == sorted(strengths)
+    assert assignment.scheme_for_class(fig10.class_indices[0]).t <= 7

@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's exhibits at laptop scale. Geometry and
+Monte Carlo depth are controlled by REPRO_BENCH_SCALE:
+
+* ``quick`` (default) — minutes for the whole suite;
+* ``full``  — closer to the paper's statistical depth (tens of minutes).
+
+Every benchmark prints the same rows/series its exhibit shows, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the results
+generator for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.codec import EncoderConfig
+from repro.video import make_suite, synthesize_scene, SceneConfig
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    width: int
+    height: int
+    num_frames: int
+    runs: int
+    suite_names: tuple
+    crfs: tuple
+
+
+_SCALES = {
+    "quick": BenchScale(width=96, height=64, num_frames=12, runs=4,
+                        suite_names=("slow_objects", "busy_objects"),
+                        crfs=(20, 24)),
+    "full": BenchScale(width=160, height=96, num_frames=36, runs=15,
+                       suite_names=("static_texture", "slow_objects",
+                                    "busy_objects", "camera_pan",
+                                    "noisy_sensor", "scene_cuts"),
+                       crfs=(16, 20, 24)),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_video(scale):
+    """The main probe video used by single-video exhibits."""
+    return synthesize_scene(SceneConfig(
+        width=scale.width, height=scale.height,
+        num_frames=scale.num_frames, seed=5, num_objects=3))
+
+
+@pytest.fixture(scope="session")
+def bench_suite(scale):
+    """(name, video) pairs standing in for the Xiph suite."""
+    return make_suite(width=scale.width, height=scale.height,
+                      num_frames=scale.num_frames,
+                      names=list(scale.suite_names))
+
+
+@pytest.fixture(scope="session")
+def bench_config(scale):
+    return EncoderConfig(crf=24, gop_size=min(12, scale.num_frames))

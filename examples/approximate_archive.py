@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Video archive scenario: how much denser does VideoApp make storage?
+
+Models the paper's motivating workload — a large archive of encoded
+videos on dense MLC PCM — and compares the four designs of Figure 11 on
+a suite of differently behaved clips:
+
+* SLC: reliable single-level cells, no ECC (1 bit/cell);
+* uniform: 8-level cells, BCH-16 on every bit (the safe MLC design);
+* variable: 8-level cells, VideoApp's importance-matched ECC;
+* ideal: 8-level cells, hypothetical free error correction.
+
+Run:  python examples/approximate_archive.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.codec import EncoderConfig
+from repro.core import ApproximateVideoStore
+from repro.metrics import video_psnr
+from repro.storage import ideal_density, slc_density, uniform_density
+from repro.video import make_suite
+
+
+def main() -> None:
+    suite = make_suite(width=128, height=96, num_frames=18)
+    store = ApproximateVideoStore(config=EncoderConfig(crf=23, gop_size=9))
+    rng = np.random.default_rng(11)
+
+    rows = []
+    totals = {"slc": 0.0, "uniform": 0.0, "variable": 0.0, "ideal": 0.0}
+    pixels = 0
+    for name, video in suite:
+        stored = store.put(video)
+        report = stored.density()
+        bits = report.payload_bits + report.header_bits
+        clean = store.reconstruct(stored)
+        damaged = store.read(stored, rng=rng)
+        loss = video_psnr(video, clean) - video_psnr(video, damaged)
+        rows.append((
+            name,
+            f"{bits}",
+            f"{report.cells_per_pixel:.4f}",
+            f"{100 * report.ecc_overhead:.1f}%",
+            f"{max(loss, 0.0):.3f} dB",
+        ))
+        totals["slc"] += slc_density(bits, video.total_pixels).cells
+        totals["uniform"] += uniform_density(bits, video.total_pixels).cells
+        totals["variable"] += report.cells
+        totals["ideal"] += ideal_density(bits, video.total_pixels).cells
+        pixels += video.total_pixels
+
+    print(format_table(
+        ("clip", "bits", "cells/pixel", "ECC overhead", "quality cost"),
+        rows, title="Archive stored with VideoApp variable correction"))
+    print()
+    print(format_table(("design", "cells/pixel", "density vs SLC"), [
+        (design, f"{cells / pixels:.4f}",
+         f"{totals['slc'] / cells:.2f}x")
+        for design, cells in totals.items()
+    ], title="Design comparison over the whole archive (Figure 11)"))
+    saved = 1 - ((totals["variable"] - totals["ideal"])
+                 / (totals["uniform"] - totals["ideal"]))
+    print(f"\nVideoApp eliminates {100 * saved:.0f}% of the ECC overhead "
+          f"(paper: 47%) and stores the archive in "
+          f"{100 * totals['variable'] / totals['uniform']:.1f}% of the "
+          f"uniform design's cells.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""DRM scenario: encrypted approximate video storage (Section 5).
+
+A streaming service wants its archived videos both encrypted (DRM /
+privacy) and approximately stored (density). This example:
+
+1. scores each AES mode against the paper's three requirements,
+2. shows why CBC is unusable: one stored-bit flip costs ~129 plaintext
+   bits after decryption,
+3. runs the full encrypted pipeline with CTR and verifies the video
+   survives storage errors exactly as well as an unencrypted one.
+
+Run:  python examples/encrypted_storage.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.codec import EncoderConfig
+from repro.core import ApproximateVideoStore
+from repro.crypto import CBC, CTR, StreamEncryptor, analyze_all_modes
+from repro.metrics import video_psnr
+from repro.storage import MLCCellModel
+from repro.video import SceneConfig, synthesize_scene
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+MASTER_IV = bytes.fromhex("f0e0d0c0b0a090807060504030201000")
+
+
+def mode_scorecard() -> None:
+    verdicts = analyze_all_modes()
+    print(format_table(
+        ("mode", "privacy", "bounded", "transparent", "compatible",
+         "bits damaged / flip"),
+        [(name, v.privacy, v.bounded_propagation,
+          v.approximation_transparent, v.compatible,
+          f"{v.propagation.amplification:.1f}")
+         for name, v in verdicts.items()],
+        title="AES modes vs the paper's three requirements"))
+
+
+def cbc_vs_ctr_demo() -> None:
+    plaintext = bytes(64)
+    flipped_bit = 5
+    rows = []
+    for name, mode_cls in (("CBC", CBC), ("CTR", CTR)):
+        ciphertext = mode_cls(KEY, MASTER_IV[:16]).encrypt(plaintext)
+        corrupted = bytearray(ciphertext)
+        corrupted[flipped_bit // 8] ^= 0x80 >> (flipped_bit % 8)
+        decrypted = mode_cls(KEY, MASTER_IV[:16]).decrypt(bytes(corrupted))
+        damage = sum(bin(a ^ b).count("1")
+                     for a, b in zip(decrypted, plaintext))
+        rows.append((name, damage))
+    print()
+    print(format_table(("mode", "plaintext bits damaged by 1 stored flip"),
+                       rows, title="Why approximate storage needs CTR/OFB"))
+
+
+def encrypted_pipeline() -> None:
+    video = synthesize_scene(SceneConfig(width=128, height=96,
+                                         num_frames=18, seed=3,
+                                         num_objects=3))
+    # A deliberately noisy substrate so storage errors actually land.
+    cells = MLCCellModel(write_sigma=0.05)
+    config = EncoderConfig(crf=24, gop_size=9)
+    plain_store = ApproximateVideoStore(config=config, cell_model=cells)
+    cipher_store = ApproximateVideoStore(
+        config=config, cell_model=cells,
+        encryptor=StreamEncryptor(key=KEY, master_iv=MASTER_IV, mode="CTR"))
+
+    plain = plain_store.put(video)
+    cipher = cipher_store.put(video)
+    out_plain = plain_store.read(plain, rng=np.random.default_rng(4))
+    out_cipher = cipher_store.read(cipher, rng=np.random.default_rng(4))
+    print()
+    print(format_table(("pipeline", "PSNR vs raw (dB)"), [
+        ("approximate, plaintext", f"{video_psnr(video, out_plain):.3f}"),
+        ("approximate, CTR-encrypted",
+         f"{video_psnr(video, out_cipher):.3f}"),
+    ], title="Requirement #3 end to end (identical noise, same quality)"))
+    identical = all(np.array_equal(a, b)
+                    for a, b in zip(out_plain, out_cipher))
+    print(f"decoded outputs bit-identical: {identical}")
+
+
+def main() -> None:
+    mode_scorecard()
+    cbc_vs_ctr_demo()
+    encrypted_pipeline()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: reproduction of "Approximate Storage of Compressed and
+Encrypted Videos" (Jevdjic, Strauss, Ceze, Malvar — ASPLOS 2017).
+
+Public surface (see README for the architecture tour):
+
+* :mod:`repro.video`   — raw video containers, synthesis, I/O
+* :mod:`repro.codec`   — H.264-like encoder/decoder (CABAC + CAVLC)
+* :mod:`repro.core`    — VideoApp: importance analysis, pivots,
+  partitioning, ECC assignment, end-to-end pipeline
+* :mod:`repro.storage` — MLC PCM model, BCH codes, error injection
+* :mod:`repro.crypto`  — AES-128 and block modes, approximability analysis
+* :mod:`repro.metrics` — PSNR / SSIM / MS-SSIM / VIFP
+* :mod:`repro.analysis`— experiment harness reproducing every figure
+"""
+
+from .errors import (
+    AnalysisError,
+    BitstreamError,
+    CryptoError,
+    EncoderError,
+    ReproError,
+    StorageError,
+    VideoFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BitstreamError",
+    "CryptoError",
+    "EncoderError",
+    "ReproError",
+    "StorageError",
+    "VideoFormatError",
+    "__version__",
+]

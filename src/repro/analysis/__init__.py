@@ -1,0 +1,63 @@
+"""Experiment harness: binning, sweeps, and per-figure runners."""
+
+from .binning import ImportanceBin, bin_balance, equal_storage_bins
+from .experiments import (
+    AblationPoint,
+    DesignPoint,
+    Figure3Result,
+    Figure9Result,
+    Figure10Result,
+    Figure11Result,
+    OverheadResult,
+    run_figure3,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure10_suite,
+    run_figure11,
+    run_overhead,
+    run_section5,
+    run_section8,
+    run_table1,
+)
+from .reporting import format_series, format_table
+from .sweeps import PAPER_ERROR_RATES, SweepPoint, SweepResult, quality_sweep
+from .visualize import (
+    SHADES,
+    importance_map,
+    macroblock_error_map,
+    video_error_maps,
+)
+
+__all__ = [
+    "AblationPoint",
+    "DesignPoint",
+    "Figure3Result",
+    "Figure9Result",
+    "Figure10Result",
+    "Figure11Result",
+    "ImportanceBin",
+    "OverheadResult",
+    "PAPER_ERROR_RATES",
+    "SHADES",
+    "SweepPoint",
+    "SweepResult",
+    "bin_balance",
+    "equal_storage_bins",
+    "format_series",
+    "format_table",
+    "importance_map",
+    "macroblock_error_map",
+    "quality_sweep",
+    "video_error_maps",
+    "run_figure3",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure10_suite",
+    "run_figure11",
+    "run_overhead",
+    "run_section5",
+    "run_section8",
+    "run_table1",
+]

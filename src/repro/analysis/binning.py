@@ -1,0 +1,70 @@
+"""Equal-storage importance bins (the Figure 9 validation experiment).
+
+All macroblocks of a video are sorted by importance and cut into
+``num_bins`` bins of (nearly) equal *storage* — equal bit counts, so
+that injecting errors at the same rate produces the same expected number
+of flips in every bin and quality differences are attributable to
+importance alone (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..core.importance import MacroblockBits
+
+#: One injectable region: (frame coded index, start bit, end bit).
+BitRange = Tuple[int, int, int]
+
+
+@dataclass
+class ImportanceBin:
+    """One equal-storage bin of macroblocks."""
+
+    index: int
+    ranges: List[BitRange] = field(default_factory=list)
+    total_bits: int = 0
+    min_importance: float = float("inf")
+    max_importance: float = 0.0
+
+    def add(self, mb: MacroblockBits) -> None:
+        if mb.bit_end > mb.bit_start:
+            self.ranges.append(
+                (mb.frame_coded_index, mb.bit_start, mb.bit_end))
+            self.total_bits += mb.bit_end - mb.bit_start
+        self.min_importance = min(self.min_importance, mb.importance)
+        self.max_importance = max(self.max_importance, mb.importance)
+
+
+def equal_storage_bins(mb_bits: Sequence[MacroblockBits],
+                       num_bins: int = 16) -> List[ImportanceBin]:
+    """Sort MBs by importance and cut into equal-storage bins.
+
+    Bin 0 holds the least important ~1/num_bins of the bits; bin
+    ``num_bins - 1`` the most important.
+    """
+    if num_bins < 1:
+        raise AnalysisError(f"num_bins must be >= 1, got {num_bins}")
+    ordered = sorted(mb_bits, key=lambda mb: mb.importance)
+    total_bits = sum(mb.bit_end - mb.bit_start for mb in ordered)
+    if total_bits == 0:
+        raise AnalysisError("video has no payload bits to bin")
+    target = total_bits / num_bins
+    bins = [ImportanceBin(index=i) for i in range(num_bins)]
+    consumed = 0
+    for mb in ordered:
+        index = min(int(consumed / target), num_bins - 1)
+        bins[index].add(mb)
+        consumed += mb.bit_end - mb.bit_start
+    return bins
+
+
+def bin_balance(bins: Sequence[ImportanceBin]) -> float:
+    """Max relative deviation of bin sizes from perfect balance."""
+    sizes = [b.total_bits for b in bins]
+    mean = sum(sizes) / len(sizes)
+    if mean == 0:
+        raise AnalysisError("bins are empty")
+    return max(abs(size - mean) / mean for size in sizes)

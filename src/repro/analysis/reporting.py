@@ -1,0 +1,53 @@
+"""Plain-text reporting of experiment results.
+
+Benchmarks print the same rows/series the paper's exhibits show; these
+helpers render them as aligned ASCII tables so bench output is readable
+in a terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import AnalysisError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    materialized: List[List[str]] = [[_cell(value) for value in row]
+                                     for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one curve as labelled (x, y) rows."""
+    if len(xs) != len(ys):
+        raise AnalysisError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    rows = [(_cell(x), _cell(y)) for x, y in zip(xs, ys)]
+    return format_table((x_label, y_label), rows, title=name)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

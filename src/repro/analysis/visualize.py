@@ -1,0 +1,93 @@
+"""Terminal visualization of per-macroblock quantities.
+
+ASCII heat maps for the two spatial stories the paper tells: where a
+corrupted decode is damaged (Sections 3 and 7.1), and how VideoApp's
+importance is laid out across a frame (Figure 6's strictly decreasing
+scan-order structure). One character per macroblock, darker = more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..video.frame import MACROBLOCK_SIZE, VideoSequence
+
+#: Light-to-dark ramp; index 0 renders "no signal".
+SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0 or value <= 0:
+        return SHADES[0]
+    index = 1 + int((value / peak) * (len(SHADES) - 2))
+    return SHADES[min(index, len(SHADES) - 1)]
+
+
+def macroblock_error_map(clean: np.ndarray, damaged: np.ndarray,
+                         saturation: float = 36.0) -> str:
+    """ASCII heat map of per-MB mean absolute pixel error.
+
+    ``saturation`` is the error level (in pixel values) that maps to the
+    darkest shade; anything at or above it renders the same.
+    """
+    if clean.shape != damaged.shape:
+        raise AnalysisError(
+            f"frame shapes differ: {clean.shape} vs {damaged.shape}"
+        )
+    size = MACROBLOCK_SIZE
+    rows = clean.shape[0] // size
+    cols = clean.shape[1] // size
+    lines = []
+    for row in range(rows):
+        cells = []
+        for col in range(cols):
+            block_clean = clean[size * row:size * (row + 1),
+                                size * col:size * (col + 1)].astype(int)
+            block_damaged = damaged[size * row:size * (row + 1),
+                                    size * col:size * (col + 1)].astype(int)
+            error = float(np.abs(block_clean - block_damaged).mean())
+            cells.append(_shade(error, saturation))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def video_error_maps(clean: VideoSequence, damaged: VideoSequence,
+                     frames: Optional[Sequence[int]] = None,
+                     saturation: float = 36.0) -> str:
+    """Error maps for several frames, labelled and stacked."""
+    if frames is None:
+        frames = range(len(clean))
+    sections = []
+    for index in frames:
+        sections.append(f"frame {index}:")
+        sections.append(macroblock_error_map(clean[index], damaged[index],
+                                             saturation))
+    return "\n".join(sections)
+
+
+def importance_map(values: np.ndarray, mb_cols: int,
+                   log_scale: bool = True) -> str:
+    """ASCII heat map of one frame's per-MB importance.
+
+    ``values`` is a flat array of the frame's MB importances in scan
+    order. The log scale matches the paper's logarithmic importance
+    classes; importance 1 (a leaf) renders as the lightest non-empty
+    shade.
+    """
+    flat = np.asarray(values, dtype=float).reshape(-1)
+    if flat.size % mb_cols:
+        raise AnalysisError(
+            f"{flat.size} values do not tile into rows of {mb_cols}"
+        )
+    if np.any(flat < 1.0 - 1e-9):
+        raise AnalysisError("importance values must be >= 1")
+    scaled = np.log2(flat + 1.0) if log_scale else flat
+    peak = float(scaled.max())
+    grid = scaled.reshape(-1, mb_cols)
+    lines = []
+    for row in grid:
+        lines.append("".join(_shade(v, peak) for v in row))
+    return "\n".join(lines)

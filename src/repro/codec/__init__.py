@@ -1,0 +1,63 @@
+"""H.264-like video codec substrate.
+
+A from-scratch encoder/decoder with the structural properties the
+paper's analysis depends on: I/P/B frames, macroblock partitions,
+intra/inter prediction, 4x4 integer transform + quantization, predictive
+metadata coding, and two entropy backends (CABAC-style adaptive
+arithmetic coding and CAVLC-style static VLC). The encoder emits the
+per-macroblock bit ranges and pixel dependencies VideoApp consumes.
+"""
+
+from .config import (
+    CRF_HIGH_QUALITY,
+    CRF_STANDARD_QUALITY,
+    CRF_VERY_HIGH_QUALITY,
+    EncoderConfig,
+    EntropyCoder,
+)
+from .decoder import Decoder
+from .encoded import EncodedFrame, EncodedVideo, FrameHeader, VideoHeader
+from .encoder import Encoder, slice_bands
+from .gop import FramePlan, coded_to_display_order, plan_gop
+from .types import (
+    DependencyRecord,
+    EncodingTrace,
+    FrameTrace,
+    FrameType,
+    IntraMode,
+    MacroblockMode,
+    MacroblockTrace,
+    MotionVector,
+    PartitionType,
+    PredictionDirection,
+    SubPartitionType,
+)
+
+__all__ = [
+    "CRF_HIGH_QUALITY",
+    "CRF_STANDARD_QUALITY",
+    "CRF_VERY_HIGH_QUALITY",
+    "Decoder",
+    "DependencyRecord",
+    "EncodedFrame",
+    "EncodedVideo",
+    "Encoder",
+    "EncoderConfig",
+    "EncodingTrace",
+    "EntropyCoder",
+    "FrameHeader",
+    "FramePlan",
+    "FrameTrace",
+    "FrameType",
+    "IntraMode",
+    "MacroblockMode",
+    "MacroblockTrace",
+    "MotionVector",
+    "PartitionType",
+    "PredictionDirection",
+    "SubPartitionType",
+    "VideoHeader",
+    "coded_to_display_order",
+    "plan_gop",
+    "slice_bands",
+]

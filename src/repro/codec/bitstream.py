@@ -1,0 +1,92 @@
+"""Bit-granular stream writer/reader.
+
+Used directly by the CAVLC entropy coder and by frame-header
+serialization; the CABAC range coder produces bytes on its own and only
+uses these helpers for framing.
+
+The reader is intentionally forgiving: reading past the end of the
+buffer yields zero bits forever. Under approximate storage the payload
+may be corrupted in ways that desynchronize the decoder, and the paper's
+methodology decodes such streams best-effort rather than failing.
+"""
+
+from __future__ import annotations
+
+from ..errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._pending = 0  # bits currently held in the accumulator
+
+    @property
+    def bit_length(self) -> int:
+        """Total bits written so far."""
+        return 8 * len(self._buffer) + self._pending
+
+    def write_bit(self, bit: int) -> None:
+        self._accumulator = (self._accumulator << 1) | (bit & 1)
+        self._pending += 1
+        if self._pending == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._pending = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, most significant first."""
+        if count < 0:
+            raise BitstreamError(f"negative bit count {count}")
+        if value < 0 or (count < value.bit_length()):
+            raise BitstreamError(
+                f"value {value} does not fit in {count} bits"
+            )
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """Finish the stream, zero-padding the final partial byte."""
+        buffer = bytearray(self._buffer)
+        if self._pending:
+            buffer.append(self._accumulator << (8 - self._pending))
+        return bytes(buffer)
+
+
+class BitReader:
+    """Reads bits MSB-first; exhausted input reads as zeros."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= 8 * len(self._data)
+
+    def read_bit(self) -> int:
+        byte_index = self._pos >> 3
+        if byte_index >= len(self._data):
+            self._pos += 1
+            return 0
+        bit = (self._data[byte_index] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        if count < 0:
+            raise BitstreamError(f"negative bit count {count}")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_byte(self) -> int:
+        """Read 8 bits as one byte value (zeros past the end)."""
+        return self.read_bits(8)

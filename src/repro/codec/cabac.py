@@ -1,0 +1,154 @@
+"""Context-adaptive binary arithmetic coding (CABAC-style).
+
+A carry-aware binary range coder with per-context adaptive probabilities,
+structurally equivalent to H.264's CABAC: syntax bins are coded under
+adaptive contexts, equiprobable bins take a bypass path, and the coder
+state is reset at every slice.
+
+The probability estimator is the classic 11-bit shift-register update
+(as used by LZMA's range coder) rather than H.264's 64-state table; both
+adapt geometrically and both exhibit the error behaviour the paper
+studies: a single flipped payload bit desynchronizes the decoder and
+corrupts the adaptive contexts for the remainder of the slice.
+
+Error hardening: the decoder reads zero bytes past the end of the
+payload and clamps all decoded integers, so corrupted streams decode to
+garbage — never to a crash or an unbounded loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .entropy import ContextGroup, EntropyDecoder, EntropyEncoder
+
+_PROB_BITS = 11
+_PROB_ONE = 1 << _PROB_BITS          # 2048
+_PROB_INIT = _PROB_ONE // 2          # p(0) = 0.5 initially
+_MOVE_BITS = 5                       # adaptation rate
+_TOP = 1 << 24
+_MASK32 = 0xFFFFFFFF
+
+
+class CabacEncoder(EntropyEncoder):
+    """Binary range encoder with adaptive contexts."""
+
+    def __init__(self, num_contexts: int) -> None:
+        self._probs: List[int] = [_PROB_INIT] * num_contexts
+        self._low = 0
+        self._range = _MASK32
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+        self._finished = False
+
+    # -- range coder core ----------------------------------------------
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > _MASK32:
+            carry = self._low >> 32
+            self._out.append((self._cache + carry) & 0xFF)
+            for _ in range(self._cache_size - 1):
+                self._out.append((0xFF + carry) & 0xFF)
+            self._cache = (self._low >> 24) & 0xFF
+            self._cache_size = 0
+        self._cache_size += 1
+        self._low = (self._low << 8) & _MASK32
+
+    def _encode_context_bin(self, bit: int, ctx: int) -> None:
+        prob = self._probs[ctx]
+        bound = (self._range >> _PROB_BITS) * prob
+        if bit == 0:
+            self._range = bound
+            self._probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+        else:
+            self._low += bound
+            self._range -= bound
+            self._probs[ctx] = prob - (prob >> _MOVE_BITS)
+        while self._range < _TOP:
+            self._shift_low()
+            self._range = (self._range << 8) & _MASK32
+
+    def encode_bypass(self, bit: int) -> None:
+        self._range >>= 1
+        if bit:
+            self._low += self._range
+        while self._range < _TOP:
+            self._shift_low()
+            self._range = (self._range << 8) & _MASK32
+
+    # -- EntropyEncoder interface ---------------------------------------
+
+    def encode_flag(self, value: bool, group: ContextGroup,
+                    variant: int = 0) -> None:
+        self._encode_context_bin(1 if value else 0,
+                                 group.first_bin_context(variant))
+
+    @property
+    def bits_emitted(self) -> int:
+        # The range coder buffers up to cache_size + 4 bytes internally;
+        # reported positions therefore lag the bins by a few bytes, which
+        # only blurs MB bit-range attribution, never stream correctness.
+        return 8 * len(self._out)
+
+    def finish(self) -> bytes:
+        if not self._finished:
+            for _ in range(5):
+                self._shift_low()
+            self._finished = True
+        return bytes(self._out)
+
+
+class CabacDecoder(EntropyDecoder):
+    """Binary range decoder mirroring :class:`CabacEncoder`."""
+
+    def __init__(self, data: bytes, num_contexts: int) -> None:
+        self._data = data
+        self._pos = 0
+        self._probs: List[int] = [_PROB_INIT] * num_contexts
+        self._range = _MASK32
+        self._code = 0
+        # The first byte is the encoder's spurious initial cache byte (0
+        # for well-formed streams); masking keeps corrupted streams sane.
+        for _ in range(5):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+
+    def _next_byte(self) -> int:
+        if self._pos >= len(self._data):
+            self._pos += 1
+            return 0
+        byte = self._data[self._pos]
+        self._pos += 1
+        return byte
+
+    def _decode_context_bin(self, ctx: int) -> int:
+        prob = self._probs[ctx]
+        bound = (self._range >> _PROB_BITS) * prob
+        if self._code < bound:
+            bit = 0
+            self._range = bound
+            self._probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+        else:
+            bit = 1
+            self._code -= bound
+            self._range -= bound
+            self._probs[ctx] = prob - (prob >> _MOVE_BITS)
+        while self._range < _TOP:
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+            self._range = (self._range << 8) & _MASK32
+        return bit
+
+    def decode_bypass(self) -> int:
+        self._range >>= 1
+        if self._code >= self._range:
+            self._code -= self._range
+            bit = 1
+        else:
+            bit = 0
+        while self._range < _TOP:
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+            self._range = (self._range << 8) & _MASK32
+        return bit
+
+    def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
+        return bool(self._decode_context_bin(group.first_bin_context(variant)))

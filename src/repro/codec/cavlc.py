@@ -1,0 +1,62 @@
+"""Context-free variable-length coding (CAVLC-style).
+
+The alternative H.264 entropy backend: static Exp-Golomb / unary codes
+written directly as bits, with no adaptive state. Compared to CABAC it
+is 10-15% less compact but far more error-tolerant — a bit flip can
+misalign codes for the rest of the slice, but there is no adaptive
+context to poison, and single-codeword damage often stays local.
+
+Because codes map to whole bits, MB bit ranges reported by this backend
+are exact (unlike the CABAC backend's few-byte lag).
+"""
+
+from __future__ import annotations
+
+from .bitstream import BitReader, BitWriter
+from .entropy import ContextGroup, EntropyDecoder, EntropyEncoder
+
+
+class CavlcEncoder(EntropyEncoder):
+    """Static VLC encoder; contexts are accepted and ignored."""
+
+    def __init__(self, num_contexts: int = 0) -> None:
+        # num_contexts kept for interface parity with CabacEncoder.
+        self._writer = BitWriter()
+        self._finished: bytes = b""
+        self._done = False
+
+    def _encode_context_bin(self, bit: int, ctx: int) -> None:
+        self._writer.write_bit(bit)
+
+    def encode_bypass(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+
+    def encode_flag(self, value: bool, group: ContextGroup,
+                    variant: int = 0) -> None:
+        self._writer.write_bit(1 if value else 0)
+
+    @property
+    def bits_emitted(self) -> int:
+        return self._writer.bit_length
+
+    def finish(self) -> bytes:
+        if not self._done:
+            self._finished = self._writer.getvalue()
+            self._done = True
+        return self._finished
+
+
+class CavlcDecoder(EntropyDecoder):
+    """Static VLC decoder mirroring :class:`CavlcEncoder`."""
+
+    def __init__(self, data: bytes, num_contexts: int = 0) -> None:
+        self._reader = BitReader(data)
+
+    def _decode_context_bin(self, ctx: int) -> int:
+        return self._reader.read_bit()
+
+    def decode_bypass(self) -> int:
+        return self._reader.read_bit()
+
+    def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
+        return bool(self._reader.read_bit())

@@ -1,0 +1,89 @@
+"""Encoder configuration.
+
+Defaults mirror the paper's conservative evaluation setup: CABAC entropy
+coding (the most storage-efficient and most error-intolerant choice) and
+a single slice per frame. The knobs the paper's Section 8 discussion
+varies — slices, B-frame count, entropy coder — are all here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import EncoderError
+
+
+class EntropyCoder(enum.Enum):
+    """Entropy coding backend."""
+
+    CABAC = "cabac"  #: context-adaptive binary arithmetic coding
+    CAVLC = "cavlc"  #: context-free variable-length coding
+
+
+#: CRF presets used throughout the paper's evaluation (Section 6.3).
+CRF_VERY_HIGH_QUALITY = 16
+CRF_HIGH_QUALITY = 20
+CRF_STANDARD_QUALITY = 24
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """All encoder knobs.
+
+    Attributes:
+        crf: constant rate factor, the quality control knob (lower is
+            better quality); maps to per-frame-type QPs.
+        gop_size: I-frame period in display frames ("checkpoints" that
+            stop error propagation).
+        bframes: number of B-frames between consecutive anchor (I/P)
+            frames; 0 gives an IPPP stream.
+        slices: horizontal slice count per frame; each slice has its own
+            entropy context and blocks prediction across its boundary,
+            limiting coding-error propagation (Section 8).
+        entropy_coder: CABAC (default, paper's choice) or CAVLC.
+        search_range: motion search radius in pixels (integer-pel).
+        adaptive_qp: let the encoder raise QP on high-activity MBs,
+            exercising delta-QP coding like real encoders do.
+        mv_cost_lambda: SAD penalty per pixel of motion-vector deviation
+            from zero, biasing the search toward compact vectors.
+        partition_penalty: SAD-equivalent cost charged per additional
+            motion partition, standing in for its metadata bits.
+        intra_penalty: SAD-equivalent cost charged to intra candidates in
+            inter frames (intra costs more bits than inter on average).
+        bi_penalty: SAD-equivalent cost charged to bidirectional
+            partitions (a second motion vector costs bits).
+        deblocking: run the in-loop deblocking filter on reconstructed
+            frames (and hence on references), as H.264 does.
+    """
+
+    crf: int = CRF_STANDARD_QUALITY
+    gop_size: int = 12
+    bframes: int = 0
+    slices: int = 1
+    entropy_coder: EntropyCoder = EntropyCoder.CABAC
+    search_range: int = 8
+    adaptive_qp: bool = True
+    mv_cost_lambda: float = 2.0
+    partition_penalty: float = 96.0
+    intra_penalty: float = 192.0
+    bi_penalty: float = 48.0
+    deblocking: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.crf <= 51:
+            raise EncoderError(f"crf must be in 0..51, got {self.crf}")
+        if self.gop_size < 1:
+            raise EncoderError(f"gop_size must be >= 1, got {self.gop_size}")
+        if self.bframes < 0:
+            raise EncoderError(f"bframes must be >= 0, got {self.bframes}")
+        if self.bframes >= self.gop_size:
+            raise EncoderError(
+                f"bframes ({self.bframes}) must be < gop_size ({self.gop_size})"
+            )
+        if self.slices < 1:
+            raise EncoderError(f"slices must be >= 1, got {self.slices}")
+        if not 1 <= self.search_range <= 32:
+            raise EncoderError(
+                f"search_range must be in 1..32, got {self.search_range}"
+            )

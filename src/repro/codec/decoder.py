@@ -1,0 +1,137 @@
+"""The video decoder.
+
+Mirrors the encoder exactly on clean streams and decodes corrupted
+streams best-effort, the way the paper's methodology requires:
+
+* precise frame headers let it locate every frame and slice payload, so
+  it always resynchronizes at slice boundaries (entropy contexts reset);
+* within a corrupted slice it misinterprets rather than fails — all
+  syntax values are clamped to legal ranges, all compensation accesses
+  are clamped into the padded reference;
+* damage propagates exactly like in a real decoder: through entropy
+  desynchronization and context corruption within the slice, and through
+  motion-compensated references across frames.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import BitstreamError
+from ..video.frame import MACROBLOCK_SIZE, VideoSequence
+from .cabac import CabacDecoder
+from .cavlc import CavlcDecoder
+from .config import EntropyCoder
+from .contexts import DEFAULT_CONTEXT_MODEL
+from .deblock import deblock_frame
+from .encoded import EncodedFrame, EncodedVideo
+from .encoder import slice_bands
+from .motion import pad_reference
+from .neighbors import FrameMbState
+from .reconstruct import ReferenceSet, build_prediction, reconstruct_macroblock
+from .syntax import decode_macroblock, finalize_macroblock
+from .transform import reconstruct_residual
+from .types import FrameType, MacroblockMode, PredictionDirection
+
+
+class Decoder:
+    """H.264-like decoder; robust against corrupted payloads."""
+
+    def __init__(self) -> None:
+        self._model = DEFAULT_CONTEXT_MODEL
+
+    def decode(self, encoded: EncodedVideo) -> VideoSequence:
+        """Decode to a display-order raw sequence."""
+        header = encoded.header
+        if len(encoded.frames) != header.num_frames:
+            raise BitstreamError(
+                f"header promises {header.num_frames} frames, "
+                f"container has {len(encoded.frames)}"
+            )
+        pad = header.search_range
+        reconstructed: Dict[int, np.ndarray] = {}
+        padded: Dict[int, np.ndarray] = {}
+        for frame in encoded.frames:
+            recon = self._decode_frame(frame, encoded, padded)
+            if header.deblocking:
+                recon = deblock_frame(recon, frame.header.base_qp)
+            reconstructed[frame.header.display_index] = recon
+            padded[frame.header.display_index] = pad_reference(recon, pad)
+        frames = [reconstructed[i] for i in range(header.num_frames)]
+        return VideoSequence(frames, fps=header.fps)
+
+    def _new_entropy_decoder(self, payload: bytes,
+                             coder: EntropyCoder):
+        if coder == EntropyCoder.CABAC:
+            return CabacDecoder(payload, self._model.total_contexts)
+        return CavlcDecoder(payload, self._model.total_contexts)
+
+    def _references(self, frame: EncodedFrame,
+                    padded: Dict[int, np.ndarray]) -> ReferenceSet:
+        references: ReferenceSet = {}
+        fh = frame.header
+        if fh.ref_forward is not None and fh.ref_forward in padded:
+            references[PredictionDirection.FORWARD] = padded[fh.ref_forward]
+        if fh.ref_backward is not None and fh.ref_backward in padded:
+            references[PredictionDirection.BACKWARD] = padded[fh.ref_backward]
+        return references
+
+    def _decode_frame(self, frame: EncodedFrame, encoded: EncodedVideo,
+                      padded: Dict[int, np.ndarray]) -> np.ndarray:
+        header = encoded.header
+        fh = frame.header
+        mb_rows = header.height // MACROBLOCK_SIZE
+        mb_cols = header.width // MACROBLOCK_SIZE
+        if fh.frame_type != FrameType.I and not padded:
+            raise BitstreamError(
+                f"frame {fh.coded_index} needs references but none decoded"
+            )
+        references = self._references(frame, padded)
+        if fh.frame_type != FrameType.I and (
+                PredictionDirection.FORWARD not in references):
+            raise BitstreamError(
+                f"frame {fh.coded_index}: forward reference "
+                f"{fh.ref_forward} unavailable"
+            )
+        state = FrameMbState(mb_rows, mb_cols)
+        recon = np.zeros((header.height, header.width), dtype=np.uint8)
+        bands = slice_bands(mb_rows, len(fh.slice_byte_lengths))
+        offset = 0
+        for (start_row, end_row), length in zip(bands,
+                                                fh.slice_byte_lengths):
+            payload = frame.payload[offset:offset + length]
+            offset += length
+            entropy = self._new_entropy_decoder(payload,
+                                                header.entropy_coder)
+            state.start_slice(fh.base_qp)
+            for mb_row in range(start_row, end_row):
+                for mb_col in range(mb_cols):
+                    self._decode_macroblock(
+                        entropy, fh.frame_type, state, recon, references,
+                        mb_row, mb_col, start_row)
+        return recon
+
+    def _decode_macroblock(self, entropy, frame_type: FrameType,
+                           state: FrameMbState, recon: np.ndarray,
+                           references: ReferenceSet, mb_row: int,
+                           mb_col: int, min_mb_row: int) -> None:
+        decision = decode_macroblock(entropy, self._model, state,
+                                     frame_type, mb_row, mb_col, min_mb_row)
+        pad = 0
+        if references:
+            reference = next(iter(references.values()))
+            pad = (reference.shape[0] - recon.shape[0]) // 2
+        prediction = build_prediction(decision, recon, references, pad,
+                                      mb_row, mb_col, min_mb_row)
+        residual: Optional[np.ndarray] = None
+        if decision.coefficients is not None and any(decision.cbp):
+            residual = reconstruct_residual(decision.coefficients,
+                                            decision.qp)
+        top = mb_row * MACROBLOCK_SIZE
+        left = mb_col * MACROBLOCK_SIZE
+        recon[top:top + MACROBLOCK_SIZE,
+              left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
+                  decision, prediction, residual)
+        finalize_macroblock(state, decision, mb_row, mb_col)

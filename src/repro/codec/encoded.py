@@ -1,0 +1,240 @@
+"""Encoded video containers and their (precise) serialization.
+
+An :class:`EncodedVideo` separates exactly the two storage classes the
+paper distinguishes:
+
+* **headers** (video header + per-frame headers): tiny, structurally
+  critical, always kept precise (strongest ECC);
+* **payloads** (entropy-coded macroblock data, one byte string per
+  frame): the approximable bulk that VideoApp grades by importance.
+
+Frame payload byte lengths live in the frame header, which is what lets
+the decoder resynchronize at every frame boundary no matter how damaged
+the previous payload was — the paper's entropy-context reset point.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import BitstreamError
+from .config import EncoderConfig, EntropyCoder
+from .types import EncodingTrace, FrameType
+
+_MAGIC = b"RVAP"
+
+
+def _write_uint(out: io.BytesIO, value: int, size: int) -> None:
+    out.write(int(value).to_bytes(size, "big"))
+
+
+def _read_uint(data: bytes, offset: int, size: int) -> tuple:
+    if offset + size > len(data):
+        raise BitstreamError("truncated header")
+    return int.from_bytes(data[offset:offset + size], "big"), offset + size
+
+
+@dataclass
+class FrameHeader:
+    """Precise per-frame metadata."""
+
+    coded_index: int
+    display_index: int
+    frame_type: FrameType
+    base_qp: int
+    ref_forward: Optional[int]   # display index, or None
+    ref_backward: Optional[int]  # display index, or None
+    slice_byte_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(self.slice_byte_lengths)
+
+    def serialized_bits(self) -> int:
+        """Size of this header in the serialized container, in bits."""
+        return 8 * (2 + 2 + 1 + 1 + 2 + 2 + 1 + 4 * len(self.slice_byte_lengths))
+
+
+@dataclass
+class VideoHeader:
+    """Precise stream-level metadata."""
+
+    width: int
+    height: int
+    num_frames: int
+    gop_size: int
+    bframes: int
+    slices: int
+    entropy_coder: EntropyCoder
+    crf: int
+    search_range: int
+    fps: float
+    deblocking: bool = True
+
+    def serialized_bits(self) -> int:
+        return 8 * (len(_MAGIC) + 2 + 2 + 2 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 4)
+
+
+@dataclass
+class EncodedFrame:
+    """One coded frame: precise header + approximable payload."""
+
+    header: FrameHeader
+    payload: bytes
+
+    @property
+    def payload_bits(self) -> int:
+        return 8 * len(self.payload)
+
+
+@dataclass
+class EncodedVideo:
+    """A complete coded video in coded-frame order."""
+
+    header: VideoHeader
+    frames: List[EncodedFrame]
+    #: Dependency/bit-layout trace; produced by the encoder, consumed by
+    #: VideoApp. Not serialized (the paper's analysis is a one-time
+    #: encoder-side post-processing step).
+    trace: Optional[EncodingTrace] = None
+
+    @property
+    def payload_bits(self) -> int:
+        """Total approximable bits."""
+        return sum(frame.payload_bits for frame in self.frames)
+
+    @property
+    def header_bits(self) -> int:
+        """Total precise bits."""
+        return self.header.serialized_bits() + sum(
+            frame.header.serialized_bits() for frame in self.frames
+        )
+
+    @property
+    def total_bits(self) -> int:
+        return self.payload_bits + self.header_bits
+
+    def frame_payloads(self) -> List[bytes]:
+        return [frame.payload for frame in self.frames]
+
+    def with_payloads(self, payloads: List[bytes]) -> "EncodedVideo":
+        """A copy of this video with substituted frame payloads.
+
+        Payload lengths must match: approximate storage flips bits, it
+        never changes sizes.
+        """
+        if len(payloads) != len(self.frames):
+            raise BitstreamError(
+                f"expected {len(self.frames)} payloads, got {len(payloads)}"
+            )
+        frames = []
+        for frame, payload in zip(self.frames, payloads):
+            if len(payload) != len(frame.payload):
+                raise BitstreamError(
+                    f"frame {frame.header.coded_index}: payload length "
+                    f"{len(payload)} != {len(frame.payload)}"
+                )
+            frames.append(EncodedFrame(header=frame.header, payload=payload))
+        return EncodedVideo(header=self.header, frames=frames,
+                            trace=self.trace)
+
+    # -- serialization ----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        header = self.header
+        _write_uint(out, header.width, 2)
+        _write_uint(out, header.height, 2)
+        _write_uint(out, header.num_frames, 2)
+        _write_uint(out, header.gop_size, 1)
+        _write_uint(out, header.bframes, 1)
+        _write_uint(out, header.slices, 1)
+        _write_uint(out, 0 if header.entropy_coder == EntropyCoder.CABAC else 1, 1)
+        _write_uint(out, header.crf, 1)
+        _write_uint(out, header.search_range, 1)
+        _write_uint(out, 1 if header.deblocking else 0, 1)
+        _write_uint(out, int(round(header.fps * 1000)), 4)
+        for frame in self.frames:
+            fh = frame.header
+            _write_uint(out, fh.coded_index, 2)
+            _write_uint(out, fh.display_index, 2)
+            _write_uint(out, int(fh.frame_type), 1)
+            _write_uint(out, fh.base_qp, 1)
+            _write_uint(out, 0 if fh.ref_forward is None else fh.ref_forward + 1, 2)
+            _write_uint(out, 0 if fh.ref_backward is None else fh.ref_backward + 1, 2)
+            _write_uint(out, len(fh.slice_byte_lengths), 1)
+            for length in fh.slice_byte_lengths:
+                _write_uint(out, length, 4)
+            out.write(frame.payload)
+        return out.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "EncodedVideo":
+        if data[:len(_MAGIC)] != _MAGIC:
+            raise BitstreamError("not a serialized EncodedVideo")
+        offset = len(_MAGIC)
+        width, offset = _read_uint(data, offset, 2)
+        height, offset = _read_uint(data, offset, 2)
+        num_frames, offset = _read_uint(data, offset, 2)
+        gop_size, offset = _read_uint(data, offset, 1)
+        bframes, offset = _read_uint(data, offset, 1)
+        slices, offset = _read_uint(data, offset, 1)
+        entropy_raw, offset = _read_uint(data, offset, 1)
+        crf, offset = _read_uint(data, offset, 1)
+        search_range, offset = _read_uint(data, offset, 1)
+        deblocking_raw, offset = _read_uint(data, offset, 1)
+        fps_millis, offset = _read_uint(data, offset, 4)
+        header = VideoHeader(
+            width=width, height=height, num_frames=num_frames,
+            gop_size=gop_size, bframes=bframes, slices=slices,
+            entropy_coder=(EntropyCoder.CABAC if entropy_raw == 0
+                           else EntropyCoder.CAVLC),
+            crf=crf, search_range=search_range, fps=fps_millis / 1000.0,
+            deblocking=bool(deblocking_raw),
+        )
+        frames = []
+        for _ in range(num_frames):
+            coded_index, offset = _read_uint(data, offset, 2)
+            display_index, offset = _read_uint(data, offset, 2)
+            frame_type_raw, offset = _read_uint(data, offset, 1)
+            base_qp, offset = _read_uint(data, offset, 1)
+            ref_fwd_raw, offset = _read_uint(data, offset, 2)
+            ref_bwd_raw, offset = _read_uint(data, offset, 2)
+            num_slices, offset = _read_uint(data, offset, 1)
+            lengths = []
+            for _ in range(num_slices):
+                length, offset = _read_uint(data, offset, 4)
+                lengths.append(length)
+            payload_len = sum(lengths)
+            if offset + payload_len > len(data):
+                raise BitstreamError("truncated payload")
+            payload = data[offset:offset + payload_len]
+            offset += payload_len
+            frames.append(EncodedFrame(
+                header=FrameHeader(
+                    coded_index=coded_index,
+                    display_index=display_index,
+                    frame_type=FrameType(frame_type_raw),
+                    base_qp=base_qp,
+                    ref_forward=None if ref_fwd_raw == 0 else ref_fwd_raw - 1,
+                    ref_backward=None if ref_bwd_raw == 0 else ref_bwd_raw - 1,
+                    slice_byte_lengths=lengths,
+                ),
+                payload=payload,
+            ))
+        return EncodedVideo(header=header, frames=frames)
+
+    def config(self) -> EncoderConfig:
+        """Reconstruct the encoder configuration the stream was made with."""
+        return EncoderConfig(
+            crf=self.header.crf,
+            gop_size=self.header.gop_size,
+            bframes=self.header.bframes,
+            slices=self.header.slices,
+            entropy_coder=self.header.entropy_coder,
+            search_range=self.header.search_range,
+            deblocking=self.header.deblocking,
+        )

@@ -1,0 +1,181 @@
+"""Entropy-coding interface shared by the CABAC and CAVLC backends.
+
+The syntax layer speaks three symbol kinds: context-coded flags,
+context-coded unsigned integers (truncated-unary prefix + Exp-Golomb
+bypass suffix, H.264's UEGk shape), and raw bypass bits (signs). Both
+backends implement this interface; the CABAC backend uses the contexts
+for adaptive probability modelling, the CAVLC backend ignores them and
+emits static variable-length codes.
+
+Decoders are hardened for corrupted input: every decoded integer is
+clamped to its syntax element's legal range and every variable-length
+loop is bounded, so decoding garbage terminates and yields in-range
+values — exactly the "misinterpretation, not failure" behaviour the
+paper's error study relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import BitstreamError
+
+#: Longest Exp-Golomb prefix a decoder will follow before giving up and
+#: clamping. Bounds worst-case work on corrupted streams.
+MAX_EG_PREFIX = 24
+
+
+@dataclass(frozen=True)
+class ContextGroup:
+    """A named block of adaptive contexts for one syntax element.
+
+    Attributes:
+        base: index of the group's first context in the backend's table.
+        variants: number of alternative contexts for the *first* bin,
+            selected from neighboring macroblock state (this is what
+            makes the coder "context adaptive" across MBs and what
+            propagates misinterpretation when state diverges).
+        tail: contexts shared by subsequent truncated-unary bins.
+        tu_cap: truncated-unary cap; magnitudes beyond it continue in a
+            bypass Exp-Golomb suffix.
+        max_value: decoder-side clamp for the element's legal range.
+    """
+
+    base: int
+    variants: int = 1
+    tail: int = 0
+    tu_cap: int = 1
+    max_value: int = 1
+
+    @property
+    def size(self) -> int:
+        return self.variants + self.tail
+
+    def first_bin_context(self, variant: int) -> int:
+        if not 0 <= variant < self.variants:
+            raise BitstreamError(
+                f"context variant {variant} out of range 0..{self.variants - 1}"
+            )
+        return self.base + variant
+
+    def tail_context(self, bin_index: int) -> int:
+        """Context for unary bin ``bin_index`` (>= 1)."""
+        if self.tail == 0:
+            # Groups without tail contexts reuse the variant-0 context.
+            return self.base
+        return self.base + self.variants + min(bin_index - 1, self.tail - 1)
+
+
+class EntropyEncoder(abc.ABC):
+    """Serializer of syntax symbols into a byte payload."""
+
+    @abc.abstractmethod
+    def encode_flag(self, value: bool, group: ContextGroup,
+                    variant: int = 0) -> None:
+        """Encode one binary flag."""
+
+    @abc.abstractmethod
+    def encode_bypass(self, bit: int) -> None:
+        """Encode one equiprobable raw bit (signs)."""
+
+    @abc.abstractmethod
+    def _encode_context_bin(self, bit: int, ctx: int) -> None:
+        """Encode one bin under the given context index."""
+
+    @property
+    @abc.abstractmethod
+    def bits_emitted(self) -> int:
+        """Bits flushed to the output so far (used for MB bit ranges)."""
+
+    @abc.abstractmethod
+    def finish(self) -> bytes:
+        """Flush and return the complete payload."""
+
+    # -- shared binarization -------------------------------------------
+
+    def encode_uint(self, value: int, group: ContextGroup,
+                    variant: int = 0) -> None:
+        """Encode an unsigned integer with TU-prefix + EG0 bypass suffix."""
+        if value < 0:
+            raise BitstreamError(f"encode_uint got negative value {value}")
+        if value > group.max_value:
+            raise BitstreamError(
+                f"value {value} exceeds group max {group.max_value}"
+            )
+        prefix = min(value, group.tu_cap)
+        for bin_index in range(prefix):
+            ctx = (group.first_bin_context(variant) if bin_index == 0
+                   else group.tail_context(bin_index))
+            self._encode_context_bin(1, ctx)
+        if value < group.tu_cap:
+            ctx = (group.first_bin_context(variant) if value == 0
+                   else group.tail_context(value))
+            self._encode_context_bin(0, ctx)
+        else:
+            self._encode_eg0_bypass(value - group.tu_cap)
+
+    def encode_sint(self, value: int, group: ContextGroup,
+                    variant: int = 0) -> None:
+        """Encode a signed integer as magnitude + bypass sign."""
+        magnitude = abs(value)
+        self.encode_uint(magnitude, group, variant)
+        if magnitude:
+            self.encode_bypass(1 if value < 0 else 0)
+
+    def _encode_eg0_bypass(self, value: int) -> None:
+        """Order-0 Exp-Golomb in bypass bins."""
+        shifted = value + 1
+        length = shifted.bit_length() - 1
+        if length > MAX_EG_PREFIX:
+            raise BitstreamError(f"value {value} too large for EG0 suffix")
+        for _ in range(length):
+            self.encode_bypass(1)
+        self.encode_bypass(0)
+        for shift in range(length - 1, -1, -1):
+            self.encode_bypass((shifted >> shift) & 1)
+
+
+class EntropyDecoder(abc.ABC):
+    """Deserializer mirroring :class:`EntropyEncoder`."""
+
+    @abc.abstractmethod
+    def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def decode_bypass(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def _decode_context_bin(self, ctx: int) -> int:
+        ...
+
+    # -- shared binarization -------------------------------------------
+
+    def decode_uint(self, group: ContextGroup, variant: int = 0) -> int:
+        """Decode an unsigned integer; clamps to the group's legal range."""
+        value = 0
+        while value < group.tu_cap:
+            ctx = (group.first_bin_context(variant) if value == 0
+                   else group.tail_context(value))
+            if not self._decode_context_bin(ctx):
+                return min(value, group.max_value)
+            value += 1
+        value += self._decode_eg0_bypass()
+        return min(value, group.max_value)
+
+    def decode_sint(self, group: ContextGroup, variant: int = 0) -> int:
+        magnitude = self.decode_uint(group, variant)
+        if magnitude and self.decode_bypass():
+            return -magnitude
+        return magnitude
+
+    def _decode_eg0_bypass(self) -> int:
+        length = 0
+        while self.decode_bypass() and length < MAX_EG_PREFIX:
+            length += 1
+        suffix = 0
+        for _ in range(length):
+            suffix = (suffix << 1) | self.decode_bypass()
+        return (1 << length) - 1 + suffix

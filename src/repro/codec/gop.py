@@ -1,0 +1,85 @@
+"""Group-of-pictures planning: frame types, references, coded order.
+
+I-frames are periodic checkpoints (``gop_size`` in display frames) that
+reset all prediction; P-frames reference the previous anchor; B-frames
+sit between two anchors and reference both. B-frames are never used as
+references (the H.264 option the paper's Section 8 discusses), so they
+are leaves of the dependency graph.
+
+Coded order interleaves each anchor before the B-frames that reference
+it, exactly as a real encoder emits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import EncoderError
+from .types import FrameType
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """Planned identity of one coded frame."""
+
+    coded_index: int
+    display_index: int
+    frame_type: FrameType
+    #: Display index of the forward (earlier-anchor) reference, if any.
+    ref_forward: Optional[int] = None
+    #: Display index of the backward (later-anchor) reference, if any.
+    ref_backward: Optional[int] = None
+
+
+def _anchor_positions(num_frames: int, gop_size: int,
+                      bframes: int) -> List[int]:
+    positions = [0]
+    pos = 0
+    while pos < num_frames - 1:
+        next_i = ((pos // gop_size) + 1) * gop_size
+        pos = min(pos + bframes + 1, next_i, num_frames - 1)
+        positions.append(pos)
+    return positions
+
+
+def plan_gop(num_frames: int, gop_size: int, bframes: int) -> List[FramePlan]:
+    """Plan all frames of a video, returned in coded order."""
+    if num_frames < 1:
+        raise EncoderError(f"num_frames must be >= 1, got {num_frames}")
+    if gop_size < 1:
+        raise EncoderError(f"gop_size must be >= 1, got {gop_size}")
+    if bframes < 0:
+        raise EncoderError(f"bframes must be >= 0, got {bframes}")
+
+    anchors = _anchor_positions(num_frames, gop_size, bframes)
+    plans: List[FramePlan] = []
+    coded = 0
+    previous_anchor: Optional[int] = None
+    for anchor in anchors:
+        if anchor % gop_size == 0:
+            plans.append(FramePlan(coded, anchor, FrameType.I))
+        else:
+            plans.append(FramePlan(coded, anchor, FrameType.P,
+                                   ref_forward=previous_anchor))
+        coded += 1
+        if previous_anchor is not None:
+            for display in range(previous_anchor + 1, anchor):
+                plans.append(FramePlan(coded, display, FrameType.B,
+                                       ref_forward=previous_anchor,
+                                       ref_backward=anchor))
+                coded += 1
+        previous_anchor = anchor
+    if len(plans) != num_frames:
+        raise EncoderError(
+            f"GOP planning produced {len(plans)} frames for {num_frames}"
+        )
+    return plans
+
+
+def coded_to_display_order(plans: List[FramePlan]) -> List[int]:
+    """``result[display_index] = coded_index`` mapping."""
+    mapping = [0] * len(plans)
+    for plan in plans:
+        mapping[plan.display_index] = plan.coded_index
+    return mapping

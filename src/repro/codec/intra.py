@@ -1,0 +1,155 @@
+"""16x16 intra prediction (DC / vertical / horizontal).
+
+Intra prediction extrapolates a macroblock from the reconstructed pixels
+of its already-decoded neighbors: the row directly above and the column
+directly to the left. These pixel dependencies are exactly the
+intra-frame compensation edges VideoApp models (Figure 4's MB B example),
+so each predictor also reports which neighbor MBs supplied pixels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import EncoderError
+from .types import MB_SIZE, DependencyRecord, IntraMode
+
+
+def _border_pixels(reconstructed: np.ndarray, mb_row: int, mb_col: int
+                   ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """(row above, column left) of reconstructed border pixels, or None."""
+    top = mb_row * MB_SIZE
+    left = mb_col * MB_SIZE
+    above = reconstructed[top - 1, left:left + MB_SIZE] if mb_row > 0 else None
+    left_col = (reconstructed[top:top + MB_SIZE, left - 1]
+                if mb_col > 0 else None)
+    return above, left_col
+
+
+def predict_intra(reconstructed: np.ndarray, mb_row: int, mb_col: int,
+                  mode: IntraMode,
+                  min_mb_row: int = 0) -> np.ndarray:
+    """Build the 16x16 intra prediction for one macroblock.
+
+    ``reconstructed`` is the partially reconstructed current frame
+    (uint8); only pixels above/left of the MB are read. ``min_mb_row``
+    masks availability at a slice boundary: MB rows above it are treated
+    as outside the slice (H.264 slices do not predict across slices).
+    Unavailable borders fall back to the mid-gray 128, as in H.264.
+    """
+    above, left_col = _border_pixels(reconstructed, mb_row, mb_col)
+    if mb_row == min_mb_row:
+        # MB sits on the slice's first row: the row above is another slice.
+        above = None
+    if mode == IntraMode.VERTICAL:
+        if above is None:
+            return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+        return np.repeat(above[np.newaxis, :], MB_SIZE, axis=0)
+    if mode == IntraMode.HORIZONTAL:
+        if left_col is None:
+            return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+        return np.repeat(left_col[:, np.newaxis], MB_SIZE, axis=1)
+    if mode == IntraMode.DC:
+        parts = [p for p in (above, left_col) if p is not None]
+        if not parts:
+            return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+        mean = int(round(float(np.mean(np.concatenate(parts)))))
+        return np.full((MB_SIZE, MB_SIZE), np.uint8(mean), dtype=np.uint8)
+    if mode == IntraMode.PLANE:
+        # H.264 Intra_16x16 Plane: a linear gradient fitted to the above
+        # row and left column. Needs both borders plus the corner; a
+        # corrupted stream can request it without them, in which case we
+        # fall back to mid-gray like the other modes.
+        if above is None or left_col is None or mb_row == 0 or mb_col == 0:
+            return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+        top = mb_row * MB_SIZE
+        left = mb_col * MB_SIZE
+        corner = int(reconstructed[top - 1, left - 1])
+        above_ext = np.concatenate([[corner], above.astype(np.int64)])
+        left_ext = np.concatenate([[corner], left_col.astype(np.int64)])
+        taps = np.arange(1, 9, dtype=np.int64)
+        # above_ext[8 + x] - above_ext[8 - x] for x = 1..8 (0-indexed
+        # offset by the prepended corner).
+        h_grad = int(np.sum(taps * (above_ext[8 + taps] - above_ext[8 - taps])))
+        v_grad = int(np.sum(taps * (left_ext[8 + taps] - left_ext[8 - taps])))
+        slope_x = (5 * h_grad + 32) >> 6
+        slope_y = (5 * v_grad + 32) >> 6
+        base = 16 * (int(above[15]) + int(left_col[15]))
+        xs = np.arange(MB_SIZE, dtype=np.int64) - 7
+        plane = (base + slope_x * xs[np.newaxis, :]
+                 + slope_y * xs[:, np.newaxis] + 16) >> 5
+        return np.clip(plane, 0, 255).astype(np.uint8)
+    raise EncoderError(f"unknown intra mode {mode!r}")
+
+
+def intra_dependencies(frame_coded_index: int, mb_row: int, mb_col: int,
+                       mb_cols: int, mode: IntraMode,
+                       min_mb_row: int = 0) -> List[DependencyRecord]:
+    """Pixel-source dependencies created by one intra prediction.
+
+    Returns records naming the neighbor MBs (within the same frame) whose
+    reconstructed pixels feed this MB's prediction, with pixel counts.
+    The whole 16x16 block (256 pixels) is attributed to its border
+    sources proportionally, matching VideoApp's weighting rule.
+    """
+    def mb_index(row: int, col: int) -> int:
+        return row * mb_cols + col
+
+    has_above = mb_row > min_mb_row
+    has_left = mb_col > 0
+    # (source MB, border pixels contributed) for the available borders.
+    sources: List[tuple] = []
+    if mode == IntraMode.VERTICAL and has_above:
+        sources = [(mb_index(mb_row - 1, mb_col), 16)]
+    elif mode == IntraMode.HORIZONTAL and has_left:
+        sources = [(mb_index(mb_row, mb_col - 1), 16)]
+    elif mode == IntraMode.DC:
+        if has_above:
+            sources.append((mb_index(mb_row - 1, mb_col), 16))
+        if has_left:
+            sources.append((mb_index(mb_row, mb_col - 1), 16))
+    elif mode == IntraMode.PLANE and has_above and has_left:
+        sources = [
+            (mb_index(mb_row - 1, mb_col), 16),
+            (mb_index(mb_row, mb_col - 1), 16),
+            (mb_index(mb_row - 1, mb_col - 1), 1),  # corner pixel
+        ]
+    if not sources:
+        return []
+    # Distribute the MB's 256 predicted pixels proportionally to the
+    # border pixels each source supplies, preserving the exact total.
+    total_border = sum(weight for _src, weight in sources)
+    deps: List[DependencyRecord] = []
+    assigned = 0
+    for position, (src, weight) in enumerate(sources):
+        if position == len(sources) - 1:
+            share = MB_SIZE * MB_SIZE - assigned
+        else:
+            share = round(MB_SIZE * MB_SIZE * weight / total_border)
+            assigned += share
+        deps.append(DependencyRecord(source=(frame_coded_index, src),
+                                     pixels=share))
+    return deps
+
+
+def choose_intra_mode(source_mb: np.ndarray, reconstructed: np.ndarray,
+                      mb_row: int, mb_col: int,
+                      min_mb_row: int = 0) -> Tuple[IntraMode, np.ndarray, float]:
+    """Pick the intra mode with the lowest SAD against ``source_mb``.
+
+    Returns (mode, prediction, sad).
+    """
+    best: Tuple[Optional[IntraMode], Optional[np.ndarray], float] = (
+        None, None, float("inf"))
+    source = source_mb.astype(np.int32)
+    for mode in (IntraMode.DC, IntraMode.VERTICAL, IntraMode.HORIZONTAL,
+                 IntraMode.PLANE):
+        prediction = predict_intra(reconstructed, mb_row, mb_col, mode,
+                                   min_mb_row)
+        sad = float(np.abs(source - prediction.astype(np.int32)).sum())
+        if sad < best[2]:
+            best = (mode, prediction, sad)
+    assert best[0] is not None and best[1] is not None
+    return best[0], best[1], best[2]

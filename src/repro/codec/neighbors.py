@@ -1,0 +1,161 @@
+"""Per-frame macroblock state shared by encoder and decoder.
+
+Context-adaptive coding and predictive metadata coding both condition on
+the state of already-coded neighboring macroblocks. Encoder and decoder
+must maintain this state identically — and this module being their
+*single* implementation is what guarantees that. It is also the paper's
+error-propagation vehicle: when a corrupted stream makes the decoder's
+state diverge, every later context selection and metadata prediction in
+the slice diverges with it (Figure 2).
+
+Slices never predict across their boundary: all availability checks take
+the slice's first MB row, and the left neighbor stops at column 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .types import MacroblockMode, MotionVector
+
+
+class FrameMbState:
+    """Mutable per-macroblock bookkeeping for one frame."""
+
+    #: Sentinel mode for not-yet-coded macroblocks.
+    UNSET = -1
+
+    def __init__(self, mb_rows: int, mb_cols: int) -> None:
+        self.mb_rows = mb_rows
+        self.mb_cols = mb_cols
+        self.modes = np.full((mb_rows, mb_cols), self.UNSET, dtype=np.int8)
+        self.mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int32)
+        self.nnz = np.zeros((mb_rows, mb_cols), dtype=np.int32)
+        self.last_dqp_nonzero = False
+        self.prev_qp = 0  # seeded with the slice QP at slice start
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, mb_row: int, mb_col: int, mode: MacroblockMode,
+               mv: MotionVector, qp: int, dqp: int, nnz: int) -> None:
+        """Store the outcome of one coded macroblock."""
+        self.modes[mb_row, mb_col] = int(mode)
+        self.mvs[mb_row, mb_col] = (mv.dy, mv.dx)
+        self.nnz[mb_row, mb_col] = nnz
+        self.last_dqp_nonzero = dqp != 0
+        self.prev_qp = qp
+
+    def start_slice(self, slice_qp: int) -> None:
+        self.prev_qp = slice_qp
+        self.last_dqp_nonzero = False
+
+    # -- availability ------------------------------------------------------
+
+    def _available(self, mb_row: int, mb_col: int, min_mb_row: int) -> bool:
+        return (
+            min_mb_row <= mb_row < self.mb_rows
+            and 0 <= mb_col < self.mb_cols
+            and self.modes[mb_row, mb_col] != self.UNSET
+        )
+
+    def _mode_at(self, mb_row: int, mb_col: int,
+                 min_mb_row: int) -> Optional[int]:
+        if self._available(mb_row, mb_col, min_mb_row):
+            return int(self.modes[mb_row, mb_col])
+        return None
+
+    # -- metadata prediction ----------------------------------------------
+
+    def predict_mv(self, mb_row: int, mb_col: int,
+                   min_mb_row: int) -> MotionVector:
+        """Median motion-vector prediction from neighbors A, B, C.
+
+        A = left, B = above, C = above-right (falling back to above-left
+        as H.264 does when C is unavailable). As in H.264: when exactly
+        one neighbor is inter-coded its vector is used directly;
+        otherwise the component-wise median is taken with intra or
+        unavailable neighbors contributing (0, 0).
+        """
+        positions = [
+            (mb_row, mb_col - 1),       # A
+            (mb_row - 1, mb_col),       # B
+            (mb_row - 1, mb_col + 1),   # C
+        ]
+        if not self._available(*positions[2], min_mb_row):
+            positions[2] = (mb_row - 1, mb_col - 1)  # D fallback
+        candidates: List[MotionVector] = []
+        inter_vectors: List[MotionVector] = []
+        for row, col in positions:
+            mode = self._mode_at(row, col, min_mb_row)
+            if mode in (int(MacroblockMode.INTER), int(MacroblockMode.SKIP)):
+                mv = self.mvs[row, col]
+                vector = MotionVector(int(mv[0]), int(mv[1]))
+                candidates.append(vector)
+                inter_vectors.append(vector)
+            else:
+                candidates.append(MotionVector(0, 0))
+        if not inter_vectors:
+            return MotionVector(0, 0)
+        if len(inter_vectors) == 1:
+            return inter_vectors[0]
+        dys = sorted(c.dy for c in candidates)
+        dxs = sorted(c.dx for c in candidates)
+        return MotionVector(dys[1], dxs[1])
+
+    # -- context variant selection ------------------------------------------
+
+    def _neighbor_modes(self, mb_row: int, mb_col: int,
+                        min_mb_row: int) -> List[Optional[int]]:
+        return [
+            self._mode_at(mb_row, mb_col - 1, min_mb_row),
+            self._mode_at(mb_row - 1, mb_col, min_mb_row),
+        ]
+
+    def skip_context(self, mb_row: int, mb_col: int, min_mb_row: int) -> int:
+        """0..2: number of A/B neighbors coded as skip."""
+        modes = self._neighbor_modes(mb_row, mb_col, min_mb_row)
+        return sum(1 for m in modes if m == int(MacroblockMode.SKIP))
+
+    def intra_context(self, mb_row: int, mb_col: int, min_mb_row: int) -> int:
+        """0..2: number of A/B neighbors coded as intra."""
+        modes = self._neighbor_modes(mb_row, mb_col, min_mb_row)
+        return sum(1 for m in modes if m == int(MacroblockMode.INTRA))
+
+    def partition_context(self, mb_row: int, mb_col: int,
+                          min_mb_row: int) -> int:
+        """0..2: number of A/B neighbors coded as (non-skip) inter."""
+        modes = self._neighbor_modes(mb_row, mb_col, min_mb_row)
+        return sum(1 for m in modes if m == int(MacroblockMode.INTER))
+
+    def mvd_context(self, mb_row: int, mb_col: int, min_mb_row: int) -> int:
+        """0..2: bucket of neighboring motion activity (H.264's ctx rule
+        uses neighbor |mvd|; we bucket stored |mv| which adapts the same
+        way)."""
+        total = 0
+        for row, col in ((mb_row, mb_col - 1), (mb_row - 1, mb_col)):
+            if self._available(row, col, min_mb_row):
+                mv = self.mvs[row, col]
+                total += abs(int(mv[0])) + abs(int(mv[1]))
+        if total < 3:
+            return 0
+        if total < 32:
+            return 1
+        return 2
+
+    def dqp_context(self) -> int:
+        """0/1: whether the previous MB changed QP."""
+        return 1 if self.last_dqp_nonzero else 0
+
+    def nnz_context(self, mb_row: int, mb_col: int, min_mb_row: int) -> int:
+        """0..2: bucket of neighboring residual density."""
+        total = 0
+        for row, col in ((mb_row, mb_col - 1), (mb_row - 1, mb_col)):
+            if self._available(row, col, min_mb_row):
+                total += int(self.nnz[row, col])
+        if total == 0:
+            return 0
+        if total < 16:
+            return 1
+        return 2

@@ -1,0 +1,312 @@
+"""Macroblock syntax: the bitstream grammar.
+
+``encode_macroblock`` and ``decode_macroblock`` are exact mirrors; they
+walk the same element order, select the same contexts from the same
+neighbor state, and use the same binarizations. All error-propagation
+behaviour the paper studies emerges here: a flipped payload bit makes
+the entropy decoder emit different bins, which changes decoded values,
+which corrupts the neighbor state, which changes context selection and
+metadata prediction for the rest of the slice.
+
+Element order per macroblock:
+
+1. ``skip_flag``                      (P/B frames only)
+2. ``is_intra``                       (P/B, non-skip)
+3. intra mode | partition tree + motion vector differences
+4. delta-QP
+5. coded block pattern (4 quadrant flags)
+6. residual: per coded 4x4 block, nnz + significance map + levels
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import EncoderError
+from .contexts import ContextModel
+from .entropy import EntropyDecoder, EntropyEncoder
+from .neighbors import FrameMbState
+from .transform import MAX_QP, MIN_QP, zigzag_flatten, zigzag_unflatten
+from .types import (
+    PARTITION_RECTS,
+    QUADRANT_ORIGINS,
+    SUBPARTITION_RECTS,
+    FrameType,
+    InterPartition,
+    IntraMode,
+    MacroblockDecision,
+    MacroblockMode,
+    MotionVector,
+    PartitionType,
+    PredictionDirection,
+    SubPartitionType,
+)
+
+
+def partition_rectangles(
+    partition_type: PartitionType,
+    sub_types: Optional[List[SubPartitionType]],
+) -> List[Tuple[int, int, int, int]]:
+    """Canonical (offset_y, offset_x, h, w) list for a partition layout."""
+    if partition_type != PartitionType.P8x8:
+        return list(PARTITION_RECTS[partition_type])
+    if sub_types is None or len(sub_types) != 4:
+        raise EncoderError("P8x8 requires exactly 4 sub-partition types")
+    rects = []
+    for (qy, qx), sub in zip(QUADRANT_ORIGINS, sub_types):
+        for oy, ox, height, width in SUBPARTITION_RECTS[sub]:
+            rects.append((qy + oy, qx + ox, height, width))
+    return rects
+
+
+#: Map a quadrant index and in-quadrant block index to the MB-raster
+#: index of its 4x4 coefficient block.
+def _block_index(quadrant: int, block: int) -> int:
+    qy, qx = QUADRANT_ORIGINS[quadrant]
+    row = qy // 4 + block // 2
+    col = qx // 4 + block % 2
+    return row * 4 + col
+
+
+def _level_bucket(position: int) -> int:
+    if position == 0:
+        return 0
+    if position < 6:
+        return 1
+    return 2
+
+
+# ----------------------------------------------------------------------
+# Residual blocks
+# ----------------------------------------------------------------------
+
+def _encode_block(enc: EntropyEncoder, model: ContextModel,
+                  block: np.ndarray, nnz_variant: int) -> None:
+    vector = zigzag_flatten(block)
+    nonzero = int(np.count_nonzero(vector))
+    enc.encode_uint(nonzero, model["nnz"], variant=nnz_variant)
+    found = 0
+    for position in range(16):
+        remaining = nonzero - found
+        if remaining == 0:
+            break
+        if 16 - position == remaining:
+            significant = True  # implied: all remaining positions are set
+        else:
+            significant = vector[position] != 0
+            enc.encode_flag(bool(significant), model["sig"], variant=position)
+        if significant:
+            magnitude = int(abs(vector[position]))
+            enc.encode_uint(magnitude - 1, model["level"],
+                            variant=_level_bucket(position))
+            enc.encode_bypass(1 if vector[position] < 0 else 0)
+            found += 1
+
+
+def _decode_block(dec: EntropyDecoder, model: ContextModel,
+                  nnz_variant: int) -> np.ndarray:
+    vector = np.zeros(16, dtype=np.int32)
+    nonzero = dec.decode_uint(model["nnz"], variant=nnz_variant)
+    found = 0
+    for position in range(16):
+        remaining = nonzero - found
+        if remaining == 0:
+            break
+        if 16 - position == remaining:
+            significant = True
+        else:
+            significant = dec.decode_flag(model["sig"], variant=position)
+        if significant:
+            magnitude = dec.decode_uint(model["level"],
+                                        variant=_level_bucket(position)) + 1
+            if dec.decode_bypass():
+                magnitude = -magnitude
+            vector[position] = magnitude
+            found += 1
+    return zigzag_unflatten(vector)
+
+
+# ----------------------------------------------------------------------
+# Macroblocks
+# ----------------------------------------------------------------------
+
+def encode_macroblock(enc: EntropyEncoder, model: ContextModel,
+                      state: FrameMbState, decision: MacroblockDecision,
+                      frame_type: FrameType, mb_row: int, mb_col: int,
+                      min_mb_row: int) -> None:
+    """Serialize one macroblock decision."""
+    inter_frame = frame_type != FrameType.I
+    if inter_frame:
+        skip_variant = state.skip_context(mb_row, mb_col, min_mb_row)
+        enc.encode_flag(decision.mode == MacroblockMode.SKIP,
+                        model["skip_flag"], variant=skip_variant)
+        if decision.mode == MacroblockMode.SKIP:
+            return
+        intra_variant = state.intra_context(mb_row, mb_col, min_mb_row)
+        enc.encode_flag(decision.mode == MacroblockMode.INTRA,
+                        model["is_intra"], variant=intra_variant)
+    elif decision.mode != MacroblockMode.INTRA:
+        raise EncoderError("I-frame macroblocks must be intra")
+
+    if decision.mode == MacroblockMode.INTRA:
+        enc.encode_uint(int(decision.intra_mode), model["intra_mode"])
+    else:
+        assert decision.partition_type is not None
+        part_variant = state.partition_context(mb_row, mb_col, min_mb_row)
+        enc.encode_uint(int(decision.partition_type),
+                        model["partition_type"], variant=part_variant)
+        if decision.partition_type == PartitionType.P8x8:
+            assert decision.sub_types is not None
+            for sub in decision.sub_types:
+                enc.encode_uint(int(sub), model["sub_type"])
+        pred_mv = state.predict_mv(mb_row, mb_col, min_mb_row)
+        mvd_variant = state.mvd_context(mb_row, mb_col, min_mb_row)
+        previous_direction = PredictionDirection.FORWARD
+        for partition in decision.partitions:
+            if frame_type == FrameType.B:
+                variant = 0 if previous_direction == \
+                    PredictionDirection.FORWARD else 1
+                enc.encode_uint(int(partition.direction),
+                                model["direction"], variant=variant)
+                previous_direction = partition.direction
+            mvd = partition.mv - pred_mv
+            enc.encode_sint(mvd.dx, model["mvd_x"], variant=mvd_variant)
+            enc.encode_sint(mvd.dy, model["mvd_y"], variant=mvd_variant)
+            if partition.direction == PredictionDirection.BIDIRECTIONAL:
+                assert partition.mv_backward is not None
+                mvd_backward = partition.mv_backward - pred_mv
+                enc.encode_sint(mvd_backward.dx, model["mvd_x"],
+                                variant=mvd_variant)
+                enc.encode_sint(mvd_backward.dy, model["mvd_y"],
+                                variant=mvd_variant)
+
+    dqp = decision.qp - state.prev_qp
+    enc.encode_sint(dqp, model["dqp"], variant=state.dqp_context())
+
+    for quadrant in range(4):
+        enc.encode_flag(bool(decision.cbp[quadrant]), model["cbp"],
+                        variant=quadrant)
+    nnz_variant = state.nnz_context(mb_row, mb_col, min_mb_row)
+    if decision.coefficients is not None:
+        for quadrant in range(4):
+            if not decision.cbp[quadrant]:
+                continue
+            for block in range(4):
+                index = _block_index(quadrant, block)
+                _encode_block(enc, model, decision.coefficients[index],
+                              nnz_variant)
+
+
+def decode_macroblock(dec: EntropyDecoder, model: ContextModel,
+                      state: FrameMbState, frame_type: FrameType,
+                      mb_row: int, mb_col: int,
+                      min_mb_row: int) -> MacroblockDecision:
+    """Parse one macroblock; mirrors :func:`encode_macroblock` exactly.
+
+    Never fails on corrupted input: every decoded value is clamped to
+    its legal range and every loop is bounded.
+    """
+    inter_frame = frame_type != FrameType.I
+    if inter_frame:
+        skip_variant = state.skip_context(mb_row, mb_col, min_mb_row)
+        if dec.decode_flag(model["skip_flag"], variant=skip_variant):
+            pred_mv = state.predict_mv(mb_row, mb_col, min_mb_row)
+            return MacroblockDecision(
+                mode=MacroblockMode.SKIP,
+                qp=state.prev_qp,
+                partition_type=PartitionType.P16x16,
+                partitions=[InterPartition(rect=(0, 0, 16, 16), mv=pred_mv)],
+            )
+        intra_variant = state.intra_context(mb_row, mb_col, min_mb_row)
+        is_intra = dec.decode_flag(model["is_intra"], variant=intra_variant)
+    else:
+        is_intra = True
+
+    intra_mode: Optional[IntraMode] = None
+    partition_type: Optional[PartitionType] = None
+    sub_types: Optional[List[SubPartitionType]] = None
+    partitions: List[InterPartition] = []
+    if is_intra:
+        intra_mode = IntraMode(dec.decode_uint(model["intra_mode"]))
+    else:
+        part_variant = state.partition_context(mb_row, mb_col, min_mb_row)
+        partition_type = PartitionType(
+            dec.decode_uint(model["partition_type"], variant=part_variant))
+        if partition_type == PartitionType.P8x8:
+            sub_types = [
+                SubPartitionType(dec.decode_uint(model["sub_type"]))
+                for _ in range(4)
+            ]
+        pred_mv = state.predict_mv(mb_row, mb_col, min_mb_row)
+        mvd_variant = state.mvd_context(mb_row, mb_col, min_mb_row)
+        previous_direction = PredictionDirection.FORWARD
+        for rect in partition_rectangles(partition_type, sub_types):
+            direction = PredictionDirection.FORWARD
+            if frame_type == FrameType.B:
+                variant = 0 if previous_direction == \
+                    PredictionDirection.FORWARD else 1
+                direction = PredictionDirection(
+                    dec.decode_uint(model["direction"], variant=variant))
+                previous_direction = direction
+            mvd_x = dec.decode_sint(model["mvd_x"], variant=mvd_variant)
+            mvd_y = dec.decode_sint(model["mvd_y"], variant=mvd_variant)
+            mv_backward = None
+            if direction == PredictionDirection.BIDIRECTIONAL:
+                back_x = dec.decode_sint(model["mvd_x"],
+                                         variant=mvd_variant)
+                back_y = dec.decode_sint(model["mvd_y"],
+                                         variant=mvd_variant)
+                mv_backward = pred_mv + MotionVector(back_y, back_x)
+            partitions.append(InterPartition(
+                rect=rect,
+                mv=pred_mv + MotionVector(mvd_y, mvd_x),
+                direction=direction,
+                mv_backward=mv_backward,
+            ))
+
+    dqp = dec.decode_sint(model["dqp"], variant=state.dqp_context())
+    qp = int(np.clip(state.prev_qp + dqp, MIN_QP, MAX_QP))
+
+    cbp = tuple(
+        dec.decode_flag(model["cbp"], variant=quadrant)
+        for quadrant in range(4)
+    )
+    coefficients = np.zeros((16, 4, 4), dtype=np.int32)
+    nnz_variant = state.nnz_context(mb_row, mb_col, min_mb_row)
+    for quadrant in range(4):
+        if not cbp[quadrant]:
+            continue
+        for block in range(4):
+            index = _block_index(quadrant, block)
+            coefficients[index] = _decode_block(dec, model, nnz_variant)
+
+    mode = MacroblockMode.INTRA if is_intra else MacroblockMode.INTER
+    return MacroblockDecision(
+        mode=mode,
+        qp=qp,
+        intra_mode=intra_mode,
+        partition_type=partition_type,
+        sub_types=sub_types,
+        partitions=partitions,
+        coefficients=coefficients,
+        cbp=cbp,  # type: ignore[arg-type]
+    )
+
+
+def finalize_macroblock(state: FrameMbState, decision: MacroblockDecision,
+                        mb_row: int, mb_col: int) -> None:
+    """Update neighbor state after one MB; shared by encoder and decoder."""
+    if decision.mode == MacroblockMode.INTRA:
+        representative_mv = MotionVector(0, 0)
+    else:
+        representative_mv = decision.partitions[0].mv
+    if decision.coefficients is None:
+        total_nonzero = 0
+    else:
+        total_nonzero = int(np.count_nonzero(decision.coefficients))
+    dqp = 0 if decision.mode == MacroblockMode.SKIP else (
+        decision.qp - state.prev_qp)
+    state.record(mb_row, mb_col, decision.mode, representative_mv,
+                 decision.qp, dqp, total_nonzero)

@@ -1,0 +1,124 @@
+"""4x4 integer transform and quantization (H.264-style).
+
+Uses H.264's integer approximation of the DCT for 4x4 blocks. The
+forward transform is ``W = Cf X Cf^T`` with the standard integer core
+matrix; basis-function norms are folded into the quantizer, and the
+exact floating-point inverse is used for reconstruction. The encoder and
+decoder share these routines, so their reconstructions are bit-identical
+on clean streams.
+
+Quantization follows H.264's step doubling every 6 QP:
+``Qstep(QP) = 0.625 * 2^(QP/6)``, QP in 0..51.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EncoderError
+
+#: H.264 4x4 forward transform core matrix.
+CF = np.array(
+    [
+        [1, 1, 1, 1],
+        [2, 1, -1, -2],
+        [1, -1, -1, 1],
+        [1, -2, 2, -1],
+    ],
+    dtype=np.int64,
+)
+
+#: Basis norms squared: diag(CF @ CF.T) = (4, 10, 4, 10).
+_NORMS = np.sqrt(np.diag(CF @ CF.T).astype(np.float64))
+
+#: Per-position scale dividing raw transform output down to true DCT
+#: magnitudes.
+SCALE = np.outer(_NORMS, _NORMS)
+
+#: Exact inverse of CF (floating point): CF^-1 = CF.T diag(1/norms^2).
+CI = CF.T.astype(np.float64) @ np.diag(1.0 / (_NORMS ** 2))
+
+MIN_QP = 0
+MAX_QP = 51
+
+
+def quant_step(qp: int) -> float:
+    """H.264 quantizer step size for a given QP."""
+    if not MIN_QP <= qp <= MAX_QP:
+        raise EncoderError(f"qp must be in {MIN_QP}..{MAX_QP}, got {qp}")
+    return 0.625 * (2.0 ** (qp / 6.0))
+
+
+def blockify(mb: np.ndarray) -> np.ndarray:
+    """Split a 16x16 macroblock into 16 4x4 blocks in raster order."""
+    if mb.shape != (16, 16):
+        raise EncoderError(f"expected 16x16 macroblock, got {mb.shape}")
+    return (
+        mb.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 4, 4)
+    )
+
+
+def deblockify(blocks: np.ndarray) -> np.ndarray:
+    """Reassemble 16 4x4 blocks (raster order) into a 16x16 macroblock."""
+    if blocks.shape != (16, 4, 4):
+        raise EncoderError(f"expected (16, 4, 4) blocks, got {blocks.shape}")
+    return (
+        blocks.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 16)
+    )
+
+
+def forward_transform(blocks: np.ndarray) -> np.ndarray:
+    """Integer 4x4 transform of a batch of residual blocks (N, 4, 4)."""
+    arr = np.asarray(blocks, dtype=np.int64)
+    return np.einsum("ij,njk,lk->nil", CF, arr, CF)
+
+
+def quantize(coefficients: np.ndarray, qp: int) -> np.ndarray:
+    """Quantize raw transform output to integer levels."""
+    step = quant_step(qp)
+    return np.rint(coefficients / (step * SCALE)).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Invert :func:`quantize` up to the quantization error."""
+    step = quant_step(qp)
+    return levels.astype(np.float64) * step * SCALE
+
+
+def inverse_transform(coefficients: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`forward_transform`, rounded to integers."""
+    arr = np.asarray(coefficients, dtype=np.float64)
+    spatial = np.einsum("ij,njk,lk->nil", CI, arr, CI)
+    return np.rint(spatial).astype(np.int32)
+
+
+def transform_and_quantize(residual_mb: np.ndarray, qp: int) -> np.ndarray:
+    """16x16 residual -> (16, 4, 4) quantized levels."""
+    return quantize(forward_transform(blockify(residual_mb)), qp)
+
+
+def reconstruct_residual(levels: np.ndarray, qp: int) -> np.ndarray:
+    """(16, 4, 4) quantized levels -> 16x16 reconstructed residual."""
+    return deblockify(inverse_transform(dequantize(levels, qp)))
+
+
+#: Zigzag scan order for a 4x4 block (H.264).
+ZIGZAG_4x4 = (
+    (0, 0), (0, 1), (1, 0), (2, 0),
+    (1, 1), (0, 2), (0, 3), (1, 2),
+    (2, 1), (3, 0), (3, 1), (2, 2),
+    (1, 3), (2, 3), (3, 2), (3, 3),
+)
+
+
+def zigzag_flatten(block: np.ndarray) -> np.ndarray:
+    """4x4 block -> length-16 vector in zigzag order."""
+    return np.array([block[r, c] for r, c in ZIGZAG_4x4], dtype=block.dtype)
+
+
+def zigzag_unflatten(vector: np.ndarray) -> np.ndarray:
+    """Length-16 zigzag vector -> 4x4 block."""
+    block = np.zeros((4, 4), dtype=np.asarray(vector).dtype)
+    for index, (row, col) in enumerate(ZIGZAG_4x4):
+        block[row, col] = vector[index]
+    return block

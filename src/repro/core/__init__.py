@@ -1,0 +1,78 @@
+"""VideoApp: the paper's primary contribution.
+
+Dependency-graph importance analysis over encoded videos, pivot-based
+frame partitioning, quality-budget ECC assignment, and the end-to-end
+approximate video store.
+"""
+
+from .assignment import (
+    COMPRESSION_DB_PER_PERCENT,
+    DEFAULT_QUALITY_BUDGET_DB,
+    PAPER_TABLE1,
+    UNIFORM_ASSIGNMENT,
+    ClassAssignment,
+    QualityCurve,
+    assign_schemes,
+    assign_schemes_conservative,
+)
+from .classes import (
+    ClassStorage,
+    class_bit_ranges,
+    class_storage_distribution,
+    cumulative_storage_fractions,
+    importance_class,
+    storage_fraction_by_class,
+)
+from .graph import (
+    MB_PIXELS,
+    DependencyGraph,
+    build_dependency_graph,
+    topological_order,
+)
+from .importance import (
+    ImportanceResult,
+    MacroblockBits,
+    compute_importance,
+    compute_importance_streaming,
+    importance_is_scan_monotone,
+    macroblock_bits,
+)
+from .partition import ProtectedVideo, merge_streams, partition_video
+from .pipeline import ApproximateVideoStore, StoredVideo
+from .pivots import FramePivots, Segment, build_frame_pivots, total_pivot_bits
+
+__all__ = [
+    "ApproximateVideoStore",
+    "COMPRESSION_DB_PER_PERCENT",
+    "ClassAssignment",
+    "ClassStorage",
+    "DEFAULT_QUALITY_BUDGET_DB",
+    "DependencyGraph",
+    "FramePivots",
+    "ImportanceResult",
+    "MB_PIXELS",
+    "MacroblockBits",
+    "PAPER_TABLE1",
+    "ProtectedVideo",
+    "QualityCurve",
+    "Segment",
+    "StoredVideo",
+    "UNIFORM_ASSIGNMENT",
+    "assign_schemes",
+    "assign_schemes_conservative",
+    "build_dependency_graph",
+    "build_frame_pivots",
+    "class_bit_ranges",
+    "class_storage_distribution",
+    "compute_importance",
+    "compute_importance_streaming",
+    "cumulative_storage_fractions",
+    "importance_class",
+    "importance_is_scan_monotone",
+    "macroblock_bits",
+    "merge_streams",
+    "partition_video",
+    "storage_fraction_by_class",
+    "topological_order",
+    "total_pivot_bits",
+]

@@ -1,0 +1,274 @@
+"""Error-correction assignment to importance classes (Section 7.2, Table 1).
+
+Two routes to an assignment:
+
+* :data:`PAPER_TABLE1` — the paper's published mapping, usable directly;
+* :func:`assign_schemes` — the paper's optimization: distribute a global
+  quality-loss budget (0.3 dB by default, sized so approximation always
+  beats re-compressing for the same savings) across importance classes
+  proportionally to the storage they occupy, then give each class the
+  weakest scheme whose residual error rate keeps that class's marginal
+  quality loss within its share.
+
+Frame headers (and pivot tables) always get the precise scheme.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..storage.ecc import (
+    DEFAULT_RAW_BER,
+    ECCScheme,
+    NONE_SCHEME,
+    PRECISE_SCHEME,
+    SCHEME_MENU,
+    scheme_by_name,
+)
+from .classes import importance_class
+
+#: The paper's quality-loss budget: strictly below the 0.4-0.6 dB the
+#: encoder would lose by compressing away the same storage (Section 7.2).
+DEFAULT_QUALITY_BUDGET_DB = 0.3
+
+
+@dataclass(frozen=True)
+class ClassAssignment:
+    """Importance-class -> ECC scheme mapping.
+
+    ``boundaries[k]`` is the *last* class index protected by
+    ``schemes[k]``; classes beyond the final boundary use the final
+    scheme. Schemes must strengthen (t non-decreasing) with class index,
+    mirroring Table 1.
+    """
+
+    boundaries: Tuple[int, ...]
+    schemes: Tuple[ECCScheme, ...]
+    header_scheme: ECCScheme = PRECISE_SCHEME
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.schemes):
+            raise AnalysisError("boundaries and schemes must align")
+        if not self.schemes:
+            raise AnalysisError("assignment needs at least one scheme")
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise AnalysisError(
+                f"class boundaries must strictly increase: {self.boundaries}"
+            )
+        ts = [scheme.t for scheme in self.schemes]
+        if ts != sorted(ts):
+            raise AnalysisError(
+                "schemes must strengthen with importance: "
+                f"{[s.name for s in self.schemes]}"
+            )
+
+    def scheme_for_class(self, class_index: int) -> ECCScheme:
+        position = bisect.bisect_left(self.boundaries, class_index)
+        if position >= len(self.schemes):
+            position = len(self.schemes) - 1
+        return self.schemes[position]
+
+    def scheme_for_importance(self, importance: float) -> ECCScheme:
+        return self.scheme_for_class(importance_class(importance))
+
+    def distinct_schemes(self) -> List[ECCScheme]:
+        seen = []
+        for scheme in self.schemes:
+            if scheme not in seen:
+                seen.append(scheme)
+        if self.header_scheme not in seen:
+            seen.append(self.header_scheme)
+        return seen
+
+    def rows(self) -> List[dict]:
+        """Table-1-shaped rows for reporting."""
+        rows = []
+        lower = 0
+        for boundary, scheme in zip(self.boundaries, self.schemes):
+            rows.append({
+                "classes": f"{lower}-{boundary}",
+                "scheme": scheme.name,
+                "error_rate": scheme.block_failure_rate(),
+                "overhead_percent": 100.0 * scheme.overhead,
+            })
+            lower = boundary + 1
+        rows.append({
+            "classes": "frame header",
+            "scheme": self.header_scheme.name,
+            "error_rate": self.header_scheme.block_failure_rate(),
+            "overhead_percent": 100.0 * self.header_scheme.overhead,
+        })
+        return rows
+
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = ClassAssignment(
+    boundaries=(2, 10, 13, 16, 20, 26),
+    schemes=(
+        NONE_SCHEME,
+        scheme_by_name("BCH-6"),
+        scheme_by_name("BCH-7"),
+        scheme_by_name("BCH-8"),
+        scheme_by_name("BCH-9"),
+        scheme_by_name("BCH-10"),
+    ),
+)
+
+#: Everything precise: the uniform-correction baseline of Figure 11.
+UNIFORM_ASSIGNMENT = ClassAssignment(
+    boundaries=(0,), schemes=(PRECISE_SCHEME,),
+)
+
+
+@dataclass
+class QualityCurve:
+    """Measured cumulative quality loss for one importance class.
+
+    ``points`` maps injected error rate -> cumulative quality change in
+    dB (negative = loss) when all MBs of class <= this one are exposed
+    at that rate (Figure 10a).
+    """
+
+    class_index: int
+    points: Dict[float, float] = field(default_factory=dict)
+
+    def loss_at(self, rate: float) -> float:
+        """Loss (positive dB) at ``rate``, log-interpolated."""
+        if not self.points:
+            raise AnalysisError(f"class {self.class_index} has no points")
+        rates = sorted(self.points)
+        if rate <= rates[0]:
+            # Below the measured range damage scales ~linearly with the
+            # expected flip count, i.e. with the rate itself.
+            return max(0.0, -self.points[rates[0]]) * (rate / rates[0])
+        if rate >= rates[-1]:
+            return max(0.0, -self.points[rates[-1]])
+        position = bisect.bisect_left(rates, rate)
+        low, high = rates[position - 1], rates[position]
+        weight = ((math.log10(rate) - math.log10(low))
+                  / (math.log10(high) - math.log10(low)))
+        loss_low = max(0.0, -self.points[low])
+        loss_high = max(0.0, -self.points[high])
+        return loss_low + weight * (loss_high - loss_low)
+
+
+#: Deterministic compression's quality price: the paper cites 0.4-0.6 dB
+#: lost per 10-15% storage saved by re-encoding, i.e. ~0.04 dB/%.
+COMPRESSION_DB_PER_PERCENT = 0.04
+
+
+def assign_schemes_conservative(
+        curves: Sequence["QualityCurve"],
+        storage_fractions: Dict[int, float],
+        compression_db_per_percent: float = COMPRESSION_DB_PER_PERCENT,
+        menu: Optional[Sequence[ECCScheme]] = None,
+        raw_ber: float = DEFAULT_RAW_BER) -> "ClassAssignment":
+    """The paper's alternative strategy (Section 7.2.1).
+
+    Instead of spending a pre-allocated quality budget, approximate a
+    class only when doing so *clearly beats compression*: the weakest
+    scheme is accepted only if its marginal quality loss is below what
+    deterministic re-encoding would cost for the same storage saving.
+    Where no weaker scheme wins, the class keeps the strongest menu
+    scheme — "otherwise we employ further compression."
+    """
+    if compression_db_per_percent <= 0:
+        raise AnalysisError("compression trade rate must be positive")
+    menu = sorted(menu or SCHEME_MENU, key=lambda s: s.t)
+    strongest = menu[-1]
+    curves = sorted(curves, key=lambda c: c.class_index)
+    if not curves:
+        raise AnalysisError("no quality curves supplied")
+    total_fraction = sum(
+        storage_fractions.get(curve.class_index, 0.0) for curve in curves)
+    if total_fraction <= 0:
+        raise AnalysisError("storage fractions sum to zero")
+
+    boundaries: List[int] = []
+    schemes: List[ECCScheme] = []
+    accepted_loss = 0.0
+    minimum_t = 0
+    for curve in curves:
+        fraction = (storage_fractions.get(curve.class_index, 0.0)
+                    / total_fraction)
+        chosen = strongest
+        for scheme in menu:
+            if scheme.t < minimum_t:
+                continue
+            rate = scheme.block_failure_rate(raw_ber)
+            marginal = max(0.0, curve.loss_at(rate) - accepted_loss)
+            # Storage saved (percent of all stored bits) by this scheme
+            # relative to protecting the class with the strongest one.
+            saving_percent = 100.0 * fraction * (
+                (strongest.overhead - scheme.overhead)
+                / (1.0 + strongest.overhead))
+            compression_equivalent = (compression_db_per_percent
+                                      * saving_percent)
+            if marginal <= compression_equivalent:
+                chosen = scheme
+                accepted_loss += marginal
+                break
+        minimum_t = chosen.t
+        if schemes and schemes[-1] == chosen:
+            boundaries[-1] = curve.class_index
+        else:
+            boundaries.append(curve.class_index)
+            schemes.append(chosen)
+    return ClassAssignment(boundaries=tuple(boundaries),
+                           schemes=tuple(schemes))
+
+
+def assign_schemes(curves: Sequence[QualityCurve],
+                   storage_fractions: Dict[int, float],
+                   budget_db: float = DEFAULT_QUALITY_BUDGET_DB,
+                   menu: Optional[Sequence[ECCScheme]] = None,
+                   raw_ber: float = DEFAULT_RAW_BER) -> ClassAssignment:
+    """The paper's budget-driven optimizer.
+
+    For each importance class (ascending), pick the weakest menu scheme
+    whose residual error rate keeps the class's *marginal* loss — its
+    cumulative-curve loss minus the loss already accepted for weaker
+    classes — within the class's storage-proportional budget share.
+    """
+    if budget_db <= 0:
+        raise AnalysisError(f"budget must be positive, got {budget_db}")
+    menu = sorted(menu or SCHEME_MENU, key=lambda s: s.t)
+    curves = sorted(curves, key=lambda c: c.class_index)
+    if not curves:
+        raise AnalysisError("no quality curves supplied")
+    total_fraction = sum(
+        storage_fractions.get(curve.class_index, 0.0) for curve in curves)
+    if total_fraction <= 0:
+        raise AnalysisError("storage fractions sum to zero")
+
+    boundaries: List[int] = []
+    schemes: List[ECCScheme] = []
+    accepted_loss = 0.0
+    minimum_t = 0
+    for curve in curves:
+        share = (storage_fractions.get(curve.class_index, 0.0)
+                 / total_fraction) * budget_db
+        chosen: Optional[ECCScheme] = None
+        for scheme in menu:
+            if scheme.t < minimum_t:
+                continue  # assignments must strengthen with importance
+            rate = scheme.block_failure_rate(raw_ber)
+            marginal = max(0.0, curve.loss_at(rate) - accepted_loss)
+            if marginal <= share + 1e-12:
+                chosen = scheme
+                accepted_loss += marginal
+                break
+        if chosen is None:
+            chosen = menu[-1]
+        minimum_t = chosen.t
+        if schemes and schemes[-1] == chosen:
+            boundaries[-1] = curve.class_index
+        else:
+            boundaries.append(curve.class_index)
+            schemes.append(chosen)
+    return ClassAssignment(boundaries=tuple(boundaries),
+                           schemes=tuple(schemes))

@@ -1,0 +1,88 @@
+"""Importance classes: the paper's logarithmic grouping (Section 7.2).
+
+Class ``i`` contains every macroblock whose importance is at most
+``2**i`` (and greater than ``2**(i-1)``). Classes are the unit at which
+error-correction schemes are assigned; this module computes class
+membership and the per-class storage distribution (Figure 10b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .importance import MacroblockBits
+
+
+def importance_class(importance: float) -> int:
+    """Smallest i with importance <= 2**i (importance >= 1 -> i >= 0)."""
+    if importance < 1.0 - 1e-9:
+        raise AnalysisError(f"importance {importance} below the minimum of 1")
+    return max(0, math.ceil(math.log2(max(importance, 1.0)) - 1e-12))
+
+
+@dataclass(frozen=True)
+class ClassStorage:
+    """Bits occupied by one importance class."""
+
+    class_index: int
+    bits: int
+    macroblocks: int
+
+
+def class_storage_distribution(mb_bits: Sequence[MacroblockBits]
+                               ) -> List[ClassStorage]:
+    """Bits and MB counts per importance class, ascending class index."""
+    bits: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for mb in mb_bits:
+        index = importance_class(mb.importance)
+        bits[index] = bits.get(index, 0) + (mb.bit_end - mb.bit_start)
+        counts[index] = counts.get(index, 0) + 1
+    return [
+        ClassStorage(class_index=i, bits=bits[i], macroblocks=counts[i])
+        for i in sorted(bits)
+    ]
+
+
+def cumulative_storage_fractions(distribution: Sequence[ClassStorage]
+                                 ) -> List[float]:
+    """Figure 10(b): cumulative fraction of storage up to each class."""
+    total = sum(entry.bits for entry in distribution)
+    if total == 0:
+        raise AnalysisError("no storage in any class")
+    running = 0
+    fractions = []
+    for entry in distribution:
+        running += entry.bits
+        fractions.append(running / total)
+    return fractions
+
+
+def class_bit_ranges(mb_bits: Sequence[MacroblockBits],
+                     max_class: int) -> List:
+    """Bit ranges (frame, start, end) of every MB in classes <= max_class.
+
+    These are the injection targets for Figure 10(a)'s cumulative
+    quality-loss curves.
+    """
+    ranges = []
+    for mb in mb_bits:
+        if importance_class(mb.importance) <= max_class and \
+                mb.bit_end > mb.bit_start:
+            ranges.append((mb.frame_coded_index, mb.bit_start, mb.bit_end))
+    return ranges
+
+
+def storage_fraction_by_class(mb_bits: Sequence[MacroblockBits]
+                              ) -> Dict[int, float]:
+    """Non-cumulative per-class storage fraction."""
+    distribution = class_storage_distribution(mb_bits)
+    total = sum(entry.bits for entry in distribution)
+    if total == 0:
+        raise AnalysisError("no storage in any class")
+    return {entry.class_index: entry.bits / total for entry in distribution}

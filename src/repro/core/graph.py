@@ -1,0 +1,153 @@
+"""The VideoApp macroblock dependency graph (Section 4).
+
+Nodes are macroblocks, identified by ``frame_coded_index *
+macroblocks_per_frame + mb_index``. Two edge families:
+
+* **compensation edges** (Section 4.1): pixel-domain dependencies from a
+  source MB to every MB that references its pixels — motion-compensated
+  inter prediction across frames and directional intra prediction within
+  a frame. The weight of edge X->Y is the fraction of Y's 256 predicted
+  pixels supplied by X, so the incoming weights of any predicted MB sum
+  to 1.
+* **coding edges** (Section 4.2): the static scan-order chain within
+  each slice — entropy-coder desynchronization and predictive metadata
+  coding damage every subsequent MB of the slice — with weight 1.
+
+Both graphs are DAGs: compensation edges point forward in coded order
+(references are always coded before their dependents) and coding edges
+forward in scan order. The natural (coded frame, scan) order is
+therefore a topological order; :func:`topological_order` computes one
+from scratch anyway (Kahn), and the test suite asserts the two agree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..codec.types import MB_SIZE, EncodingTrace
+
+#: Pixels per macroblock; compensation weights are pixels / this.
+MB_PIXELS = MB_SIZE * MB_SIZE
+
+
+@dataclass
+class DependencyGraph:
+    """Weighted MB dependency graph for one encoded video."""
+
+    num_frames: int
+    macroblocks_per_frame: int
+    #: Parallel arrays: compensation edge source/dest node ids + weights.
+    comp_src: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    comp_dst: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    comp_weight: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64))
+    #: Coding chain edges (weight 1): source/dest node ids.
+    coding_src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64))
+    coding_dst: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_frames * self.macroblocks_per_frame
+
+    def node_id(self, frame_coded_index: int, mb_index: int) -> int:
+        return frame_coded_index * self.macroblocks_per_frame + mb_index
+
+    def incoming_compensation_weight(self) -> np.ndarray:
+        """Sum of incoming compensation weights per node.
+
+        The paper's invariant: 1.0 for every MB that is predicted from
+        other MBs, 0 for MBs with no pixel-domain dependencies.
+        """
+        totals = np.zeros(self.num_nodes)
+        np.add.at(totals, self.comp_dst, self.comp_weight)
+        return totals
+
+
+def build_dependency_graph(trace: EncodingTrace) -> DependencyGraph:
+    """Construct the graph from an encoder trace."""
+    per_frame = trace.macroblocks_per_frame
+    num_frames = len(trace.frames)
+    aggregated: Dict[Tuple[int, int], float] = defaultdict(float)
+    coding_src: List[int] = []
+    coding_dst: List[int] = []
+
+    for frame in trace.frames:
+        if len(frame.macroblocks) != per_frame:
+            raise AnalysisError(
+                f"frame {frame.coded_index} traces {len(frame.macroblocks)} "
+                f"MBs, expected {per_frame}"
+            )
+        # Compensation edges.
+        for mb in frame.macroblocks:
+            dst = frame.coded_index * per_frame + mb.mb_index
+            for dep in mb.dependencies:
+                src_frame, src_mb = dep.source
+                src = src_frame * per_frame + src_mb
+                if src == dst:
+                    raise AnalysisError(
+                        f"self-dependency at frame {frame.coded_index} "
+                        f"mb {mb.mb_index}"
+                    )
+                aggregated[(src, dst)] += dep.pixels / MB_PIXELS
+        # Coding chain per slice.
+        slice_bounds = list(frame.slice_starts) + [per_frame]
+        for start, end in zip(slice_bounds[:-1], slice_bounds[1:]):
+            for mb_index in range(start, end - 1):
+                coding_src.append(frame.coded_index * per_frame + mb_index)
+                coding_dst.append(frame.coded_index * per_frame + mb_index + 1)
+
+    if aggregated:
+        pairs = np.array(sorted(aggregated), dtype=np.int64)
+        weights = np.array([aggregated[tuple(p)] for p in pairs])
+        comp_src, comp_dst = pairs[:, 0], pairs[:, 1]
+    else:
+        comp_src = np.empty(0, np.int64)
+        comp_dst = np.empty(0, np.int64)
+        weights = np.empty(0, np.float64)
+    return DependencyGraph(
+        num_frames=num_frames,
+        macroblocks_per_frame=per_frame,
+        comp_src=comp_src,
+        comp_dst=comp_dst,
+        comp_weight=weights,
+        coding_src=np.array(coding_src, dtype=np.int64),
+        coding_dst=np.array(coding_dst, dtype=np.int64),
+    )
+
+
+def topological_order(num_nodes: int, src: np.ndarray,
+                      dst: np.ndarray) -> np.ndarray:
+    """Kahn's algorithm with a min-heap (smallest ready node first), so
+    the result is deterministic and — because every edge in these graphs
+    points from a smaller to a larger node id — equals the natural
+    (coded frame, scan) order.
+
+    Raises :class:`AnalysisError` on cycles — a cycle would mean the
+    encoder traced an impossible dependency.
+    """
+    indegree = np.zeros(num_nodes, dtype=np.int64)
+    np.add.at(indegree, dst, 1)
+    adjacency: Dict[int, List[int]] = defaultdict(list)
+    for s, d in zip(src.tolist(), dst.tolist()):
+        adjacency[s].append(d)
+    ready = [int(n) for n in np.nonzero(indegree == 0)[0]]
+    heapq.heapify(ready)
+    order = []
+    while ready:
+        node = heapq.heappop(ready)
+        order.append(node)
+        for neighbor in adjacency.get(node, ()):
+            indegree[neighbor] -= 1
+            if indegree[neighbor] == 0:
+                heapq.heappush(ready, neighbor)
+    if len(order) != num_nodes:
+        raise AnalysisError("dependency graph contains a cycle")
+    return np.array(order, dtype=np.int64)

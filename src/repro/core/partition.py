@@ -1,0 +1,135 @@
+"""Bitstream partitioning into reliability streams (Sections 4.4, 5.3).
+
+``partition_video`` splits an encoded video's frame payloads, segment by
+segment (per the pivot tables), into one stream per ECC scheme; each
+stream is later stored with exactly its scheme's protection.
+``merge_streams`` is the exact inverse, reassembling frame payloads from
+(possibly corrupted) streams — split followed by merge is the identity.
+
+Streams are bit-granular: segments need not align to bytes, so payloads
+are unpacked to bit arrays for slicing and packed back afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..codec.encoded import EncodedVideo
+from ..storage.density import DEFAULT_BITS_PER_CELL, DensityReport, density_report
+from ..storage.ecc import ECCScheme, scheme_by_name
+from .assignment import ClassAssignment
+from .importance import ImportanceResult, macroblock_bits
+from .pivots import FramePivots, build_frame_pivots, total_pivot_bits
+
+
+def _unpack(payload: bytes) -> np.ndarray:
+    return np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+
+
+def _pack(bits: np.ndarray) -> bytes:
+    return np.packbits(bits).tobytes()
+
+
+@dataclass
+class ProtectedVideo:
+    """An encoded video partitioned into per-scheme reliability streams.
+
+    ``streams[name]`` holds the concatenated payload segments assigned
+    to scheme ``name``, zero-padded to a whole number of bytes;
+    ``stream_bits[name]`` is the exact (pre-padding) bit count.
+    """
+
+    encoded: EncodedVideo
+    pivots: List[FramePivots]
+    assignment: ClassAssignment
+    streams: Dict[str, bytes]
+    stream_bits: Dict[str, int]
+
+    @property
+    def precise_bits(self) -> int:
+        """All precise storage: container headers + pivot tables."""
+        return self.encoded.header_bits + total_pivot_bits(self.pivots)
+
+    def scheme_bit_map(self) -> Dict[ECCScheme, int]:
+        return {scheme_by_name(name): bits
+                for name, bits in self.stream_bits.items()}
+
+    def density(self, total_pixels: int,
+                bits_per_cell: int = DEFAULT_BITS_PER_CELL) -> DensityReport:
+        """Cells/pixel accounting for this partitioned video."""
+        return density_report(self.scheme_bit_map(), self.precise_bits,
+                              total_pixels, bits_per_cell,
+                              header_scheme=self.assignment.header_scheme)
+
+
+def partition_video(encoded: EncodedVideo,
+                    importance: ImportanceResult,
+                    assignment: ClassAssignment,
+                    pivots: Optional[List[FramePivots]] = None
+                    ) -> ProtectedVideo:
+    """Split an analyzed video into reliability streams."""
+    if encoded.trace is None:
+        raise AnalysisError("partitioning requires the encoder trace")
+    mb_bits = macroblock_bits(encoded.trace, importance)
+    if pivots is None:
+        pivots = build_frame_pivots(encoded, mb_bits, assignment)
+    collected: Dict[str, List[np.ndarray]] = {}
+    for frame, table in zip(encoded.frames, pivots):
+        bits = _unpack(frame.payload)
+        for segment in table.segments:
+            collected.setdefault(segment.scheme_name, []).append(
+                bits[segment.start_bit:segment.end_bit])
+    streams: Dict[str, bytes] = {}
+    stream_bits: Dict[str, int] = {}
+    for name, pieces in collected.items():
+        joined = (np.concatenate(pieces) if pieces
+                  else np.empty(0, dtype=np.uint8))
+        stream_bits[name] = int(joined.size)
+        streams[name] = _pack(joined)
+    return ProtectedVideo(
+        encoded=encoded, pivots=pivots, assignment=assignment,
+        streams=streams, stream_bits=stream_bits,
+    )
+
+
+def merge_streams(protected: ProtectedVideo,
+                  streams: Optional[Dict[str, bytes]] = None
+                  ) -> List[bytes]:
+    """Reassemble frame payloads from (possibly corrupted) streams.
+
+    ``streams`` defaults to the protected video's own (clean) streams;
+    pass the read-back streams from an approximate device to rebuild the
+    corrupted payload set. Stream lengths must be unchanged — the
+    device flips bits, it never resizes.
+    """
+    if streams is None:
+        streams = protected.streams
+    unpacked: Dict[str, np.ndarray] = {}
+    cursors: Dict[str, int] = {}
+    for name, clean in protected.streams.items():
+        corrupted = streams.get(name)
+        if corrupted is None or len(corrupted) != len(clean):
+            raise AnalysisError(
+                f"stream {name!r} missing or resized on read-back"
+            )
+        unpacked[name] = _unpack(corrupted)
+        cursors[name] = 0
+    payloads: List[bytes] = []
+    for frame, table in zip(protected.encoded.frames, protected.pivots):
+        bits = np.zeros(frame.payload_bits, dtype=np.uint8)
+        for segment in table.segments:
+            cursor = cursors[segment.scheme_name]
+            piece = unpacked[segment.scheme_name][
+                cursor:cursor + segment.bits]
+            if piece.size != segment.bits:
+                raise AnalysisError(
+                    f"stream {segment.scheme_name!r} exhausted mid-merge"
+                )
+            bits[segment.start_bit:segment.end_bit] = piece
+            cursors[segment.scheme_name] = cursor + segment.bits
+        payloads.append(_pack(bits)[:len(frame.payload)])
+    return payloads

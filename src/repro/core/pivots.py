@@ -1,0 +1,138 @@
+"""Pivot tables: compact per-frame ECC layout (Section 4.4, Figure 6).
+
+Because importance strictly decreases in scan order within a slice, the
+ECC scheme assigned to a frame's macroblocks only ever *weakens* along
+the payload. The whole per-MB assignment therefore compresses to a few
+pivot points per frame — (bit offset, scheme) pairs marking each scheme
+change — which live in the precise frame header at a few bytes per
+frame instead of a per-MB table as large as the video itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import AnalysisError
+from ..codec.encoded import EncodedVideo
+from .assignment import ClassAssignment
+from .importance import MacroblockBits
+
+#: Header cost per pivot table: segment count byte + first scheme id,
+#: then (32-bit offset + 4-bit scheme id) per additional segment.
+_BITS_COUNT = 8
+_BITS_SCHEME_ID = 4
+_BITS_OFFSET = 32
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of payload bits protected by one scheme."""
+
+    start_bit: int
+    end_bit: int
+    scheme_name: str
+
+    @property
+    def bits(self) -> int:
+        return self.end_bit - self.start_bit
+
+
+@dataclass
+class FramePivots:
+    """The pivot table of one frame."""
+
+    frame_coded_index: int
+    payload_bits: int
+    segments: List[Segment] = field(default_factory=list)
+
+    def header_bits(self) -> int:
+        """Precise-storage cost of carrying this table in the header."""
+        if not self.segments:
+            return _BITS_COUNT
+        return (_BITS_COUNT + _BITS_SCHEME_ID
+                + (len(self.segments) - 1) * (_BITS_OFFSET + _BITS_SCHEME_ID))
+
+    def validate(self) -> None:
+        if not self.segments:
+            if self.payload_bits:
+                raise AnalysisError(
+                    f"frame {self.frame_coded_index}: empty pivot table "
+                    f"for {self.payload_bits} payload bits"
+                )
+            return
+        if self.segments[0].start_bit != 0:
+            raise AnalysisError("first segment must start at bit 0")
+        for before, after in zip(self.segments, self.segments[1:]):
+            if before.end_bit != after.start_bit:
+                raise AnalysisError(
+                    f"frame {self.frame_coded_index}: gap between segments "
+                    f"{before} and {after}"
+                )
+        if self.segments[-1].end_bit != self.payload_bits:
+            raise AnalysisError(
+                f"frame {self.frame_coded_index}: segments cover "
+                f"{self.segments[-1].end_bit} of {self.payload_bits} bits"
+            )
+
+
+def build_frame_pivots(encoded: EncodedVideo,
+                       mb_bits: Sequence[MacroblockBits],
+                       assignment: ClassAssignment) -> List[FramePivots]:
+    """Compute every frame's pivot table from importance + assignment.
+
+    Leftover payload bits past the last MB of a slice (the entropy
+    coder's flush tail) inherit the last MB's scheme; slice boundaries
+    may strengthen the scheme again (each slice restarts the descent).
+    """
+    if encoded.trace is None:
+        raise AnalysisError("encoded video carries no trace")
+    by_frame: Dict[int, List[MacroblockBits]] = {}
+    for mb in mb_bits:
+        by_frame.setdefault(mb.frame_coded_index, []).append(mb)
+
+    tables: List[FramePivots] = []
+    for frame, frame_trace in zip(encoded.frames, encoded.trace.frames):
+        coded_index = frame.header.coded_index
+        payload_bits = frame.payload_bits
+        members = sorted(by_frame.get(coded_index, []),
+                         key=lambda mb: mb.mb_index)
+        table = FramePivots(frame_coded_index=coded_index,
+                            payload_bits=payload_bits)
+        slice_bit_bounds = []
+        cursor = 0
+        for length in frame.header.slice_byte_lengths:
+            cursor += 8 * length
+            slice_bit_bounds.append(cursor)
+        slice_index = 0
+        for position, mb in enumerate(members):
+            scheme = assignment.scheme_for_importance(mb.importance)
+            start = mb.bit_start
+            end = mb.bit_end
+            # Extend across the flush tail when this MB closes a slice.
+            is_last_of_slice = (
+                position + 1 == len(members)
+                or members[position + 1].bit_start
+                >= slice_bit_bounds[slice_index]
+            )
+            if is_last_of_slice:
+                end = slice_bit_bounds[slice_index]
+                slice_index = min(slice_index + 1,
+                                  len(slice_bit_bounds) - 1)
+            if end <= start:
+                continue
+            if table.segments and \
+                    table.segments[-1].scheme_name == scheme.name:
+                last = table.segments[-1]
+                table.segments[-1] = Segment(last.start_bit, end,
+                                             last.scheme_name)
+            else:
+                table.segments.append(Segment(start, end, scheme.name))
+        table.validate()
+        tables.append(table)
+    return tables
+
+
+def total_pivot_bits(tables: Sequence[FramePivots]) -> int:
+    """Precise bits consumed by all pivot tables."""
+    return sum(table.header_bits() for table in tables)

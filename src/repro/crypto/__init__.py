@@ -1,0 +1,40 @@
+"""Encryption substrate: AES-128, block modes, approximability analysis."""
+
+from .aes import AES128, BLOCK_SIZE, KEY_SIZE, expand_key
+from .analysis import (
+    AMPLIFICATION_LIMIT,
+    ModeVerdict,
+    PropagationMeasurement,
+    analyze_all_modes,
+    analyze_mode,
+    check_privacy,
+    compatible_modes,
+    measure_propagation,
+)
+from .modes import CBC, CTR, ECB, MODES, OFB, BlockMode, make_mode
+from .streams import APPROVED_MODES, StreamEncryptor, derive_stream_iv
+
+__all__ = [
+    "AES128",
+    "AMPLIFICATION_LIMIT",
+    "APPROVED_MODES",
+    "BLOCK_SIZE",
+    "BlockMode",
+    "CBC",
+    "CTR",
+    "ECB",
+    "KEY_SIZE",
+    "MODES",
+    "ModeVerdict",
+    "OFB",
+    "PropagationMeasurement",
+    "StreamEncryptor",
+    "analyze_all_modes",
+    "analyze_mode",
+    "check_privacy",
+    "compatible_modes",
+    "derive_stream_iv",
+    "expand_key",
+    "make_mode",
+    "measure_propagation",
+]

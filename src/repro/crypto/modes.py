@@ -1,0 +1,211 @@
+"""Block cipher modes of operation: ECB, CBC, OFB, CTR (Figure 7).
+
+All four modes share one interface so the paper's requirements analysis
+(Section 5) can probe them uniformly. Plaintexts whose length is not a
+multiple of 16 bytes are handled the way a video store needs: the
+keystream modes (OFB/CTR) natively produce exact-length output, while
+the block modes (ECB/CBC) use ciphertext stealing-free zero padding
+with the original length restored on decryption — padding never changes
+error-propagation behaviour, which is what the analysis measures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+from ..errors import CryptoError
+from .aes import AES128, BLOCK_SIZE
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _pad(data: bytes) -> bytes:
+    remainder = len(data) % BLOCK_SIZE
+    if remainder == 0:
+        return data
+    return data + b"\x00" * (BLOCK_SIZE - remainder)
+
+
+class BlockMode(abc.ABC):
+    """A block-cipher mode over AES-128."""
+
+    #: Whether an IV/nonce is required.
+    needs_iv = True
+
+    def __init__(self, key: bytes, iv: bytes = b"") -> None:
+        self.cipher = AES128(key)
+        if self.needs_iv:
+            if len(iv) != BLOCK_SIZE:
+                raise CryptoError(
+                    f"{type(self).__name__} needs a {BLOCK_SIZE}-byte IV"
+                )
+        self.iv = iv
+
+    @abc.abstractmethod
+    def encrypt(self, plaintext: bytes) -> bytes:
+        ...
+
+    @abc.abstractmethod
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        ...
+
+
+class ECB(BlockMode):
+    """Electronic codebook: block-wise, stateless.
+
+    Fails the paper's requirement #1: equal plaintext blocks map to
+    equal ciphertext blocks, enabling dictionary attacks.
+    """
+
+    needs_iv = False
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        padded = _pad(plaintext)
+        out = bytearray()
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            out += self.cipher.encrypt_block(padded[offset:offset + BLOCK_SIZE])
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) % BLOCK_SIZE:
+            raise CryptoError("ECB ciphertext must be block-aligned")
+        out = bytearray()
+        for offset in range(0, len(ciphertext), BLOCK_SIZE):
+            out += self.cipher.decrypt_block(
+                ciphertext[offset:offset + BLOCK_SIZE])
+        return bytes(out)
+
+
+class CBC(BlockMode):
+    """Cipher block chaining.
+
+    Meets requirement #1 but fails #2/#3 for approximate storage: a
+    flipped ciphertext bit garbles its whole block and flips one bit of
+    the next — a ~65x bit-error amplification.
+    """
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        padded = _pad(plaintext)
+        previous = self.iv
+        out = bytearray()
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            block = _xor_bytes(padded[offset:offset + BLOCK_SIZE], previous)
+            previous = self.cipher.encrypt_block(block)
+            out += previous
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) % BLOCK_SIZE:
+            raise CryptoError("CBC ciphertext must be block-aligned")
+        previous = self.iv
+        out = bytearray()
+        for offset in range(0, len(ciphertext), BLOCK_SIZE):
+            block = ciphertext[offset:offset + BLOCK_SIZE]
+            out += _xor_bytes(self.cipher.decrypt_block(block), previous)
+            previous = block
+        return bytes(out)
+
+
+class CFB(BlockMode):
+    """Cipher feedback (full-block): keystream from the previous
+    ciphertext block.
+
+    Like CBC it meets requirement #1, and like CBC it fails #3 for
+    approximate storage: a flipped ciphertext bit flips the mirrored
+    plaintext bit of its own block *and* garbles the whole next block
+    (the flipped ciphertext feeds the next keystream) — ~65x bit-error
+    amplification, just ordered the other way around.
+    """
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        padded = _pad(plaintext)
+        feedback = self.iv
+        out = bytearray()
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            keystream = self.cipher.encrypt_block(feedback)
+            block = _xor_bytes(padded[offset:offset + BLOCK_SIZE],
+                               keystream)
+            out += block
+            feedback = block
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) % BLOCK_SIZE:
+            raise CryptoError("CFB ciphertext must be block-aligned")
+        feedback = self.iv
+        out = bytearray()
+        for offset in range(0, len(ciphertext), BLOCK_SIZE):
+            keystream = self.cipher.encrypt_block(feedback)
+            block = ciphertext[offset:offset + BLOCK_SIZE]
+            out += _xor_bytes(block, keystream)
+            feedback = block
+        return bytes(out)
+
+
+class OFB(BlockMode):
+    """Output feedback: keystream from iterated encryption of the IV.
+
+    Ciphertext never feeds the chain, so a stored-bit flip corrupts
+    exactly that plaintext bit — approximate-storage compatible.
+    """
+
+    def _keystream(self, length: int) -> bytes:
+        stream = bytearray()
+        feedback = self.iv
+        while len(stream) < length:
+            feedback = self.cipher.encrypt_block(feedback)
+            stream += feedback
+        return bytes(stream[:length])
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return _xor_bytes(plaintext, self._keystream(len(plaintext)))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        return _xor_bytes(ciphertext, self._keystream(len(ciphertext)))
+
+
+class CTR(BlockMode):
+    """Counter mode: keystream from encrypting nonce+counter.
+
+    Same approximate-storage compatibility as OFB, plus random access.
+    """
+
+    def _keystream(self, length: int) -> bytes:
+        stream = bytearray()
+        counter = int.from_bytes(self.iv, "big")
+        while len(stream) < length:
+            stream += self.cipher.encrypt_block(
+                counter.to_bytes(BLOCK_SIZE, "big"))
+            counter = (counter + 1) % (1 << (8 * BLOCK_SIZE))
+        return bytes(stream[:length])
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return _xor_bytes(plaintext, self._keystream(len(plaintext)))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        return _xor_bytes(ciphertext, self._keystream(len(ciphertext)))
+
+
+#: Mode registry by canonical name.
+MODES: Dict[str, Type[BlockMode]] = {
+    "ECB": ECB,
+    "CBC": CBC,
+    "CFB": CFB,
+    "OFB": OFB,
+    "CTR": CTR,
+}
+
+
+def make_mode(name: str, key: bytes, iv: bytes = b"") -> BlockMode:
+    try:
+        mode_class = MODES[name.upper()]
+    except KeyError:
+        raise CryptoError(
+            f"unknown mode {name!r}; known: {sorted(MODES)}"
+        ) from None
+    if mode_class.needs_iv:
+        return mode_class(key, iv)
+    return mode_class(key)

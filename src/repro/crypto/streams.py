@@ -1,0 +1,85 @@
+"""Encrypting the multiple reliability streams (Section 5.3).
+
+Approximate video storage splits a video into one stream per ECC level.
+Each stream is encrypted separately with an approximation-compatible
+mode. Per the paper, the per-stream IV is derived from a single master
+value combined with the stream's identifier, so one secret (key + master
+IV) covers the whole video; the derivation here runs the identifier
+through the block cipher itself (a standard one-way diversification).
+
+The analysis/partitioning must run *before* encryption — importance is
+computed on plaintext bits — so the encryptor is applied to the already
+partitioned streams, and decryption happens before merging and decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import CryptoError
+from .aes import AES128, BLOCK_SIZE
+from .modes import make_mode
+
+#: Modes acceptable for stream encryption (requirements 1-3).
+APPROVED_MODES = ("OFB", "CTR")
+
+
+def derive_stream_iv(master_iv: bytes, stream_id: int, key: bytes) -> bytes:
+    """Per-stream IV: encrypt (master_iv XOR stream_id) under the key."""
+    if len(master_iv) != BLOCK_SIZE:
+        raise CryptoError(f"master IV must be {BLOCK_SIZE} bytes")
+    if stream_id < 0:
+        raise CryptoError(f"stream id must be non-negative, got {stream_id}")
+    mixed = bytearray(master_iv)
+    identifier = stream_id.to_bytes(BLOCK_SIZE, "big")
+    for index in range(BLOCK_SIZE):
+        mixed[index] ^= identifier[index]
+    return AES128(key).encrypt_block(bytes(mixed))
+
+
+@dataclass
+class StreamEncryptor:
+    """Encrypts/decrypts a set of reliability streams under one secret."""
+
+    key: bytes
+    master_iv: bytes
+    mode: str = "CTR"
+
+    def __post_init__(self) -> None:
+        if self.mode.upper() not in APPROVED_MODES:
+            raise CryptoError(
+                f"mode {self.mode!r} is not approximation-compatible; "
+                f"use one of {APPROVED_MODES}"
+            )
+        self.mode = self.mode.upper()
+        if len(self.key) != BLOCK_SIZE:
+            raise CryptoError(f"key must be {BLOCK_SIZE} bytes")
+        if len(self.master_iv) != BLOCK_SIZE:
+            raise CryptoError(f"master IV must be {BLOCK_SIZE} bytes")
+
+    def _mode_for(self, stream_id: int):
+        iv = derive_stream_iv(self.master_iv, stream_id, self.key)
+        return make_mode(self.mode, self.key, iv)
+
+    def encrypt_streams(self, streams: Dict[int, bytes]) -> Dict[int, bytes]:
+        """Encrypt each stream under its derived IV (sizes preserved)."""
+        return {
+            stream_id: self._mode_for(stream_id).encrypt(data)
+            for stream_id, data in streams.items()
+        }
+
+    def decrypt_streams(self, streams: Dict[int, bytes]) -> Dict[int, bytes]:
+        return {
+            stream_id: self._mode_for(stream_id).decrypt(data)
+            for stream_id, data in streams.items()
+        }
+
+    def encrypt_list(self, payloads: List[bytes]) -> List[bytes]:
+        """Encrypt an ordered payload list (ids are list positions)."""
+        return [self._mode_for(index).encrypt(data)
+                for index, data in enumerate(payloads)]
+
+    def decrypt_list(self, payloads: List[bytes]) -> List[bytes]:
+        return [self._mode_for(index).decrypt(data)
+                for index, data in enumerate(payloads)]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VideoFormatError(ReproError):
+    """A raw video or frame has an unusable shape, dtype, or size."""
+
+
+class EncoderError(ReproError):
+    """The encoder was misconfigured or hit an internal inconsistency."""
+
+
+class BitstreamError(ReproError):
+    """A coded bitstream is structurally unusable.
+
+    The decoder never raises this for *corrupted payload bits* (bit flips
+    are expected under approximate storage and are decoded best-effort);
+    it is raised only when the precise portions of the stream (magic,
+    frame headers) are missing or inconsistent.
+    """
+
+
+class StorageError(ReproError):
+    """A storage device or ECC codec was used incorrectly."""
+
+
+class CryptoError(ReproError):
+    """An encryption primitive or mode was used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """A VideoApp analysis step received inconsistent inputs."""

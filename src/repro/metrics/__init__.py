@@ -1,0 +1,33 @@
+"""Video quality metrics: PSNR (primary), SSIM, MS-SSIM, VIFP."""
+
+from .msssim import ms_ssim, video_ms_ssim
+from .psnr import (
+    PEAK,
+    PSNR_CAP,
+    frame_psnrs,
+    mse,
+    psnr,
+    quality_change_db,
+    video_psnr,
+)
+from .ssim import frame_ssims, gaussian_kernel, ssim, ssim_map, video_ssim
+from .vif import video_vifp, vifp
+
+__all__ = [
+    "PEAK",
+    "PSNR_CAP",
+    "frame_psnrs",
+    "frame_ssims",
+    "gaussian_kernel",
+    "ms_ssim",
+    "mse",
+    "psnr",
+    "quality_change_db",
+    "ssim",
+    "ssim_map",
+    "video_ms_ssim",
+    "video_psnr",
+    "video_ssim",
+    "video_vifp",
+    "vifp",
+]

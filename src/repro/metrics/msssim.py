@@ -1,0 +1,92 @@
+"""Multi-scale structural similarity (MS-SSIM).
+
+Follows Wang, Simoncelli & Bovik 2003: the image pair is evaluated at a
+pyramid of scales produced by 2x2 mean downsampling. Contrast/structure
+terms contribute at every scale, luminance only at the coarsest, with the
+standard per-scale exponents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from ..video.frame import VideoSequence, require_comparable
+from .ssim import _C1, _C2, _filter2, gaussian_kernel
+
+#: Standard MS-SSIM scale weights (5 scales).
+DEFAULT_WEIGHTS = (0.0448, 0.2856, 0.3001, 0.2363, 0.1333)
+
+
+def _downsample(img: np.ndarray) -> np.ndarray:
+    """2x2 mean downsampling, truncating odd rows/columns."""
+    rows = img.shape[0] // 2 * 2
+    cols = img.shape[1] // 2 * 2
+    trimmed = img[:rows, :cols]
+    return 0.25 * (trimmed[0::2, 0::2] + trimmed[1::2, 0::2]
+                   + trimmed[0::2, 1::2] + trimmed[1::2, 1::2])
+
+
+def _luminance_and_cs(ref: np.ndarray, tst: np.ndarray, window: int,
+                      sigma: float) -> tuple:
+    kernel = gaussian_kernel(window, sigma)
+    mu_x = _filter2(ref, kernel)
+    mu_y = _filter2(tst, kernel)
+    sigma_xx = _filter2(ref * ref, kernel) - mu_x * mu_x
+    sigma_yy = _filter2(tst * tst, kernel) - mu_y * mu_y
+    sigma_xy = _filter2(ref * tst, kernel) - mu_x * mu_y
+    luminance = ((2.0 * mu_x * mu_y + _C1)
+                 / (mu_x * mu_x + mu_y * mu_y + _C1))
+    cs = (2.0 * sigma_xy + _C2) / (sigma_xx + sigma_yy + _C2)
+    return float(np.mean(luminance * cs)), float(np.mean(cs))
+
+
+def ms_ssim(reference: np.ndarray, test: np.ndarray,
+            weights: Sequence[float] = DEFAULT_WEIGHTS,
+            window: int = 11, sigma: float = 1.5) -> float:
+    """MS-SSIM index of one frame pair.
+
+    Scales whose downsampled frame would be smaller than the window are
+    dropped (with weights renormalized), so small test frames remain
+    measurable.
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    tst = np.asarray(test, dtype=np.float64)
+    if ref.shape != tst.shape:
+        raise VideoFormatError(f"shape mismatch {ref.shape} vs {tst.shape}")
+    if not weights:
+        raise VideoFormatError("weights must be non-empty")
+
+    usable_weights: List[float] = []
+    cs_values: List[float] = []
+    final_ssim = 1.0
+    for level, weight in enumerate(weights):
+        if min(ref.shape) < window:
+            break
+        ssim_full, cs = _luminance_and_cs(ref, tst, window, sigma)
+        usable_weights.append(float(weight))
+        cs_values.append(cs)
+        final_ssim = ssim_full
+        if level != len(weights) - 1:
+            ref = _downsample(ref)
+            tst = _downsample(tst)
+    if not usable_weights:
+        raise VideoFormatError(
+            f"frame {reference.shape} too small for MS-SSIM window {window}"
+        )
+    total = sum(usable_weights)
+    usable_weights = [w / total for w in usable_weights]
+    # Contrast/structure at all scales but the last; full SSIM at the last.
+    result = 1.0
+    for weight, cs in zip(usable_weights[:-1], cs_values[:-1]):
+        result *= max(cs, 0.0) ** weight
+    result *= max(final_ssim, 0.0) ** usable_weights[-1]
+    return float(result)
+
+
+def video_ms_ssim(reference: VideoSequence, test: VideoSequence) -> float:
+    """Frame-averaged MS-SSIM."""
+    require_comparable(reference, test)
+    return float(np.mean([ms_ssim(r, t) for r, t in zip(reference, test)]))

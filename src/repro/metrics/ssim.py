@@ -1,0 +1,93 @@
+"""Structural similarity (SSIM), single scale.
+
+Follows Wang et al. 2004 with an 11x11 Gaussian window (sigma 1.5) and
+the standard stabilizers C1, C2 for 8-bit content. Implemented with
+separable convolution via numpy only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from ..video.frame import VideoSequence, require_comparable
+
+_C1 = (0.01 * 255.0) ** 2
+_C2 = (0.03 * 255.0) ** 2
+
+
+def gaussian_kernel(size: int = 11, sigma: float = 1.5) -> np.ndarray:
+    """1-D normalized Gaussian kernel."""
+    if size < 1 or size % 2 == 0:
+        raise VideoFormatError(f"kernel size must be odd and >= 1, got {size}")
+    half = size // 2
+    xs = np.arange(-half, half + 1, dtype=np.float64)
+    kernel = np.exp(-(xs ** 2) / (2.0 * sigma * sigma))
+    return kernel / kernel.sum()
+
+
+def _filter2(img: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Separable 'valid' convolution with a 1-D kernel on both axes."""
+    size = kernel.shape[0]
+    out_rows = img.shape[0] - size + 1
+    out_cols = img.shape[1] - size + 1
+    if out_rows <= 0 or out_cols <= 0:
+        raise VideoFormatError(
+            f"frame {img.shape} smaller than SSIM window {size}"
+        )
+    # Convolve rows.
+    tmp = np.empty((img.shape[0], out_cols), dtype=np.float64)
+    for offset, weight in enumerate(kernel):
+        block = img[:, offset:offset + out_cols]
+        if offset == 0:
+            np.multiply(block, weight, out=tmp)
+        else:
+            tmp += weight * block
+    # Convolve columns.
+    out = np.empty((out_rows, out_cols), dtype=np.float64)
+    for offset, weight in enumerate(kernel):
+        block = tmp[offset:offset + out_rows, :]
+        if offset == 0:
+            np.multiply(block, weight, out=out)
+        else:
+            out += weight * block
+    return out
+
+
+def ssim_map(reference: np.ndarray, test: np.ndarray,
+             window: int = 11, sigma: float = 1.5) -> np.ndarray:
+    """Per-pixel SSIM index map (valid region only)."""
+    ref = np.asarray(reference, dtype=np.float64)
+    tst = np.asarray(test, dtype=np.float64)
+    if ref.shape != tst.shape:
+        raise VideoFormatError(f"shape mismatch {ref.shape} vs {tst.shape}")
+    kernel = gaussian_kernel(window, sigma)
+    mu_x = _filter2(ref, kernel)
+    mu_y = _filter2(tst, kernel)
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_xx = _filter2(ref * ref, kernel) - mu_xx
+    sigma_yy = _filter2(tst * tst, kernel) - mu_yy
+    sigma_xy = _filter2(ref * tst, kernel) - mu_xy
+    numerator = (2.0 * mu_xy + _C1) * (2.0 * sigma_xy + _C2)
+    denominator = (mu_xx + mu_yy + _C1) * (sigma_xx + sigma_yy + _C2)
+    return numerator / denominator
+
+
+def ssim(reference: np.ndarray, test: np.ndarray,
+         window: int = 11, sigma: float = 1.5) -> float:
+    """Mean SSIM of one frame pair, in [-1, 1]."""
+    return float(np.mean(ssim_map(reference, test, window, sigma)))
+
+
+def frame_ssims(reference: VideoSequence, test: VideoSequence) -> List[float]:
+    require_comparable(reference, test)
+    return [ssim(r, t) for r, t in zip(reference, test)]
+
+
+def video_ssim(reference: VideoSequence, test: VideoSequence) -> float:
+    """Frame-averaged SSIM."""
+    return float(np.mean(frame_ssims(reference, test)))

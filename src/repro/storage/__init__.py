@@ -1,0 +1,78 @@
+"""Approximate storage substrate: MLC PCM cells, BCH codes, injection."""
+
+from .bch import BCHCode, DecodeResult, get_bch_code
+from .device import (
+    ApproximateDevice,
+    StorageReport,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+from .density import (
+    DEFAULT_BITS_PER_CELL,
+    DensityReport,
+    density_report,
+    ideal_density,
+    slc_density,
+    uniform_density,
+)
+from .ecc import (
+    DEFAULT_BLOCK_DATA_BITS,
+    DEFAULT_RAW_BER,
+    ECCScheme,
+    NONE_SCHEME,
+    PRECISE_SCHEME,
+    SCHEME_MENU,
+    binomial_tail,
+    figure8_table,
+    scheme_by_name,
+    scheme_for_target_rate,
+)
+from .gf import GF2m
+from .injection import (
+    InjectionResult,
+    flip_bit,
+    inject_into_payloads,
+    inject_single_flip,
+    occurrence_probability,
+    rare_event_scale,
+    sample_flip_count,
+)
+from .mlc import MLCCellModel, calibrated_model, gray_code, gray_decode
+
+__all__ = [
+    "ApproximateDevice",
+    "BCHCode",
+    "DEFAULT_BITS_PER_CELL",
+    "DEFAULT_BLOCK_DATA_BITS",
+    "DEFAULT_RAW_BER",
+    "DecodeResult",
+    "DensityReport",
+    "ECCScheme",
+    "GF2m",
+    "InjectionResult",
+    "MLCCellModel",
+    "NONE_SCHEME",
+    "PRECISE_SCHEME",
+    "SCHEME_MENU",
+    "StorageReport",
+    "binomial_tail",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "calibrated_model",
+    "density_report",
+    "figure8_table",
+    "flip_bit",
+    "get_bch_code",
+    "gray_code",
+    "gray_decode",
+    "ideal_density",
+    "inject_into_payloads",
+    "inject_single_flip",
+    "occurrence_probability",
+    "rare_event_scale",
+    "sample_flip_count",
+    "scheme_by_name",
+    "scheme_for_target_rate",
+    "slc_density",
+    "uniform_density",
+]

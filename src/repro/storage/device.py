@@ -1,0 +1,173 @@
+"""The approximate storage device: MLC cells + per-stream ECC.
+
+Bytes go in; bytes come back, possibly with uncorrectable errors. Two
+fidelity modes:
+
+* **analytic** (default): per protected 512-bit block, draw an
+  uncorrectable-failure event at the scheme's binomial-tail rate; failed
+  blocks keep ``t + 1`` surviving raw flips (the dominant failure
+  pattern). Raw streams flip bits at the substrate BER directly. This is
+  what the paper's Monte Carlo does and it is fast enough for
+  whole-video sweeps at any error rate.
+* **exact**: every block physically round-trips — BCH-encode, write each
+  bit group into the MLC cell model with noise and drift, read back,
+  BCH-decode. Slow, but end-to-end real; used by tests to validate the
+  analytic mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import StorageError
+from .bch import get_bch_code
+from .ecc import ECCScheme
+from .mlc import MLCCellModel
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Byte string -> uint8 bit array, MSB-first."""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """uint8 bit array (multiple of 8) -> byte string."""
+    if bits.size % 8:
+        raise StorageError(f"bit count {bits.size} not a multiple of 8")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+@dataclass
+class StorageReport:
+    """Accounting of one store-and-read round trip."""
+
+    data_bits: int
+    stored_bits: int          #: data + parity actually written to cells
+    cells_used: int
+    blocks: int
+    failed_blocks: int
+    flipped_bits: int         #: uncorrected bit errors in returned data
+
+
+class ApproximateDevice:
+    """MLC PCM array with selectable per-write ECC."""
+
+    def __init__(self, cell_model: Optional[MLCCellModel] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 exact: bool = False) -> None:
+        self.cell_model = cell_model or MLCCellModel()
+        self.rng = rng or np.random.default_rng()
+        self.exact = exact
+
+    @property
+    def raw_ber(self) -> float:
+        return self.cell_model.raw_bit_error_rate()
+
+    # -- accounting ----------------------------------------------------------
+
+    def stored_bits(self, data_bits: int, scheme: ECCScheme) -> int:
+        """Bits written to cells for ``data_bits`` of payload."""
+        if scheme.t == 0:
+            return data_bits
+        blocks = -(-data_bits // scheme.data_bits)
+        return data_bits + blocks * scheme.parity_bits
+
+    def cells_used(self, data_bits: int, scheme: ECCScheme) -> int:
+        return self.cell_model.cells_for_bits(
+            self.stored_bits(data_bits, scheme))
+
+    # -- the round trip -------------------------------------------------------
+
+    def store_and_read(self, data: bytes, scheme: ECCScheme
+                       ) -> tuple:
+        """Write ``data`` under ``scheme`` and read it back.
+
+        Returns ``(read_back_bytes, StorageReport)``.
+        """
+        bits = bytes_to_bits(data)
+        if scheme.t == 0:
+            out_bits, flipped = self._raw_round_trip(bits)
+            report = StorageReport(
+                data_bits=bits.size, stored_bits=bits.size,
+                cells_used=self.cell_model.cells_for_bits(bits.size),
+                blocks=0, failed_blocks=0, flipped_bits=flipped,
+            )
+            return bits_to_bytes(out_bits), report
+        if self.exact:
+            out_bits, failed, flipped, blocks = self._exact_ecc(bits, scheme)
+        else:
+            out_bits, failed, flipped, blocks = self._analytic_ecc(bits,
+                                                                   scheme)
+        report = StorageReport(
+            data_bits=bits.size,
+            stored_bits=self.stored_bits(bits.size, scheme),
+            cells_used=self.cells_used(bits.size, scheme),
+            blocks=blocks, failed_blocks=failed, flipped_bits=flipped,
+        )
+        return bits_to_bytes(out_bits), report
+
+    # -- raw cells ------------------------------------------------------------
+
+    def _raw_round_trip(self, bits: np.ndarray) -> tuple:
+        if self.exact:
+            per_cell = self.cell_model.bits_per_cell
+            padding = (-bits.size) % per_cell
+            padded = np.concatenate(
+                [bits, np.zeros(padding, dtype=np.uint8)])
+            read = self.cell_model.write_and_read(padded, self.rng)
+            out = read[:bits.size]
+            return out, int(np.count_nonzero(out != bits))
+        flips = self.rng.random(bits.size) < self.raw_ber
+        out = bits ^ flips.astype(np.uint8)
+        return out, int(np.count_nonzero(flips))
+
+    # -- coded blocks ----------------------------------------------------------
+
+    def _block_views(self, bits: np.ndarray, scheme: ECCScheme):
+        blocks = -(-bits.size // scheme.data_bits)
+        padded = np.concatenate([
+            bits,
+            np.zeros(blocks * scheme.data_bits - bits.size, dtype=np.uint8),
+        ])
+        return blocks, padded.reshape(blocks, scheme.data_bits)
+
+    def _analytic_ecc(self, bits: np.ndarray, scheme: ECCScheme) -> tuple:
+        blocks, data = self._block_views(bits, scheme)
+        failure_rate = scheme.block_failure_rate(self.raw_ber)
+        failures = np.nonzero(self.rng.random(blocks) < failure_rate)[0]
+        out = data.copy()
+        flipped = 0
+        for block_index in failures:
+            # Dominant failure: exactly t + 1 raw errors. Only the flips
+            # landing in the data portion are visible to the caller.
+            error_positions = self.rng.choice(scheme.block_bits,
+                                              size=scheme.t + 1,
+                                              replace=False)
+            data_hits = error_positions[error_positions < scheme.data_bits]
+            out[block_index, data_hits] ^= 1
+            flipped += data_hits.size
+        return out.reshape(-1)[:bits.size], len(failures), flipped, blocks
+
+    def _exact_ecc(self, bits: np.ndarray, scheme: ECCScheme) -> tuple:
+        code = get_bch_code(scheme.t, data_bits=scheme.data_bits)
+        blocks, data = self._block_views(bits, scheme)
+        per_cell = self.cell_model.bits_per_cell
+        out = np.empty_like(data)
+        failed = 0
+        flipped = 0
+        for block_index in range(blocks):
+            codeword = code.encode(data[block_index])
+            padding = (-codeword.size) % per_cell
+            padded = np.concatenate(
+                [codeword, np.zeros(padding, dtype=np.uint8)])
+            read = self.cell_model.write_and_read(padded, self.rng)
+            result = code.decode(read[:codeword.size])
+            out[block_index] = result.data
+            if not result.success:
+                failed += 1
+            flipped += int(np.count_nonzero(
+                result.data != data[block_index]))
+        return out.reshape(-1)[:bits.size], failed, flipped, blocks

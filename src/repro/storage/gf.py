@@ -1,0 +1,137 @@
+"""Galois field GF(2^m) arithmetic.
+
+Log/antilog-table arithmetic over GF(2^m), the algebra under the BCH
+codes the paper's storage substrate uses (Section 6.2). The default
+field GF(2^10) hosts length-1023 codes, which shortened to 512 data bits
+give exactly the 10*t parity-bit overheads of the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import StorageError
+
+#: Primitive polynomials (bit masks, including the x^m term) per m.
+PRIMITIVE_POLYS = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,  # x^10 + x^3 + 1
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2m:
+    """GF(2^m) with exp/log tables and vectorized helpers."""
+
+    def __init__(self, m: int) -> None:
+        if m not in PRIMITIVE_POLYS:
+            raise StorageError(
+                f"no primitive polynomial configured for m={m}"
+            )
+        self.m = m
+        self.order = (1 << m) - 1  # multiplicative group order
+        poly = PRIMITIVE_POLYS[m]
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.order + 1, dtype=np.int64)
+        value = 1
+        for power in range(self.order):
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value & (1 << m):
+                value ^= poly
+        exp[self.order:2 * self.order] = exp[:self.order]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar operations ----------------------------------------------
+
+    def multiply(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise StorageError("zero has no inverse in GF(2^m)")
+        return int(self._exp[self.order - self._log[a]])
+
+    def divide(self, a: int, b: int) -> int:
+        return self.multiply(a, self.inverse(b))
+
+    def power(self, a: int, exponent: int) -> int:
+        """a**exponent with exponent of any sign."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise StorageError("0 cannot be raised to a negative power")
+            return 0
+        log_a = int(self._log[a])
+        return int(self._exp[(log_a * exponent) % self.order])
+
+    def alpha_power(self, exponent: int) -> int:
+        """alpha**exponent for the field's primitive element alpha."""
+        return int(self._exp[exponent % self.order])
+
+    # -- vectorized operations -------------------------------------------
+
+    def alpha_powers(self, exponents: np.ndarray) -> np.ndarray:
+        """Vectorized alpha**e for an integer exponent array."""
+        return self._exp[np.mod(exponents, self.order)]
+
+    def poly_eval(self, coefficients: List[int], x: int) -> int:
+        """Evaluate a polynomial (coefficients[i] is the x^i term) at x."""
+        if x == 0:
+            return coefficients[0] if coefficients else 0
+        log_x = int(self._log[x])
+        result = 0
+        for degree, coefficient in enumerate(coefficients):
+            if coefficient:
+                term = self._exp[(int(self._log[coefficient])
+                                  + degree * log_x) % self.order]
+                result ^= int(term)
+        return result
+
+    # -- polynomial arithmetic over GF(2^m) ---------------------------------
+
+    def poly_multiply(self, a: List[int], b: List[int]) -> List[int]:
+        """Product of two polynomials with GF(2^m) coefficients."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, coeff_a in enumerate(a):
+            if not coeff_a:
+                continue
+            for j, coeff_b in enumerate(b):
+                if coeff_b:
+                    result[i + j] ^= self.multiply(coeff_a, coeff_b)
+        return result
+
+    def minimal_polynomial(self, exponent: int) -> List[int]:
+        """Minimal polynomial (over GF(2)) of alpha**exponent.
+
+        Returned as a coefficient list over GF(2) (values 0/1),
+        lowest-degree first.
+        """
+        # Cyclotomic coset of the exponent under doubling.
+        coset = []
+        current = exponent % self.order
+        while current not in coset:
+            coset.append(current)
+            current = (current * 2) % self.order
+        poly = [1]
+        for member in coset:
+            poly = self.poly_multiply(poly, [self.alpha_power(member), 1])
+        if any(c not in (0, 1) for c in poly):
+            raise StorageError(
+                f"minimal polynomial of alpha^{exponent} is not binary: {poly}"
+            )
+        return poly

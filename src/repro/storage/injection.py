@@ -1,0 +1,131 @@
+"""Monte Carlo bit-flip injection.
+
+Implements the paper's simulation methodology (Section 6.4):
+
+* errors land at independent uniform positions, with the per-run count
+  drawn from the binomial distribution;
+* for very low error rates, where a video would typically see *zero*
+  flips, at least one flip is forced and the measured quality loss is
+  later scaled down by the probability that any flip occurs at all
+  (:func:`rare_event_scale`).
+
+Injection can target whole payloads or arbitrary bit-range subsets of
+them (the equal-storage importance bins of Figure 9 and the importance
+classes of Figure 10).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+
+#: One injectable region: (payload index, start bit, end bit).
+BitRange = Tuple[int, int, int]
+
+
+def flip_bit(payload: bytearray, bit_index: int) -> None:
+    """Flip one bit (MSB-first indexing) of a byte buffer in place."""
+    byte_index, bit_offset = divmod(bit_index, 8)
+    if byte_index >= len(payload):
+        raise StorageError(
+            f"bit {bit_index} outside payload of {len(payload)} bytes"
+        )
+    payload[byte_index] ^= 0x80 >> bit_offset
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injection pass."""
+
+    payloads: List[bytes]
+    num_flips: int
+    forced: bool  #: True when the >=1-flip rule overrode a zero draw
+
+
+def sample_flip_count(total_bits: int, error_rate: float,
+                      rng: np.random.Generator,
+                      force_at_least_one: bool = False) -> Tuple[int, bool]:
+    """Binomial flip count; optionally forced to be >= 1 (Section 6.4)."""
+    if total_bits < 0:
+        raise StorageError(f"negative bit count {total_bits}")
+    if not 0.0 <= error_rate <= 1.0:
+        raise StorageError(f"error rate {error_rate} out of range")
+    count = int(rng.binomial(total_bits, error_rate)) if total_bits else 0
+    if count == 0 and force_at_least_one and total_bits > 0:
+        return 1, True
+    return count, False
+
+
+def occurrence_probability(total_bits: int, error_rate: float) -> float:
+    """P[at least one flip lands in ``total_bits``]."""
+    if total_bits <= 0 or error_rate <= 0.0:
+        return 0.0
+    return float(-np.expm1(total_bits * np.log1p(-error_rate)))
+
+
+def rare_event_scale(total_bits: int, error_rate: float) -> float:
+    """Quality-loss scale factor for forced-flip measurements.
+
+    When a flip was forced, the measured loss is multiplied by the
+    probability that the video of this size would see any flip at all —
+    the paper's low-rate scaling rule.
+    """
+    return occurrence_probability(total_bits, error_rate)
+
+
+def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
+                         rng: np.random.Generator,
+                         ranges: Optional[Sequence[BitRange]] = None,
+                         force_at_least_one: bool = False
+                         ) -> InjectionResult:
+    """Flip bits at ``error_rate`` within the given bit ranges.
+
+    ``ranges`` defaults to the entirety of every payload. Returns new
+    payload byte strings (inputs are never mutated) plus the flip count.
+    """
+    if ranges is None:
+        ranges = [(index, 0, 8 * len(payload))
+                  for index, payload in enumerate(payloads)]
+    lengths = []
+    for payload_index, start, end in ranges:
+        if not 0 <= payload_index < len(payloads):
+            raise StorageError(f"range names payload {payload_index}")
+        if not 0 <= start <= end <= 8 * len(payloads[payload_index]):
+            raise StorageError(
+                f"range ({start}, {end}) outside payload "
+                f"{payload_index} of {8 * len(payloads[payload_index])} bits"
+            )
+        lengths.append(end - start)
+    cumulative = np.concatenate([[0], np.cumsum(lengths)])
+    total_bits = int(cumulative[-1])
+
+    count, forced = sample_flip_count(total_bits, error_rate, rng,
+                                      force_at_least_one)
+    buffers = [bytearray(p) for p in payloads]
+    if count > total_bits:
+        count = total_bits
+    if count:
+        positions = rng.choice(total_bits, size=count, replace=False)
+        for position in positions:
+            range_index = bisect_right(cumulative, int(position)) - 1
+            payload_index, start, _end = ranges[range_index]
+            offset = int(position) - int(cumulative[range_index])
+            flip_bit(buffers[payload_index], start + offset)
+    return InjectionResult(
+        payloads=[bytes(b) for b in buffers],
+        num_flips=int(count),
+        forced=forced,
+    )
+
+
+def inject_single_flip(payloads: Sequence[bytes], payload_index: int,
+                       bit_index: int) -> List[bytes]:
+    """Deterministically flip exactly one bit (Figure 3's probe)."""
+    buffers = [bytearray(p) for p in payloads]
+    flip_bit(buffers[payload_index], bit_index)
+    return [bytes(b) for b in buffers]

@@ -1,0 +1,39 @@
+"""Raw video substrate: containers, synthesis, and file I/O."""
+
+from .frame import (
+    MACROBLOCK_SIZE,
+    VideoSequence,
+    frames_equal,
+    require_comparable,
+    sequences_comparable,
+    validate_frame,
+)
+from .io import read_raw_video, write_raw_video
+from .y4m import read_y4m, write_y4m
+from .synthesis import (
+    MovingObject,
+    SceneConfig,
+    SUITE_PRESETS,
+    make_suite,
+    synthesize_scene,
+    textured_background,
+)
+
+__all__ = [
+    "MACROBLOCK_SIZE",
+    "MovingObject",
+    "SceneConfig",
+    "SUITE_PRESETS",
+    "VideoSequence",
+    "frames_equal",
+    "make_suite",
+    "read_raw_video",
+    "read_y4m",
+    "require_comparable",
+    "sequences_comparable",
+    "synthesize_scene",
+    "textured_background",
+    "validate_frame",
+    "write_raw_video",
+    "write_y4m",
+]

@@ -1,0 +1,169 @@
+"""Raw video containers.
+
+The paper's pipeline operates on raw (uncompressed) video as encoder
+input and decoder output. We model video as a sequence of single-channel
+(luma) frames, which is where essentially all of H.264's prediction
+machinery — and therefore all of the paper's error-propagation analysis —
+lives. Frames are numpy ``uint8`` arrays of shape ``(height, width)``.
+
+Both dimensions must be multiples of the macroblock size (16) so that a
+frame tiles exactly into macroblocks, as the encoder requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import VideoFormatError
+
+#: Side length, in pixels, of an H.264 macroblock.
+MACROBLOCK_SIZE = 16
+
+
+def validate_frame(pixels: np.ndarray) -> np.ndarray:
+    """Validate and normalize one raw frame.
+
+    Returns a C-contiguous ``uint8`` copy-free view when possible.
+    Raises :class:`VideoFormatError` for wrong rank, dtype that cannot
+    hold 0..255 content, or dimensions not divisible by 16.
+    """
+    arr = np.asarray(pixels)
+    if arr.ndim != 2:
+        raise VideoFormatError(
+            f"frame must be 2-D (luma only), got shape {arr.shape}"
+        )
+    if arr.dtype != np.uint8:
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise VideoFormatError(f"frame dtype must be integer, got {arr.dtype}")
+        if arr.min(initial=0) < 0 or arr.max(initial=0) > 255:
+            raise VideoFormatError("frame values must fit in 0..255")
+        arr = arr.astype(np.uint8)
+    height, width = arr.shape
+    if height % MACROBLOCK_SIZE or width % MACROBLOCK_SIZE:
+        raise VideoFormatError(
+            f"frame dimensions {width}x{height} must be multiples of "
+            f"{MACROBLOCK_SIZE}"
+        )
+    if height == 0 or width == 0:
+        raise VideoFormatError("frame must be non-empty")
+    return np.ascontiguousarray(arr)
+
+
+@dataclass
+class VideoSequence:
+    """An ordered collection of equally sized raw luma frames.
+
+    Attributes:
+        frames: list of ``(H, W) uint8`` arrays, all the same shape.
+        fps: nominal frame rate; informational only (the codec is
+            rate-agnostic) but carried through for reporting.
+    """
+
+    frames: List[np.ndarray] = field(default_factory=list)
+    fps: float = 30.0
+
+    def __post_init__(self) -> None:
+        self.frames = [validate_frame(f) for f in self.frames]
+        shapes = {f.shape for f in self.frames}
+        if len(shapes) > 1:
+            raise VideoFormatError(f"all frames must share one shape, got {shapes}")
+        if self.fps <= 0:
+            raise VideoFormatError(f"fps must be positive, got {self.fps}")
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.frames[index]
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        self._require_nonempty()
+        return self.frames[0].shape[0]
+
+    @property
+    def width(self) -> int:
+        self._require_nonempty()
+        return self.frames[0].shape[1]
+
+    @property
+    def mb_rows(self) -> int:
+        """Number of macroblock rows per frame."""
+        return self.height // MACROBLOCK_SIZE
+
+    @property
+    def mb_cols(self) -> int:
+        """Number of macroblock columns per frame."""
+        return self.width // MACROBLOCK_SIZE
+
+    @property
+    def macroblocks_per_frame(self) -> int:
+        return self.mb_rows * self.mb_cols
+
+    @property
+    def total_pixels(self) -> int:
+        """Total number of pixels across all frames (density denominator)."""
+        return len(self.frames) * self.height * self.width
+
+    def _require_nonempty(self) -> None:
+        if not self.frames:
+            raise VideoFormatError("sequence is empty")
+
+    # -- convenience ----------------------------------------------------
+
+    def copy(self) -> "VideoSequence":
+        return VideoSequence([f.copy() for f in self.frames], fps=self.fps)
+
+    def subsequence(self, start: int, stop: int) -> "VideoSequence":
+        """Frames ``start:stop`` as a new sequence (views, not copies)."""
+        return VideoSequence(list(self.frames[start:stop]), fps=self.fps)
+
+    @staticmethod
+    def from_array(stack: np.ndarray, fps: float = 30.0) -> "VideoSequence":
+        """Build a sequence from a ``(num_frames, H, W)`` array."""
+        stack = np.asarray(stack)
+        if stack.ndim != 3:
+            raise VideoFormatError(f"expected (N, H, W) array, got {stack.shape}")
+        return VideoSequence([stack[i] for i in range(stack.shape[0])], fps=fps)
+
+    def to_array(self) -> np.ndarray:
+        """Stack all frames into a ``(num_frames, H, W) uint8`` array."""
+        self._require_nonempty()
+        return np.stack(self.frames, axis=0)
+
+
+def sequences_comparable(a: VideoSequence, b: VideoSequence) -> bool:
+    """True when two sequences can be compared frame by frame."""
+    return (
+        len(a) == len(b)
+        and len(a) > 0
+        and a.frames[0].shape == b.frames[0].shape
+    )
+
+
+def require_comparable(a: VideoSequence, b: VideoSequence) -> None:
+    """Raise :class:`VideoFormatError` unless ``a`` and ``b`` line up."""
+    if not sequences_comparable(a, b):
+        raise VideoFormatError(
+            "sequences are not comparable: "
+            f"lengths {len(a)} vs {len(b)}, shapes "
+            f"{a.frames[0].shape if len(a) else None} vs "
+            f"{b.frames[0].shape if len(b) else None}"
+        )
+
+
+def frames_equal(a: VideoSequence, b: VideoSequence) -> bool:
+    """Bit-exact equality of two sequences."""
+    return sequences_comparable(a, b) and all(
+        np.array_equal(x, y) for x, y in zip(a, b)
+    )

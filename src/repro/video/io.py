@@ -1,0 +1,66 @@
+"""Raw video file I/O.
+
+A minimal headered container for single-channel raw video, analogous to
+the Y-only planes of the Xiph ``.y4m`` files the paper uses. The format
+is deliberately simple:
+
+``REPROYUV`` magic, then ``width height num_frames fps`` as an ASCII
+line, then ``num_frames`` frames of ``width * height`` bytes each,
+row-major.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .frame import VideoSequence
+
+_MAGIC = b"REPROYUV"
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_raw_video(path: PathLike, video: VideoSequence) -> None:
+    """Serialize ``video`` to ``path`` in the REPROYUV container."""
+    if len(video) == 0:
+        raise VideoFormatError("refusing to write an empty sequence")
+    header = f"{video.width} {video.height} {len(video)} {video.fps}\n"
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(header.encode("ascii"))
+        for frame in video:
+            f.write(frame.tobytes())
+
+
+def read_raw_video(path: PathLike) -> VideoSequence:
+    """Load a REPROYUV file written by :func:`write_raw_video`."""
+    with open(path, "rb") as f:
+        magic = f.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise VideoFormatError(f"{path}: not a REPROYUV file")
+        header = f.readline().decode("ascii", errors="replace").split()
+        if len(header) != 4:
+            raise VideoFormatError(f"{path}: malformed header {header}")
+        try:
+            width, height, num_frames = (int(x) for x in header[:3])
+            fps = float(header[3])
+        except ValueError as exc:
+            raise VideoFormatError(f"{path}: malformed header {header}") from exc
+        frame_bytes = width * height
+        frames = []
+        for index in range(num_frames):
+            buf = f.read(frame_bytes)
+            if len(buf) != frame_bytes:
+                raise VideoFormatError(
+                    f"{path}: truncated at frame {index} "
+                    f"({len(buf)}/{frame_bytes} bytes)"
+                )
+            frames.append(
+                np.frombuffer(buf, dtype=np.uint8).reshape(height, width)
+            )
+    return VideoSequence(frames, fps=fps)

@@ -1,0 +1,232 @@
+"""Synthetic raw video generation.
+
+The paper evaluates on 14 raw Xiph.Org sequences (720p, 500-600 frames).
+Raw footage is not available offline, so this module synthesizes scenes
+with the properties the experiments actually rely on:
+
+* spatial redundancy (smooth regions, textures) so intra prediction and
+  the transform earn their keep;
+* temporal redundancy with genuine motion (translating objects, global
+  pan) so motion estimation finds good matches and compensation creates
+  the cross-frame dependencies VideoApp tracks;
+* detail variation so different macroblocks carry different bit counts;
+* optional sensor noise and scene cuts.
+
+Each generator is deterministic given a seed. ``make_suite`` produces a
+small battery of differently behaved sequences standing in for the Xiph
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .frame import VideoSequence
+
+
+def _smooth_noise(rng: np.random.Generator, height: int, width: int,
+                  scale: int) -> np.ndarray:
+    """Band-limited noise in [0, 1]: coarse random grid, bilinear upsample."""
+    if scale < 1:
+        raise VideoFormatError(f"noise scale must be >= 1, got {scale}")
+    coarse_h = max(2, height // scale + 1)
+    coarse_w = max(2, width // scale + 1)
+    coarse = rng.random((coarse_h, coarse_w))
+    # Bilinear upsample to (height, width) using np.interp on each axis.
+    row_pos = np.linspace(0.0, coarse_h - 1.0, height)
+    col_pos = np.linspace(0.0, coarse_w - 1.0, width)
+    rows = np.arange(coarse_h, dtype=float)
+    cols = np.arange(coarse_w, dtype=float)
+    tmp = np.empty((height, coarse_w))
+    for j in range(coarse_w):
+        tmp[:, j] = np.interp(row_pos, rows, coarse[:, j])
+    out = np.empty((height, width))
+    for i in range(height):
+        out[i, :] = np.interp(col_pos, cols, tmp[i, :])
+    return out
+
+
+def textured_background(height: int, width: int, seed: int = 0,
+                        base_level: float = 110.0,
+                        contrast: float = 70.0,
+                        detail: float = 18.0) -> np.ndarray:
+    """A static background: smooth large-scale structure + fine texture.
+
+    Returns a float array in [0, 255] (callers quantize after composing
+    moving elements on top, to avoid double rounding).
+    """
+    rng = np.random.default_rng(seed)
+    coarse = _smooth_noise(rng, height, width, scale=max(height, width) // 4)
+    fine = _smooth_noise(rng, height, width, scale=6)
+    img = base_level + contrast * (coarse - 0.5) + detail * (fine - 0.5)
+    return np.clip(img, 0.0, 255.0)
+
+
+@dataclass
+class MovingObject:
+    """A rigid textured patch translating at constant velocity.
+
+    Positions are float; the object is rendered at the nearest integer
+    location each frame (integer-pel motion keeps the pure-Python motion
+    search honest without sub-pel interpolation).
+    """
+
+    x: float
+    y: float
+    width: int
+    height: int
+    vx: float
+    vy: float
+    brightness: float = 200.0
+    texture_seed: int = 1
+    shape: str = "rect"  # "rect" or "disc"
+
+    _texture: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def texture(self) -> np.ndarray:
+        if self._texture is None:
+            rng = np.random.default_rng(self.texture_seed)
+            tex = _smooth_noise(rng, self.height, self.width, scale=4)
+            self._texture = np.clip(
+                self.brightness + 45.0 * (tex - 0.5), 0.0, 255.0
+            )
+        return self._texture
+
+    def mask(self) -> np.ndarray:
+        if self.shape == "rect":
+            return np.ones((self.height, self.width), dtype=bool)
+        if self.shape == "disc":
+            yy, xx = np.mgrid[0:self.height, 0:self.width]
+            cy, cx = (self.height - 1) / 2.0, (self.width - 1) / 2.0
+            ry, rx = self.height / 2.0, self.width / 2.0
+            return ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+        raise VideoFormatError(f"unknown object shape {self.shape!r}")
+
+    def step(self, frame_height: int, frame_width: int) -> None:
+        """Advance one frame, bouncing off frame edges."""
+        self.x += self.vx
+        self.y += self.vy
+        if self.x < 0 or self.x + self.width > frame_width:
+            self.vx = -self.vx
+            self.x = min(max(self.x, 0.0), float(frame_width - self.width))
+        if self.y < 0 or self.y + self.height > frame_height:
+            self.vy = -self.vy
+            self.y = min(max(self.y, 0.0), float(frame_height - self.height))
+
+    def render(self, canvas: np.ndarray) -> None:
+        """Composite the object onto ``canvas`` (float, in place)."""
+        top = int(round(self.y))
+        left = int(round(self.x))
+        top = min(max(top, 0), canvas.shape[0] - self.height)
+        left = min(max(left, 0), canvas.shape[1] - self.width)
+        region = canvas[top:top + self.height, left:left + self.width]
+        mask = self.mask()
+        region[mask] = self.texture()[mask]
+
+
+@dataclass
+class SceneConfig:
+    """Parameters for :func:`synthesize_scene`."""
+
+    width: int = 128
+    height: int = 96
+    num_frames: int = 30
+    fps: float = 30.0
+    seed: int = 0
+    num_objects: int = 3
+    pan_speed: Tuple[float, float] = (0.0, 0.0)  # pixels/frame (dx, dy)
+    noise_sigma: float = 0.0
+    cut_every: Optional[int] = None  # scene cut period in frames
+
+
+def _make_objects(cfg: SceneConfig, rng: np.random.Generator
+                  ) -> List[MovingObject]:
+    objects = []
+    for i in range(cfg.num_objects):
+        obj_w = int(rng.integers(16, max(17, cfg.width // 3)))
+        obj_h = int(rng.integers(16, max(17, cfg.height // 3)))
+        objects.append(MovingObject(
+            x=float(rng.integers(0, max(1, cfg.width - obj_w))),
+            y=float(rng.integers(0, max(1, cfg.height - obj_h))),
+            width=obj_w,
+            height=obj_h,
+            vx=float(rng.uniform(-4.0, 4.0)),
+            vy=float(rng.uniform(-3.0, 3.0)),
+            brightness=float(rng.uniform(150.0, 235.0)),
+            texture_seed=cfg.seed * 1000 + i,
+            shape="disc" if i % 2 else "rect",
+        ))
+    return objects
+
+
+def synthesize_scene(cfg: SceneConfig) -> VideoSequence:
+    """Generate one deterministic synthetic sequence."""
+    if cfg.num_frames <= 0:
+        raise VideoFormatError("num_frames must be positive")
+    rng = np.random.default_rng(cfg.seed)
+    # An oversized background lets the camera pan without exposing edges.
+    pad_x = int(math.ceil(abs(cfg.pan_speed[0]) * cfg.num_frames)) + 1
+    pad_y = int(math.ceil(abs(cfg.pan_speed[1]) * cfg.num_frames)) + 1
+    bg = textured_background(cfg.height + 2 * pad_y, cfg.width + 2 * pad_x,
+                             seed=cfg.seed)
+    objects = _make_objects(cfg, rng)
+
+    frames = []
+    cam_x, cam_y = float(pad_x), float(pad_y)
+    for t in range(cfg.num_frames):
+        if cfg.cut_every and t > 0 and t % cfg.cut_every == 0:
+            # Scene cut: new background and objects.
+            bg = textured_background(bg.shape[0], bg.shape[1],
+                                     seed=cfg.seed + 7919 * t)
+            objects = _make_objects(cfg, rng)
+        ix = min(max(int(round(cam_x)), 0), bg.shape[1] - cfg.width)
+        iy = min(max(int(round(cam_y)), 0), bg.shape[0] - cfg.height)
+        canvas = bg[iy:iy + cfg.height, ix:ix + cfg.width].copy()
+        for obj in objects:
+            obj.render(canvas)
+            obj.step(cfg.height, cfg.width)
+        if cfg.noise_sigma > 0:
+            canvas = canvas + rng.normal(0.0, cfg.noise_sigma, canvas.shape)
+        frames.append(np.clip(np.rint(canvas), 0, 255).astype(np.uint8))
+        cam_x += cfg.pan_speed[0]
+        cam_y += cfg.pan_speed[1]
+    return VideoSequence(frames, fps=cfg.fps)
+
+
+#: Named presets standing in for the Xiph suite's variety of content.
+SUITE_PRESETS: Tuple[Tuple[str, SceneConfig], ...] = (
+    ("static_texture", SceneConfig(seed=11, num_objects=0)),
+    ("slow_objects", SceneConfig(seed=23, num_objects=2)),
+    ("busy_objects", SceneConfig(seed=37, num_objects=5)),
+    ("camera_pan", SceneConfig(seed=41, num_objects=2, pan_speed=(1.5, 0.5))),
+    ("noisy_sensor", SceneConfig(seed=53, num_objects=3, noise_sigma=2.0)),
+    ("scene_cuts", SceneConfig(seed=67, num_objects=3, cut_every=12)),
+)
+
+
+def make_suite(width: int = 128, height: int = 96, num_frames: int = 30,
+               names: Optional[Sequence[str]] = None
+               ) -> List[Tuple[str, VideoSequence]]:
+    """Build the evaluation suite (name, sequence) at a common geometry."""
+    chosen = dict(SUITE_PRESETS)
+    if names is None:
+        names = [name for name, _ in SUITE_PRESETS]
+    suite = []
+    for name in names:
+        if name not in chosen:
+            raise VideoFormatError(f"unknown preset {name!r}; "
+                                   f"known: {sorted(chosen)}")
+        base = chosen[name]
+        cfg = SceneConfig(
+            width=width, height=height, num_frames=num_frames,
+            fps=base.fps, seed=base.seed, num_objects=base.num_objects,
+            pan_speed=base.pan_speed, noise_sigma=base.noise_sigma,
+            cut_every=base.cut_every,
+        )
+        suite.append((name, synthesize_scene(cfg)))
+    return suite

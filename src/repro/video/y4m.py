@@ -1,0 +1,139 @@
+"""YUV4MPEG2 (.y4m) interchange support.
+
+The paper's evaluation inputs are Xiph.Org raw sequences distributed as
+``.y4m`` files. This module reads and writes that format so real
+footage can be fed to the pipeline: reading extracts the luma plane
+(the codec is luma-only; chroma planes are skipped), writing emits
+mono (``C400``) files that standard tools accept.
+
+Supported colorspaces on read: C420 (+ variants C420jpeg/C420paldv/
+C420mpeg2), C422, C444, and C400 (mono).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .frame import MACROBLOCK_SIZE, VideoSequence
+
+PathLike = Union[str, os.PathLike]
+
+_MAGIC = b"YUV4MPEG2"
+
+#: Chroma plane size divisors (width_div, height_div) per colorspace.
+_CHROMA_LAYOUT = {
+    "C420": (2, 2),
+    "C420jpeg": (2, 2),
+    "C420paldv": (2, 2),
+    "C420mpeg2": (2, 2),
+    "C422": (2, 1),
+    "C444": (1, 1),
+    "C400": (None, None),  # no chroma planes
+    "Cmono": (None, None),
+}
+
+
+def _parse_ratio(token: str) -> float:
+    numerator, _, denominator = token.partition(":")
+    try:
+        num = int(numerator)
+        den = int(denominator) if denominator else 1
+    except ValueError as exc:
+        raise VideoFormatError(f"bad Y4M ratio {token!r}") from exc
+    if den == 0:
+        raise VideoFormatError(f"bad Y4M ratio {token!r}")
+    return num / den
+
+
+def _parse_header(line: bytes) -> Tuple[int, int, float, str]:
+    tokens = line.decode("ascii", errors="replace").split()
+    if not tokens or tokens[0] != _MAGIC.decode("ascii"):
+        raise VideoFormatError("not a YUV4MPEG2 stream")
+    width = height = 0
+    fps = 30.0
+    colorspace = "C420"
+    for token in tokens[1:]:
+        if token.startswith("W"):
+            width = int(token[1:])
+        elif token.startswith("H"):
+            height = int(token[1:])
+        elif token.startswith("F"):
+            fps = _parse_ratio(token[1:])
+        elif token.startswith("C"):
+            colorspace = token
+        # A (aspect), I (interlace), X (extensions) are ignored.
+    if width <= 0 or height <= 0:
+        raise VideoFormatError(f"Y4M header lacks geometry: {tokens}")
+    if colorspace not in _CHROMA_LAYOUT:
+        raise VideoFormatError(f"unsupported Y4M colorspace {colorspace}")
+    return width, height, fps, colorspace
+
+
+def read_y4m(path: PathLike, crop_to_macroblocks: bool = True
+             ) -> VideoSequence:
+    """Load the luma plane of a .y4m file as a VideoSequence.
+
+    Dimensions that are not multiples of 16 are bottom/right-cropped to
+    the macroblock grid when ``crop_to_macroblocks`` is set (the Xiph
+    720p sequences are already aligned); otherwise such files are
+    rejected.
+    """
+    with open(path, "rb") as handle:
+        header = handle.readline().rstrip(b"\n")
+        width, height, fps, colorspace = _parse_header(header)
+        chroma = _CHROMA_LAYOUT[colorspace]
+        luma_bytes = width * height
+        if chroma[0] is None:
+            chroma_bytes = 0
+        else:
+            chroma_bytes = 2 * ((width // chroma[0])
+                                * (height // chroma[1]))
+        frames = []
+        while True:
+            frame_line = handle.readline()
+            if not frame_line:
+                break
+            if not frame_line.startswith(b"FRAME"):
+                raise VideoFormatError(
+                    f"{path}: expected FRAME marker, got {frame_line[:20]!r}"
+                )
+            luma = handle.read(luma_bytes)
+            if len(luma) != luma_bytes:
+                raise VideoFormatError(f"{path}: truncated luma plane")
+            if chroma_bytes:
+                skipped = handle.read(chroma_bytes)
+                if len(skipped) != chroma_bytes:
+                    raise VideoFormatError(f"{path}: truncated chroma")
+            frames.append(np.frombuffer(luma, dtype=np.uint8)
+                          .reshape(height, width))
+    if not frames:
+        raise VideoFormatError(f"{path}: no frames")
+    if width % MACROBLOCK_SIZE or height % MACROBLOCK_SIZE:
+        if not crop_to_macroblocks:
+            raise VideoFormatError(
+                f"{path}: {width}x{height} not macroblock-aligned"
+            )
+        cropped_h = height - height % MACROBLOCK_SIZE
+        cropped_w = width - width % MACROBLOCK_SIZE
+        if cropped_h == 0 or cropped_w == 0:
+            raise VideoFormatError(f"{path}: too small to crop to 16x16")
+        frames = [frame[:cropped_h, :cropped_w] for frame in frames]
+    return VideoSequence(list(frames), fps=fps)
+
+
+def write_y4m(path: PathLike, video: VideoSequence) -> None:
+    """Write a luma-only (C400) .y4m file."""
+    if len(video) == 0:
+        raise VideoFormatError("refusing to write an empty sequence")
+    fps_num = int(round(video.fps * 1000))
+    header = (f"YUV4MPEG2 W{video.width} H{video.height} "
+              f"F{fps_num}:1000 Ip A1:1 C400\n")
+    with open(path, "wb") as handle:
+        handle.write(header.encode("ascii"))
+        for frame in video:
+            handle.write(b"FRAME\n")
+            handle.write(frame.tobytes())

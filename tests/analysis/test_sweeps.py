@@ -1,0 +1,58 @@
+"""Tests for error-rate sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import quality_sweep
+from repro.errors import AnalysisError
+
+
+class TestQualitySweep:
+    def test_zero_flip_short_circuit(self, encoded_small, small_video,
+                                     decoded_small):
+        """At rate 0 no decode is needed; change must be exactly 0."""
+        result = quality_sweep(encoded_small, small_video, decoded_small,
+                               None, rates=(0.0,), runs=2,
+                               rng=np.random.default_rng(0))
+        assert result.points[0].mean_change_db == 0.0
+        assert result.points[0].max_loss_db == 0.0
+
+    def test_high_rate_causes_loss(self, encoded_small, small_video,
+                                   decoded_small):
+        result = quality_sweep(encoded_small, small_video, decoded_small,
+                               None, rates=(1e-2,), runs=2,
+                               rng=np.random.default_rng(1))
+        assert result.points[0].max_loss_db > 1.0
+        assert result.points[0].mean_flips > 10
+
+    def test_loss_grows_with_rate(self, encoded_small, small_video,
+                                  decoded_small):
+        result = quality_sweep(encoded_small, small_video, decoded_small,
+                               None, rates=(1e-6, 1e-2), runs=3,
+                               rng=np.random.default_rng(2))
+        assert result.points[0].max_loss_db <= result.points[1].max_loss_db
+
+    def test_forced_runs_scaled_down(self, encoded_small, small_video,
+                                     decoded_small):
+        """At 1e-10 every run forces a flip; scaling must shrink the
+        reported loss to (near) nothing."""
+        result = quality_sweep(encoded_small, small_video, decoded_small,
+                               None, rates=(1e-10,), runs=2,
+                               rng=np.random.default_rng(3))
+        point = result.points[0]
+        assert point.forced_fraction == 1.0
+        assert point.max_loss_db < 1e-3
+
+    def test_ranges_restrict_targets(self, encoded_small, small_video,
+                                     decoded_small):
+        ranges = [(0, 0, 64)]
+        result = quality_sweep(encoded_small, small_video, decoded_small,
+                               ranges, rates=(1e-3,), runs=1,
+                               rng=np.random.default_rng(4))
+        assert result.targeted_bits == 64
+
+    def test_rejects_zero_runs(self, encoded_small, small_video,
+                               decoded_small):
+        with pytest.raises(AnalysisError):
+            quality_sweep(encoded_small, small_video, decoded_small, None,
+                          rates=(1e-3,), runs=0)

@@ -1,0 +1,87 @@
+"""Tests for terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SHADES,
+    importance_map,
+    macroblock_error_map,
+    video_error_maps,
+)
+from repro.errors import AnalysisError
+from repro.video import VideoSequence
+
+
+def _frame(value=0, size=48):
+    return np.full((size, size), value, dtype=np.uint8)
+
+
+class TestErrorMap:
+    def test_identical_frames_blank(self):
+        text = macroblock_error_map(_frame(), _frame())
+        assert set(text) <= {" ", "\n"}
+
+    def test_one_damaged_macroblock(self):
+        damaged = _frame()
+        damaged[16:32, 16:32] = 200
+        text = macroblock_error_map(_frame(), damaged)
+        lines = text.splitlines()
+        assert lines[1][1] != " "
+        assert lines[0][0] == " "
+
+    def test_grid_dimensions(self):
+        text = macroblock_error_map(_frame(size=64), _frame(size=64))
+        lines = text.splitlines()
+        assert len(lines) == 4 and all(len(line) == 4 for line in lines)
+
+    def test_saturation_caps_shade(self):
+        damaged = _frame(255)
+        text = macroblock_error_map(_frame(0), damaged, saturation=10.0)
+        assert set(text) <= {SHADES[-1], "\n"}
+
+    def test_more_damage_darker(self):
+        mild = _frame()
+        mild[0:16, 0:16] = 8
+        harsh = _frame()
+        harsh[0:16, 0:16] = 200
+        shade_mild = macroblock_error_map(_frame(), mild)[0]
+        shade_harsh = macroblock_error_map(_frame(), harsh)[0]
+        assert SHADES.index(shade_harsh) > SHADES.index(shade_mild)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            macroblock_error_map(_frame(size=48), _frame(size=64))
+
+
+class TestVideoErrorMaps:
+    def test_labels_all_frames(self):
+        clean = VideoSequence([_frame(), _frame()])
+        text = video_error_maps(clean, clean)
+        assert "frame 0:" in text and "frame 1:" in text
+
+    def test_frame_subset(self):
+        clean = VideoSequence([_frame(), _frame(), _frame()])
+        text = video_error_maps(clean, clean, frames=[2])
+        assert "frame 2:" in text and "frame 0:" not in text
+
+
+class TestImportanceMap:
+    def test_leaf_lightest_peak_darkest(self):
+        values = np.array([1.0, 1.0, 1.0, 1000.0])
+        text = importance_map(values, mb_cols=2)
+        assert text.splitlines()[1][1] == SHADES[-1]
+        assert SHADES.index(text[0]) < SHADES.index(SHADES[-1])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(AnalysisError):
+            importance_map(np.ones(5), mb_cols=2)
+
+    def test_rejects_below_one(self):
+        with pytest.raises(AnalysisError):
+            importance_map(np.array([0.5, 1.0]), mb_cols=2)
+
+    def test_linear_scale_option(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        text = importance_map(values, mb_cols=2, log_scale=False)
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,136 @@
+"""Tests for Plane intra prediction and B-frame bi-prediction."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    Decoder,
+    Encoder,
+    EncoderConfig,
+    FrameType,
+    IntraMode,
+    MotionVector,
+    PredictionDirection,
+)
+from repro.codec.intra import choose_intra_mode, intra_dependencies, predict_intra
+from repro.codec.reconstruct import build_prediction
+from repro.codec.types import InterPartition, MacroblockDecision, MacroblockMode
+from repro.metrics import video_psnr
+from repro.video import SceneConfig, synthesize_scene
+
+
+class TestPlaneMode:
+    def _gradient_frame(self):
+        """A frame whose content is a perfect diagonal gradient."""
+        ys, xs = np.mgrid[0:48, 0:48]
+        return np.clip(40 + 2 * xs + 1 * ys, 0, 255).astype(np.uint8)
+
+    def test_plane_fits_gradient(self):
+        frame = self._gradient_frame()
+        prediction = predict_intra(frame, 1, 1, IntraMode.PLANE)
+        actual = frame[16:32, 16:32]
+        assert np.abs(prediction.astype(int) - actual.astype(int)).max() <= 2
+
+    def test_plane_beats_other_modes_on_gradient(self):
+        frame = self._gradient_frame()
+        source = frame[16:32, 16:32]
+        mode, _pred, _sad = choose_intra_mode(source, frame, 1, 1)
+        assert mode == IntraMode.PLANE
+
+    def test_plane_needs_both_borders(self):
+        frame = self._gradient_frame()
+        assert np.all(predict_intra(frame, 0, 1, IntraMode.PLANE) == 128)
+        assert np.all(predict_intra(frame, 1, 0, IntraMode.PLANE) == 128)
+
+    def test_plane_blocked_by_slice_boundary(self):
+        frame = self._gradient_frame()
+        prediction = predict_intra(frame, 1, 1, IntraMode.PLANE,
+                                   min_mb_row=1)
+        assert np.all(prediction == 128)
+
+    def test_plane_dependencies_cover_three_sources(self):
+        deps = intra_dependencies(0, 1, 1, mb_cols=3, mode=IntraMode.PLANE)
+        assert len(deps) == 3
+        assert sum(d.pixels for d in deps) == 256
+        sources = {d.source[1] for d in deps}
+        assert sources == {0 * 3 + 1, 1 * 3 + 0, 0 * 3 + 0}
+
+    def test_plane_dependencies_unavailable_border(self):
+        assert intra_dependencies(0, 0, 1, mb_cols=3,
+                                  mode=IntraMode.PLANE) == []
+
+    def test_roundtrip_with_plane_content(self):
+        """Gradient-heavy content encodes with Plane MBs and decodes."""
+        ys, xs = np.mgrid[0:48, 0:64]
+        frames = [np.clip(30 + 2 * xs + ys + 3 * t, 0, 255).astype(np.uint8)
+                  for t in range(4)]
+        from repro.video import VideoSequence
+        video = VideoSequence(frames)
+        encoded = Encoder(EncoderConfig(crf=20, gop_size=4)).encode(video)
+        decoded = Decoder().decode(encoded)
+        assert video_psnr(video, decoded) > 38.0
+
+
+class TestBiPrediction:
+    @pytest.fixture(scope="class")
+    def bframe_encoded(self):
+        video = synthesize_scene(SceneConfig(width=96, height=64,
+                                             num_frames=12, seed=5,
+                                             num_objects=3))
+        encoded = Encoder(EncoderConfig(crf=24, gop_size=12,
+                                        bframes=2)).encode(video)
+        return video, encoded
+
+    def test_bi_partitions_used(self, bframe_encoded):
+        _video, encoded = bframe_encoded
+        fractional = sum(
+            1 for frame in encoded.trace.frames
+            for mb in frame.macroblocks
+            for dep in mb.dependencies if dep.pixels != int(dep.pixels))
+        assert fractional > 0  # bi partitions split pixels in half
+
+    def test_bi_weights_still_normalized(self, bframe_encoded):
+        from repro.core import build_dependency_graph
+        _video, encoded = bframe_encoded
+        graph = build_dependency_graph(encoded.trace)
+        totals = graph.incoming_compensation_weight()
+        predicted = totals[totals > 1e-9]
+        assert np.allclose(predicted, 1.0, atol=1e-9)
+
+    def test_roundtrip_quality(self, bframe_encoded):
+        video, encoded = bframe_encoded
+        decoded = Decoder().decode(encoded)
+        assert video_psnr(video, decoded) > 38.0
+
+    def test_bi_prediction_averages_references(self):
+        """Direct check of the compensation math."""
+        fwd = np.full((32, 32), 100, dtype=np.uint8)
+        bwd = np.full((32, 32), 20, dtype=np.uint8)
+        references = {
+            PredictionDirection.FORWARD: np.pad(fwd, 8, mode="edge"),
+            PredictionDirection.BACKWARD: np.pad(bwd, 8, mode="edge"),
+        }
+        decision = MacroblockDecision(
+            mode=MacroblockMode.INTER, qp=24,
+            partitions=[InterPartition(
+                rect=(0, 0, 16, 16), mv=MotionVector(0, 0),
+                direction=PredictionDirection.BIDIRECTIONAL,
+                mv_backward=MotionVector(0, 0))])
+        recon = np.zeros((32, 32), dtype=np.uint8)
+        prediction = build_prediction(decision, recon, references, 8, 0, 0, 0)
+        assert np.all(prediction == 60)  # (100 + 20 + 1) >> 1
+
+    def test_corrupted_bi_without_backward_falls_back(self):
+        fwd = np.full((32, 32), 100, dtype=np.uint8)
+        references = {
+            PredictionDirection.FORWARD: np.pad(fwd, 8, mode="edge"),
+        }
+        decision = MacroblockDecision(
+            mode=MacroblockMode.INTER, qp=24,
+            partitions=[InterPartition(
+                rect=(0, 0, 16, 16), mv=MotionVector(0, 0),
+                direction=PredictionDirection.BIDIRECTIONAL,
+                mv_backward=MotionVector(0, 0))])
+        recon = np.zeros((32, 32), dtype=np.uint8)
+        prediction = build_prediction(decision, recon, references, 8, 0, 0, 0)
+        assert np.all(prediction == 100)

@@ -1,0 +1,76 @@
+"""Tests for the bit-level stream writer/reader."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
+
+
+class TestBitWriter:
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 1):
+            writer.write_bit(bit)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_bit_length_tracks(self):
+        writer = BitWriter()
+        writer.write_bits(0x3FF, 10)
+        assert writer.bit_length == 10
+
+    def test_value_too_wide_raises(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_bits(4, 2)
+
+    def test_negative_count_raises(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_bits(0, -1)
+
+
+class TestBitReader:
+    def test_reads_msb_first(self):
+        reader = BitReader(bytes([0b10110001]))
+        assert [reader.read_bit() for _ in range(8)] == [1, 0, 1, 1, 0, 0, 0, 1]
+
+    def test_exhausted_reads_zero(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        assert reader.exhausted
+        assert reader.read_bits(16) == 0
+
+    def test_read_byte(self):
+        reader = BitReader(bytes([0xAB, 0xCD]))
+        reader.read_bits(4)
+        assert reader.read_byte() == 0xBC
+
+    def test_negative_count_raises(self):
+        with pytest.raises(BitstreamError):
+            BitReader(b"").read_bits(-1)
+
+
+class TestRoundTrip:
+    @given(st.lists(st.tuples(st.integers(0, 2 ** 20 - 1),
+                              st.integers(20, 24)), max_size=40))
+    def test_write_read_identity(self, values):
+        writer = BitWriter()
+        for value, width in values:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in values:
+            assert reader.read_bits(width) == value
+
+    @given(st.binary(max_size=64))
+    def test_bitwise_copy(self, data):
+        reader = BitReader(data)
+        writer = BitWriter()
+        for _ in range(8 * len(data)):
+            writer.write_bit(reader.read_bit())
+        assert writer.getvalue() == data

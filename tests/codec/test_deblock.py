@@ -1,0 +1,105 @@
+"""Tests for the in-loop deblocking filter."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Decoder, Encoder, EncoderConfig
+from repro.codec.deblock import blockiness, deblock_frame, filter_thresholds
+from repro.metrics import video_psnr
+from repro.video import SceneConfig, frames_equal, synthesize_scene
+
+
+def _blocky_frame():
+    """A frame quantized into flat 4x4 tiles (worst-case blockiness)."""
+    rng = np.random.default_rng(0)
+    tiles = rng.integers(90, 140, (12, 16))
+    return np.kron(tiles, np.ones((4, 4))).astype(np.uint8)
+
+
+class TestThresholds:
+    def test_disabled_at_low_qp(self):
+        assert filter_thresholds(0) == (0, 0, 0)
+        assert filter_thresholds(15) == (0, 0, 0)
+
+    def test_grow_with_qp(self):
+        alpha24, beta24, _c = filter_thresholds(24)
+        alpha40, beta40, _c = filter_thresholds(40)
+        assert alpha40 > alpha24
+        assert beta40 >= beta24
+
+    def test_clip_positive_when_active(self):
+        _a, _b, clip_limit = filter_thresholds(30)
+        assert clip_limit >= 1
+
+
+class TestDeblockFrame:
+    def test_reduces_blockiness(self):
+        frame = _blocky_frame()
+        filtered = deblock_frame(frame, qp=32)
+        assert blockiness(filtered) < blockiness(frame)
+
+    def test_input_untouched(self):
+        frame = _blocky_frame()
+        original = frame.copy()
+        deblock_frame(frame, qp=32)
+        assert np.array_equal(frame, original)
+
+    def test_noop_at_low_qp(self):
+        frame = _blocky_frame()
+        assert np.array_equal(deblock_frame(frame, qp=4), frame)
+
+    def test_preserves_real_edges(self):
+        """A strong genuine edge (step > alpha) must survive."""
+        frame = np.zeros((32, 32), dtype=np.uint8)
+        frame[:, 16:] = 255
+        filtered = deblock_frame(frame, qp=30)
+        assert int(filtered[5, 15]) == 0
+        assert int(filtered[5, 16]) == 255
+
+    def test_smooths_small_steps(self):
+        frame = np.zeros((32, 32), dtype=np.uint8)
+        frame[:, 16:] = 8  # small grid-aligned step: coding artifact
+        filtered = deblock_frame(frame, qp=30)
+        assert int(filtered[5, 15]) > 0
+        assert int(filtered[5, 16]) < 8
+
+    def test_values_stay_in_range(self):
+        rng = np.random.default_rng(3)
+        frame = rng.integers(0, 256, (48, 48)).astype(np.uint8)
+        filtered = deblock_frame(frame, qp=40)
+        assert filtered.dtype == np.uint8
+
+
+class TestInLoop:
+    @pytest.fixture(scope="class")
+    def video(self):
+        return synthesize_scene(SceneConfig(width=96, height=64,
+                                            num_frames=8, seed=5,
+                                            num_objects=3))
+
+    def test_filter_improves_low_bitrate_quality(self, video):
+        with_filter = Encoder(EncoderConfig(crf=32, gop_size=8,
+                                            deblocking=True)).encode(video)
+        without = Encoder(EncoderConfig(crf=32, gop_size=8,
+                                        deblocking=False)).encode(video)
+        q_with = video_psnr(video, Decoder().decode(with_filter))
+        q_without = video_psnr(video, Decoder().decode(without))
+        assert q_with > q_without
+
+    def test_decoder_respects_header_flag(self, video):
+        encoded = Encoder(EncoderConfig(crf=28, gop_size=8,
+                                        deblocking=True)).encode(video)
+        decoded = Decoder().decode(encoded)
+        assert frames_equal(decoded, Decoder().decode(encoded))
+        # The flag survives serialization.
+        from repro.codec import EncodedVideo
+        restored = EncodedVideo.deserialize(encoded.serialize())
+        assert restored.header.deblocking
+        assert frames_equal(Decoder().decode(restored), decoded)
+
+    def test_off_flag_roundtrip(self, video):
+        encoded = Encoder(EncoderConfig(crf=28, gop_size=8,
+                                        deblocking=False)).encode(video)
+        from repro.codec import EncodedVideo
+        restored = EncodedVideo.deserialize(encoded.serialize())
+        assert not restored.header.deblocking

@@ -1,0 +1,90 @@
+"""Tests for the encoded-video container and serialization."""
+
+import pytest
+
+from repro.codec import Decoder, EncodedVideo
+from repro.errors import BitstreamError
+from repro.video import frames_equal
+
+
+class TestSerialization:
+    def test_roundtrip_headers(self, encoded_small):
+        data = encoded_small.serialize()
+        restored = EncodedVideo.deserialize(data)
+        assert restored.header == encoded_small.header
+        for original, loaded in zip(encoded_small.frames, restored.frames):
+            assert original.header == loaded.header
+            assert original.payload == loaded.payload
+
+    def test_roundtrip_decodes_identically(self, encoded_small,
+                                           decoded_small):
+        restored = EncodedVideo.deserialize(encoded_small.serialize())
+        assert frames_equal(Decoder().decode(restored), decoded_small)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BitstreamError):
+            EncodedVideo.deserialize(b"XXXX" + b"\x00" * 32)
+
+    def test_truncated_rejected(self, encoded_small):
+        data = encoded_small.serialize()
+        with pytest.raises(BitstreamError):
+            EncodedVideo.deserialize(data[:len(data) // 2])
+
+    def test_config_recovered(self, encoded_small, default_config):
+        restored = EncodedVideo.deserialize(encoded_small.serialize())
+        config = restored.config()
+        assert config.crf == default_config.crf
+        assert config.gop_size == default_config.gop_size
+        assert config.entropy_coder == default_config.entropy_coder
+
+
+class TestAccounting:
+    def test_payload_bits_match_frames(self, encoded_small):
+        assert encoded_small.payload_bits == sum(
+            8 * len(f.payload) for f in encoded_small.frames)
+
+    def test_header_bits_match_serialized_size(self, encoded_small):
+        """The density accounting's precise-bit count must equal the
+        actual serialized container size minus the payloads — otherwise
+        Figure 11's density numbers drift from reality."""
+        serialized_bits = 8 * len(encoded_small.serialize())
+        assert encoded_small.header_bits == \
+            serialized_bits - encoded_small.payload_bits
+
+    def test_header_bits_match_with_slices_and_bframes(self, medium_video):
+        from repro.codec import Encoder, EncoderConfig
+        config = EncoderConfig(crf=26, gop_size=12, bframes=2, slices=2)
+        encoded = Encoder(config).encode(medium_video)
+        serialized_bits = 8 * len(encoded.serialize())
+        assert encoded.header_bits == \
+            serialized_bits - encoded.payload_bits
+
+    def test_header_bits_positive_but_small(self, encoded_small):
+        assert 0 < encoded_small.header_bits < encoded_small.payload_bits
+
+    def test_total_bits(self, encoded_small):
+        assert encoded_small.total_bits == (encoded_small.payload_bits
+                                            + encoded_small.header_bits)
+
+
+class TestWithPayloads:
+    def test_identity_substitution(self, encoded_small, decoded_small):
+        clone = encoded_small.with_payloads(encoded_small.frame_payloads())
+        assert frames_equal(Decoder().decode(clone), decoded_small)
+
+    def test_rejects_wrong_count(self, encoded_small):
+        with pytest.raises(BitstreamError):
+            encoded_small.with_payloads(
+                encoded_small.frame_payloads()[:-1])
+
+    def test_rejects_resized_payload(self, encoded_small):
+        payloads = encoded_small.frame_payloads()
+        payloads[0] = payloads[0] + b"\x00"
+        with pytest.raises(BitstreamError):
+            encoded_small.with_payloads(payloads)
+
+    def test_does_not_mutate_original(self, encoded_small):
+        payloads = [bytes(len(p)) for p in encoded_small.frame_payloads()]
+        clone = encoded_small.with_payloads(payloads)
+        assert clone.frames[0].payload != encoded_small.frames[0].payload \
+            or len(encoded_small.frames[0].payload) == 0

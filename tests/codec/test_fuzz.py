@@ -1,0 +1,90 @@
+"""Fuzz tests: the decoder must decode *anything* placed in a payload.
+
+Approximate storage hands the decoder corrupted bitstreams by design;
+the paper's methodology depends on decode-with-errors never failing.
+These tests drive that guarantee with adversarial payloads: random
+bytes, truncated-looking content (all zeros / all ones), and randomized
+multi-bit corruption, across entropy coders and GOP structures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec import Decoder, Encoder, EncoderConfig, EntropyCoder
+from repro.video import SceneConfig, synthesize_scene
+
+
+@pytest.fixture(scope="module")
+def fuzz_targets():
+    """Encoded videos across the config space (session-expensive)."""
+    video = synthesize_scene(SceneConfig(width=64, height=48, num_frames=6,
+                                         seed=13, num_objects=2))
+    configs = [
+        EncoderConfig(crf=26, gop_size=6),
+        EncoderConfig(crf=26, gop_size=6, bframes=2),
+        EncoderConfig(crf=26, gop_size=6, slices=2),
+        EncoderConfig(crf=26, gop_size=6,
+                      entropy_coder=EntropyCoder.CAVLC),
+    ]
+    return video, [Encoder(config).encode(video) for config in configs]
+
+
+class TestRandomPayloads:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_bytes_decode(self, fuzz_targets, seed):
+        video, encoded_variants = fuzz_targets
+        rng = np.random.default_rng(seed)
+        encoded = encoded_variants[seed % len(encoded_variants)]
+        payloads = [
+            rng.integers(0, 256, len(p), dtype=np.uint8).tobytes()
+            for p in encoded.frame_payloads()
+        ]
+        decoded = Decoder().decode(encoded.with_payloads(payloads))
+        assert len(decoded) == len(video)
+        assert decoded[0].shape == (video.height, video.width)
+
+    @pytest.mark.parametrize("filler", [0x00, 0xFF, 0xAA])
+    def test_constant_payloads_decode(self, fuzz_targets, filler):
+        _video, encoded_variants = fuzz_targets
+        for encoded in encoded_variants:
+            payloads = [bytes([filler]) * len(p)
+                        for p in encoded.frame_payloads()]
+            decoded = Decoder().decode(encoded.with_payloads(payloads))
+            assert len(decoded) == len(encoded.frames)
+
+
+class TestMultiBitCorruption:
+    @given(seed=st.integers(0, 10_000), flips=st.integers(1, 64))
+    @settings(max_examples=15, deadline=None)
+    def test_scattered_flips_decode(self, fuzz_targets, seed, flips):
+        _video, encoded_variants = fuzz_targets
+        rng = np.random.default_rng(seed)
+        encoded = encoded_variants[seed % len(encoded_variants)]
+        buffers = [bytearray(p) for p in encoded.frame_payloads()]
+        total_bits = sum(8 * len(b) for b in buffers)
+        for _ in range(min(flips, total_bits)):
+            position = int(rng.integers(0, total_bits))
+            cursor = position
+            for buffer in buffers:
+                if cursor < 8 * len(buffer):
+                    buffer[cursor // 8] ^= 0x80 >> (cursor % 8)
+                    break
+                cursor -= 8 * len(buffer)
+        decoded = Decoder().decode(
+            encoded.with_payloads([bytes(b) for b in buffers]))
+        assert len(decoded) == len(encoded.frames)
+
+    def test_clean_frames_unaffected_by_other_frames(self, fuzz_targets):
+        """Corrupting only the final frame leaves every earlier frame
+        bit-identical (no backward propagation)."""
+        _video, encoded_variants = fuzz_targets
+        encoded = encoded_variants[0]  # IPPP
+        clean = Decoder().decode(encoded)
+        payloads = encoded.frame_payloads()
+        corrupted = list(payloads)
+        corrupted[-1] = bytes(len(payloads[-1]))
+        damaged = Decoder().decode(encoded.with_payloads(corrupted))
+        for index in range(len(payloads) - 1):
+            assert np.array_equal(damaged[index], clean[index])

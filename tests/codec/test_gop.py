@@ -1,0 +1,103 @@
+"""Tests for GOP planning."""
+
+import pytest
+
+from repro.codec import FrameType, coded_to_display_order, plan_gop
+from repro.errors import EncoderError
+
+
+class TestPlanStructure:
+    def test_ippp(self):
+        plans = plan_gop(6, gop_size=6, bframes=0)
+        types = [p.frame_type for p in plans]
+        assert types == [FrameType.I] + [FrameType.P] * 5
+        assert [p.display_index for p in plans] == list(range(6))
+
+    def test_periodic_i_frames(self):
+        plans = plan_gop(12, gop_size=4, bframes=0)
+        i_positions = [p.display_index for p in plans
+                       if p.frame_type == FrameType.I]
+        assert i_positions == [0, 4, 8]
+
+    def test_first_frame_always_i(self):
+        for bframes in (0, 1, 2):
+            plans = plan_gop(10, gop_size=5, bframes=bframes)
+            first = min(plans, key=lambda p: p.coded_index)
+            assert first.frame_type == FrameType.I
+            assert first.display_index == 0
+
+    def test_bframes_between_anchors(self):
+        plans = plan_gop(7, gop_size=12, bframes=2)
+        by_display = {p.display_index: p for p in plans}
+        assert by_display[1].frame_type == FrameType.B
+        assert by_display[2].frame_type == FrameType.B
+        assert by_display[3].frame_type == FrameType.P
+
+    def test_b_references_surrounding_anchors(self):
+        plans = plan_gop(7, gop_size=12, bframes=2)
+        by_display = {p.display_index: p for p in plans}
+        b_frame = by_display[1]
+        assert b_frame.ref_forward == 0
+        assert b_frame.ref_backward == 3
+
+    def test_p_references_previous_anchor(self):
+        plans = plan_gop(7, gop_size=12, bframes=2)
+        by_display = {p.display_index: p for p in plans}
+        assert by_display[3].ref_forward == 0
+        assert by_display[6].ref_forward == 3
+
+    def test_every_display_index_planned_once(self):
+        plans = plan_gop(23, gop_size=7, bframes=2)
+        displays = sorted(p.display_index for p in plans)
+        assert displays == list(range(23))
+
+    def test_coded_indices_contiguous(self):
+        plans = plan_gop(23, gop_size=7, bframes=2)
+        assert sorted(p.coded_index for p in plans) == list(range(23))
+
+
+class TestCodedOrder:
+    def test_references_coded_before_dependents(self):
+        plans = plan_gop(20, gop_size=8, bframes=2)
+        coded_of = {p.display_index: p.coded_index for p in plans}
+        for plan in plans:
+            for ref in (plan.ref_forward, plan.ref_backward):
+                if ref is not None:
+                    assert coded_of[ref] < plan.coded_index
+
+    def test_anchor_precedes_its_bframes(self):
+        plans = plan_gop(7, gop_size=12, bframes=2)
+        by_display = {p.display_index: p for p in plans}
+        assert by_display[3].coded_index < by_display[1].coded_index
+
+    def test_mapping_roundtrip(self):
+        plans = plan_gop(9, gop_size=4, bframes=1)
+        mapping = coded_to_display_order(plans)
+        for plan in plans:
+            assert mapping[plan.display_index] == plan.coded_index
+
+
+class TestEdgeCases:
+    def test_single_frame(self):
+        plans = plan_gop(1, gop_size=12, bframes=2)
+        assert len(plans) == 1
+        assert plans[0].frame_type == FrameType.I
+
+    def test_two_frames_no_dangling_b(self):
+        plans = plan_gop(2, gop_size=12, bframes=2)
+        types = {p.display_index: p.frame_type for p in plans}
+        assert types[0] == FrameType.I
+        assert types[1] in (FrameType.P, FrameType.B)
+        # If frame 1 is a B it must still have both references.
+        for p in plans:
+            if p.frame_type == FrameType.B:
+                assert p.ref_forward is not None
+                assert p.ref_backward is not None
+
+    def test_invalid_args(self):
+        with pytest.raises(EncoderError):
+            plan_gop(0, 4, 0)
+        with pytest.raises(EncoderError):
+            plan_gop(4, 0, 0)
+        with pytest.raises(EncoderError):
+            plan_gop(4, 4, -1)

@@ -1,0 +1,116 @@
+"""Tests for intra prediction."""
+
+import numpy as np
+import pytest
+
+from repro.codec.intra import (
+    choose_intra_mode,
+    intra_dependencies,
+    predict_intra,
+)
+from repro.codec.types import IntraMode
+
+
+def _frame_with_borders():
+    frame = np.zeros((48, 48), dtype=np.uint8)
+    frame[15, 16:32] = np.arange(16, dtype=np.uint8) + 100  # above row
+    frame[16:32, 15] = np.arange(16, dtype=np.uint8) + 200  # left column
+    return frame
+
+
+class TestPredictIntra:
+    def test_vertical_copies_row_above(self):
+        frame = _frame_with_borders()
+        pred = predict_intra(frame, 1, 1, IntraMode.VERTICAL)
+        assert np.array_equal(pred[0], frame[15, 16:32])
+        assert np.array_equal(pred[15], frame[15, 16:32])
+
+    def test_horizontal_copies_left_column(self):
+        frame = _frame_with_borders()
+        pred = predict_intra(frame, 1, 1, IntraMode.HORIZONTAL)
+        assert np.array_equal(pred[:, 0], frame[16:32, 15])
+        assert np.array_equal(pred[:, 15], frame[16:32, 15])
+
+    def test_dc_is_mean_of_borders(self):
+        frame = _frame_with_borders()
+        pred = predict_intra(frame, 1, 1, IntraMode.DC)
+        expected = int(round(np.mean(np.concatenate(
+            [frame[15, 16:32], frame[16:32, 15]]).astype(float))))
+        assert np.all(pred == expected)
+
+    def test_top_left_corner_falls_back_to_gray(self):
+        frame = _frame_with_borders()
+        for mode in IntraMode:
+            pred = predict_intra(frame, 0, 0, mode)
+            assert np.all(pred == 128)
+
+    def test_first_row_vertical_unavailable(self):
+        frame = _frame_with_borders()
+        pred = predict_intra(frame, 0, 1, IntraMode.VERTICAL)
+        assert np.all(pred == 128)
+
+    def test_slice_boundary_blocks_above(self):
+        frame = _frame_with_borders()
+        pred = predict_intra(frame, 1, 1, IntraMode.VERTICAL, min_mb_row=1)
+        assert np.all(pred == 128)  # row above belongs to another slice
+
+    def test_dc_left_only_on_first_row(self):
+        frame = _frame_with_borders()
+        frame[0:16, 15] = 50
+        pred = predict_intra(frame, 0, 1, IntraMode.DC)
+        assert np.all(pred == 50)
+
+
+class TestIntraDependencies:
+    def test_vertical_depends_on_above(self):
+        deps = intra_dependencies(3, 2, 1, mb_cols=4,
+                                  mode=IntraMode.VERTICAL)
+        assert len(deps) == 1
+        assert deps[0].source == (3, 1 * 4 + 1)
+        assert deps[0].pixels == 256
+
+    def test_horizontal_depends_on_left(self):
+        deps = intra_dependencies(3, 2, 1, mb_cols=4,
+                                  mode=IntraMode.HORIZONTAL)
+        assert deps[0].source == (3, 2 * 4 + 0)
+
+    def test_dc_splits_between_neighbors(self):
+        deps = intra_dependencies(0, 1, 1, mb_cols=4, mode=IntraMode.DC)
+        assert len(deps) == 2
+        assert sum(d.pixels for d in deps) == 256
+
+    def test_corner_has_no_dependencies(self):
+        for mode in IntraMode:
+            assert intra_dependencies(0, 0, 0, mb_cols=4, mode=mode) == []
+
+    def test_slice_boundary_removes_above(self):
+        deps = intra_dependencies(0, 2, 1, mb_cols=4,
+                                  mode=IntraMode.VERTICAL, min_mb_row=2)
+        assert deps == []
+
+
+class TestChooseIntraMode:
+    def test_picks_vertical_for_vertical_structure(self):
+        frame = np.zeros((48, 48), dtype=np.uint8)
+        columns = np.tile(np.arange(16, dtype=np.uint8) * 10, (17, 1))
+        frame[15:32, 16:32] = columns  # above row + target share columns
+        source = frame[16:32, 16:32]
+        mode, pred, sad = choose_intra_mode(source, frame, 1, 1)
+        assert mode == IntraMode.VERTICAL
+        assert sad == 0
+
+    def test_picks_horizontal_for_horizontal_structure(self):
+        frame = np.zeros((48, 48), dtype=np.uint8)
+        rows = np.tile((np.arange(16, dtype=np.uint8) * 9)[:, None], (1, 17))
+        frame[16:32, 15:32] = rows
+        source = frame[16:32, 16:32]
+        mode, _pred, sad = choose_intra_mode(source, frame, 1, 1)
+        assert mode == IntraMode.HORIZONTAL
+        assert sad == 0
+
+    def test_flat_content_prefers_dc(self):
+        frame = np.full((48, 48), 90, dtype=np.uint8)
+        source = frame[16:32, 16:32]
+        mode, _pred, sad = choose_intra_mode(source, frame, 1, 1)
+        assert sad == 0  # all modes perfect; DC tried first wins ties
+        assert mode == IntraMode.DC

@@ -1,0 +1,114 @@
+"""Tests for shared encoder/decoder neighbor state."""
+
+from repro.codec.neighbors import FrameMbState
+from repro.codec.types import MacroblockMode, MotionVector
+
+
+def _state(rows=3, cols=4):
+    return FrameMbState(rows, cols)
+
+
+def _record_inter(state, row, col, mv, qp=24, dqp=0, nnz=3):
+    state.record(row, col, MacroblockMode.INTER, mv, qp, dqp, nnz)
+
+
+class TestMvPrediction:
+    def test_no_neighbors_predicts_zero(self):
+        state = _state()
+        assert state.predict_mv(0, 0, 0) == MotionVector(0, 0)
+
+    def test_single_inter_neighbor(self):
+        state = _state()
+        _record_inter(state, 0, 0, MotionVector(2, 3))
+        assert state.predict_mv(0, 1, 0) == MotionVector(2, 3)
+
+    def test_median_of_three(self):
+        state = _state()
+        _record_inter(state, 1, 0, MotionVector(1, 10))   # A (left)
+        _record_inter(state, 0, 1, MotionVector(5, -2))   # B (above)
+        _record_inter(state, 0, 2, MotionVector(3, 4))    # C (above-right)
+        assert state.predict_mv(1, 1, 0) == MotionVector(3, 4)
+
+    def test_lone_inter_among_intra_used_directly(self):
+        state = _state()
+        _record_inter(state, 1, 0, MotionVector(6, 6))
+        state.record(0, 1, MacroblockMode.INTRA, MotionVector(0, 0),
+                     24, 0, 0)
+        state.record(0, 2, MacroblockMode.INTRA, MotionVector(0, 0),
+                     24, 0, 0)
+        # H.264's special case: exactly one inter neighbor -> its MV.
+        assert state.predict_mv(1, 1, 0) == MotionVector(6, 6)
+
+    def test_intra_neighbors_contribute_zero_to_median(self):
+        state = _state()
+        _record_inter(state, 1, 0, MotionVector(6, 6))
+        _record_inter(state, 0, 1, MotionVector(6, 6))
+        state.record(0, 2, MacroblockMode.INTRA, MotionVector(0, 0),
+                     24, 0, 0)
+        # Candidates: (6,6), (6,6), (0,0) -> median (6,6).
+        assert state.predict_mv(1, 1, 0) == MotionVector(6, 6)
+
+    def test_d_fallback_when_c_missing(self):
+        state = _state(rows=2, cols=2)
+        _record_inter(state, 0, 0, MotionVector(4, 4))  # D position
+        _record_inter(state, 0, 1, MotionVector(4, 4))  # B position
+        _record_inter(state, 1, 0, MotionVector(0, 0))  # A position
+        # C = (0, 2) out of bounds -> D = (0, 0) used instead.
+        assert state.predict_mv(1, 1, 0) == MotionVector(4, 4)
+
+    def test_skip_counts_as_inter(self):
+        state = _state()
+        state.record(0, 0, MacroblockMode.SKIP, MotionVector(7, 0),
+                     24, 0, 0)
+        assert state.predict_mv(0, 1, 0) == MotionVector(7, 0)
+
+    def test_slice_boundary_hides_above(self):
+        state = _state()
+        _record_inter(state, 0, 1, MotionVector(9, 9))
+        # With the slice starting at row 1, row 0 is invisible.
+        assert state.predict_mv(1, 1, 1) == MotionVector(0, 0)
+
+
+class TestContexts:
+    def test_skip_context_counts(self):
+        state = _state()
+        assert state.skip_context(1, 1, 0) == 0
+        state.record(1, 0, MacroblockMode.SKIP, MotionVector(0, 0), 24, 0, 0)
+        assert state.skip_context(1, 1, 0) == 1
+        state.record(0, 1, MacroblockMode.SKIP, MotionVector(0, 0), 24, 0, 0)
+        assert state.skip_context(1, 1, 0) == 2
+
+    def test_intra_context_counts(self):
+        state = _state()
+        state.record(1, 0, MacroblockMode.INTRA, MotionVector(0, 0),
+                     24, 0, 0)
+        assert state.intra_context(1, 1, 0) == 1
+
+    def test_mvd_context_buckets(self):
+        state = _state()
+        assert state.mvd_context(1, 1, 0) == 0
+        _record_inter(state, 1, 0, MotionVector(2, 2))
+        assert state.mvd_context(1, 1, 0) == 1
+        _record_inter(state, 0, 1, MotionVector(20, 20))
+        assert state.mvd_context(1, 1, 0) == 2
+
+    def test_dqp_context_follows_last(self):
+        state = _state()
+        assert state.dqp_context() == 0
+        _record_inter(state, 0, 0, MotionVector(0, 0), qp=25, dqp=1)
+        assert state.dqp_context() == 1
+
+    def test_nnz_context_buckets(self):
+        state = _state()
+        assert state.nnz_context(1, 1, 0) == 0
+        _record_inter(state, 1, 0, MotionVector(0, 0), nnz=4)
+        assert state.nnz_context(1, 1, 0) == 1
+        _record_inter(state, 0, 1, MotionVector(0, 0), nnz=30)
+        assert state.nnz_context(1, 1, 0) == 2
+
+    def test_slice_start_resets_qp(self):
+        state = _state()
+        _record_inter(state, 0, 0, MotionVector(0, 0), qp=30, dqp=6)
+        state.start_slice(24)
+        assert state.prev_qp == 24
+        assert state.dqp_context() == 0

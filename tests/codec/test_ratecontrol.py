@@ -1,0 +1,57 @@
+"""Tests for CRF-style rate control."""
+
+import numpy as np
+import pytest
+
+from repro.codec.ratecontrol import activity_qp_offset, frame_qp, macroblock_qp
+from repro.codec.types import FrameType
+from repro.errors import EncoderError
+
+
+class TestFrameQP:
+    def test_i_frames_finer_than_p(self):
+        assert frame_qp(24, FrameType.I) < frame_qp(24, FrameType.P)
+
+    def test_b_frames_coarser_than_p(self):
+        assert frame_qp(24, FrameType.B) > frame_qp(24, FrameType.P)
+
+    def test_p_equals_crf(self):
+        assert frame_qp(24, FrameType.P) == 24
+
+    def test_clamped_at_extremes(self):
+        assert frame_qp(0, FrameType.I) == 0
+        assert frame_qp(51, FrameType.B) == 51
+
+    def test_rejects_invalid_crf(self):
+        with pytest.raises(EncoderError):
+            frame_qp(52, FrameType.P)
+
+
+class TestActivityOffset:
+    def test_flat_block_gets_finer_qp(self):
+        assert activity_qp_offset(np.full((16, 16), 100)) == -2
+
+    def test_busy_block_gets_coarser_qp(self):
+        rng = np.random.default_rng(0)
+        busy = rng.integers(0, 256, (16, 16))
+        assert activity_qp_offset(busy) > 0
+
+    def test_offsets_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            block = rng.integers(0, 256, (16, 16))
+            assert -2 <= activity_qp_offset(block) <= 2
+
+
+class TestMacroblockQP:
+    def test_adaptive_changes_qp(self):
+        flat = np.full((16, 16), 100)
+        assert macroblock_qp(24, flat, adaptive=True) == 22
+
+    def test_non_adaptive_keeps_base(self):
+        flat = np.full((16, 16), 100)
+        assert macroblock_qp(24, flat, adaptive=False) == 24
+
+    def test_clamped_to_range(self):
+        flat = np.full((16, 16), 100)
+        assert macroblock_qp(0, flat, adaptive=True) == 0

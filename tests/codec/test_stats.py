@@ -1,0 +1,95 @@
+"""Tests for the bitstream inspector."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Encoder, EncoderConfig, FrameType, MacroblockMode
+from repro.codec.stats import inspect_video
+from repro.codec.types import PredictionDirection
+from repro.video import SceneConfig, VideoSequence, synthesize_scene
+
+
+@pytest.fixture(scope="module")
+def stats_medium(encoded_medium):
+    return inspect_video(encoded_medium)
+
+
+class TestInspection:
+    def test_one_stats_per_frame(self, encoded_medium, stats_medium):
+        assert len(stats_medium.frames) == len(encoded_medium.frames)
+
+    def test_macroblock_counts(self, stats_medium):
+        for frame in stats_medium.frames:
+            assert frame.macroblocks == 24  # 96x64 -> 6x4 MBs
+
+    def test_i_frames_all_intra(self, stats_medium):
+        for frame in stats_medium.frames:
+            if frame.frame_type == FrameType.I:
+                assert frame.intra_fraction == 1.0
+                assert frame.skip_fraction == 0.0
+
+    def test_p_frames_mostly_inter(self, stats_medium):
+        p_frames = [f for f in stats_medium.frames
+                    if f.frame_type == FrameType.P]
+        assert p_frames
+        for frame in p_frames:
+            assert frame.intra_fraction < 0.5
+
+    def test_payload_bits_match(self, encoded_medium, stats_medium):
+        assert stats_medium.total_payload_bits == \
+            encoded_medium.payload_bits
+
+    def test_qp_near_crf(self, stats_medium):
+        for frame in stats_medium.frames:
+            assert abs(frame.mean_qp - 24) < 5
+
+    def test_bits_by_frame_type(self, stats_medium):
+        totals = stats_medium.bits_by_frame_type()
+        # I-frames are rarer but individually bigger than P-frames here.
+        assert totals[FrameType.I] > 0
+        assert totals.get(FrameType.P, 0) > 0
+
+
+class TestContentSensitivity:
+    def test_static_scene_heavily_skipped(self):
+        """A static scene's P-frames should be nearly all skip MBs."""
+        frame = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=1, seed=8,
+                                             num_objects=0))[0]
+        video = VideoSequence([frame.copy() for _ in range(6)])
+        encoded = Encoder(EncoderConfig(crf=24, gop_size=6)).encode(video)
+        stats = inspect_video(encoded)
+        p_frames = [f for f in stats.frames if f.frame_type == FrameType.P]
+        # The first P still refines the I-frame's quantization; once the
+        # reconstruction settles, everything is skipped.
+        assert all(f.skip_fraction > 0.5 for f in p_frames)
+        assert all(f.skip_fraction == 1.0 for f in p_frames[1:])
+
+    def test_moving_scene_has_motion(self):
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=6, seed=8,
+                                             num_objects=3))
+        encoded = Encoder(EncoderConfig(crf=24, gop_size=6)).encode(video)
+        stats = inspect_video(encoded)
+        p_frames = [f for f in stats.frames if f.frame_type == FrameType.P]
+        assert any(f.mean_mv_magnitude > 0 for f in p_frames)
+
+    def test_bframes_report_directions(self, medium_video):
+        encoded = Encoder(EncoderConfig(crf=24, gop_size=12,
+                                        bframes=2)).encode(medium_video)
+        stats = inspect_video(encoded)
+        directions = set()
+        for frame in stats.frames:
+            directions.update(frame.directions)
+        assert PredictionDirection.FORWARD in directions
+        # Backward or bidirectional prediction should appear somewhere.
+        assert directions & {PredictionDirection.BACKWARD,
+                             PredictionDirection.BIDIRECTIONAL}
+
+    def test_cavlc_streams_inspectable(self, medium_video):
+        from repro.codec import EntropyCoder
+        encoded = Encoder(EncoderConfig(
+            crf=24, gop_size=12,
+            entropy_coder=EntropyCoder.CAVLC)).encode(medium_video)
+        stats = inspect_video(encoded)
+        assert stats.mode_distribution()[MacroblockMode.INTRA] > 0

@@ -1,0 +1,189 @@
+"""Tests for ECC assignment (Table 1 and the budget optimizer)."""
+
+import pytest
+
+from repro.core import (
+    ClassAssignment,
+    PAPER_TABLE1,
+    QualityCurve,
+    UNIFORM_ASSIGNMENT,
+    assign_schemes,
+    assign_schemes_conservative,
+)
+from repro.errors import AnalysisError
+from repro.storage import NONE_SCHEME, PRECISE_SCHEME, scheme_by_name
+
+
+class TestPaperTable1:
+    def test_matches_published_rows(self):
+        """Importance 0-2 -> None, 3-10 -> BCH-6, ..., 21-26 -> BCH-10."""
+        cases = [
+            (1.0, "None"),        # class 0
+            (4.0, "None"),        # class 2
+            (5.0, "BCH-6"),       # class 3
+            (1024.0, "BCH-6"),    # class 10
+            (2049.0, "BCH-7"),    # class 12
+            (2 ** 14.0, "BCH-8"),
+            (2 ** 18.0, "BCH-9"),
+            (2 ** 22.0, "BCH-10"),
+            (2 ** 26.0, "BCH-10"),
+        ]
+        for importance, expected in cases:
+            scheme = PAPER_TABLE1.scheme_for_importance(importance)
+            assert scheme.name == expected, (importance, scheme.name)
+
+    def test_beyond_last_boundary_uses_strongest_listed(self):
+        assert PAPER_TABLE1.scheme_for_class(40).name == "BCH-10"
+
+    def test_header_scheme_precise(self):
+        assert PAPER_TABLE1.header_scheme == PRECISE_SCHEME
+
+    def test_rows_shape(self):
+        rows = PAPER_TABLE1.rows()
+        assert rows[0]["classes"] == "0-2"
+        assert rows[0]["scheme"] == "None"
+        assert rows[-1]["classes"] == "frame header"
+        assert rows[-1]["scheme"] == "BCH-16"
+
+    def test_uniform_assignment(self):
+        assert UNIFORM_ASSIGNMENT.scheme_for_importance(1.0).name == "BCH-16"
+        assert UNIFORM_ASSIGNMENT.scheme_for_importance(1e6).name == "BCH-16"
+
+
+class TestValidation:
+    def test_misaligned_rejected(self):
+        with pytest.raises(AnalysisError):
+            ClassAssignment(boundaries=(1, 2), schemes=(NONE_SCHEME,))
+
+    def test_non_increasing_boundaries_rejected(self):
+        with pytest.raises(AnalysisError):
+            ClassAssignment(boundaries=(5, 3),
+                            schemes=(NONE_SCHEME, PRECISE_SCHEME))
+
+    def test_weakening_schemes_rejected(self):
+        with pytest.raises(AnalysisError):
+            ClassAssignment(boundaries=(3, 8),
+                            schemes=(PRECISE_SCHEME, NONE_SCHEME))
+
+
+def _curve(class_index, base_loss):
+    """Loss grows linearly with log-rate above 1e-8; tiny below."""
+    points = {}
+    for exponent in range(-10, -1):
+        rate = 10.0 ** exponent
+        loss = base_loss * max(0.0, exponent + 8)
+        points[rate] = -loss
+    return QualityCurve(class_index=class_index, points=points)
+
+
+class TestQualityCurve:
+    def test_interpolation_monotone(self):
+        curve = _curve(0, 0.1)
+        assert curve.loss_at(1e-9) <= curve.loss_at(1e-5)
+
+    def test_below_range_scales_linearly(self):
+        curve = QualityCurve(class_index=0, points={1e-6: -0.4})
+        assert curve.loss_at(1e-7) == pytest.approx(0.04)
+
+    def test_above_range_clamps(self):
+        curve = QualityCurve(class_index=0, points={1e-4: -0.5})
+        assert curve.loss_at(1e-2) == pytest.approx(0.5)
+
+    def test_log_interpolation_midpoint(self):
+        curve = QualityCurve(class_index=0, points={1e-6: 0.0, 1e-4: -1.0})
+        assert curve.loss_at(1e-5) == pytest.approx(0.5)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(AnalysisError):
+            QualityCurve(class_index=0).loss_at(1e-5)
+
+
+class TestAssignSchemes:
+    def test_low_classes_get_weak_schemes(self):
+        curves = [_curve(i, 0.001 * (i + 1)) for i in range(6)]
+        fractions = {i: 1 / 6 for i in range(6)}
+        assignment = assign_schemes(curves, fractions, budget_db=0.3)
+        weakest = assignment.scheme_for_class(0)
+        strongest = assignment.scheme_for_class(5)
+        assert weakest.t <= strongest.t
+
+    def test_tight_budget_forces_strong_schemes(self):
+        curves = [_curve(i, 0.5) for i in range(4)]
+        fractions = {i: 0.25 for i in range(4)}
+        loose = assign_schemes(curves, fractions, budget_db=3.0)
+        tight = assign_schemes(curves, fractions, budget_db=0.01)
+        for class_index in range(4):
+            assert tight.scheme_for_class(class_index).t >= \
+                loose.scheme_for_class(class_index).t
+
+    def test_zero_loss_curves_get_no_ecc(self):
+        curves = [QualityCurve(class_index=i,
+                               points={1e-3: 0.0, 1e-6: 0.0})
+                  for i in range(3)]
+        fractions = {i: 1 / 3 for i in range(3)}
+        assignment = assign_schemes(curves, fractions)
+        assert assignment.scheme_for_class(0).name == "None"
+        assert assignment.scheme_for_class(2).name == "None"
+
+    def test_schemes_strengthen_with_class(self):
+        curves = [_curve(i, 0.02 * (i + 1) ** 2) for i in range(8)]
+        fractions = {i: 1 / 8 for i in range(8)}
+        assignment = assign_schemes(curves, fractions, budget_db=0.3)
+        strengths = [assignment.scheme_for_class(i).t for i in range(8)]
+        assert strengths == sorted(strengths)
+
+    def test_invalid_budget(self):
+        with pytest.raises(AnalysisError):
+            assign_schemes([_curve(0, 0.1)], {0: 1.0}, budget_db=0.0)
+
+    def test_no_curves_rejected(self):
+        with pytest.raises(AnalysisError):
+            assign_schemes([], {}, budget_db=0.3)
+
+
+class TestConservativeStrategy:
+    """The paper's Section 7.2.1 alternative: approximate only where it
+    clearly beats deterministic compression."""
+
+    def test_harmless_classes_get_weak_schemes(self):
+        curves = [QualityCurve(class_index=i,
+                               points={1e-6: 0.0, 1e-3: 0.0})
+                  for i in range(3)]
+        fractions = {i: 1 / 3 for i in range(3)}
+        assignment = assign_schemes_conservative(curves, fractions)
+        assert assignment.scheme_for_class(0).name == "None"
+
+    def test_lossy_classes_stay_protected(self):
+        """A class whose weak-scheme losses dwarf the compression
+        equivalent must escalate to a strong scheme (here the weakest
+        loss-free option, BCH-9)."""
+        curves = [_curve(0, 5.0)]  # huge loss per decade
+        assignment = assign_schemes_conservative(curves, {0: 1.0})
+        assert assignment.scheme_for_class(0).t >= 9
+
+    def test_stricter_trade_rate_strengthens_schemes(self):
+        curves = [_curve(i, 0.01 * (i + 1)) for i in range(5)]
+        fractions = {i: 0.2 for i in range(5)}
+        generous = assign_schemes_conservative(
+            curves, fractions, compression_db_per_percent=0.5)
+        strict = assign_schemes_conservative(
+            curves, fractions, compression_db_per_percent=0.001)
+        for index in range(5):
+            assert strict.scheme_for_class(index).t >= \
+                generous.scheme_for_class(index).t
+
+    def test_schemes_strengthen_with_class(self):
+        curves = [_curve(i, 0.02 * (i + 1) ** 2) for i in range(8)]
+        fractions = {i: 1 / 8 for i in range(8)}
+        assignment = assign_schemes_conservative(curves, fractions)
+        strengths = [assignment.scheme_for_class(i).t for i in range(8)]
+        assert strengths == sorted(strengths)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(AnalysisError):
+            assign_schemes_conservative([_curve(0, 0.1)], {0: 1.0},
+                                        compression_db_per_percent=0.0)
+
+    def test_no_curves_rejected(self):
+        with pytest.raises(AnalysisError):
+            assign_schemes_conservative([], {})

@@ -1,0 +1,94 @@
+"""Tests for importance classes."""
+
+import pytest
+
+from repro.core import (
+    class_bit_ranges,
+    class_storage_distribution,
+    cumulative_storage_fractions,
+    importance_class,
+    macroblock_bits,
+    storage_fraction_by_class,
+)
+from repro.core.importance import MacroblockBits
+from repro.errors import AnalysisError
+
+
+class TestImportanceClass:
+    def test_class_boundaries(self):
+        """Class i holds importance in (2^(i-1), 2^i]."""
+        assert importance_class(1.0) == 0
+        assert importance_class(2.0) == 1
+        assert importance_class(2.001) == 2
+        assert importance_class(4.0) == 2
+        assert importance_class(1000.0) == 10
+
+    def test_rejects_below_one(self):
+        with pytest.raises(AnalysisError):
+            importance_class(0.5)
+
+    def test_near_one_tolerated(self):
+        assert importance_class(1.0 - 1e-12) == 0
+
+
+def _mb(frame, index, start, end, importance):
+    return MacroblockBits(frame, index, start, end, importance)
+
+
+class TestDistribution:
+    def test_bits_and_counts(self):
+        mb_bits = [
+            _mb(0, 0, 0, 100, 1.5),    # class 1
+            _mb(0, 1, 100, 150, 2.0),  # class 1
+            _mb(0, 2, 150, 400, 30.0),  # class 5
+        ]
+        distribution = class_storage_distribution(mb_bits)
+        by_class = {d.class_index: d for d in distribution}
+        assert by_class[1].bits == 150 and by_class[1].macroblocks == 2
+        assert by_class[5].bits == 250 and by_class[5].macroblocks == 1
+
+    def test_cumulative_fractions(self):
+        mb_bits = [
+            _mb(0, 0, 0, 100, 1.5),
+            _mb(0, 1, 100, 400, 30.0),
+        ]
+        distribution = class_storage_distribution(mb_bits)
+        fractions = cumulative_storage_fractions(distribution)
+        assert fractions == pytest.approx([0.25, 1.0])
+
+    def test_fraction_map_sums_to_one(self, encoded_medium,
+                                      importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        fractions = storage_fraction_by_class(mb_bits)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(AnalysisError):
+            cumulative_storage_fractions([])
+
+
+class TestClassBitRanges:
+    def test_cumulative_inclusion(self):
+        mb_bits = [
+            _mb(0, 0, 0, 100, 1.5),
+            _mb(0, 1, 100, 150, 100.0),
+        ]
+        low = class_bit_ranges(mb_bits, 1)
+        high = class_bit_ranges(mb_bits, 7)
+        assert len(low) == 1
+        assert len(high) == 2
+        assert set(low) <= set(high)
+
+    def test_zero_length_excluded(self):
+        mb_bits = [_mb(0, 0, 50, 50, 1.0)]
+        assert class_bit_ranges(mb_bits, 0) == []
+
+    def test_real_video_monotone_coverage(self, encoded_medium,
+                                          importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        distribution = class_storage_distribution(mb_bits)
+        sizes = []
+        for entry in distribution:
+            ranges = class_bit_ranges(mb_bits, entry.class_index)
+            sizes.append(sum(end - start for _f, start, end in ranges))
+        assert sizes == sorted(sizes)

@@ -1,0 +1,121 @@
+"""Tests for the dependency graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Encoder, EncoderConfig, FrameType
+from repro.codec.types import (
+    DependencyRecord,
+    EncodingTrace,
+    FrameTrace,
+    MacroblockTrace,
+)
+from repro.core import build_dependency_graph, topological_order
+from repro.errors import AnalysisError
+
+
+def _tiny_trace():
+    """Two frames, 2 MBs each: frame 1 MB 0 depends on frame 0 MBs."""
+    trace = EncodingTrace(mb_rows=1, mb_cols=2)
+    trace.frames.append(FrameTrace(
+        coded_index=0, display_index=0, frame_type=FrameType.I,
+        payload_bits=100, slice_starts=[0],
+        macroblocks=[
+            MacroblockTrace(0, 0, 0, 40),
+            MacroblockTrace(0, 1, 40, 90,
+                            dependencies=[DependencyRecord((0, 0), 256)]),
+        ]))
+    trace.frames.append(FrameTrace(
+        coded_index=1, display_index=1, frame_type=FrameType.P,
+        payload_bits=60, slice_starts=[0],
+        macroblocks=[
+            MacroblockTrace(1, 0, 0, 30, dependencies=[
+                DependencyRecord((0, 0), 192),
+                DependencyRecord((0, 1), 64),
+            ]),
+            MacroblockTrace(1, 1, 30, 50, dependencies=[
+                DependencyRecord((0, 1), 256),
+            ]),
+        ]))
+    return trace
+
+
+class TestBuildGraph:
+    def test_compensation_weights_normalized(self):
+        graph = build_dependency_graph(_tiny_trace())
+        totals = graph.incoming_compensation_weight()
+        # Nodes 1, 2, 3 are predicted; node 0 is not.
+        assert totals[0] == 0.0
+        assert np.allclose(totals[1:], 1.0)
+
+    def test_coding_chain_per_frame(self):
+        graph = build_dependency_graph(_tiny_trace())
+        assert graph.coding_src.tolist() == [0, 2]
+        assert graph.coding_dst.tolist() == [1, 3]
+
+    def test_edges_aggregate_duplicates(self):
+        trace = _tiny_trace()
+        # Add a second dependency record for the same (src, dst) pair.
+        trace.frames[1].macroblocks[0].dependencies.append(
+            DependencyRecord((0, 0), 64))
+        graph = build_dependency_graph(trace)
+        pairs = list(zip(graph.comp_src.tolist(), graph.comp_dst.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_self_dependency_rejected(self):
+        trace = _tiny_trace()
+        trace.frames[0].macroblocks[0].dependencies.append(
+            DependencyRecord((0, 0), 10))
+        with pytest.raises(AnalysisError):
+            build_dependency_graph(trace)
+
+    def test_wrong_mb_count_rejected(self):
+        trace = _tiny_trace()
+        trace.frames[0].macroblocks.pop()
+        with pytest.raises(AnalysisError):
+            build_dependency_graph(trace)
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        graph = build_dependency_graph(_tiny_trace())
+        order = topological_order(graph.num_nodes, graph.comp_src,
+                                  graph.comp_dst)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in zip(graph.comp_src, graph.comp_dst):
+            assert position[int(src)] < position[int(dst)]
+
+    def test_natural_order_for_codec_graphs(self):
+        """Codec graphs' edges always point forward in node id, so the
+        heap-based Kahn must return the identity order."""
+        graph = build_dependency_graph(_tiny_trace())
+        order = topological_order(graph.num_nodes, graph.comp_src,
+                                  graph.comp_dst)
+        assert order.tolist() == list(range(graph.num_nodes))
+
+    def test_cycle_detected(self):
+        with pytest.raises(AnalysisError):
+            topological_order(2, np.array([0, 1]), np.array([1, 0]))
+
+
+class TestOnRealTrace:
+    def test_graph_from_encoder(self, encoded_medium):
+        graph = build_dependency_graph(encoded_medium.trace)
+        assert graph.num_nodes == len(encoded_medium.frames) * 24
+        # Every predicted MB's incoming weights sum to 1.
+        totals = graph.incoming_compensation_weight()
+        predicted = totals[totals > 1e-12]
+        assert np.allclose(predicted, 1.0, atol=1e-9)
+
+    def test_all_edges_forward_in_natural_order(self, encoded_medium):
+        graph = build_dependency_graph(encoded_medium.trace)
+        assert np.all(graph.comp_src < graph.comp_dst)
+        assert np.all(graph.coding_src < graph.coding_dst)
+
+    def test_bframes_keep_graph_acyclic(self, medium_video):
+        config = EncoderConfig(crf=26, gop_size=12, bframes=2)
+        encoded = Encoder(config).encode(medium_video)
+        graph = build_dependency_graph(encoded.trace)
+        order = topological_order(graph.num_nodes, graph.comp_src,
+                                  graph.comp_dst)
+        assert order.size == graph.num_nodes

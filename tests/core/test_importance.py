@@ -1,0 +1,137 @@
+"""Tests for the importance algorithm (the paper's Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Encoder, EncoderConfig, FrameType
+from repro.codec.types import (
+    DependencyRecord,
+    EncodingTrace,
+    FrameTrace,
+    MacroblockTrace,
+)
+from repro.core import (
+    compute_importance,
+    importance_is_scan_monotone,
+    macroblock_bits,
+)
+
+
+def _chain_trace():
+    """Figure-5-like: frame 0 (2 MBs, coding chain), frame 1 references
+    frame 0's MB 1 fully."""
+    trace = EncodingTrace(mb_rows=1, mb_cols=2)
+    trace.frames.append(FrameTrace(
+        coded_index=0, display_index=0, frame_type=FrameType.I,
+        payload_bits=100, slice_starts=[0],
+        macroblocks=[MacroblockTrace(0, 0, 0, 50),
+                     MacroblockTrace(0, 1, 50, 100)]))
+    trace.frames.append(FrameTrace(
+        coded_index=1, display_index=1, frame_type=FrameType.P,
+        payload_bits=40, slice_starts=[0],
+        macroblocks=[
+            MacroblockTrace(1, 0, 0, 20, dependencies=[
+                DependencyRecord((0, 1), 256)]),
+            MacroblockTrace(1, 1, 20, 40, dependencies=[
+                DependencyRecord((1, 0), 256)]),
+        ]))
+    return trace
+
+
+class TestHandComputedValues:
+    def test_chain(self):
+        """Verify the two-pass algorithm against hand computation.
+
+        Compensation: node (1,1) = 1; (1,0) = 1 + 1*1 = 2;
+        (0,1) = 1 + 1*2 = 3; (0,0) = 1.
+        Coding: frame 1: (1,1) = 1; (1,0) = 2 + 1 = 3.
+        frame 0: (0,1) = 3; (0,0) = 1 + 3 = 4.
+        """
+        result = compute_importance(_chain_trace())
+        assert result.compensation[0].tolist() == [1.0, 3.0]
+        assert result.compensation[1].tolist() == [2.0, 1.0]
+        assert result.values[0].tolist() == [4.0, 3.0]
+        assert result.values[1].tolist() == [3.0, 1.0]
+
+    def test_weighted_split(self):
+        """A 50/50 referenced MB transfers half its dependent's area."""
+        trace = EncodingTrace(mb_rows=1, mb_cols=2)
+        trace.frames.append(FrameTrace(
+            coded_index=0, display_index=0, frame_type=FrameType.I,
+            payload_bits=20, slice_starts=[0],
+            macroblocks=[MacroblockTrace(0, 0, 0, 10),
+                         MacroblockTrace(0, 1, 10, 20)]))
+        trace.frames.append(FrameTrace(
+            coded_index=1, display_index=1, frame_type=FrameType.P,
+            payload_bits=10, slice_starts=[0],
+            macroblocks=[
+                MacroblockTrace(1, 0, 0, 5, dependencies=[
+                    DependencyRecord((0, 0), 128),
+                    DependencyRecord((0, 1), 128)]),
+                MacroblockTrace(1, 1, 5, 10),
+            ]))
+        result = compute_importance(trace)
+        assert result.compensation[0].tolist() == [1.5, 1.5]
+
+
+class TestInvariantsOnRealVideo:
+    def test_minimum_importance_is_one(self, importance_medium):
+        assert importance_medium.values.min() >= 1.0 - 1e-9
+
+    def test_scan_monotone(self, encoded_medium, importance_medium):
+        """The pivot precondition: strictly decreasing in scan order."""
+        assert importance_is_scan_monotone(encoded_medium.trace,
+                                           importance_medium)
+
+    def test_total_at_least_compensation(self, importance_medium):
+        assert np.all(importance_medium.values
+                      >= importance_medium.compensation - 1e-9)
+
+    def test_i_frames_most_important(self, encoded_medium,
+                                     importance_medium):
+        """The first I-frame's first MB damages (almost) the whole GOP."""
+        first_i = importance_medium.values[0, 0]
+        assert first_i == importance_medium.values.max()
+
+    def test_last_mb_of_last_frame_is_leaf(self, encoded_medium,
+                                           importance_medium):
+        """Nothing references it and nothing follows it: importance 1
+        unless something references it (it is the last coded frame)."""
+        last = importance_medium.values[-1, -1]
+        assert last == pytest.approx(1.0)
+
+    def test_bframes_are_unimportant(self, medium_video):
+        """Unreferenced B-frames cap at the intra-frame coding chain:
+        their max importance is far below anchors'."""
+        config = EncoderConfig(crf=26, gop_size=12, bframes=2)
+        encoded = Encoder(config).encode(medium_video)
+        result = compute_importance(encoded.trace)
+        b_frames = [f.coded_index for f in encoded.trace.frames
+                    if f.frame_type == FrameType.B]
+        anchors = [f.coded_index for f in encoded.trace.frames
+                   if f.frame_type != FrameType.B]
+        max_b = max(result.values[i].max() for i in b_frames)
+        max_anchor = max(result.values[i].max() for i in anchors)
+        mbs_per_frame = encoded.trace.macroblocks_per_frame
+        assert max_b <= mbs_per_frame  # coding chain only
+        assert max_anchor > max_b
+
+    def test_analysis_time_recorded(self, importance_medium):
+        assert importance_medium.analysis_seconds > 0
+
+
+class TestMacroblockBits:
+    def test_joins_every_mb(self, encoded_medium, importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        expected = len(encoded_medium.frames) * 24
+        assert len(mb_bits) == expected
+
+    def test_bits_total_at_most_payload(self, encoded_medium,
+                                        importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        total = sum(mb.bit_end - mb.bit_start for mb in mb_bits)
+        assert total <= encoded_medium.payload_bits
+
+    def test_importance_attached(self, encoded_medium, importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        assert all(mb.importance >= 1.0 for mb in mb_bits)

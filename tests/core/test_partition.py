@@ -1,0 +1,124 @@
+"""Tests for bitstream partitioning into reliability streams."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Decoder, Encoder, EncoderConfig
+from repro.core import (
+    PAPER_TABLE1,
+    UNIFORM_ASSIGNMENT,
+    compute_importance,
+    merge_streams,
+    partition_video,
+)
+from repro.errors import AnalysisError
+from repro.video import frames_equal
+
+
+@pytest.fixture(scope="module")
+def protected(encoded_medium, importance_medium):
+    return partition_video(encoded_medium, importance_medium, PAPER_TABLE1)
+
+
+class TestPartition:
+    def test_split_merge_identity(self, protected, encoded_medium):
+        payloads = merge_streams(protected)
+        assert payloads == encoded_medium.frame_payloads()
+
+    def test_stream_bits_total_payload(self, protected, encoded_medium):
+        assert sum(protected.stream_bits.values()) == \
+            encoded_medium.payload_bits
+
+    def test_stream_padding_at_most_seven_bits(self, protected):
+        for name, data in protected.streams.items():
+            assert 0 <= 8 * len(data) - protected.stream_bits[name] < 8
+
+    def test_multiple_streams_exist(self, protected):
+        """Real content spans several importance classes."""
+        assert len(protected.streams) >= 2
+
+    def test_weak_stream_holds_majority(self, protected):
+        """Most storage sits in the cheap schemes — the effect the
+        paper's savings rely on (Figure 10b)."""
+        weak = sum(bits for name, bits in protected.stream_bits.items()
+                   if name in ("None", "BCH-6", "BCH-7"))
+        assert weak > 0.5 * sum(protected.stream_bits.values())
+
+    def test_uniform_assignment_one_stream(self, encoded_medium,
+                                           importance_medium):
+        protected = partition_video(encoded_medium, importance_medium,
+                                    UNIFORM_ASSIGNMENT)
+        assert set(protected.streams) == {"BCH-16"}
+
+    def test_requires_trace(self, encoded_medium, importance_medium):
+        from repro.codec import EncodedVideo
+        stripped = EncodedVideo(header=encoded_medium.header,
+                                frames=encoded_medium.frames, trace=None)
+        with pytest.raises(AnalysisError):
+            partition_video(stripped, importance_medium, PAPER_TABLE1)
+
+
+class TestMergeWithCorruption:
+    def test_corrupted_streams_still_merge(self, protected,
+                                           encoded_medium):
+        rng = np.random.default_rng(0)
+        corrupted = {}
+        for name, data in protected.streams.items():
+            buffer = bytearray(data)
+            if buffer:
+                buffer[int(rng.integers(0, len(buffer)))] ^= 0xFF
+            corrupted[name] = bytes(buffer)
+        payloads = merge_streams(protected, corrupted)
+        assert [len(p) for p in payloads] == \
+            [len(p) for p in encoded_medium.frame_payloads()]
+
+    def test_corruption_lands_in_right_place(self, protected,
+                                             encoded_medium):
+        """Flipping a bit in the weakest stream must corrupt a payload
+        bit attributed to a low-importance segment."""
+        weakest = min(protected.stream_bits,
+                      key=lambda name: protected.stream_bits[name])
+        corrupted = dict(protected.streams)
+        buffer = bytearray(corrupted[weakest])
+        buffer[0] ^= 0x80
+        corrupted[weakest] = bytes(buffer)
+        merged = merge_streams(protected, corrupted)
+        clean = encoded_medium.frame_payloads()
+        diffs = sum(1 for a, b in zip(merged, clean) if a != b)
+        assert diffs == 1
+
+    def test_decodes_after_roundtrip(self, protected, encoded_medium,
+                                     decoded_medium):
+        payloads = merge_streams(protected)
+        clone = encoded_medium.with_payloads(payloads)
+        assert frames_equal(Decoder().decode(clone), decoded_medium)
+
+    def test_missing_stream_rejected(self, protected):
+        streams = dict(protected.streams)
+        streams.pop(next(iter(streams)))
+        with pytest.raises(AnalysisError):
+            merge_streams(protected, streams)
+
+    def test_resized_stream_rejected(self, protected):
+        streams = dict(protected.streams)
+        name = next(iter(streams))
+        streams[name] = streams[name] + b"\x00"
+        with pytest.raises(AnalysisError):
+            merge_streams(protected, streams)
+
+
+class TestDensity:
+    def test_variable_cheaper_than_uniform(self, encoded_medium,
+                                           importance_medium,
+                                           medium_video):
+        variable = partition_video(encoded_medium, importance_medium,
+                                   PAPER_TABLE1)
+        uniform = partition_video(encoded_medium, importance_medium,
+                                  UNIFORM_ASSIGNMENT)
+        dv = variable.density(medium_video.total_pixels)
+        du = uniform.density(medium_video.total_pixels)
+        assert dv.cells < du.cells
+        assert dv.cells_per_pixel < du.cells_per_pixel
+
+    def test_precise_bits_include_pivots(self, protected, encoded_medium):
+        assert protected.precise_bits > encoded_medium.header_bits

@@ -1,0 +1,105 @@
+"""Tests for pivot tables."""
+
+import pytest
+
+from repro.codec import Encoder, EncoderConfig
+from repro.core import (
+    PAPER_TABLE1,
+    UNIFORM_ASSIGNMENT,
+    build_frame_pivots,
+    compute_importance,
+    macroblock_bits,
+    total_pivot_bits,
+)
+from repro.core.pivots import FramePivots, Segment
+from repro.errors import AnalysisError
+from repro.storage import scheme_by_name
+
+
+@pytest.fixture(scope="module")
+def pivot_setup(encoded_medium, importance_medium):
+    mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+    tables = build_frame_pivots(encoded_medium, mb_bits, PAPER_TABLE1)
+    return encoded_medium, mb_bits, tables
+
+
+class TestBuildPivots:
+    def test_one_table_per_frame(self, pivot_setup):
+        encoded, _mb_bits, tables = pivot_setup
+        assert len(tables) == len(encoded.frames)
+
+    def test_segments_cover_payload_exactly(self, pivot_setup):
+        encoded, _mb_bits, tables = pivot_setup
+        for frame, table in zip(encoded.frames, tables):
+            covered = sum(s.bits for s in table.segments)
+            assert covered == frame.payload_bits
+
+    def test_few_segments_per_frame(self, pivot_setup):
+        """The paper's point: a handful of pivots per frame, not one
+        per macroblock."""
+        encoded, _mb_bits, tables = pivot_setup
+        menu_size = len(PAPER_TABLE1.distinct_schemes())
+        for table in tables:
+            assert len(table.segments) <= menu_size + 1
+
+    def test_schemes_weaken_along_frame(self, pivot_setup):
+        """Within a single-slice frame, protection only weakens."""
+        _encoded, _mb_bits, tables = pivot_setup
+        for table in tables:
+            strengths = [scheme_by_name(s.scheme_name).t
+                         for s in table.segments]
+            assert strengths == sorted(strengths, reverse=True)
+
+    def test_uniform_assignment_single_segment(self, encoded_medium,
+                                               importance_medium):
+        mb_bits = macroblock_bits(encoded_medium.trace, importance_medium)
+        tables = build_frame_pivots(encoded_medium, mb_bits,
+                                    UNIFORM_ASSIGNMENT)
+        for table in tables:
+            assert len(table.segments) == 1
+
+    def test_header_bits_small(self, pivot_setup):
+        encoded, _mb_bits, tables = pivot_setup
+        overhead = total_pivot_bits(tables)
+        # "a few bytes per frame": well under 32 bytes each here.
+        assert overhead < len(encoded.frames) * 32 * 8
+        assert overhead < encoded.payload_bits * 0.05
+
+    def test_sliced_frames_covered(self, medium_video):
+        config = EncoderConfig(crf=26, gop_size=12, slices=2)
+        encoded = Encoder(config).encode(medium_video)
+        importance = compute_importance(encoded.trace)
+        mb_bits = macroblock_bits(encoded.trace, importance)
+        tables = build_frame_pivots(encoded, mb_bits, PAPER_TABLE1)
+        for frame, table in zip(encoded.frames, tables):
+            assert sum(s.bits for s in table.segments) == frame.payload_bits
+
+
+class TestValidation:
+    def test_gap_detected(self):
+        table = FramePivots(frame_coded_index=0, payload_bits=100,
+                            segments=[Segment(0, 40, "None"),
+                                      Segment(50, 100, "None")])
+        with pytest.raises(AnalysisError):
+            table.validate()
+
+    def test_wrong_total_detected(self):
+        table = FramePivots(frame_coded_index=0, payload_bits=100,
+                            segments=[Segment(0, 90, "None")])
+        with pytest.raises(AnalysisError):
+            table.validate()
+
+    def test_wrong_start_detected(self):
+        table = FramePivots(frame_coded_index=0, payload_bits=100,
+                            segments=[Segment(10, 100, "None")])
+        with pytest.raises(AnalysisError):
+            table.validate()
+
+    def test_empty_table_for_empty_payload(self):
+        FramePivots(frame_coded_index=0, payload_bits=0).validate()
+
+    def test_header_bits_formula(self):
+        table = FramePivots(frame_coded_index=0, payload_bits=100,
+                            segments=[Segment(0, 50, "None"),
+                                      Segment(50, 100, "BCH-6")])
+        assert table.header_bits() == 8 + 4 + 36

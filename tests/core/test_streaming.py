@@ -1,0 +1,52 @@
+"""Tests for per-GOP streaming importance computation (Section 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.codec import Encoder, EncoderConfig
+from repro.core import compute_importance, compute_importance_streaming
+from repro.video import SceneConfig, synthesize_scene
+
+
+@pytest.fixture(scope="module")
+def long_video():
+    return synthesize_scene(SceneConfig(width=64, height=48, num_frames=15,
+                                        seed=17, num_objects=2))
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("gop_size,bframes,slices", [
+        (5, 0, 1),   # several closed GOPs
+        (5, 2, 1),   # open GOPs: B-frames straddle I-frames
+        (5, 0, 2),   # slices
+        (15, 0, 1),  # single GOP == global computation
+        (1, 0, 1),   # all-I video: every frame its own segment
+    ])
+    def test_matches_global_computation(self, long_video, gop_size,
+                                        bframes, slices):
+        config = EncoderConfig(crf=26, gop_size=gop_size, bframes=bframes,
+                               slices=slices)
+        encoded = Encoder(config).encode(long_video)
+        global_result = compute_importance(encoded.trace)
+        streaming_result = compute_importance_streaming(encoded.trace)
+        assert np.allclose(global_result.values, streaming_result.values,
+                           atol=1e-9)
+        assert np.allclose(global_result.compensation,
+                           streaming_result.compensation, atol=1e-9)
+
+    def test_segments_actually_split(self, long_video):
+        """With 3 closed GOPs the streaming variant must not be a
+        degenerate single segment: check that cross-GOP importance is
+        bounded by GOP size (errors cannot cross I-frames)."""
+        config = EncoderConfig(crf=26, gop_size=5)
+        encoded = Encoder(config).encode(long_video)
+        result = compute_importance_streaming(encoded.trace)
+        mbs_per_frame = encoded.trace.macroblocks_per_frame
+        per_gop_cap = 5 * mbs_per_frame * mbs_per_frame  # loose bound
+        assert result.max_importance() <= per_gop_cap
+
+    def test_reports_timing(self, long_video):
+        encoded = Encoder(EncoderConfig(crf=26, gop_size=5)).encode(
+            long_video)
+        result = compute_importance_streaming(encoded.trace)
+        assert result.analysis_seconds > 0

@@ -1,0 +1,72 @@
+"""Tests for the mode compatibility analysis (Section 5 verdicts)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import (
+    analyze_all_modes,
+    analyze_mode,
+    check_privacy,
+    compatible_modes,
+    measure_propagation,
+)
+
+KEY = bytes(range(16))
+IV = bytes(range(100, 116))
+
+
+class TestPrivacy:
+    def test_ecb_fails(self):
+        assert not check_privacy("ECB", KEY, IV)
+
+    @pytest.mark.parametrize("name", ["CBC", "OFB", "CTR"])
+    def test_chained_modes_pass(self, name):
+        assert check_privacy(name, KEY, IV)
+
+
+class TestPropagation:
+    def test_ofb_amplification_is_one(self):
+        measurement = measure_propagation("OFB", KEY, IV,
+                                          rng=np.random.default_rng(0))
+        assert measurement.mean_plaintext_bits_damaged == 1.0
+        assert measurement.max_suffix_blocks_damaged == 0
+
+    def test_ctr_amplification_is_one(self):
+        measurement = measure_propagation("CTR", KEY, IV,
+                                          rng=np.random.default_rng(0))
+        assert measurement.amplification == 1.0
+
+    def test_cbc_amplifies_by_half_block(self):
+        measurement = measure_propagation("CBC", KEY, IV,
+                                          rng=np.random.default_rng(0))
+        # ~64 garbled bits in the flipped block + 1 mirrored bit.
+        assert 40 <= measurement.mean_plaintext_bits_damaged <= 90
+        assert measurement.max_suffix_blocks_damaged == 1
+
+    def test_ecb_damage_stays_in_block(self):
+        measurement = measure_propagation("ECB", KEY, IV,
+                                          rng=np.random.default_rng(0))
+        assert measurement.max_suffix_blocks_damaged == 0
+        assert measurement.mean_blocks_damaged == 1.0
+
+
+class TestVerdicts:
+    def test_paper_conclusion(self):
+        """The paper's Section 5.2: ECB fails privacy, CBC fails
+        approximability, OFB and CTR meet all three requirements."""
+        verdicts = analyze_all_modes(rng=np.random.default_rng(1))
+        assert not verdicts["ECB"].privacy
+        assert not verdicts["ECB"].compatible
+        assert verdicts["CBC"].privacy
+        assert not verdicts["CBC"].approximation_transparent
+        assert not verdicts["CBC"].compatible
+        assert verdicts["OFB"].compatible
+        assert verdicts["CTR"].compatible
+
+    def test_compatible_modes_helper(self):
+        assert sorted(compatible_modes()) == ["CTR", "OFB"]
+
+    def test_analyze_mode_defaults(self):
+        verdict = analyze_mode("CTR")
+        assert verdict.mode == "CTR"
+        assert verdict.compatible

@@ -1,0 +1,123 @@
+"""Tests for the block-cipher modes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import CBC, CTR, ECB, MODES, OFB, make_mode
+from repro.crypto.modes import CFB
+from repro.errors import CryptoError
+
+KEY = bytes(range(16))
+IV = bytes(range(100, 116))
+
+
+def _flip_bit(data: bytes, bit: int) -> bytes:
+    out = bytearray(data)
+    out[bit // 8] ^= 0x80 >> (bit % 8)
+    return bytes(out)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", sorted(MODES))
+    def test_block_aligned_roundtrip(self, name):
+        mode = make_mode(name, KEY, IV)
+        plaintext = bytes(range(64))
+        decrypted = make_mode(name, KEY, IV).decrypt(mode.encrypt(plaintext))
+        assert decrypted[:64] == plaintext
+
+    @pytest.mark.parametrize("name", ["OFB", "CTR"])
+    def test_keystream_modes_preserve_length(self, name):
+        mode = make_mode(name, KEY, IV)
+        plaintext = b"exactly 21 bytes here"
+        ciphertext = mode.encrypt(plaintext)
+        assert len(ciphertext) == len(plaintext)
+        assert make_mode(name, KEY, IV).decrypt(ciphertext) == plaintext
+
+    @given(data=st.binary(min_size=0, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_ctr_roundtrip_property(self, data):
+        assert CTR(KEY, IV).decrypt(CTR(KEY, IV).encrypt(data)) == data
+
+
+class TestModeStructure:
+    def test_ecb_equal_blocks_leak(self):
+        plaintext = bytes(16) * 4
+        ciphertext = ECB(KEY).encrypt(plaintext)
+        blocks = [ciphertext[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(blocks)) == 1  # the dictionary-attack weakness
+
+    def test_cbc_equal_blocks_differ(self):
+        plaintext = bytes(16) * 4
+        ciphertext = CBC(KEY, IV).encrypt(plaintext)
+        blocks = [ciphertext[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(blocks)) == 4
+
+    def test_different_ivs_different_ciphertexts(self):
+        plaintext = bytes(32)
+        a = CTR(KEY, IV).encrypt(plaintext)
+        b = CTR(KEY, bytes(16)).encrypt(plaintext)
+        assert a != b
+
+    def test_iv_required(self):
+        with pytest.raises(CryptoError):
+            CBC(KEY, b"short")
+
+    def test_unknown_mode(self):
+        with pytest.raises(CryptoError):
+            make_mode("XYZ", KEY, IV)
+
+
+class TestErrorPropagation:
+    """The paper's Section 5 behaviours, asserted bit-exactly."""
+
+    def test_ofb_single_bit_flips_single_bit(self):
+        plaintext = bytes(64)
+        ciphertext = OFB(KEY, IV).encrypt(plaintext)
+        for bit in (0, 100, 511):
+            decrypted = OFB(KEY, IV).decrypt(_flip_bit(ciphertext, bit))
+            diff = [i for i in range(64 * 8)
+                    if (decrypted[i // 8] >> (7 - i % 8)) & 1
+                    != (plaintext[i // 8] >> (7 - i % 8)) & 1]
+            assert diff == [bit]
+
+    def test_ctr_single_bit_flips_single_bit(self):
+        plaintext = bytes(64)
+        ciphertext = CTR(KEY, IV).encrypt(plaintext)
+        decrypted = CTR(KEY, IV).decrypt(_flip_bit(ciphertext, 77))
+        assert decrypted != plaintext
+        diff = sum(bin(a ^ b).count("1")
+                   for a, b in zip(decrypted, plaintext))
+        assert diff == 1
+
+    def test_cbc_damages_block_and_one_bit(self):
+        plaintext = bytes(64)
+        ciphertext = CBC(KEY, IV).encrypt(plaintext)
+        decrypted = CBC(KEY, IV).decrypt(_flip_bit(ciphertext, 0))
+        # Block 0 garbled.
+        assert decrypted[:16] != plaintext[:16]
+        # Block 1 has exactly the mirrored single bit flipped.
+        diff_b1 = sum(bin(a ^ b).count("1")
+                      for a, b in zip(decrypted[16:32], plaintext[16:32]))
+        assert diff_b1 == 1
+        # Blocks 2+ untouched: no unbounded chain.
+        assert decrypted[32:] == plaintext[32:]
+
+    def test_cfb_damages_bit_and_next_block(self):
+        """CFB mirrors CBC's failure with the roles swapped: the flipped
+        block keeps a single mirrored bit error, the *next* block is
+        garbled (the flip feeds its keystream)."""
+        plaintext = bytes(64)
+        ciphertext = CFB(KEY, IV).encrypt(plaintext)
+        decrypted = CFB(KEY, IV).decrypt(_flip_bit(ciphertext, 3))
+        diff_b0 = sum(bin(a ^ b).count("1")
+                      for a, b in zip(decrypted[:16], plaintext[:16]))
+        assert diff_b0 == 1
+        assert decrypted[16:32] != plaintext[16:32]
+        assert decrypted[32:] == plaintext[32:]
+
+    def test_ecb_damage_confined_to_block(self):
+        plaintext = bytes(64)
+        ciphertext = ECB(KEY).encrypt(plaintext)
+        decrypted = ECB(KEY).decrypt(_flip_bit(ciphertext, 0))
+        assert decrypted[:16] != plaintext[:16]
+        assert decrypted[16:] == plaintext[16:]

@@ -1,0 +1,54 @@
+"""Tests for MS-SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.metrics import ms_ssim, video_ms_ssim
+from repro.video import VideoSequence
+
+
+def _texture(seed=0, size=96):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(128, 30, (size // 8, size // 8))
+    img = np.kron(base, np.ones((8, 8)))
+    img += rng.normal(0, 10, img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+class TestMSSSIM:
+    def test_identical_is_one(self):
+        img = _texture()
+        assert ms_ssim(img, img) == pytest.approx(1.0, abs=1e-9)
+
+    def test_damage_reduces_score(self):
+        img = _texture()
+        damaged = img.copy()
+        damaged[20:60, 20:60] = 0
+        assert ms_ssim(img, damaged) < 0.95
+
+    def test_ordering_with_damage_extent(self):
+        img = _texture()
+        small = img.copy()
+        small[20:30, 20:30] = 0
+        large = img.copy()
+        large[10:70, 10:70] = 0
+        assert ms_ssim(img, small) > ms_ssim(img, large)
+
+    def test_small_frames_use_fewer_scales(self):
+        img = _texture(size=32)
+        assert ms_ssim(img, img) == pytest.approx(1.0, abs=1e-9)
+
+    def test_too_small_raises(self):
+        tiny = np.zeros((8, 8), dtype=np.uint8)
+        with pytest.raises(VideoFormatError):
+            ms_ssim(tiny, tiny)
+
+    def test_empty_weights_raise(self):
+        img = _texture(size=32)
+        with pytest.raises(VideoFormatError):
+            ms_ssim(img, img, weights=())
+
+    def test_video_wrapper(self):
+        video = VideoSequence([_texture(0), _texture(1)])
+        assert video_ms_ssim(video, video) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.metrics import PSNR_CAP, mse, psnr, quality_change_db, video_psnr
+from repro.video import VideoSequence
+
+
+def _flat(value):
+    return np.full((32, 32), value, dtype=np.uint8)
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        assert mse(_flat(10), _flat(10)) == 0.0
+
+    def test_constant_offset(self):
+        assert mse(_flat(10), _flat(13)) == pytest.approx(9.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(VideoFormatError):
+            mse(_flat(0), np.zeros((16, 16), dtype=np.uint8))
+
+
+class TestPSNR:
+    def test_identical_capped(self):
+        assert psnr(_flat(100), _flat(100)) == PSNR_CAP
+
+    def test_known_value(self):
+        # MSE = 25 -> PSNR = 10 log10(255^2/25) = 34.15 dB
+        assert psnr(_flat(10), _flat(15)) == pytest.approx(34.1514, abs=1e-3)
+
+    def test_monotone_in_error(self):
+        assert psnr(_flat(10), _flat(12)) > psnr(_flat(10), _flat(20))
+
+    def test_worst_case(self):
+        assert psnr(_flat(0), _flat(255)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestVideoPSNR:
+    def test_frame_average(self):
+        ref = VideoSequence([_flat(10), _flat(10)])
+        test = VideoSequence([_flat(10), _flat(15)])
+        expected = (PSNR_CAP + psnr(_flat(10), _flat(15))) / 2
+        assert video_psnr(ref, test) == pytest.approx(expected)
+
+    def test_quality_change_negative_for_damage(self):
+        raw = VideoSequence([_flat(10)])
+        clean = VideoSequence([_flat(11)])
+        damaged = VideoSequence([_flat(40)])
+        assert quality_change_db(raw, clean, damaged) < 0
+
+    def test_quality_change_zero_for_same(self):
+        raw = VideoSequence([_flat(10)])
+        clean = VideoSequence([_flat(11)])
+        assert quality_change_db(raw, clean, clean) == 0.0

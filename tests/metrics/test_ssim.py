@@ -1,0 +1,69 @@
+"""Tests for SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.metrics import gaussian_kernel, ssim, ssim_map, video_ssim
+from repro.video import VideoSequence
+
+
+def _texture(seed=0, size=48):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (size, size)).astype(np.uint8)
+
+
+class TestGaussianKernel:
+    def test_normalized(self):
+        kernel = gaussian_kernel(11, 1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel(11, 1.5)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_rejects_even_size(self):
+        with pytest.raises(VideoFormatError):
+            gaussian_kernel(10)
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        img = _texture()
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self):
+        img = _texture()
+        noisy = np.clip(img.astype(int)
+                        + np.random.default_rng(1).normal(0, 20, img.shape),
+                        0, 255).astype(np.uint8)
+        value = ssim(img, noisy)
+        assert 0.0 < value < 0.99
+
+    def test_more_noise_lower_ssim(self):
+        img = _texture()
+        rng = np.random.default_rng(2)
+        noise = rng.normal(0, 1, img.shape)
+        mild = np.clip(img + 5 * noise, 0, 255).astype(np.uint8)
+        harsh = np.clip(img + 40 * noise, 0, 255).astype(np.uint8)
+        assert ssim(img, mild) > ssim(img, harsh)
+
+    def test_map_shape_valid_region(self):
+        img = _texture(size=48)
+        out = ssim_map(img, img)
+        assert out.shape == (38, 38)  # 48 - 11 + 1
+
+    def test_too_small_frame_raises(self):
+        tiny = np.zeros((8, 8), dtype=np.uint8)
+        with pytest.raises(VideoFormatError):
+            ssim(tiny, tiny)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(VideoFormatError):
+            ssim(_texture(size=48), _texture(size=32))
+
+
+class TestVideoSSIM:
+    def test_identical_video(self):
+        video = VideoSequence([_texture(0), _texture(1)])
+        assert video_ssim(video, video) == pytest.approx(1.0)

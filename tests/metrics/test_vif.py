@@ -1,0 +1,49 @@
+"""Tests for VIFP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.metrics import video_vifp, vifp
+from repro.video import VideoSequence
+
+
+def _texture(seed=0, size=96):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(128, 30, (size // 8, size // 8))
+    img = np.kron(base, np.ones((8, 8)))
+    return np.clip(img + rng.normal(0, 8, img.shape), 0, 255).astype(np.uint8)
+
+
+class TestVIFP:
+    def test_identical_is_one(self):
+        img = _texture()
+        assert vifp(img, img) == pytest.approx(1.0, abs=1e-6)
+
+    def test_noise_reduces_fidelity(self):
+        img = _texture()
+        rng = np.random.default_rng(3)
+        noisy = np.clip(img + rng.normal(0, 25, img.shape), 0,
+                        255).astype(np.uint8)
+        assert vifp(img, noisy) < 0.9
+
+    def test_monotone_in_noise(self):
+        img = _texture()
+        rng = np.random.default_rng(4)
+        noise = rng.normal(0, 1, img.shape)
+        mild = np.clip(img + 5 * noise, 0, 255).astype(np.uint8)
+        harsh = np.clip(img + 50 * noise, 0, 255).astype(np.uint8)
+        assert vifp(img, mild) > vifp(img, harsh)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(VideoFormatError):
+            vifp(_texture(size=96), _texture(size=32))
+
+    def test_invalid_scales(self):
+        img = _texture()
+        with pytest.raises(VideoFormatError):
+            vifp(img, img, scales=0)
+
+    def test_video_wrapper(self):
+        video = VideoSequence([_texture(0), _texture(1)])
+        assert video_vifp(video, video) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,137 @@
+"""Tests for the BCH codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bch import BCHCode, get_bch_code
+
+
+@pytest.fixture(scope="module")
+def bch6():
+    return get_bch_code(6)
+
+
+def _random_data(seed, bits=512):
+    return np.random.default_rng(seed).integers(0, 2, bits).astype(np.uint8)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("t,expected_parity", [
+        (1, 10), (6, 60), (7, 70), (8, 80), (9, 90), (10, 100),
+        (11, 110), (16, 160),
+    ])
+    def test_parity_bits_are_10t(self, t, expected_parity):
+        """The paper's Figure 8 overheads depend on parity == 10 * t."""
+        assert get_bch_code(t).parity_bits == expected_parity
+
+    def test_overhead_matches_paper(self):
+        assert get_bch_code(6).overhead == pytest.approx(0.117, abs=0.001)
+        assert get_bch_code(16).overhead == pytest.approx(0.3125, abs=0.001)
+
+    def test_rejects_zero_t(self):
+        with pytest.raises(StorageError):
+            BCHCode(0)
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(StorageError):
+            BCHCode(16, data_bits=1000)
+
+
+class TestEncode:
+    def test_systematic_prefix(self, bch6):
+        data = _random_data(0)
+        codeword = bch6.encode(data)
+        assert np.array_equal(codeword[:512], data)
+        assert codeword.size == bch6.block_bits
+
+    def test_rejects_wrong_size(self, bch6):
+        with pytest.raises(StorageError):
+            bch6.encode(np.zeros(100, dtype=np.uint8))
+
+    def test_deterministic(self, bch6):
+        data = _random_data(1)
+        assert np.array_equal(bch6.encode(data), bch6.encode(data))
+
+
+class TestDecode:
+    def test_clean_codeword(self, bch6):
+        data = _random_data(2)
+        result = bch6.decode(bch6.encode(data))
+        assert result.success and result.corrected_errors == 0
+        assert np.array_equal(result.data, data)
+
+    @pytest.mark.parametrize("errors", [1, 2, 3, 4, 5, 6])
+    def test_corrects_up_to_t(self, bch6, errors):
+        rng = np.random.default_rng(errors)
+        data = _random_data(errors)
+        codeword = bch6.encode(data)
+        positions = rng.choice(bch6.block_bits, errors, replace=False)
+        codeword[positions] ^= 1
+        result = bch6.decode(codeword)
+        assert result.success
+        assert result.corrected_errors == errors
+        assert np.array_equal(result.data, data)
+
+    def test_parity_area_errors_corrected(self, bch6):
+        """The codes are self-correcting: flips in the parity bits count
+        against t but the data still comes back clean."""
+        data = _random_data(3)
+        codeword = bch6.encode(data)
+        codeword[-3:] ^= 1  # three parity-bit errors
+        result = bch6.decode(codeword)
+        assert result.success
+        assert np.array_equal(result.data, data)
+
+    def test_beyond_t_reported_failed(self, bch6):
+        rng = np.random.default_rng(9)
+        failures = 0
+        for trial in range(5):
+            data = _random_data(trial + 100)
+            codeword = bch6.encode(data)
+            positions = rng.choice(bch6.block_bits, bch6.t + 2,
+                                   replace=False)
+            codeword[positions] ^= 1
+            if not bch6.decode(codeword).success:
+                failures += 1
+        assert failures >= 4  # t+2 errors are essentially always detected
+
+    def test_failed_decode_returns_received_bits(self, bch6):
+        rng = np.random.default_rng(10)
+        data = _random_data(11)
+        codeword = bch6.encode(data)
+        positions = rng.choice(bch6.block_bits, bch6.t + 3, replace=False)
+        codeword[positions] ^= 1
+        result = bch6.decode(codeword)
+        if not result.success:
+            assert np.array_equal(result.data, codeword[:512])
+
+    def test_rejects_wrong_size(self, bch6):
+        with pytest.raises(StorageError):
+            bch6.decode(np.zeros(100, dtype=np.uint8))
+
+    @given(seed=st.integers(0, 10_000), errors=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, errors):
+        code = get_bch_code(3, data_bits=64)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        codeword = code.encode(data)
+        if errors:
+            positions = rng.choice(code.block_bits, errors, replace=False)
+            codeword[positions] ^= 1
+        result = code.decode(codeword)
+        assert result.success
+        assert np.array_equal(result.data, data)
+
+    def test_small_code_strong_t(self):
+        code = get_bch_code(16, data_bits=128)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 128).astype(np.uint8)
+        codeword = code.encode(data)
+        positions = rng.choice(code.block_bits, 16, replace=False)
+        codeword[positions] ^= 1
+        result = code.decode(codeword)
+        assert result.success
+        assert np.array_equal(result.data, data)

@@ -1,0 +1,80 @@
+"""Tests for density accounting."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    NONE_SCHEME,
+    PRECISE_SCHEME,
+    density_report,
+    ideal_density,
+    scheme_by_name,
+    slc_density,
+    uniform_density,
+)
+
+
+class TestDensityReport:
+    def test_single_raw_stream(self):
+        report = density_report({NONE_SCHEME: 3000}, 0, 1000)
+        assert report.stored_bits == 3000
+        assert report.cells == 1000.0
+        assert report.cells_per_pixel == 1.0
+        assert report.pixels_per_cell == 1.0
+
+    def test_parity_counted(self):
+        scheme = scheme_by_name("BCH-6")
+        report = density_report({scheme: 512}, 0, 1000)
+        assert report.stored_bits == 512 + 60
+
+    def test_headers_protected_precisely(self):
+        report = density_report({NONE_SCHEME: 0}, 512, 1000)
+        assert report.stored_bits == 512 + 160  # BCH-16 parity
+
+    def test_overhead_fraction(self):
+        scheme = scheme_by_name("BCH-16")
+        report = density_report({scheme: 512}, 0, 1000)
+        assert report.ecc_overhead == pytest.approx(160 / 512)
+
+    def test_rejects_zero_pixels(self):
+        with pytest.raises(StorageError):
+            density_report({NONE_SCHEME: 10}, 0, 0)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(StorageError):
+            density_report({NONE_SCHEME: -1}, 0, 10)
+
+
+class TestBaselines:
+    def test_uniform_uses_precise_everywhere(self):
+        report = uniform_density(512 * 10, 1000)
+        assert report.ecc_overhead == pytest.approx(0.3125)
+
+    def test_ideal_has_no_overhead(self):
+        report = ideal_density(3000, 1000)
+        assert report.ecc_overhead == 0.0
+        assert report.cells == 1000.0
+
+    def test_slc_one_bit_per_cell(self):
+        report = slc_density(3000, 1000)
+        assert report.cells == 3000.0
+
+    def test_paper_headline_ratios(self):
+        """With ~16.6% average overhead, the paper's Figure 11 ratios
+        emerge: ~2.57x vs SLC and ~12.5% over uniform MLC."""
+        bits = 512 * 1000
+        pixels = 100_000
+        # Mimic the paper's measured mix: mostly BCH-6/7 with some raw.
+        mix = {
+            NONE_SCHEME: int(bits * 0.06),
+            scheme_by_name("BCH-6"): int(bits * 0.55),
+            scheme_by_name("BCH-7"): int(bits * 0.2),
+            scheme_by_name("BCH-9"): int(bits * 0.12),
+            scheme_by_name("BCH-10"): int(bits * 0.07),
+        }
+        variable = density_report(mix, 0, pixels)
+        uniform = uniform_density(sum(mix.values()), pixels)
+        slc = slc_density(sum(mix.values()), pixels)
+        assert slc.cells / variable.cells == pytest.approx(2.57, abs=0.2)
+        assert uniform.cells / variable.cells - 1 == pytest.approx(
+            0.125, abs=0.05)

@@ -1,0 +1,145 @@
+"""Tests for the approximate storage device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    ApproximateDevice,
+    MLCCellModel,
+    NONE_SCHEME,
+    PRECISE_SCHEME,
+    bits_to_bytes,
+    bytes_to_bits,
+    scheme_by_name,
+)
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(StorageError):
+            bits_to_bytes(np.zeros(7, dtype=np.uint8))
+
+
+class TestAccounting:
+    def test_raw_stores_data_bits_only(self):
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        assert device.stored_bits(1024, NONE_SCHEME) == 1024
+
+    def test_coded_adds_parity_per_block(self):
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        scheme = scheme_by_name("BCH-6")
+        assert device.stored_bits(512, scheme) == 512 + 60
+        assert device.stored_bits(513, scheme) == 513 + 120  # 2 blocks
+
+    def test_cells_used(self):
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        assert device.cells_used(512 * 3, NONE_SCHEME) == 512
+
+
+class TestAnalyticMode:
+    def test_strong_scheme_returns_clean(self, rng):
+        device = ApproximateDevice(rng=rng)
+        data = bytes(rng.integers(0, 256, 2048, dtype=np.uint8))
+        out, report = device.store_and_read(data, PRECISE_SCHEME)
+        assert out == data
+        assert report.failed_blocks == 0 and report.flipped_bits == 0
+
+    def test_raw_scheme_flips_at_rber(self, rng):
+        device = ApproximateDevice(rng=rng)
+        data = bytes(200_000)
+        out, report = device.store_and_read(data, NONE_SCHEME)
+        expected = device.raw_ber * 8 * len(data)
+        assert report.flipped_bits == pytest.approx(expected, rel=0.6)
+        assert len(out) == len(data)
+
+    def test_block_failures_track_rate(self, rng):
+        """Raise the substrate error rate so BCH-6 fails measurably and
+        compare to the binomial prediction."""
+        noisy = MLCCellModel(write_sigma=0.055)  # much worse cells
+        device = ApproximateDevice(cell_model=noisy, rng=rng)
+        scheme = scheme_by_name("BCH-6")
+        data = bytes(512 * 200 // 8)
+        _out, report = device.store_and_read(data, scheme)
+        expected = scheme.block_failure_rate(device.raw_ber) * report.blocks
+        assert report.blocks == 200
+        assert abs(report.failed_blocks - expected) <= max(
+            5 * np.sqrt(expected), 5)
+
+    def test_report_sizes(self, rng):
+        device = ApproximateDevice(rng=rng)
+        scheme = scheme_by_name("BCH-8")
+        data = bytes(512 // 8 * 3)
+        _out, report = device.store_and_read(data, scheme)
+        assert report.data_bits == 512 * 3
+        assert report.stored_bits == 3 * (512 + 80)
+
+
+class TestExactMode:
+    def test_exact_bch_corrects_substrate_errors(self, rng):
+        """End-to-end: encode -> MLC write/read with real noise ->
+        BCH decode. At the nominal 1e-3 substrate, BCH-16 over a few
+        blocks must come back clean."""
+        device = ApproximateDevice(rng=rng, exact=True)
+        data = bytes(rng.integers(0, 256, 512 // 8 * 4, dtype=np.uint8))
+        out, report = device.store_and_read(data, PRECISE_SCHEME)
+        assert out == data
+        assert report.failed_blocks == 0
+
+    def test_exact_raw_matches_substrate_ber(self, rng):
+        device = ApproximateDevice(rng=rng, exact=True)
+        data = bytes(30_000)
+        _out, report = device.store_and_read(data, NONE_SCHEME)
+        expected = device.raw_ber * 8 * len(data)
+        assert report.flipped_bits == pytest.approx(expected, rel=0.8)
+
+    def test_exact_weak_code_on_noisy_cells_fails_sometimes(self, rng):
+        noisy = MLCCellModel(write_sigma=0.06)
+        device = ApproximateDevice(cell_model=noisy, rng=rng, exact=True)
+        scheme = scheme_by_name("BCH-6")
+        data = bytes(rng.integers(0, 256, 512 * 30 // 8, dtype=np.uint8))
+        out, report = device.store_and_read(data, scheme)
+        assert report.blocks == 30
+        # With ~6% sigma the raw BER is far above 1e-3; some blocks
+        # exceed t=6 errors and surface flips.
+        assert report.failed_blocks > 0
+        assert out != data
+
+
+class TestAccountingProperties:
+    """Property tests of the device's storage arithmetic."""
+
+    def test_stored_bits_monotone_in_data(self, rng):
+        device = ApproximateDevice(rng=rng)
+        scheme = scheme_by_name("BCH-8")
+        previous = 0
+        for bits in range(0, 4096, 128):
+            stored = device.stored_bits(bits, scheme)
+            assert stored >= previous
+            assert stored >= bits
+            previous = stored
+
+    def test_overhead_bounded_by_scheme(self, rng):
+        """Per-block padding can only push the realized overhead above
+        the nominal ratio for tiny payloads, never below it."""
+        device = ApproximateDevice(rng=rng)
+        scheme = scheme_by_name("BCH-6")
+        for blocks in (1, 3, 17):
+            data_bits = scheme.data_bits * blocks
+            stored = device.stored_bits(data_bits, scheme)
+            assert stored - data_bits == blocks * scheme.parity_bits
+
+    def test_analytic_and_exact_agree_on_accounting(self, rng):
+        analytic = ApproximateDevice(rng=np.random.default_rng(0))
+        exact = ApproximateDevice(rng=np.random.default_rng(0), exact=True)
+        scheme = scheme_by_name("BCH-6")
+        data = bytes(512 // 8 * 2)
+        _out_a, report_a = analytic.store_and_read(data, scheme)
+        _out_e, report_e = exact.store_and_read(data, scheme)
+        assert report_a.stored_bits == report_e.stored_bits
+        assert report_a.cells_used == report_e.cells_used
+        assert report_a.blocks == report_e.blocks

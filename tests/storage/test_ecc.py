@@ -1,0 +1,98 @@
+"""Tests for the ECC scheme registry and analytic rates."""
+
+import math
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    ECCScheme,
+    NONE_SCHEME,
+    PRECISE_SCHEME,
+    SCHEME_MENU,
+    binomial_tail,
+    figure8_table,
+    scheme_by_name,
+    scheme_for_target_rate,
+)
+
+
+class TestBinomialTail:
+    def test_matches_exact_small_case(self):
+        # P[Bin(4, 0.5) > 1] = 1 - (1 + 4)/16 = 11/16
+        assert binomial_tail(4, 0.5, 1) == pytest.approx(11 / 16)
+
+    def test_zero_probability(self):
+        assert binomial_tail(100, 0.0, 3) == 0.0
+
+    def test_certain_failure(self):
+        assert binomial_tail(10, 1.0, 5) == 1.0
+        assert binomial_tail(10, 1.0, 10) == 0.0
+
+    def test_poisson_regime(self):
+        """For n*p << 1 the tail matches the Poisson approximation."""
+        n, p, t = 572, 1e-3, 6
+        lam = n * p
+        poisson = math.exp(-lam) * lam ** (t + 1) / math.factorial(t + 1)
+        assert binomial_tail(n, p, t) == pytest.approx(poisson, rel=0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(StorageError):
+            binomial_tail(10, 1.5, 2)
+
+
+class TestSchemes:
+    def test_figure8_overheads(self):
+        """The paper's quoted overheads: 11.7% (BCH-6) .. 31.3% (BCH-16)."""
+        assert scheme_by_name("BCH-6").overhead == pytest.approx(0.1172,
+                                                                 abs=1e-3)
+        assert scheme_by_name("BCH-16").overhead == pytest.approx(0.3125,
+                                                                  abs=1e-3)
+
+    def test_figure8_capabilities_ladder(self):
+        """Each extra correctable error buys roughly an order of
+        magnitude, landing near the paper's 1e-6 .. 1e-16 ladder."""
+        rates = [scheme_by_name(f"BCH-{t}").block_failure_rate()
+                 for t in (6, 7, 8, 9, 10, 11)]
+        for stronger, weaker in zip(rates[1:], rates[:-1]):
+            assert stronger < weaker / 5
+        assert 1e-7 < rates[0] < 1e-5  # paper: ~1e-6 for BCH-6
+        assert PRECISE_SCHEME.block_failure_rate() < 1e-16
+
+    def test_none_scheme_passes_raw_rate(self):
+        assert NONE_SCHEME.block_failure_rate(1e-3) == 1e-3
+        assert NONE_SCHEME.overhead == 0.0
+
+    def test_residual_ber_below_block_rate(self):
+        scheme = scheme_by_name("BCH-6")
+        assert scheme.residual_bit_error_rate() < scheme.block_failure_rate()
+
+    def test_menu_sorted_reachable(self):
+        names = {s.name for s in SCHEME_MENU}
+        assert {"None", "BCH-6", "BCH-16"} <= names
+
+    def test_unknown_scheme(self):
+        with pytest.raises(StorageError):
+            scheme_by_name("BCH-99")
+
+
+class TestTargetLookup:
+    def test_weakest_sufficient_scheme(self):
+        # BCH-6's exact tail is 2.3e-6 (the paper rounds to "~1e-6").
+        assert scheme_for_target_rate(3e-6).name == "BCH-6"
+        assert scheme_for_target_rate(1e-6).name == "BCH-7"
+
+    def test_raw_when_target_loose(self):
+        assert scheme_for_target_rate(1e-2).name == "None"
+
+    def test_unreachable_target(self):
+        with pytest.raises(StorageError):
+            scheme_for_target_rate(1e-30)
+
+    def test_figure8_table_rows(self):
+        rows = figure8_table()
+        assert len(rows) == 7
+        overheads = [r["overhead_percent"] for r in rows]
+        assert overheads == sorted(overheads)
+        rates = [r["uncorrectable_rate"] for r in rows]
+        assert rates == sorted(rates, reverse=True)

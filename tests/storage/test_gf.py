@@ -1,0 +1,108 @@
+"""Tests for GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.gf import GF2m
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2m(10)
+
+
+class TestFieldAxioms:
+    @given(a=st.integers(1, 1023), b=st.integers(1, 1023))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_commutative(self, a, b):
+        field = GF2m(10)
+        assert field.multiply(a, b) == field.multiply(b, a)
+
+    @given(a=st.integers(1, 1023), b=st.integers(1, 1023),
+           c=st.integers(1, 1023))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_associative(self, a, b, c):
+        field = GF2m(10)
+        assert field.multiply(field.multiply(a, b), c) == \
+            field.multiply(a, field.multiply(b, c))
+
+    @given(a=st.integers(1, 1023))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse(self, a):
+        field = GF2m(10)
+        assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_zero_annihilates(self, field):
+        assert field.multiply(0, 55) == 0
+        assert field.multiply(55, 0) == 0
+
+    def test_zero_has_no_inverse(self, field):
+        with pytest.raises(StorageError):
+            field.inverse(0)
+
+    def test_one_is_identity(self, field):
+        for value in (1, 2, 100, 1023):
+            assert field.multiply(value, 1) == value
+
+
+class TestPowers:
+    def test_alpha_powers_cycle(self, field):
+        assert field.alpha_power(0) == 1
+        assert field.alpha_power(field.order) == 1
+        assert field.alpha_power(1) == 2  # alpha = x = 2 for this poly
+
+    def test_power_matches_repeated_multiply(self, field):
+        value = 37
+        product = 1
+        for exponent in range(8):
+            assert field.power(value, exponent) == product
+            product = field.multiply(product, value)
+
+    def test_negative_power(self, field):
+        assert field.power(37, -1) == field.inverse(37)
+
+    def test_zero_powers(self, field):
+        assert field.power(0, 0) == 1
+        assert field.power(0, 5) == 0
+        with pytest.raises(StorageError):
+            field.power(0, -1)
+
+    def test_vectorized_alpha_powers(self, field):
+        exponents = np.array([0, 1, 5, 1023, 2046])
+        values = field.alpha_powers(exponents)
+        assert values[0] == 1
+        assert values[3] == 1  # wraps at the group order
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, field):
+        assert field.poly_eval([7], 3) == 7
+
+    def test_poly_eval_linear(self, field):
+        # p(x) = 1 + x at x = alpha: 1 ^ alpha.
+        alpha = field.alpha_power(1)
+        assert field.poly_eval([1, 1], alpha) == 1 ^ alpha
+
+    def test_poly_multiply_degree(self, field):
+        a = [1, 1]       # 1 + x
+        b = [1, 0, 1]    # 1 + x^2
+        product = field.poly_multiply(a, b)
+        assert len(product) == 4
+
+    def test_minimal_polynomial_is_binary_and_annihilates(self, field):
+        for exponent in (1, 3, 5):
+            poly = field.minimal_polynomial(exponent)
+            assert all(c in (0, 1) for c in poly)
+            root = field.alpha_power(exponent)
+            assert field.poly_eval(poly, root) == 0
+
+    def test_minimal_polynomial_degree_divides_m(self, field):
+        for exponent in (1, 3, 33):
+            degree = len(field.minimal_polynomial(exponent)) - 1
+            assert 10 % degree == 0
+
+    def test_unsupported_m(self):
+        with pytest.raises(StorageError):
+            GF2m(25)

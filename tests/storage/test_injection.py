@@ -1,0 +1,146 @@
+"""Tests for Monte Carlo bit-flip injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import (
+    flip_bit,
+    inject_into_payloads,
+    inject_single_flip,
+    occurrence_probability,
+    rare_event_scale,
+    sample_flip_count,
+)
+
+
+def _count_bit_diffs(a, b):
+    arr_a = np.unpackbits(np.frombuffer(a, dtype=np.uint8))
+    arr_b = np.unpackbits(np.frombuffer(b, dtype=np.uint8))
+    return int(np.sum(arr_a != arr_b))
+
+
+class TestFlipBit:
+    def test_flips_msb_first(self):
+        buffer = bytearray(b"\x00")
+        flip_bit(buffer, 0)
+        assert buffer == bytearray(b"\x80")
+
+    def test_flip_is_involution(self):
+        buffer = bytearray(b"\xa5\x5a")
+        flip_bit(buffer, 11)
+        flip_bit(buffer, 11)
+        assert buffer == bytearray(b"\xa5\x5a")
+
+    def test_out_of_range(self):
+        with pytest.raises(StorageError):
+            flip_bit(bytearray(b"\x00"), 8)
+
+
+class TestSampleFlipCount:
+    def test_zero_rate_zero_flips(self, rng):
+        count, forced = sample_flip_count(10_000, 0.0, rng)
+        assert count == 0 and not forced
+
+    def test_forced_minimum(self, rng):
+        count, forced = sample_flip_count(100, 1e-12, rng,
+                                          force_at_least_one=True)
+        assert count == 1 and forced
+
+    def test_no_force_flag(self, rng):
+        count, forced = sample_flip_count(100, 1e-12, rng)
+        assert count == 0 and not forced
+
+    def test_mean_tracks_binomial(self, rng):
+        counts = [sample_flip_count(10_000, 0.01, rng)[0]
+                  for _ in range(200)]
+        assert np.mean(counts) == pytest.approx(100, rel=0.15)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(StorageError):
+            sample_flip_count(10, 1.5, rng)
+
+
+class TestOccurrence:
+    def test_matches_closed_form(self):
+        assert occurrence_probability(100, 0.01) == pytest.approx(
+            1 - 0.99 ** 100)
+
+    def test_zero_bits(self):
+        assert occurrence_probability(0, 0.5) == 0.0
+
+    def test_scale_equals_occurrence(self):
+        assert rare_event_scale(1000, 1e-6) == pytest.approx(
+            occurrence_probability(1000, 1e-6))
+
+    def test_tiny_rate_stays_accurate(self):
+        value = occurrence_probability(10_000, 1e-12)
+        assert value == pytest.approx(1e-8, rel=1e-3)
+
+
+class TestInjectIntoPayloads:
+    def test_sizes_preserved(self, rng):
+        payloads = [b"\x00" * 100, b"\xff" * 50]
+        result = inject_into_payloads(payloads, 0.05, rng)
+        assert [len(p) for p in result.payloads] == [100, 50]
+
+    def test_flip_count_matches_report(self, rng):
+        payloads = [bytes(200)]
+        result = inject_into_payloads(payloads, 0.05, rng)
+        assert _count_bit_diffs(payloads[0], result.payloads[0]) == \
+            result.num_flips
+
+    def test_inputs_not_mutated(self, rng):
+        payloads = [bytes(100)]
+        inject_into_payloads(payloads, 0.5, rng)
+        assert payloads[0] == bytes(100)
+
+    def test_respects_ranges(self, rng):
+        payloads = [bytes(100)]
+        ranges = [(0, 0, 64)]  # first 8 bytes only
+        for _ in range(10):
+            result = inject_into_payloads(payloads, 0.2, rng, ranges=ranges)
+            assert result.payloads[0][8:] == bytes(92)
+
+    def test_ranges_across_payloads(self, rng):
+        payloads = [bytes(10), bytes(10)]
+        ranges = [(0, 0, 8), (1, 72, 80)]
+        result = inject_into_payloads(payloads, 1.0, rng, ranges=ranges)
+        assert result.num_flips == 16
+        assert result.payloads[0][0] == 0xFF
+        assert result.payloads[1][9] == 0xFF
+        assert result.payloads[0][1:] == bytes(9)
+
+    def test_rate_one_flips_everything(self, rng):
+        payloads = [b"\x00" * 10]
+        result = inject_into_payloads(payloads, 1.0, rng)
+        assert result.payloads[0] == b"\xff" * 10
+
+    def test_forced_flag_surfaces(self, rng):
+        result = inject_into_payloads([bytes(10)], 1e-12, rng,
+                                      force_at_least_one=True)
+        assert result.forced and result.num_flips == 1
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(StorageError):
+            inject_into_payloads([bytes(4)], 0.1, rng, ranges=[(0, 0, 64)])
+        with pytest.raises(StorageError):
+            inject_into_payloads([bytes(4)], 0.1, rng, ranges=[(3, 0, 8)])
+
+    @given(seed=st.integers(0, 1000), rate=st.floats(0.001, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_flip_count_property(self, seed, rate):
+        rng = np.random.default_rng(seed)
+        payloads = [bytes(64)]
+        result = inject_into_payloads(payloads, rate, rng)
+        assert _count_bit_diffs(payloads[0], result.payloads[0]) == \
+            result.num_flips
+
+
+class TestSingleFlip:
+    def test_exactly_one_bit(self):
+        payloads = [bytes(10), bytes(10)]
+        out = inject_single_flip(payloads, 1, 37)
+        assert _count_bit_diffs(payloads[0], out[0]) == 0
+        assert _count_bit_diffs(payloads[1], out[1]) == 1

@@ -1,0 +1,128 @@
+"""Tests for the MLC PCM cell model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import MLCCellModel, calibrated_model, gray_code, gray_decode
+
+
+class TestGrayCode:
+    @given(st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_code(value)) == value
+
+    def test_adjacent_levels_differ_by_one_bit(self):
+        for level in range(7):
+            diff = gray_code(level) ^ gray_code(level + 1)
+            assert bin(diff).count("1") == 1
+
+
+class TestModelConstruction:
+    def test_default_is_8_levels_3_bits(self):
+        model = MLCCellModel()
+        assert model.levels == 8
+        assert model.bits_per_cell == 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(StorageError):
+            MLCCellModel(levels=6)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(StorageError):
+            MLCCellModel(write_sigma=0.0)
+
+    def test_level_positions_monotone(self):
+        model = MLCCellModel()
+        assert np.all(np.diff(model.level_positions) > 0)
+        assert np.all(np.diff(model.read_thresholds) > 0)
+
+    def test_drift_compensation(self):
+        """Written positions sit below their read-time targets so that
+        mean drift carries them onto the targets at scrub time."""
+        model = MLCCellModel()
+        assert model.level_positions[-1] < 1.0
+        drifted = model.level_positions + (
+            model.drift_coefficient * model.level_positions
+            * np.log10(1 + model.scrub_interval_days))
+        assert np.allclose(drifted, model.read_targets, atol=1e-12)
+        assert model.read_targets[0] == 0.0
+        assert model.read_targets[-1] == pytest.approx(1.0)
+
+    def test_scrub_interval_matters(self):
+        """Stochastic drift accumulates: a lazier scrub schedule reads
+        cells with more drift noise and a higher error rate."""
+        weekly = MLCCellModel(scrub_interval_days=7.0)
+        yearly = MLCCellModel(scrub_interval_days=365.0)
+        assert weekly.raw_bit_error_rate() < yearly.raw_bit_error_rate()
+
+    def test_error_equalization_across_levels(self):
+        """Noise-proportional spacing equalizes inner-level error rates
+        almost exactly (outer levels have one-sided tails)."""
+        rates = MLCCellModel().level_error_rates()
+        inner = rates[1:-1]
+        assert inner.max() < inner.min() * 1.2
+
+
+class TestErrorRates:
+    def test_default_hits_paper_rber(self):
+        """The paper's substrate: 8 levels, ~1e-3 raw BER at 3 months."""
+        ber = MLCCellModel().raw_bit_error_rate()
+        assert 5e-4 < ber < 2e-3
+
+    def test_error_grows_with_time(self):
+        model = MLCCellModel()
+        assert model.raw_bit_error_rate(365.0) > model.raw_bit_error_rate(90.0)
+
+    def test_error_minimized_near_scrub_time(self):
+        """Level placement anticipates drift: thresholds are tuned for
+        the scrub read point, so the error rate bottoms out there (fresh
+        reads are off-target and decade-long drift overshoots)."""
+        model = MLCCellModel()
+        at_scrub = model.raw_bit_error_rate()
+        assert at_scrub < model.raw_bit_error_rate(0.0)
+        assert at_scrub < model.raw_bit_error_rate(3650.0)
+
+    def test_fewer_levels_fewer_errors(self):
+        dense = MLCCellModel(levels=8)
+        sparse = MLCCellModel(levels=4)
+        assert sparse.raw_bit_error_rate() < dense.raw_bit_error_rate()
+
+    def test_level_rates_roughly_equalized(self):
+        """Non-uniform placement equalizes per-level error rates; inner
+        levels (two-sided) sit within ~2x of each other."""
+        rates = MLCCellModel().level_error_rates()
+        inner = rates[1:-1]
+        assert inner.max() < inner.min() * 3
+
+    def test_calibration(self):
+        model = calibrated_model(target_raw_ber=1e-4)
+        assert model.raw_bit_error_rate() == pytest.approx(1e-4, rel=0.05)
+
+
+class TestMonteCarlo:
+    def test_empirical_matches_analytic(self, rng):
+        model = MLCCellModel()
+        bits = rng.integers(0, 2, 3 * 100_000).astype(np.uint8)
+        out = model.write_and_read(bits, rng)
+        empirical = np.mean(bits != out)
+        analytic = model.raw_bit_error_rate()
+        assert empirical == pytest.approx(analytic, rel=0.5)
+
+    def test_noiseless_read_is_exact(self, rng):
+        model = MLCCellModel(write_sigma=1e-4, drift_coefficient=0.0)
+        bits = rng.integers(0, 2, 3 * 1000).astype(np.uint8)
+        assert np.array_equal(model.write_and_read(bits, rng), bits)
+
+    def test_rejects_misaligned_bits(self, rng):
+        model = MLCCellModel()
+        with pytest.raises(StorageError):
+            model.write_and_read(np.zeros(10, dtype=np.uint8), rng)
+
+    def test_cells_for_bits(self):
+        model = MLCCellModel()
+        assert model.cells_for_bits(3) == 1
+        assert model.cells_for_bits(4) == 2
+        assert model.cells_for_bits(0) == 0

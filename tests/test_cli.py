@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.video import frames_equal, read_raw_video
+
+
+@pytest.fixture()
+def clip(tmp_path):
+    path = tmp_path / "clip.ryuv"
+    assert main(["synth", str(path), "--width", "64", "--height", "48",
+                 "--frames", "6", "--seed", "3"]) == 0
+    return path
+
+
+class TestSynth:
+    def test_writes_requested_geometry(self, clip):
+        video = read_raw_video(clip)
+        assert len(video) == 6
+        assert video.width == 64 and video.height == 48
+
+    def test_seed_determinism(self, tmp_path):
+        a = tmp_path / "a.ryuv"
+        b = tmp_path / "b.ryuv"
+        main(["synth", str(a), "--frames", "3", "--seed", "9",
+              "--width", "32", "--height", "32"])
+        main(["synth", str(b), "--frames", "3", "--seed", "9",
+              "--width", "32", "--height", "32"])
+        assert frames_equal(read_raw_video(a), read_raw_video(b))
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, clip, tmp_path, capsys):
+        encoded = tmp_path / "clip.rvap"
+        decoded = tmp_path / "out.ryuv"
+        assert main(["encode", str(clip), str(encoded), "--crf", "26",
+                     "--gop", "6"]) == 0
+        assert main(["decode", str(encoded), str(decoded)]) == 0
+        out = read_raw_video(decoded)
+        original = read_raw_video(clip)
+        assert len(out) == len(original)
+        text = capsys.readouterr().out
+        assert "compression" in text
+
+    def test_cavlc_flag(self, clip, tmp_path):
+        encoded = tmp_path / "clip.rvap"
+        assert main(["encode", str(clip), str(encoded),
+                     "--entropy", "cavlc"]) == 0
+        assert encoded.stat().st_size > 0
+
+
+class TestAnalyze:
+    def test_prints_importance_stats(self, clip, capsys):
+        assert main(["analyze", str(clip), "--crf", "26",
+                     "--gop", "6"]) == 0
+        text = capsys.readouterr().out
+        assert "max importance" in text
+        assert "storage by importance class" in text
+
+
+class TestStore:
+    def test_reports_density_and_quality(self, clip, capsys):
+        assert main(["store", str(clip), "--crf", "26", "--gop", "6"]) == 0
+        text = capsys.readouterr().out
+        assert "cells/pixel" in text
+        assert "PSNR after storage" in text
+
+    def test_encrypted_store_with_output(self, clip, tmp_path, capsys):
+        out = tmp_path / "readback.ryuv"
+        assert main(["store", str(clip), "--crf", "26", "--gop", "6",
+                     "--encrypt", "--output", str(out)]) == 0
+        assert "True" in capsys.readouterr().out
+        assert len(read_raw_video(out)) == 6
+
+
+class TestModes:
+    def test_scorecard(self, capsys):
+        assert main(["modes"]) == 0
+        text = capsys.readouterr().out
+        assert "ECB" in text and "CTR" in text

@@ -1,0 +1,120 @@
+"""Tests for raw video containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video import (
+    VideoSequence,
+    frames_equal,
+    require_comparable,
+    sequences_comparable,
+    validate_frame,
+)
+
+
+def _frame(height=48, width=64, value=7):
+    return np.full((height, width), value, dtype=np.uint8)
+
+
+class TestValidateFrame:
+    def test_accepts_uint8_multiple_of_16(self):
+        out = validate_frame(_frame())
+        assert out.dtype == np.uint8 and out.shape == (48, 64)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(VideoFormatError):
+            validate_frame(np.zeros((2, 16, 16), dtype=np.uint8))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(VideoFormatError):
+            validate_frame(np.zeros((17, 32), dtype=np.uint8))
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(VideoFormatError):
+            validate_frame(np.zeros((16, 16), dtype=np.float64))
+
+    def test_converts_int_in_range(self):
+        out = validate_frame(np.full((16, 16), 200, dtype=np.int32))
+        assert out.dtype == np.uint8
+        assert int(out[0, 0]) == 200
+
+    def test_rejects_int_out_of_range(self):
+        with pytest.raises(VideoFormatError):
+            validate_frame(np.full((16, 16), 300, dtype=np.int32))
+
+    def test_rejects_empty(self):
+        with pytest.raises(VideoFormatError):
+            validate_frame(np.zeros((0, 0), dtype=np.uint8))
+
+
+class TestVideoSequence:
+    def test_basic_geometry(self):
+        video = VideoSequence([_frame()] * 3, fps=25.0)
+        assert len(video) == 3
+        assert video.width == 64 and video.height == 48
+        assert video.mb_cols == 4 and video.mb_rows == 3
+        assert video.macroblocks_per_frame == 12
+        assert video.total_pixels == 3 * 48 * 64
+
+    def test_rejects_mixed_shapes(self):
+        with pytest.raises(VideoFormatError):
+            VideoSequence([_frame(48, 64), _frame(48, 80)])
+
+    def test_rejects_nonpositive_fps(self):
+        with pytest.raises(VideoFormatError):
+            VideoSequence([_frame()], fps=0.0)
+
+    def test_empty_geometry_raises(self):
+        video = VideoSequence([])
+        with pytest.raises(VideoFormatError):
+            _ = video.width
+
+    def test_iteration_and_indexing(self):
+        frames = [_frame(value=i) for i in range(3)]
+        video = VideoSequence(frames)
+        assert int(video[1][0, 0]) == 1
+        assert [int(f[0, 0]) for f in video] == [0, 1, 2]
+
+    def test_copy_is_deep(self):
+        video = VideoSequence([_frame()])
+        clone = video.copy()
+        clone.frames[0][0, 0] = 99
+        assert int(video[0][0, 0]) == 7
+
+    def test_subsequence(self):
+        video = VideoSequence([_frame(value=i) for i in range(5)])
+        sub = video.subsequence(1, 3)
+        assert len(sub) == 2
+        assert int(sub[0][0, 0]) == 1
+
+    def test_array_roundtrip(self):
+        stack = np.stack([_frame(value=i) for i in range(4)])
+        video = VideoSequence.from_array(stack)
+        assert np.array_equal(video.to_array(), stack)
+
+    def test_from_array_rejects_2d(self):
+        with pytest.raises(VideoFormatError):
+            VideoSequence.from_array(_frame())
+
+
+class TestComparability:
+    def test_comparable(self):
+        a = VideoSequence([_frame()] * 2)
+        b = VideoSequence([_frame(value=9)] * 2)
+        assert sequences_comparable(a, b)
+        require_comparable(a, b)
+
+    def test_not_comparable_lengths(self):
+        a = VideoSequence([_frame()] * 2)
+        b = VideoSequence([_frame()])
+        assert not sequences_comparable(a, b)
+        with pytest.raises(VideoFormatError):
+            require_comparable(a, b)
+
+    def test_frames_equal(self):
+        a = VideoSequence([_frame()])
+        b = VideoSequence([_frame()])
+        c = VideoSequence([_frame(value=8)])
+        assert frames_equal(a, b)
+        assert not frames_equal(a, c)

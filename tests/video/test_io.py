@@ -1,0 +1,61 @@
+"""Tests for raw video file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video import (
+    SceneConfig,
+    VideoSequence,
+    frames_equal,
+    read_raw_video,
+    synthesize_scene,
+    write_raw_video,
+)
+
+
+@pytest.fixture()
+def video():
+    return synthesize_scene(SceneConfig(width=32, height=32, num_frames=3,
+                                        seed=2, num_objects=1))
+
+
+class TestRoundTrip:
+    def test_roundtrip_identity(self, tmp_path, video):
+        path = tmp_path / "clip.ryuv"
+        write_raw_video(path, video)
+        loaded = read_raw_video(path)
+        assert frames_equal(video, loaded)
+        assert loaded.fps == video.fps
+
+    def test_fps_preserved(self, tmp_path, video):
+        video.fps = 59.94
+        path = tmp_path / "clip.ryuv"
+        write_raw_video(path, video)
+        assert abs(read_raw_video(path).fps - 59.94) < 1e-9
+
+
+class TestErrors:
+    def test_refuses_empty_sequence(self, tmp_path):
+        with pytest.raises(VideoFormatError):
+            write_raw_video(tmp_path / "x.ryuv", VideoSequence([]))
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ryuv"
+        path.write_bytes(b"NOTAVIDEO")
+        with pytest.raises(VideoFormatError):
+            read_raw_video(path)
+
+    def test_rejects_truncated_file(self, tmp_path, video):
+        path = tmp_path / "trunc.ryuv"
+        write_raw_video(path, video)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - 100])
+        with pytest.raises(VideoFormatError):
+            read_raw_video(path)
+
+    def test_rejects_malformed_header(self, tmp_path):
+        path = tmp_path / "hdr.ryuv"
+        path.write_bytes(b"REPROYUV" + b"not numbers\n")
+        with pytest.raises(VideoFormatError):
+            read_raw_video(path)

@@ -1,0 +1,141 @@
+"""Tests for synthetic video generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video import (
+    MovingObject,
+    SceneConfig,
+    SUITE_PRESETS,
+    make_suite,
+    synthesize_scene,
+    textured_background,
+)
+
+
+class TestTexturedBackground:
+    def test_shape_and_range(self):
+        bg = textured_background(48, 64, seed=1)
+        assert bg.shape == (48, 64)
+        assert bg.min() >= 0.0 and bg.max() <= 255.0
+
+    def test_deterministic(self):
+        assert np.array_equal(textured_background(32, 32, seed=5),
+                              textured_background(32, 32, seed=5))
+
+    def test_seed_changes_content(self):
+        assert not np.array_equal(textured_background(32, 32, seed=5),
+                                  textured_background(32, 32, seed=6))
+
+    def test_has_spatial_structure(self):
+        bg = textured_background(64, 64, seed=2)
+        # Neighboring pixels should correlate far more than distant ones.
+        horizontal_diff = np.abs(np.diff(bg, axis=1)).mean()
+        assert horizontal_diff < bg.std()
+
+
+class TestMovingObject:
+    def test_bounces_off_edges(self):
+        obj = MovingObject(x=0.0, y=0.0, width=16, height=16,
+                           vx=-5.0, vy=0.0)
+        obj.step(64, 64)
+        assert obj.vx > 0
+
+    def test_render_within_canvas(self):
+        obj = MovingObject(x=10.0, y=5.0, width=16, height=16,
+                           vx=0.0, vy=0.0, brightness=250.0)
+        canvas = np.zeros((48, 64))
+        obj.render(canvas)
+        assert canvas.max() > 200.0
+        assert canvas[:5, :].max() == 0.0  # above the object untouched
+
+    def test_disc_mask_is_round(self):
+        obj = MovingObject(x=0, y=0, width=16, height=16, vx=0, vy=0,
+                           shape="disc")
+        mask = obj.mask()
+        assert mask[8, 8]
+        assert not mask[0, 0]
+
+    def test_unknown_shape_raises(self):
+        obj = MovingObject(x=0, y=0, width=8, height=8, vx=0, vy=0,
+                           shape="hexagon")
+        with pytest.raises(VideoFormatError):
+            obj.mask()
+
+
+class TestSynthesizeScene:
+    def test_geometry(self):
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=5, seed=3))
+        assert len(video) == 5
+        assert video.width == 64 and video.height == 48
+
+    def test_deterministic(self):
+        cfg = SceneConfig(width=64, height=48, num_frames=4, seed=9)
+        a = synthesize_scene(cfg)
+        b = synthesize_scene(cfg)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_motion_changes_frames(self):
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=4, seed=3,
+                                             num_objects=2))
+        assert not np.array_equal(video[0], video[3])
+
+    def test_temporal_redundancy(self):
+        """Consecutive frames must be far more similar than random ones:
+        that's what motion compensation exploits."""
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=6, seed=3,
+                                             num_objects=2))
+        consecutive = np.abs(video[1].astype(int) - video[0].astype(int))
+        assert consecutive.mean() < 30.0
+
+    def test_scene_cut_discontinuity(self):
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=8, seed=3,
+                                             num_objects=1, cut_every=4))
+        pre_cut = np.abs(video[3].astype(int) - video[2].astype(int)).mean()
+        at_cut = np.abs(video[4].astype(int) - video[3].astype(int)).mean()
+        assert at_cut > pre_cut * 2
+
+    def test_pan_moves_background(self):
+        video = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=6, seed=3,
+                                             num_objects=0,
+                                             pan_speed=(2.0, 0.0)))
+        assert not np.array_equal(video[0], video[5])
+
+    def test_noise_adds_variation(self):
+        quiet = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=2, seed=3,
+                                             num_objects=0))
+        noisy = synthesize_scene(SceneConfig(width=64, height=48,
+                                             num_frames=2, seed=3,
+                                             num_objects=0,
+                                             noise_sigma=3.0))
+        assert not np.array_equal(quiet[0], noisy[0])
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(VideoFormatError):
+            synthesize_scene(SceneConfig(num_frames=0))
+
+
+class TestSuite:
+    def test_full_suite(self):
+        suite = make_suite(width=64, height=48, num_frames=3)
+        assert len(suite) == len(SUITE_PRESETS)
+        for name, video in suite:
+            assert len(video) == 3
+            assert video.width == 64
+
+    def test_subset_by_name(self):
+        suite = make_suite(width=64, height=48, num_frames=2,
+                           names=["slow_objects"])
+        assert len(suite) == 1
+        assert suite[0][0] == "slow_objects"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(VideoFormatError):
+            make_suite(names=["nope"])

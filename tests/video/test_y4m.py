@@ -1,0 +1,126 @@
+"""Tests for YUV4MPEG2 I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video import SceneConfig, frames_equal, synthesize_scene
+from repro.video.y4m import read_y4m, write_y4m
+
+
+@pytest.fixture()
+def video():
+    return synthesize_scene(SceneConfig(width=32, height=32, num_frames=3,
+                                        seed=4, num_objects=1))
+
+
+def _write_manual_y4m(path, width, height, frames, colorspace="C420",
+                      fps="F30:1"):
+    chroma_sizes = {"C420": (width // 2) * (height // 2) * 2,
+                    "C422": (width // 2) * height * 2,
+                    "C444": width * height * 2,
+                    "C400": 0}
+    with open(path, "wb") as handle:
+        handle.write(
+            f"YUV4MPEG2 W{width} H{height} {fps} {colorspace}\n"
+            .encode("ascii"))
+        for frame in frames:
+            handle.write(b"FRAME\n")
+            handle.write(frame.tobytes())
+            handle.write(b"\x80" * chroma_sizes[colorspace])
+
+
+class TestRoundTrip:
+    def test_mono_roundtrip(self, tmp_path, video):
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, video)
+        loaded = read_y4m(path)
+        assert frames_equal(video, loaded)
+        assert loaded.fps == pytest.approx(video.fps)
+
+    def test_header_format_standard(self, tmp_path, video):
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, video)
+        first = path.read_bytes().split(b"\n", 1)[0]
+        assert first.startswith(b"YUV4MPEG2 W32 H32")
+        assert b"C400" in first
+
+
+class TestChromaHandling:
+    @pytest.mark.parametrize("colorspace", ["C420", "C422", "C444"])
+    def test_chroma_planes_skipped(self, tmp_path, colorspace):
+        rng = np.random.default_rng(0)
+        frames = [rng.integers(0, 256, (32, 32), dtype=np.uint8)
+                  for _ in range(2)]
+        path = tmp_path / "color.y4m"
+        _write_manual_y4m(path, 32, 32, frames, colorspace=colorspace)
+        loaded = read_y4m(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0], frames[0])
+
+    def test_unsupported_colorspace(self, tmp_path):
+        path = tmp_path / "weird.y4m"
+        path.write_bytes(b"YUV4MPEG2 W32 H32 F30:1 C410\nFRAME\n"
+                         + bytes(32 * 32 * 2))
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+
+class TestCropping:
+    def test_unaligned_cropped_to_grid(self, tmp_path):
+        rng = np.random.default_rng(1)
+        frames = [rng.integers(0, 256, (50, 70), dtype=np.uint8)]
+        path = tmp_path / "odd.y4m"
+        _write_manual_y4m(path, 70, 50, frames, colorspace="C400")
+        loaded = read_y4m(path)
+        assert loaded.width == 64 and loaded.height == 48
+        assert np.array_equal(loaded[0], frames[0][:48, :64])
+
+    def test_crop_disabled_rejects(self, tmp_path):
+        frames = [np.zeros((50, 70), dtype=np.uint8)]
+        path = tmp_path / "odd.y4m"
+        _write_manual_y4m(path, 70, 50, frames, colorspace="C400")
+        with pytest.raises(VideoFormatError):
+            read_y4m(path, crop_to_macroblocks=False)
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.y4m"
+        path.write_bytes(b"NOTY4M W32 H32\n")
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+    def test_missing_geometry(self, tmp_path):
+        path = tmp_path / "nogeo.y4m"
+        path.write_bytes(b"YUV4MPEG2 F30:1 C400\n")
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+    def test_truncated_frame(self, tmp_path):
+        path = tmp_path / "trunc.y4m"
+        path.write_bytes(b"YUV4MPEG2 W32 H32 F30:1 C400\nFRAME\n"
+                         + bytes(100))
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+    def test_bad_frame_marker(self, tmp_path):
+        path = tmp_path / "marker.y4m"
+        path.write_bytes(b"YUV4MPEG2 W32 H32 F30:1 C400\nXRAME\n"
+                         + bytes(32 * 32))
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+    def test_no_frames(self, tmp_path):
+        path = tmp_path / "empty.y4m"
+        path.write_bytes(b"YUV4MPEG2 W32 H32 F30:1 C400\n")
+        with pytest.raises(VideoFormatError):
+            read_y4m(path)
+
+    def test_fractional_fps(self, tmp_path):
+        frames = [np.zeros((32, 32), dtype=np.uint8)]
+        path = tmp_path / "ntsc.y4m"
+        _write_manual_y4m(path, 32, 32, frames, colorspace="C400",
+                          fps="F30000:1001")
+        loaded = read_y4m(path)
+        assert loaded.fps == pytest.approx(29.97, abs=0.01)
