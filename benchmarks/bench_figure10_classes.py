@@ -13,11 +13,13 @@ from repro.analysis import format_table, run_figure10
 RATES = (1e-8, 1e-6, 1e-4, 1e-2)
 
 
-def test_figure10_classes(benchmark, bench_video, bench_config, scale):
+def test_figure10_classes(benchmark, bench_video, bench_config, scale,
+                          bench_workers):
     result = benchmark.pedantic(
         run_figure10, args=(bench_video, bench_config),
         kwargs={"rates": RATES, "runs": scale.runs,
-                "rng": np.random.default_rng(43)},
+                "rng": np.random.default_rng(43),
+                "workers": bench_workers},
         rounds=1, iterations=1)
     print()
     print("Figure 10(a) — cumulative quality loss (dB), classes <= i exposed")

@@ -12,10 +12,12 @@ import numpy as np
 from repro.analysis import format_table, run_figure3
 
 
-def test_figure3_flip_position(benchmark, bench_video, bench_config, scale):
+def test_figure3_flip_position(benchmark, bench_video, bench_config, scale,
+                               bench_workers):
     result = benchmark.pedantic(
         run_figure3, args=(bench_video, bench_config),
-        kwargs={"max_frames": max(2, scale.runs)},
+        kwargs={"max_frames": max(2, scale.runs),
+                "workers": bench_workers},
         rounds=1, iterations=1)
     grid = result.psnr_grid
     print()

@@ -13,12 +13,14 @@ from repro.analysis import format_table, run_figure9
 RATES = (1e-8, 1e-6, 1e-4, 1e-2)
 
 
-def test_figure9_bins(benchmark, bench_video, bench_config, scale):
+def test_figure9_bins(benchmark, bench_video, bench_config, scale,
+                      bench_workers):
     num_bins = 8
     result = benchmark.pedantic(
         run_figure9, args=(bench_video, bench_config),
         kwargs={"num_bins": num_bins, "rates": RATES, "runs": scale.runs,
-                "rng": np.random.default_rng(42)},
+                "rng": np.random.default_rng(42),
+                "workers": bench_workers},
         rounds=1, iterations=1)
     matrix = result.losses_matrix()
     print()

@@ -6,6 +6,10 @@ Monte Carlo depth are controlled by REPRO_BENCH_SCALE:
 * ``quick`` (default) — minutes for the whole suite;
 * ``full``  — closer to the paper's statistical depth (tens of minutes).
 
+Monte Carlo exhibits run on the trial engine; REPRO_BENCH_WORKERS (or
+the library-wide REPRO_NUM_WORKERS) fans their trials out over worker
+processes without changing any number (0 = serial, the default).
+
 Every benchmark prints the same rows/series its exhibit shows, so
 ``pytest benchmarks/ --benchmark-only -s`` doubles as the results
 generator for EXPERIMENTS.md.
@@ -71,3 +75,15 @@ def bench_suite(scale):
 @pytest.fixture(scope="session")
 def bench_config(scale):
     return EncoderConfig(crf=24, gop_size=min(12, scale.num_frames))
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker processes for Monte Carlo exhibits (0 = serial)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS",
+                         os.environ.get("REPRO_NUM_WORKERS", "0"))
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_WORKERS must be an integer, got {raw!r}")

@@ -20,7 +20,8 @@ from .experiments import (
     run_section8,
     run_table1,
 )
-from .reporting import format_series, format_table
+from .reporting import format_run_stats, format_series, format_table
+from ..runtime import RunStats
 from .sweeps import PAPER_ERROR_RATES, SweepPoint, SweepResult, quality_sweep
 from .visualize import (
     SHADES,
@@ -39,6 +40,8 @@ __all__ = [
     "ImportanceBin",
     "OverheadResult",
     "PAPER_ERROR_RATES",
+    "RunStats",
+    "format_run_stats",
     "SHADES",
     "SweepPoint",
     "SweepResult",

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..codec.config import EncoderConfig, EntropyCoder
 from ..codec.decoder import Decoder
+from ..codec.encoded import EncodedVideo
 from ..codec.encoder import Encoder
 from ..codec.types import FrameType, MacroblockMode
 from ..core.assignment import (
@@ -52,9 +53,19 @@ from ..crypto.analysis import ModeVerdict, analyze_all_modes
 from ..errors import AnalysisError
 from ..metrics.psnr import psnr as frame_psnr
 from ..metrics.psnr import video_psnr
+from ..runtime import (
+    KIND_SINGLE_FLIP,
+    KIND_STORED_READ,
+    ArtifactCache,
+    RunStats,
+    TrialContext,
+    TrialSpec,
+    run_campaign,
+    session_cache,
+    spawn_trial_seeds,
+)
 from ..storage.density import ideal_density, slc_density, uniform_density
 from ..storage.ecc import figure8_table
-from ..storage.injection import inject_single_flip
 from ..video.frame import VideoSequence
 from .binning import equal_storage_bins
 from .sweeps import PAPER_ERROR_RATES, SweepResult, quality_sweep
@@ -70,6 +81,10 @@ class Figure3Result:
 
     psnr_grid: np.ndarray      #: (mb_rows, mb_cols) mean PSNR in dB
     samples_grid: np.ndarray   #: flips contributing per cell
+    #: Wall-clock/throughput accounting; excluded from equality so
+    #: serial and parallel campaigns compare bitwise equal.
+    stats: Optional[RunStats] = field(default=None, compare=False,
+                                      repr=False)
 
     def corners(self) -> Tuple[float, float]:
         """(top-left PSNR, bottom-right PSNR) — the paper's contrast."""
@@ -78,16 +93,21 @@ class Figure3Result:
 
 def run_figure3(video: VideoSequence,
                 config: Optional[EncoderConfig] = None,
-                max_frames: Optional[int] = None) -> Figure3Result:
+                max_frames: Optional[int] = None,
+                workers: Optional[int] = None,
+                cache: Optional[ArtifactCache] = None) -> Figure3Result:
     """Flip one bit per macroblock position in inter-only P-frames and
-    measure the affected frame's PSNR against the clean decode."""
+    measure the affected frame's PSNR against the clean decode.
+
+    Every probe is an independent single-flip trial, fanned out over the
+    trial engine; being fully deterministic, the grid is identical at
+    any worker count.
+    """
     config = config or EncoderConfig()
-    encoder = Encoder(config)
-    decoder = Decoder()
-    encoded = encoder.encode(video)
+    cache = cache or session_cache()
+    encoded = cache.encode(video, config)
     assert encoded.trace is not None
-    clean = decoder.decode(encoded)
-    payloads = encoded.frame_payloads()
+    clean = cache.clean_decode(video, config)
 
     mb_rows = encoded.trace.mb_rows
     mb_cols = encoded.trace.mb_cols
@@ -102,22 +122,31 @@ def run_figure3(video: VideoSequence,
         eligible = eligible[:max_frames]
     if not eligible:
         raise AnalysisError("no P-frames to probe; lengthen the video")
+
+    specs = []
+    cells = []  # (row, col) per spec, aligned by index
     for frame in eligible:
         for mb in frame.macroblocks:
             if mb.bit_end <= mb.bit_start:
                 continue  # skip MBs that emitted no attributable bits
             bit = (mb.bit_start + mb.bit_end) // 2
-            damaged_payloads = inject_single_flip(
-                payloads, frame.coded_index, bit)
-            damaged = decoder.decode(
-                encoded.with_payloads(damaged_payloads))
-            display = frame.display_index
-            value = frame_psnr(clean[display], damaged[display])
-            row, col = divmod(mb.mb_index, mb_cols)
-            totals[row, col] += value
-            counts[row, col] += 1
+            specs.append(TrialSpec(
+                index=len(specs), kind=KIND_SINGLE_FLIP,
+                flip_payload=frame.coded_index, flip_bit=bit,
+                measure_frame=frame.display_index))
+            cells.append(divmod(mb.mb_index, mb_cols))
+    context = TrialContext(
+        encoded_blob=EncodedVideo(header=encoded.header,
+                                  frames=encoded.frames,
+                                  trace=None).serialize(),
+        clean=clean,
+    )
+    results, stats = run_campaign(context, specs, workers=workers)
+    for trial, (row, col) in zip(results, cells):
+        totals[row, col] += trial.value_db
+        counts[row, col] += 1
     grid = np.where(counts > 0, totals / np.maximum(counts, 1), np.nan)
-    return Figure3Result(psnr_grid=grid, samples_grid=counts)
+    return Figure3Result(psnr_grid=grid, samples_grid=counts, stats=stats)
 
 
 # ----------------------------------------------------------------------
@@ -151,15 +180,16 @@ def run_figure9(video: VideoSequence,
                 num_bins: int = 16,
                 rates: Sequence[float] = PAPER_ERROR_RATES,
                 runs: int = 8,
-                rng: Optional[np.random.Generator] = None) -> Figure9Result:
+                rng: Optional[np.random.Generator] = None,
+                workers: Optional[int] = None,
+                cache: Optional[ArtifactCache] = None) -> Figure9Result:
     """Inject errors into one equal-storage importance bin at a time."""
     config = config or EncoderConfig()
     rng = rng or np.random.default_rng(42)
-    encoder = Encoder(config)
-    decoder = Decoder()
-    encoded = encoder.encode(video)
+    cache = cache or session_cache()
+    encoded = cache.encode(video, config)
     assert encoded.trace is not None
-    clean = decoder.decode(encoded)
+    clean = cache.clean_decode(video, config)
     importance = compute_importance(encoded.trace)
     mb_bits = macroblock_bits(encoded.trace, importance)
     bins = equal_storage_bins(mb_bits, num_bins)
@@ -167,7 +197,7 @@ def run_figure9(video: VideoSequence,
     for bucket in bins:
         sweeps.append(quality_sweep(
             encoded, video, clean, bucket.ranges, rates=rates, runs=runs,
-            rng=rng, decoder=decoder))
+            rng=rng, workers=workers))
     return Figure9Result(
         sweeps=sweeps,
         max_importance_log2=[float(np.log2(max(b.max_importance, 1.0)))
@@ -195,16 +225,17 @@ def run_figure10(video: VideoSequence,
                  config: Optional[EncoderConfig] = None,
                  rates: Sequence[float] = PAPER_ERROR_RATES,
                  runs: int = 8,
-                 rng: Optional[np.random.Generator] = None
+                 rng: Optional[np.random.Generator] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None
                  ) -> Figure10Result:
     """Cumulative quality loss when all classes <= i are exposed."""
     config = config or EncoderConfig()
     rng = rng or np.random.default_rng(43)
-    encoder = Encoder(config)
-    decoder = Decoder()
-    encoded = encoder.encode(video)
+    cache = cache or session_cache()
+    encoded = cache.encode(video, config)
     assert encoded.trace is not None
-    clean = decoder.decode(encoded)
+    clean = cache.clean_decode(video, config)
     importance = compute_importance(encoded.trace)
     mb_bits = macroblock_bits(encoded.trace, importance)
     distribution = class_storage_distribution(mb_bits)
@@ -217,7 +248,7 @@ def run_figure10(video: VideoSequence,
     for entry in distribution:
         ranges = class_bit_ranges(mb_bits, entry.class_index)
         sweep = quality_sweep(encoded, video, clean, ranges, rates=rates,
-                              runs=runs, rng=rng, decoder=decoder)
+                              runs=runs, rng=rng, workers=workers)
         curves.append(QualityCurve(
             class_index=entry.class_index,
             points={p.rate: -p.max_loss_db for p in sweep.points},
@@ -237,7 +268,8 @@ def run_figure10_suite(videos: Sequence[Tuple[str, VideoSequence]],
                        config: Optional[EncoderConfig] = None,
                        rates: Sequence[float] = PAPER_ERROR_RATES,
                        runs: int = 8,
-                       rng: Optional[np.random.Generator] = None
+                       rng: Optional[np.random.Generator] = None,
+                       workers: Optional[int] = None
                        ) -> Figure10Result:
     """Figure 10 aggregated over a video suite, as the paper does.
 
@@ -249,7 +281,7 @@ def run_figure10_suite(videos: Sequence[Tuple[str, VideoSequence]],
         raise AnalysisError("empty video suite")
     rng = rng or np.random.default_rng(49)
     per_video = [run_figure10(video, config, rates=rates, runs=runs,
-                              rng=rng)
+                              rng=rng, workers=workers)
                  for _name, video in videos]
 
     all_classes = sorted({index for result in per_video
@@ -305,7 +337,12 @@ def run_figure10_suite(videos: Sequence[Tuple[str, VideoSequence]],
 def run_table1(figure10: Figure10Result,
                budget_db: float = DEFAULT_QUALITY_BUDGET_DB
                ) -> ClassAssignment:
-    """Derive the assignment from measured class curves (Section 7.2)."""
+    """Derive the assignment from measured class curves (Section 7.2).
+
+    Pure post-processing of a :func:`run_figure10` result: the Monte
+    Carlo work already happened on the trial engine, so this step has
+    no trials (and no ``workers`` knob) of its own.
+    """
     return assign_schemes(figure10.curves, figure10.storage_fractions,
                           budget_db=budget_db)
 
@@ -339,19 +376,40 @@ class Figure11Result:
         return [p for p in self.points if p.design == design]
 
 
+def _slim_stored(stored):
+    """A copy of a StoredVideo without the encoding trace.
+
+    The read path never touches the trace, and it dominates the pickle
+    shipped to worker processes.
+    """
+    from dataclasses import replace
+
+    encoded = stored.protected.encoded
+    if encoded.trace is None:
+        return stored
+    slim_encoded = EncodedVideo(header=encoded.header,
+                                frames=encoded.frames, trace=None)
+    return replace(stored,
+                   protected=replace(stored.protected,
+                                     encoded=slim_encoded))
+
+
 def run_figure11(videos: Sequence[Tuple[str, VideoSequence]],
                  crfs: Sequence[int] = (16, 20, 24),
                  assignment: ClassAssignment = PAPER_TABLE1,
                  gop_size: int = 12,
                  runs: int = 5,
-                 rng: Optional[np.random.Generator] = None
-                 ) -> Figure11Result:
+                 rng: Optional[np.random.Generator] = None,
+                 workers: Optional[int] = None) -> Figure11Result:
     """The headline experiment: uniform vs variable vs ideal correction.
 
     For each CRF, every suite video is encoded, analyzed, partitioned,
     and stored; densities are aggregated over the suite and quality is
     the suite-mean PSNR (with the variable design's loss taken as the
     worst Monte Carlo run, per the paper's conservative accounting).
+    The per-video storage reads are independent stored-read trials on
+    the trial engine; each owns a spawned seed, so results are bitwise
+    identical at any worker count.
     """
     rng = rng or np.random.default_rng(44)
     points: List[DesignPoint] = []
@@ -369,10 +427,15 @@ def run_figure11(videos: Sequence[Tuple[str, VideoSequence]],
             clean = store.reconstruct(stored)
             clean_value = video_psnr(video, clean)
             clean_psnrs.append(clean_value)
-            worst = clean_value
-            for _run in range(runs):
-                damaged = store.read(stored, rng=rng)
-                worst = min(worst, video_psnr(video, damaged))
+            seeds = spawn_trial_seeds(rng, runs)
+            context = TrialContext(reference=video, store=store,
+                                   stored=_slim_stored(stored))
+            specs = [TrialSpec(index=i, kind=KIND_STORED_READ,
+                               seed=seeds[i])
+                     for i in range(runs)]
+            results, _stats = run_campaign(context, specs, workers=workers)
+            worst = min([clean_value]
+                        + [trial.value_db for trial in results])
             approx_psnrs.append(worst)
             report = stored.density()
             total_bits = report.payload_bits + report.header_bits
@@ -547,10 +610,11 @@ def run_section8(video: VideoSequence,
                  gop_size: int = 12,
                  probe_rate: float = 1e-5,
                  runs: int = 5,
-                 rng: Optional[np.random.Generator] = None
-                 ) -> List[AblationPoint]:
+                 rng: Optional[np.random.Generator] = None,
+                 workers: Optional[int] = None) -> List[AblationPoint]:
     """Slices, B-frames, and CAVLC vs the conservative baseline."""
     rng = rng or np.random.default_rng(45)
+    cache = session_cache()
     variants = [
         ("baseline (CABAC, 1 slice)", EncoderConfig(crf=base_crf,
                                                     gop_size=gop_size)),
@@ -561,12 +625,11 @@ def run_section8(video: VideoSequence,
         ("CAVLC", EncoderConfig(crf=base_crf, gop_size=gop_size,
                                 entropy_coder=EntropyCoder.CAVLC)),
     ]
-    decoder = Decoder()
     out: List[AblationPoint] = []
     for name, config in variants:
-        encoded = Encoder(config).encode(video)
+        encoded = cache.encode(video, config)
         assert encoded.trace is not None
-        clean = decoder.decode(encoded)
+        clean = cache.clean_decode(video, config)
         importance = compute_importance(encoded.trace)
         mb_bits = macroblock_bits(encoded.trace, importance)
         total = sum(mb.bit_end - mb.bit_start for mb in mb_bits)
@@ -578,7 +641,7 @@ def run_section8(video: VideoSequence,
                   if index <= 2)
         sweep = quality_sweep(encoded, video, clean, None,
                               rates=(probe_rate,), runs=runs, rng=rng,
-                              decoder=decoder)
+                              workers=workers)
         out.append(AblationPoint(
             name=name,
             payload_bits=encoded.payload_bits,
@@ -675,7 +738,8 @@ def run_crf_approximability(video: VideoSequence,
                             gop_size: int = 12,
                             probe_rate: float = 1e-5,
                             runs: int = 5,
-                            rng: Optional[np.random.Generator] = None
+                            rng: Optional[np.random.Generator] = None,
+                            workers: Optional[int] = None
                             ) -> List[CrfApproximabilityPoint]:
     """The paper's counter-intuitive Section 7.3 finding.
 
@@ -685,15 +749,15 @@ def run_crf_approximability(video: VideoSequence,
     under CABAC.
     """
     rng = rng or np.random.default_rng(47)
-    decoder = Decoder()
+    cache = session_cache()
     points = []
     for crf in sorted(crfs):
         config = EncoderConfig(crf=crf, gop_size=gop_size)
-        encoded = Encoder(config).encode(video)
-        clean = decoder.decode(encoded)
+        encoded = cache.encode(video, config)
+        clean = cache.clean_decode(video, config)
         sweep = quality_sweep(encoded, video, clean, None,
                               rates=(probe_rate,), runs=runs, rng=rng,
-                              decoder=decoder)
+                              workers=workers)
         points.append(CrfApproximabilityPoint(
             crf=crf,
             payload_bits=encoded.payload_bits,
@@ -722,7 +786,8 @@ def run_gop_ablation(video: VideoSequence,
                      crf: int = 24,
                      probe_rate: float = 1e-4,
                      runs: int = 4,
-                     rng: Optional[np.random.Generator] = None
+                     rng: Optional[np.random.Generator] = None,
+                     workers: Optional[int] = None
                      ) -> List[GopAblationPoint]:
     """The checkpointing trade the paper states in Section 2.3.1:
     I-frames "limit the propagation of eventual errors, at the expense
@@ -731,17 +796,17 @@ def run_gop_ablation(video: VideoSequence,
     do — at the GOP boundary.
     """
     rng = rng or np.random.default_rng(52)
-    decoder = Decoder()
+    cache = session_cache()
     points = []
     for gop_size in sorted(gop_sizes):
         config = EncoderConfig(crf=crf, gop_size=gop_size)
-        encoded = Encoder(config).encode(video)
+        encoded = cache.encode(video, config)
         assert encoded.trace is not None
-        clean = decoder.decode(encoded)
+        clean = cache.clean_decode(video, config)
         importance = compute_importance(encoded.trace)
         sweep = quality_sweep(encoded, video, clean, None,
                               rates=(probe_rate,), runs=runs, rng=rng,
-                              decoder=decoder)
+                              workers=workers)
         points.append(GopAblationPoint(
             gop_size=gop_size,
             payload_bits=encoded.payload_bits,

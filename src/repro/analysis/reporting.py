@@ -45,6 +45,15 @@ def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
     return format_table((x_label, y_label), rows, title=name)
 
 
+def format_run_stats(stats) -> str:
+    """One-line throughput summary of a campaign's :class:`RunStats`."""
+    if stats is None:
+        return "(no run stats recorded)"
+    mode = "serial" if stats.workers == 0 else f"{stats.workers} workers"
+    return (f"{stats.trials} trials in {stats.elapsed_seconds:.2f}s "
+            f"({stats.trials_per_second:.2f} trials/s, {mode})")
+
+
 def _cell(value) -> str:
     if isinstance(value, float):
         if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):

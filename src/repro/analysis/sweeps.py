@@ -10,11 +10,16 @@ paper's Section 6.4 methodology:
   by the probability that any flip would occur;
 * per video, the *maximum* loss across runs is reported (the paper's
   deliberately conservative choice), alongside the mean.
+
+Trials execute on :mod:`repro.runtime`: every (rate, run) pair becomes
+an independent :class:`~repro.runtime.TrialSpec` with its own spawned
+RNG seed, so results are bitwise identical whether the campaign runs
+serially (``workers=0``) or over any number of worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -23,10 +28,13 @@ from ..errors import AnalysisError
 from ..codec.decoder import Decoder
 from ..codec.encoded import EncodedVideo
 from ..metrics.psnr import video_psnr
-from ..storage.injection import (
-    inject_into_payloads,
-    rare_event_scale,
+from ..runtime import (
+    RunStats,
+    TrialContext,
+    build_sweep_specs,
+    run_campaign,
 )
+from ..storage.injection import rare_event_scale
 from ..video.frame import VideoSequence
 from .binning import BitRange
 
@@ -52,6 +60,10 @@ class SweepResult:
 
     points: List[SweepPoint]
     targeted_bits: int
+    #: Wall-clock/throughput accounting; excluded from equality so
+    #: serial and parallel runs of one campaign compare bitwise equal.
+    stats: Optional[RunStats] = field(default=None, compare=False,
+                                      repr=False)
 
     def losses(self) -> List[float]:
         return [p.max_loss_db for p in self.points]
@@ -64,7 +76,8 @@ def quality_sweep(encoded: EncodedVideo,
                   rates: Sequence[float] = PAPER_ERROR_RATES,
                   runs: int = 10,
                   rng: Optional[np.random.Generator] = None,
-                  decoder: Optional[Decoder] = None) -> SweepResult:
+                  decoder: Optional[Decoder] = None,
+                  workers: Optional[int] = None) -> SweepResult:
     """Sweep error rates over the given bit ranges.
 
     Args:
@@ -75,12 +88,16 @@ def quality_sweep(encoded: EncodedVideo,
             targets every payload bit.
         rates: error probabilities to sweep.
         runs: Monte Carlo repetitions per rate.
-        rng: randomness source (seeded for reproducibility).
+        rng: randomness source (seeded for reproducibility); per-trial
+            streams are spawned from it, so a fixed seed gives bitwise
+            identical results at any worker count.
+        workers: worker processes (None = ``REPRO_NUM_WORKERS``,
+            0 = serial).
     """
+    del decoder  # retained for API compatibility; workers own decoders
     if runs < 1:
         raise AnalysisError(f"runs must be >= 1, got {runs}")
     rng = rng or np.random.default_rng(0)
-    decoder = decoder or Decoder()
     payloads = encoded.frame_payloads()
     if ranges is None:
         ranges = [(index, 0, 8 * len(payload))
@@ -88,27 +105,29 @@ def quality_sweep(encoded: EncodedVideo,
     targeted_bits = sum(end - start for _f, start, end in ranges)
     clean_psnr = video_psnr(reference, clean_decoded)
 
+    context = TrialContext(
+        encoded_blob=_without_trace(encoded).serialize(),
+        reference=reference,
+        clean_psnr=clean_psnr,
+        ranges_table=(tuple(ranges),),
+    )
+    specs = build_sweep_specs(rates, runs, rng, ranges_ref=0,
+                              force_at_least_one=True)
+    results, stats = run_campaign(context, specs, workers=workers)
+
     points: List[SweepPoint] = []
-    for rate in rates:
+    for rate_index, rate in enumerate(rates):
+        trial_slice = results[rate_index * runs:(rate_index + 1) * runs]
         changes: List[float] = []
         flips: List[int] = []
         forced = 0
-        for _run in range(runs):
-            result = inject_into_payloads(payloads, rate, rng,
-                                          ranges=ranges,
-                                          force_at_least_one=True)
-            if result.num_flips == 0:
-                changes.append(0.0)
-                flips.append(0)
-                continue
-            damaged = decoder.decode(
-                encoded.with_payloads(result.payloads))
-            change = video_psnr(reference, damaged) - clean_psnr
-            if result.forced:
+        for trial in trial_slice:
+            change = trial.value_db
+            if trial.forced:
                 forced += 1
                 change *= rare_event_scale(targeted_bits, rate)
             changes.append(change)
-            flips.append(result.num_flips)
+            flips.append(trial.num_flips)
         points.append(SweepPoint(
             rate=rate,
             mean_change_db=float(np.mean(changes)),
@@ -117,4 +136,13 @@ def quality_sweep(encoded: EncodedVideo,
             runs=runs,
             forced_fraction=forced / runs,
         ))
-    return SweepResult(points=points, targeted_bits=targeted_bits)
+    return SweepResult(points=points, targeted_bits=targeted_bits,
+                       stats=stats)
+
+
+def _without_trace(encoded: EncodedVideo) -> EncodedVideo:
+    """A trace-free view for shipping to workers (decode ignores it)."""
+    if encoded.trace is None:
+        return encoded
+    return EncodedVideo(header=encoded.header, frames=encoded.frames,
+                        trace=None)

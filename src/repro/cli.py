@@ -9,6 +9,8 @@ shell, the way a downstream user would script it:
 * ``analyze``  — VideoApp importance report for an input clip;
 * ``store``    — full approximate-storage round trip with a quality and
   density report;
+* ``sweep``    — Monte Carlo error-rate sweep on the trial engine
+  (parallel with ``--workers``/``REPRO_NUM_WORKERS``);
 * ``modes``    — AES block-mode compatibility scorecard.
 
 Encoded files serialize only headers + payloads; ``analyze`` and
@@ -150,6 +152,33 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_run_stats
+    from .analysis.sweeps import quality_sweep
+    from .runtime import session_cache
+
+    video = read_raw_video(args.input)
+    config = _encoder_config(args)
+    cache = session_cache()
+    encoded = cache.encode(video, config)
+    clean = cache.clean_decode(video, config)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    result = quality_sweep(
+        encoded, video, clean, None, rates=rates, runs=args.runs,
+        rng=np.random.default_rng(args.seed), workers=args.workers)
+    print(format_table(
+        ("error rate", "mean change dB", "max loss dB", "mean flips",
+         "forced %"),
+        [(f"{p.rate:.1e}", f"{p.mean_change_db:.3f}",
+          f"{p.max_loss_db:.3f}", f"{p.mean_flips:.1f}",
+          f"{100 * p.forced_fraction:.0f}")
+         for p in result.points],
+        title=f"error-rate sweep of {args.input} "
+              f"({result.targeted_bits} payload bits)"))
+    print(format_run_stats(result.stats))
+    return 0
+
+
 def _cmd_modes(_args: argparse.Namespace) -> int:
     verdicts = analyze_all_modes()
     print(format_table(
@@ -205,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--iv", default="f0e0d0c0b0a090807060504030201000")
     _add_encoder_args(store)
     store.set_defaults(func=_cmd_store)
+
+    sweep = commands.add_parser(
+        "sweep", help="Monte Carlo error-rate sweep (trial engine)")
+    sweep.add_argument("input")
+    sweep.add_argument("--rates", default="1e-6,1e-5,1e-4,1e-3,1e-2",
+                       help="comma-separated error rates")
+    sweep.add_argument("--runs", type=int, default=8,
+                       help="Monte Carlo trials per rate")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default REPRO_NUM_WORKERS; "
+                            "0 = serial); results are identical at any "
+                            "worker count")
+    _add_encoder_args(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     modes = commands.add_parser("modes", help="AES mode scorecard")
     modes.set_defaults(func=_cmd_modes)

@@ -110,15 +110,21 @@ ZIGZAG_4x4 = (
     (1, 3), (2, 3), (3, 2), (3, 3),
 )
 
+#: Flat (row-major) index of each zigzag position: scanning a raveled
+#: 4x4 block with this array yields the zigzag order in one gather.
+ZIGZAG_FLAT_INDEX = np.array([4 * r + c for r, c in ZIGZAG_4x4],
+                             dtype=np.intp)
+
+#: Inverse permutation: zigzag vector -> row-major flat positions.
+ZIGZAG_FLAT_INVERSE = np.argsort(ZIGZAG_FLAT_INDEX)
+
 
 def zigzag_flatten(block: np.ndarray) -> np.ndarray:
     """4x4 block -> length-16 vector in zigzag order."""
-    return np.array([block[r, c] for r, c in ZIGZAG_4x4], dtype=block.dtype)
+    return np.asarray(block).reshape(16)[ZIGZAG_FLAT_INDEX]
 
 
 def zigzag_unflatten(vector: np.ndarray) -> np.ndarray:
     """Length-16 zigzag vector -> 4x4 block."""
-    block = np.zeros((4, 4), dtype=np.asarray(vector).dtype)
-    for index, (row, col) in enumerate(ZIGZAG_4x4):
-        block[row, col] = vector[index]
-    return block
+    vector = np.asarray(vector)
+    return vector[:16][ZIGZAG_FLAT_INVERSE].reshape(4, 4)

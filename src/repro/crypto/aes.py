@@ -73,9 +73,21 @@ def _build_sbox() -> tuple:
     return tuple(sbox), tuple(inv_sbox)
 
 
+#: All cipher tables are module-level constants computed once at import
+#: (not per AES128 instantiation): the S-box pair above plus the GF(2^8)
+#: multiplication tables below for every MixColumns coefficient.
 SBOX, INV_SBOX = _build_sbox()
 
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: 256-entry multiplication tables for the MixColumns coefficients
+#: (2, 3 forward; 9, 11, 13, 14 inverse), replacing per-byte bit-serial
+#: GF multiplication on the block hot path.
+_MUL_TABLES = {
+    coefficient: tuple(_gf_multiply(byte, coefficient)
+                       for byte in range(256))
+    for coefficient in (1, 2, 3, 9, 11, 13, 14)
+}
 
 
 def expand_key(key: bytes) -> List[List[int]]:
@@ -120,10 +132,10 @@ def _inv_shift_rows(state: List[int]) -> List[int]:
 
 def _mix_single_column(column: List[int], matrix: tuple) -> List[int]:
     return [
-        _gf_multiply(column[0], matrix[r][0])
-        ^ _gf_multiply(column[1], matrix[r][1])
-        ^ _gf_multiply(column[2], matrix[r][2])
-        ^ _gf_multiply(column[3], matrix[r][3])
+        _MUL_TABLES[matrix[r][0]][column[0]]
+        ^ _MUL_TABLES[matrix[r][1]][column[1]]
+        ^ _MUL_TABLES[matrix[r][2]][column[2]]
+        ^ _MUL_TABLES[matrix[r][3]][column[3]]
         for r in range(4)
     ]
 

@@ -1,0 +1,54 @@
+"""Trial-execution runtime: parallel Monte Carlo campaigns.
+
+Turns the paper's fault-injection measurements into lists of
+self-contained :class:`TrialSpec` objects executed — serially or over a
+process pool — by :class:`TrialExecutor`, plus a session-scoped
+:class:`ArtifactCache` for the clean encode/decode every campaign needs.
+"""
+
+from .artifacts import ArtifactCache, CACHE_ENV, content_key, session_cache
+from .executor import (
+    TrialExecutor,
+    WORKERS_ENV,
+    default_chunksize,
+    fork_available,
+    resolve_workers,
+    run_campaign,
+)
+from .trials import (
+    KIND_SINGLE_FLIP,
+    KIND_STORED_READ,
+    KIND_SWEEP,
+    RunStats,
+    TrialContext,
+    TrialResult,
+    TrialSpec,
+    WorkerState,
+    build_sweep_specs,
+    execute_trial,
+    spawn_trial_seeds,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_ENV",
+    "KIND_SINGLE_FLIP",
+    "KIND_STORED_READ",
+    "KIND_SWEEP",
+    "RunStats",
+    "TrialContext",
+    "TrialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "WORKERS_ENV",
+    "WorkerState",
+    "build_sweep_specs",
+    "content_key",
+    "default_chunksize",
+    "execute_trial",
+    "fork_available",
+    "resolve_workers",
+    "run_campaign",
+    "session_cache",
+    "spawn_trial_seeds",
+]

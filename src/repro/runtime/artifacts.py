@@ -1,0 +1,124 @@
+"""Session-scoped cache of clean encode/decode artifacts.
+
+Nearly every experiment runner starts the same way: encode the probe
+video, then decode it cleanly for the quality reference. Encoding is by
+far the most expensive single step of a campaign (pure-Python motion
+search + CABAC), yet the figure runners historically each redid it. The
+cache keys artifacts by a content hash of ``(video, EncoderConfig)`` so
+one campaign — or several runners sharing a probe video — pays for the
+clean encode and decode exactly once.
+
+Cached objects are shared, not copied: treat them as immutable (every
+library path that damages a stream already works on copies via
+``EncodedVideo.with_payloads``). Set ``REPRO_ARTIFACT_CACHE=0`` to
+disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import fields
+from typing import Optional, Tuple
+
+from ..codec.config import EncoderConfig
+from ..codec.decoder import Decoder
+from ..codec.encoded import EncodedVideo
+from ..codec.encoder import Encoder
+from ..video.frame import VideoSequence
+
+#: Environment knob: set to ``0`` to disable the session cache.
+CACHE_ENV = "REPRO_ARTIFACT_CACHE"
+
+
+def content_key(video: VideoSequence, config: EncoderConfig) -> str:
+    """Content hash of (raw frames, encoder settings)."""
+    digest = hashlib.sha256()
+    digest.update(f"{video.width}x{video.height}@{video.fps}".encode())
+    for frame in video:
+        digest.update(frame.tobytes())
+    for field_ in fields(config):
+        digest.update(f"|{field_.name}={getattr(config, field_.name)}"
+                      .encode())
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """LRU cache of ``(EncodedVideo, clean decode)`` pairs."""
+
+    def __init__(self, max_entries: int = 8, enabled: bool = True) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, Tuple[EncodedVideo, Optional[VideoSequence]]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _get(self, key: str) -> Optional[Tuple[EncodedVideo,
+                                               Optional[VideoSequence]]]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def _put(self, key: str,
+             entry: Tuple[EncodedVideo, Optional[VideoSequence]]) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def encode(self, video: VideoSequence,
+               config: EncoderConfig) -> EncodedVideo:
+        """Encode ``video`` (with trace), reusing a cached result."""
+        if not self.enabled:
+            return Encoder(config).encode(video)
+        key = content_key(video, config)
+        entry = self._get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        encoded = Encoder(config).encode(video)
+        self._put(key, (encoded, None))
+        return encoded
+
+    def clean_decode(self, video: VideoSequence,
+                     config: EncoderConfig) -> VideoSequence:
+        """Clean decode of the cached encode of ``video``."""
+        if not self.enabled:
+            return Decoder().decode(self.encode(video, config))
+        key = content_key(video, config)
+        entry = self._get(key)
+        if entry is None:
+            self.encode(video, config)
+            entry = self._get(key)
+        encoded, clean = entry
+        if clean is None:
+            clean = Decoder().decode(encoded)
+            self._put(key, (encoded, clean))
+        else:
+            self.hits += 1
+        return clean
+
+
+_session_cache: Optional[ArtifactCache] = None
+
+
+def session_cache() -> ArtifactCache:
+    """The process-wide cache (disabled when REPRO_ARTIFACT_CACHE=0)."""
+    global _session_cache
+    enabled = os.environ.get(CACHE_ENV, "1").strip() != "0"
+    if _session_cache is None:
+        _session_cache = ArtifactCache(enabled=enabled)
+    else:
+        _session_cache.enabled = enabled
+    return _session_cache

@@ -1,0 +1,139 @@
+"""Campaign execution: serial, or fanned out over worker processes.
+
+The executor takes ``(context, specs)`` and returns results in spec
+order. Parallelism is opt-in and *never* changes the numbers:
+
+* ``workers=0`` (the default when ``REPRO_NUM_WORKERS`` is unset) runs
+  every trial in-process;
+* ``workers>=1`` fans trials out over a ``ProcessPoolExecutor`` with
+  ``fork`` start method; the shared :class:`TrialContext` is shipped via
+  the pool initializer, so each worker deserializes the encoded stream
+  exactly once, and specs are submitted in chunks to amortize IPC;
+* when ``fork`` is unavailable (or there is nothing to parallelize) the
+  executor silently falls back to the serial path.
+
+Determinism is a property of the trial model, not the executor: every
+spec carries its own spawned seed, so any schedule produces bitwise
+identical results (see ``tests/runtime/test_executor.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .trials import RunStats, TrialContext, TrialResult, TrialSpec, \
+    WorkerState, execute_trial
+
+#: Environment knob: default worker count for every campaign.
+#: ``0`` or unset means serial; ``N >= 1`` means a pool of N processes.
+WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+_worker_state: Optional[WorkerState] = None
+
+
+def _init_worker(context: TrialContext) -> None:
+    """Pool initializer: deserialize shared state once per process."""
+    global _worker_state
+    _worker_state = WorkerState(context)
+
+
+def _run_trial_remote(spec: TrialSpec) -> TrialResult:
+    if _worker_state is None:  # pragma: no cover - initializer always ran
+        raise AnalysisError("worker used before initialization")
+    return execute_trial(_worker_state, spec)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Explicit ``workers`` wins; otherwise ``REPRO_NUM_WORKERS`` is
+    consulted; otherwise serial. Counts below zero are rejected.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"{WORKERS_ENV}={raw!r} is not an integer")
+    if workers < 0:
+        raise AnalysisError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_chunksize(num_specs: int, workers: int) -> int:
+    """Chunk size targeting ~4 chunks per worker (amortizes IPC while
+    keeping the tail balanced)."""
+    if workers <= 0:
+        return max(1, num_specs)
+    return max(1, -(-num_specs // (workers * 4)))
+
+
+class TrialExecutor:
+    """Runs campaigns at a fixed worker count."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    def run(self, context: TrialContext, specs: Sequence[TrialSpec],
+            chunksize: Optional[int] = None) -> List[TrialResult]:
+        """Execute all specs; results come back in spec order."""
+        results, _stats = self.run_with_stats(context, specs,
+                                              chunksize=chunksize)
+        return results
+
+    def run_with_stats(self, context: TrialContext,
+                       specs: Sequence[TrialSpec],
+                       chunksize: Optional[int] = None
+                       ) -> Tuple[List[TrialResult], RunStats]:
+        """Execute all specs and report wall-clock throughput."""
+        started = time.time()
+        clock = time.perf_counter()
+        workers = self.workers
+        if workers <= 0 or len(specs) <= 1 or not fork_available():
+            workers = 0
+            state = WorkerState(context)
+            results = [execute_trial(state, spec) for spec in specs]
+        else:
+            results = self._run_pool(context, specs, workers, chunksize)
+        stats = RunStats(
+            started_unix=started,
+            elapsed_seconds=time.perf_counter() - clock,
+            workers=workers,
+            trials=len(specs),
+        )
+        return results, stats
+
+    def _run_pool(self, context: TrialContext, specs: Sequence[TrialSpec],
+                  workers: int,
+                  chunksize: Optional[int]) -> List[TrialResult]:
+        mp_context = multiprocessing.get_context("fork")
+        chunk = chunksize or default_chunksize(len(specs), workers)
+        with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
+                                 mp_context=mp_context,
+                                 initializer=_init_worker,
+                                 initargs=(context,)) as pool:
+            results = list(pool.map(_run_trial_remote, specs,
+                                    chunksize=chunk))
+        return results
+
+
+def run_campaign(context: TrialContext, specs: Sequence[TrialSpec],
+                 workers: Optional[int] = None,
+                 chunksize: Optional[int] = None
+                 ) -> Tuple[List[TrialResult], RunStats]:
+    """One-shot convenience wrapper around :class:`TrialExecutor`."""
+    executor = TrialExecutor(workers)
+    return executor.run_with_stats(context, specs, chunksize=chunksize)

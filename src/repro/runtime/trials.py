@@ -1,0 +1,217 @@
+"""Self-contained fault-injection trials.
+
+A Monte Carlo campaign — the unit of work behind every exhibit in the
+paper's evaluation — is a list of :class:`TrialSpec` objects executed
+against one shared :class:`TrialContext`. The split mirrors the cost
+structure of the workload:
+
+* the **context** carries the heavy, trial-invariant state (the encoded
+  stream, the reference and clean-decode sequences, bit-range tables,
+  or a stored video plus its store) and is shipped to — and
+  deserialized by — each worker exactly once;
+* each **spec** is a tiny picklable record: what to damage (an error
+  rate over bit ranges, a single flip position, or a storage read) and
+  a pre-spawned RNG seed.
+
+Seeds come from :meth:`numpy.random.SeedSequence.spawn`, so every trial
+owns an independent, reproducible random stream. Because randomness is
+fixed per spec *before* execution, results are bitwise identical at any
+worker count and in any execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..codec.decoder import Decoder
+from ..codec.encoded import EncodedVideo
+from ..metrics.psnr import psnr as frame_psnr
+from ..metrics.psnr import video_psnr
+from ..storage.injection import BitRange, inject_into_payloads, inject_single_flip
+from ..video.frame import VideoSequence
+
+#: Trial kinds (plain strings keep specs trivially picklable).
+KIND_SWEEP = "sweep"              #: binomial flips over bit ranges
+KIND_SINGLE_FLIP = "single_flip"  #: one deterministic flip (Figure 3)
+KIND_STORED_READ = "stored_read"  #: full storage round trip (Figure 11)
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Wall-clock accounting for one campaign.
+
+    Attached to experiment results (``compare=False`` fields) so
+    benchmark JSON and reports can show throughput, not just quality.
+    """
+
+    started_unix: float      #: campaign start, seconds since the epoch
+    elapsed_seconds: float   #: wall-clock duration of the campaign
+    workers: int             #: resolved worker count (0 = in-process serial)
+    trials: int              #: number of trials executed
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.trials / self.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent inject→decode→measure trial.
+
+    Specs must stay small and picklable: anything heavy belongs in the
+    shared :class:`TrialContext`. ``seed`` is a child
+    :class:`numpy.random.SeedSequence` spawned by the campaign builder.
+    """
+
+    index: int
+    kind: str
+    rate: float = 0.0
+    seed: Optional[np.random.SeedSequence] = None
+    #: Index into ``TrialContext.ranges_table`` (None = all payload bits).
+    ranges_ref: Optional[int] = None
+    force_at_least_one: bool = True
+    #: For KIND_SINGLE_FLIP: (coded frame index, bit position).
+    flip_payload: Optional[int] = None
+    flip_bit: Optional[int] = None
+    #: For KIND_SINGLE_FLIP: display index of the frame to measure.
+    measure_frame: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial, in units the campaign builder aggregates."""
+
+    index: int
+    value_db: float      #: kind-dependent measurement (see execute_trial)
+    num_flips: int = 0
+    forced: bool = False
+
+
+@dataclass
+class TrialContext:
+    """Heavy shared state, serialized once per worker process.
+
+    Exactly one of the two families of fields is populated:
+
+    * stream trials (sweep / single flip): ``encoded_blob`` (a
+      serialized :class:`EncodedVideo`, deserialized once per worker),
+      ``reference``/``clean``/``clean_psnr``, and ``ranges_table``;
+    * stored-read trials: ``store`` (an ``ApproximateVideoStore``) and
+      ``stored`` (its ``StoredVideo``), plus ``reference``.
+    """
+
+    encoded_blob: Optional[bytes] = None
+    reference: Optional[VideoSequence] = None
+    clean: Optional[VideoSequence] = None
+    clean_psnr: Optional[float] = None
+    #: Shared bit-range sets; specs point into this by index so large
+    #: range lists are pickled once, not once per trial.
+    ranges_table: Tuple[Tuple[BitRange, ...], ...] = ()
+    store: Optional[object] = None   # ApproximateVideoStore
+    stored: Optional[object] = None  # StoredVideo
+
+
+class WorkerState:
+    """Per-process state built from a :class:`TrialContext` exactly once."""
+
+    def __init__(self, context: TrialContext) -> None:
+        self.context = context
+        self.decoder = Decoder()
+        self.encoded: Optional[EncodedVideo] = None
+        self.payloads: Optional[List[bytes]] = None
+        if context.encoded_blob is not None:
+            self.encoded = EncodedVideo.deserialize(context.encoded_blob)
+            self.payloads = self.encoded.frame_payloads()
+
+
+def spawn_trial_seeds(rng: np.random.Generator,
+                      count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent child seeds from a generator.
+
+    One entropy value is drawn from ``rng`` (advancing its stream, so
+    repeated campaigns on the same generator get fresh children) to
+    root a :class:`~numpy.random.SeedSequence`, whose ``spawn`` then
+    yields one statistically independent child per trial. Because the
+    draw happens up front in the campaign builder, the seeds — and
+    therefore the results — are identical at any worker count.
+    """
+    root = np.random.SeedSequence(int(rng.integers(0, 2 ** 63)))
+    return root.spawn(count)
+
+
+def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
+    """Run one trial against prepared worker state.
+
+    Measurement semantics by kind:
+
+    * ``KIND_SWEEP`` — ``value_db`` is the (unscaled) PSNR change of the
+      damaged decode versus the clean decode; the campaign builder
+      applies the paper's rare-event scaling for forced flips;
+    * ``KIND_SINGLE_FLIP`` — ``value_db`` is the damaged PSNR of the
+      measured frame against its clean decode;
+    * ``KIND_STORED_READ`` — ``value_db`` is the whole-video PSNR of a
+      storage round trip against the raw reference.
+    """
+    context = state.context
+    if spec.kind == KIND_SWEEP:
+        if state.payloads is None or context.reference is None \
+                or context.clean_psnr is None:
+            raise AnalysisError("sweep trial needs an encoded-stream context")
+        if spec.rate <= 0.0:
+            return TrialResult(spec.index, 0.0, 0, False)
+        rng = np.random.default_rng(spec.seed)
+        ranges = (None if spec.ranges_ref is None
+                  else context.ranges_table[spec.ranges_ref])
+        outcome = inject_into_payloads(
+            state.payloads, spec.rate, rng, ranges=ranges,
+            force_at_least_one=spec.force_at_least_one)
+        if outcome.num_flips == 0:
+            return TrialResult(spec.index, 0.0, 0, False)
+        damaged = state.decoder.decode(
+            state.encoded.with_payloads(outcome.payloads))
+        change = video_psnr(context.reference, damaged) - context.clean_psnr
+        return TrialResult(spec.index, float(change), outcome.num_flips,
+                           outcome.forced)
+    if spec.kind == KIND_SINGLE_FLIP:
+        if state.payloads is None or context.clean is None:
+            raise AnalysisError("flip trial needs an encoded-stream context")
+        damaged_payloads = inject_single_flip(
+            state.payloads, spec.flip_payload, spec.flip_bit)
+        damaged = state.decoder.decode(
+            state.encoded.with_payloads(damaged_payloads))
+        value = frame_psnr(context.clean[spec.measure_frame],
+                           damaged[spec.measure_frame])
+        return TrialResult(spec.index, float(value), 1, False)
+    if spec.kind == KIND_STORED_READ:
+        if context.store is None or context.stored is None \
+                or context.reference is None:
+            raise AnalysisError("stored-read trial needs a store context")
+        rng = np.random.default_rng(spec.seed)
+        damaged = context.store.read(context.stored, rng=rng)
+        return TrialResult(spec.index,
+                           float(video_psnr(context.reference, damaged)), 0,
+                           False)
+    raise AnalysisError(f"unknown trial kind {spec.kind!r}")
+
+
+def build_sweep_specs(rates: Sequence[float], runs: int,
+                      rng: np.random.Generator,
+                      ranges_ref: Optional[int] = None,
+                      force_at_least_one: bool = True) -> List[TrialSpec]:
+    """The (rate × run) trial grid behind :func:`quality_sweep`."""
+    seeds = spawn_trial_seeds(rng, len(rates) * runs)
+    specs: List[TrialSpec] = []
+    for rate_index, rate in enumerate(rates):
+        for run in range(runs):
+            index = rate_index * runs + run
+            specs.append(TrialSpec(
+                index=index, kind=KIND_SWEEP, rate=float(rate),
+                seed=seeds[index], ranges_ref=ranges_ref,
+                force_at_least_one=force_at_least_one))
+    return specs

@@ -57,7 +57,7 @@ class BCHCode:
         self.data_bits = data_bits
         self.field = _shared_field(m)
         self.n_native = self.field.order  # 2^m - 1
-        generator_int, degree = self._build_generator()
+        generator_int, degree = _build_generator(t, m)
         self.parity_bits = degree
         self._generator_int = generator_int
         if data_bits + self.parity_bits > self.n_native:
@@ -65,36 +65,6 @@ class BCHCode:
                 f"data_bits={data_bits} with t={t} exceeds native length "
                 f"{self.n_native}"
             )
-
-    # -- construction ------------------------------------------------------
-
-    def _build_generator(self) -> Tuple[int, int]:
-        """LCM of minimal polynomials of alpha^1, alpha^3, ... alpha^(2t-1).
-
-        Returns (bit-packed polynomial, degree).
-        """
-        seen = set()
-        generator = [1]
-        for i in range(1, 2 * self.t, 2):
-            coset_rep = self._coset_representative(i)
-            if coset_rep in seen:
-                continue
-            seen.add(coset_rep)
-            minimal = self.field.minimal_polynomial(i)
-            generator = _gf2_poly_multiply(generator, minimal)
-        generator_int = 0
-        for degree, coefficient in enumerate(generator):
-            if coefficient:
-                generator_int |= 1 << degree
-        return generator_int, len(generator) - 1
-
-    def _coset_representative(self, exponent: int) -> int:
-        members = []
-        current = exponent % self.field.order
-        while current not in members:
-            members.append(current)
-            current = (current * 2) % self.field.order
-        return min(members)
 
     @property
     def block_bits(self) -> int:
@@ -259,6 +229,41 @@ def _logs_of(field: GF2m, values: np.ndarray) -> np.ndarray:
 @lru_cache(maxsize=None)
 def _shared_field(m: int) -> GF2m:
     return GF2m(m)
+
+
+def _coset_representative(exponent: int, order: int) -> int:
+    members = []
+    current = exponent % order
+    while current not in members:
+        members.append(current)
+        current = (current * 2) % order
+    return min(members)
+
+
+@lru_cache(maxsize=None)
+def _build_generator(t: int, m: int) -> Tuple[int, int]:
+    """LCM of minimal polynomials of alpha^1, alpha^3, ... alpha^(2t-1).
+
+    Returns (bit-packed polynomial, degree). Cached per ``(t, m)`` — the
+    generator does not depend on ``data_bits`` (shortening only drops
+    leading data positions), so every ``BCHCode`` instantiation with the
+    same field and correction strength reuses one construction.
+    """
+    field = _shared_field(m)
+    seen = set()
+    generator = [1]
+    for i in range(1, 2 * t, 2):
+        coset_rep = _coset_representative(i, field.order)
+        if coset_rep in seen:
+            continue
+        seen.add(coset_rep)
+        minimal = field.minimal_polynomial(i)
+        generator = _gf2_poly_multiply(generator, minimal)
+    generator_int = 0
+    for degree, coefficient in enumerate(generator):
+        if coefficient:
+            generator_int |= 1 << degree
+    return generator_int, len(generator) - 1
 
 
 @lru_cache(maxsize=None)

@@ -1,0 +1,80 @@
+"""Artifact cache: content keying, hit/miss accounting, LRU, env gate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec import EncoderConfig
+from repro.runtime import ArtifactCache, CACHE_ENV, content_key, session_cache
+from repro.video import SceneConfig, synthesize_scene
+
+
+def _tiny_video(seed):
+    return synthesize_scene(SceneConfig(
+        width=32, height=32, num_frames=2, seed=seed, num_objects=1))
+
+
+class TestContentKey:
+    def test_stable_for_identical_inputs(self):
+        config = EncoderConfig(crf=24, gop_size=2)
+        assert (content_key(_tiny_video(1), config)
+                == content_key(_tiny_video(1), config))
+
+    def test_sensitive_to_frames_and_config(self):
+        config = EncoderConfig(crf=24, gop_size=2)
+        base = content_key(_tiny_video(1), config)
+        assert content_key(_tiny_video(2), config) != base
+        assert content_key(_tiny_video(1),
+                           EncoderConfig(crf=20, gop_size=2)) != base
+
+
+class TestArtifactCache:
+    def test_encode_hits_second_time(self):
+        cache = ArtifactCache()
+        video = _tiny_video(3)
+        config = EncoderConfig(crf=24, gop_size=2)
+        first = cache.encode(video, config)
+        second = cache.encode(video, config)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_clean_decode_lazy_and_cached(self):
+        cache = ArtifactCache()
+        video = _tiny_video(3)
+        config = EncoderConfig(crf=24, gop_size=2)
+        first = cache.clean_decode(video, config)
+        second = cache.clean_decode(video, config)
+        assert second is first
+        assert np.array_equal(first.frames[0], second.frames[0])
+
+    def test_lru_evicts_oldest(self):
+        cache = ArtifactCache(max_entries=2)
+        config = EncoderConfig(crf=24, gop_size=2)
+        videos = [_tiny_video(seed) for seed in (1, 2, 3)]
+        for video in videos:
+            cache.encode(video, config)
+        assert len(cache) == 2
+        # Oldest (seed 1) was evicted: encoding it again is a miss.
+        misses = cache.misses
+        cache.encode(videos[0], config)
+        assert cache.misses == misses + 1
+
+    def test_disabled_cache_always_recomputes(self):
+        cache = ArtifactCache(enabled=False)
+        video = _tiny_video(4)
+        config = EncoderConfig(crf=24, gop_size=2)
+        first = cache.encode(video, config)
+        second = cache.encode(video, config)
+        assert second is not first
+        assert len(cache) == 0
+
+
+class TestSessionCache:
+    def test_singleton(self):
+        assert session_cache() is session_cache()
+
+    def test_env_gate_toggles_enabled(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "0")
+        assert session_cache().enabled is False
+        monkeypatch.setenv(CACHE_ENV, "1")
+        assert session_cache().enabled is True
