@@ -59,6 +59,7 @@ from ..runtime import (
     ArtifactCache,
     RunStats,
     TrialContext,
+    TrialResult,
     TrialSpec,
     run_campaign,
     session_cache,
@@ -143,6 +144,8 @@ def run_figure3(video: VideoSequence,
     )
     results, stats = run_campaign(context, specs, workers=workers)
     for trial, (row, col) in zip(results, cells):
+        if not isinstance(trial, TrialResult):
+            continue  # quarantined probe: its cell just gets fewer samples
         totals[row, col] += trial.value_db
         counts[row, col] += 1
     grid = np.where(counts > 0, totals / np.maximum(counts, 1), np.nan)
@@ -435,7 +438,8 @@ def run_figure11(videos: Sequence[Tuple[str, VideoSequence]],
                      for i in range(runs)]
             results, _stats = run_campaign(context, specs, workers=workers)
             worst = min([clean_value]
-                        + [trial.value_db for trial in results])
+                        + [trial.value_db for trial in results
+                           if isinstance(trial, TrialResult)])
             approx_psnrs.append(worst)
             report = stored.density()
             total_bits = report.payload_bits + report.header_bits

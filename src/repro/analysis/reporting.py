@@ -46,12 +46,26 @@ def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
 
 
 def format_run_stats(stats) -> str:
-    """One-line throughput summary of a campaign's :class:`RunStats`."""
+    """One-line throughput + fault summary of a campaign's RunStats."""
     if stats is None:
         return "(no run stats recorded)"
     mode = "serial" if stats.workers == 0 else f"{stats.workers} workers"
-    return (f"{stats.trials} trials in {stats.elapsed_seconds:.2f}s "
+    line = (f"{stats.trials} trials in {stats.elapsed_seconds:.2f}s "
             f"({stats.trials_per_second:.2f} trials/s, {mode})")
+    faults = []
+    if getattr(stats, "resumed", 0):
+        faults.append(f"{stats.resumed} resumed from journal")
+    if getattr(stats, "failed", 0):
+        faults.append(f"{stats.failed} failed")
+    if getattr(stats, "quarantined", 0):
+        faults.append(f"{stats.quarantined} quarantined")
+    if getattr(stats, "retried", 0):
+        faults.append(f"{stats.retried} retried")
+    if getattr(stats, "pool_restarts", 0):
+        faults.append(f"{stats.pool_restarts} pool restarts")
+    if faults:
+        line += " [" + ", ".join(faults) + "]"
+    return line
 
 
 def _cell(value) -> str:

@@ -15,12 +15,20 @@ Trials execute on :mod:`repro.runtime`: every (rate, run) pair becomes
 an independent :class:`~repro.runtime.TrialSpec` with its own spawned
 RNG seed, so results are bitwise identical whether the campaign runs
 serially (``workers=0``) or over any number of worker processes.
+
+The engine's fault tolerance surfaces here as *skip-and-scale*
+aggregation: trials quarantined by the executor (watchdog timeout,
+worker crash) are excluded from a rate's statistics instead of aborting
+the sweep — each :class:`SweepPoint` reports how many of its runs
+survived — and a ``journal`` path makes the whole sweep resumable after
+an interruption, bitwise identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,6 +39,7 @@ from ..metrics.psnr import video_psnr
 from ..runtime import (
     RunStats,
     TrialContext,
+    TrialResult,
     build_sweep_specs,
     run_campaign,
 )
@@ -50,8 +59,9 @@ class SweepPoint:
     mean_change_db: float  #: mean quality change (negative = loss)
     max_loss_db: float     #: worst loss across runs (positive dB)
     mean_flips: float
-    runs: int
+    runs: int              #: trials that survived (failures excluded)
     forced_fraction: float
+    failed: int = 0        #: trials quarantined by the executor
 
 
 @dataclass
@@ -77,7 +87,10 @@ def quality_sweep(encoded: EncodedVideo,
                   runs: int = 10,
                   rng: Optional[np.random.Generator] = None,
                   decoder: Optional[Decoder] = None,
-                  workers: Optional[int] = None) -> SweepResult:
+                  workers: Optional[int] = None,
+                  timeout: Optional[float] = None,
+                  max_retries: Optional[int] = None,
+                  journal: Union[str, Path, None] = None) -> SweepResult:
     """Sweep error rates over the given bit ranges.
 
     Args:
@@ -93,6 +106,13 @@ def quality_sweep(encoded: EncodedVideo,
             identical results at any worker count.
         workers: worker processes (None = ``REPRO_NUM_WORKERS``,
             0 = serial).
+        timeout: per-trial wall-clock budget in seconds (None =
+            ``REPRO_TRIAL_TIMEOUT``, 0 = no watchdog).
+        max_retries: crash-retry budget before a trial is quarantined
+            (None = ``REPRO_MAX_RETRIES``).
+        journal: checkpoint file path; an interrupted sweep re-invoked
+            with the same journal resumes, re-running only missing
+            trials and producing bitwise-identical results.
     """
     del decoder  # retained for API compatibility; workers own decoders
     if runs < 1:
@@ -101,7 +121,8 @@ def quality_sweep(encoded: EncodedVideo,
     payloads = encoded.frame_payloads()
     if ranges is None:
         ranges = [(index, 0, 8 * len(payload))
-                  for index, payload in enumerate(payloads)]
+                  for index, payload in enumerate(payloads)
+                  if len(payload)]
     targeted_bits = sum(end - start for _f, start, end in ranges)
     clean_psnr = video_psnr(reference, clean_decoded)
 
@@ -113,15 +134,27 @@ def quality_sweep(encoded: EncodedVideo,
     )
     specs = build_sweep_specs(rates, runs, rng, ranges_ref=0,
                               force_at_least_one=True)
-    results, stats = run_campaign(context, specs, workers=workers)
+    results, stats = run_campaign(context, specs, workers=workers,
+                                  timeout=timeout, max_retries=max_retries,
+                                  journal=journal)
 
     points: List[SweepPoint] = []
     for rate_index, rate in enumerate(rates):
         trial_slice = results[rate_index * runs:(rate_index + 1) * runs]
+        survivors = [t for t in trial_slice if isinstance(t, TrialResult)]
+        failed = len(trial_slice) - len(survivors)
+        if not survivors:
+            # every run at this rate was quarantined: keep the point so
+            # the sweep's shape is preserved, but mark it empty
+            points.append(SweepPoint(
+                rate=rate, mean_change_db=float("nan"), max_loss_db=0.0,
+                mean_flips=0.0, runs=0, forced_fraction=0.0,
+                failed=failed))
+            continue
         changes: List[float] = []
         flips: List[int] = []
         forced = 0
-        for trial in trial_slice:
+        for trial in survivors:
             change = trial.value_db
             if trial.forced:
                 forced += 1
@@ -133,8 +166,9 @@ def quality_sweep(encoded: EncodedVideo,
             mean_change_db=float(np.mean(changes)),
             max_loss_db=float(max(0.0, -min(changes))),
             mean_flips=float(np.mean(flips)),
-            runs=runs,
-            forced_fraction=forced / runs,
+            runs=len(survivors),
+            forced_fraction=forced / len(survivors),
+            failed=failed,
         ))
     return SweepResult(points=points, targeted_bits=targeted_bits,
                        stats=stats)

@@ -10,7 +10,10 @@ shell, the way a downstream user would script it:
 * ``store``    — full approximate-storage round trip with a quality and
   density report;
 * ``sweep``    — Monte Carlo error-rate sweep on the trial engine
-  (parallel with ``--workers``/``REPRO_NUM_WORKERS``);
+  (parallel with ``--workers``/``REPRO_NUM_WORKERS``, per-trial
+  watchdogs with ``--timeout``, resumable with ``--journal``);
+* ``fuzz``     — decoder no-crash fuzz harness (random bit/byte/
+  truncation corruptions under a deadline, crash corpus on failure);
 * ``modes``    — AES block-mode compatibility scorecard.
 
 Encoded files serialize only headers + payloads; ``analyze`` and
@@ -165,18 +168,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rates = tuple(float(r) for r in args.rates.split(","))
     result = quality_sweep(
         encoded, video, clean, None, rates=rates, runs=args.runs,
-        rng=np.random.default_rng(args.seed), workers=args.workers)
+        rng=np.random.default_rng(args.seed), workers=args.workers,
+        timeout=args.timeout, max_retries=args.retries,
+        journal=args.journal)
     print(format_table(
         ("error rate", "mean change dB", "max loss dB", "mean flips",
-         "forced %"),
+         "forced %", "runs"),
         [(f"{p.rate:.1e}", f"{p.mean_change_db:.3f}",
           f"{p.max_loss_db:.3f}", f"{p.mean_flips:.1f}",
-          f"{100 * p.forced_fraction:.0f}")
+          f"{100 * p.forced_fraction:.0f}",
+          f"{p.runs}" + (f" ({p.failed} failed)" if p.failed else ""))
          for p in result.points],
         title=f"error-rate sweep of {args.input} "
               f"({result.targeted_bits} payload bits)"))
     print(format_run_stats(result.stats))
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import fuzz_decoder
+    from .runtime import session_cache
+
+    if args.input:
+        video = read_raw_video(args.input)
+        source = args.input
+    else:
+        video = synthesize_scene(SceneConfig(
+            width=48, height=32, num_frames=4, seed=args.seed))
+        source = "synthetic 48x32x4 clip"
+    encoded = session_cache().encode(video, _encoder_config(args))
+    report = fuzz_decoder(
+        encoded, trials=args.trials, seed=args.seed,
+        timeout=args.timeout, corpus_dir=args.corpus)
+    print(format_table(
+        ("strategy", "trials"),
+        sorted(report.by_strategy.items()),
+        title=f"decoder fuzz of {source}: {report.trials} trials in "
+              f"{report.elapsed_seconds:.1f}s"))
+    if report.oversized:
+        print(f"{report.oversized} corrupted containers skipped "
+              f"(declared geometry over the decode-work cap)")
+    if report.ok:
+        print("no-crash contract held: no crashes, no hangs")
+        return 0
+    print(f"CONTRACT VIOLATIONS: {len(report.failures)} "
+          f"({report.hangs} hangs); counterexamples in {args.corpus}")
+    for failure in report.failures:
+        print(f"  trial {failure.trial} [{failure.strategy}] "
+              f"{failure.exception}: {failure.message}"
+              + (f" -> {failure.corpus_path}" if failure.corpus_path
+                 else ""))
+    return 1
 
 
 def _cmd_modes(_args: argparse.Namespace) -> int:
@@ -247,8 +289,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default REPRO_NUM_WORKERS; "
                             "0 = serial); results are identical at any "
                             "worker count")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-trial wall-clock budget in seconds "
+                            "(default REPRO_TRIAL_TIMEOUT; 0 = none)")
+    sweep.add_argument("--retries", type=int, default=None,
+                       help="crash-retry budget before a trial is "
+                            "quarantined (default REPRO_MAX_RETRIES)")
+    sweep.add_argument("--journal", default=None,
+                       help="checkpoint file; re-running with the same "
+                            "journal resumes an interrupted sweep")
     _add_encoder_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="decoder no-crash fuzz harness")
+    fuzz.add_argument("--input", default=None,
+                      help="raw clip to encode and corrupt (default: a "
+                           "small synthetic clip)")
+    fuzz.add_argument("--trials", type=int, default=500)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--timeout", type=float, default=5.0,
+                      help="per-trial decode deadline in seconds "
+                           "(0 = none)")
+    fuzz.add_argument("--corpus", default="fuzz-corpus",
+                      help="directory for counterexample bitstreams")
+    _add_encoder_args(fuzz)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     modes = commands.add_parser("modes", help="AES mode scorecard")
     modes.set_defaults(func=_cmd_modes)

@@ -43,13 +43,19 @@ class Decoder:
         self._model = DEFAULT_CONTEXT_MODEL
 
     def decode(self, encoded: EncodedVideo) -> VideoSequence:
-        """Decode to a display-order raw sequence."""
+        """Decode to a display-order raw sequence.
+
+        Raises :class:`BitstreamError` for structurally invalid streams
+        (the precise headers are inconsistent); payload damage alone
+        never raises — it decodes best-effort.
+        """
         header = encoded.header
         if len(encoded.frames) != header.num_frames:
             raise BitstreamError(
                 f"header promises {header.num_frames} frames, "
                 f"container has {len(encoded.frames)}"
             )
+        self._validate_structure(encoded)
         pad = header.search_range
         reconstructed: Dict[int, np.ndarray] = {}
         padded: Dict[int, np.ndarray] = {}
@@ -61,6 +67,44 @@ class Decoder:
             padded[frame.header.display_index] = pad_reference(recon, pad)
         frames = [reconstructed[i] for i in range(header.num_frames)]
         return VideoSequence(frames, fps=header.fps)
+
+    def _validate_structure(self, encoded: EncodedVideo) -> None:
+        """Reject streams whose *precise* metadata is inconsistent.
+
+        The paper stores headers precisely, so a well-formed store never
+        trips these; they exist so that a damaged or hostile container
+        fails with the codec's own error type instead of surfacing
+        internal ``KeyError``/``ZeroDivisionError`` artifacts (the
+        decoder's no-crash contract, exercised by :mod:`repro.fuzz`).
+        """
+        header = encoded.header
+        if header.width <= 0 or header.height <= 0:
+            raise BitstreamError(
+                f"empty frame geometry {header.width}x{header.height}"
+            )
+        if header.width % MACROBLOCK_SIZE or header.height % MACROBLOCK_SIZE:
+            raise BitstreamError(
+                f"frame geometry {header.width}x{header.height} is not a "
+                f"multiple of the macroblock size {MACROBLOCK_SIZE}"
+            )
+        if not np.isfinite(header.fps) or header.fps <= 0:
+            raise BitstreamError(f"invalid frame rate {header.fps}")
+        mb_rows = header.height // MACROBLOCK_SIZE
+        displays = []
+        for frame in encoded.frames:
+            fh = frame.header
+            num_slices = len(fh.slice_byte_lengths)
+            if not 1 <= num_slices <= mb_rows:
+                raise BitstreamError(
+                    f"frame {fh.coded_index}: {num_slices} slices cannot "
+                    f"tile {mb_rows} macroblock rows"
+                )
+            displays.append(fh.display_index)
+        if sorted(displays) != list(range(header.num_frames)):
+            raise BitstreamError(
+                "frame display indices do not cover "
+                f"0..{header.num_frames - 1}"
+            )
 
     def _new_entropy_decoder(self, payload: bytes,
                              coder: EntropyCoder):

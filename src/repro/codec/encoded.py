@@ -200,6 +200,10 @@ class EncodedVideo:
             coded_index, offset = _read_uint(data, offset, 2)
             display_index, offset = _read_uint(data, offset, 2)
             frame_type_raw, offset = _read_uint(data, offset, 1)
+            if frame_type_raw not in FrameType._value2member_map_:
+                raise BitstreamError(
+                    f"invalid frame type {frame_type_raw}"
+                )
             base_qp, offset = _read_uint(data, offset, 1)
             ref_fwd_raw, offset = _read_uint(data, offset, 2)
             ref_bwd_raw, offset = _read_uint(data, offset, 2)

@@ -40,3 +40,15 @@ class CryptoError(ReproError):
 
 class AnalysisError(ReproError):
     """A VideoApp analysis step received inconsistent inputs."""
+
+
+class TrialTimeout(ReproError):
+    """A Monte Carlo trial exceeded its wall-clock watchdog budget.
+
+    Raised *inside* the process executing the trial (via a
+    ``SIGALRM``-driven deadline, see :mod:`repro.runtime.watchdog`) so a
+    corrupted bitstream that drives the arithmetic decoder into a
+    pathological path cannot stall an entire campaign. The executor
+    converts it into a structured ``TrialFailure`` rather than letting
+    it abort the campaign.
+    """

@@ -1,0 +1,261 @@
+"""Decoder no-crash fuzz harness.
+
+The paper's whole premise is that payload bits may be stored
+approximately, so the decoder will routinely be handed corrupted input.
+That gives :meth:`~repro.codec.decoder.Decoder.decode` a hard contract:
+
+* **payload damage** (bit flips, byte noise, zeroed tails — sizes
+  preserved, precise headers intact): decode must return a video.
+  Any exception, of any type, is a bug.
+* **container damage** (truncation or byte noise over the serialized
+  stream, precise headers included): ``deserialize``/``decode`` may
+  reject the stream, but only ever with :class:`BitstreamError` —
+  internal ``KeyError``/``ValueError`` artifacts are bugs.
+* **either way, under a deadline**: a decode that hangs is as much a
+  contract violation as one that crashes.
+
+:func:`fuzz_decoder` hammers randomized corruptions through that
+contract and persists every counterexample bitstream (plus a JSON
+reproduction recipe) to a crash corpus directory, so a failing CI fuzz
+run leaves behind exactly the artifact needed to replay the bug:
+
+    blob = Path("fuzz-corpus/<name>.rvap").read_bytes()
+    Decoder().decode(EncodedVideo.deserialize(blob))
+
+Trials are seeded independently (one spawned ``SeedSequence`` child per
+trial), so a failure reproduces from ``(seed, trial)`` alone, no matter
+which strategies or trial counts surrounded it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .codec import Decoder, EncodedVideo
+from .errors import AnalysisError, BitstreamError, TrialTimeout
+from .runtime.watchdog import trial_deadline
+from .storage.injection import flip_bit
+
+#: Payload strategies: headers stay intact, payload sizes are preserved.
+STRATEGY_BITFLIP = "bitflip"          #: random bit flips across payloads
+STRATEGY_BYTESWAP = "byteswap"        #: random bytes overwritten
+STRATEGY_ZERO_TAIL = "zero_tail"      #: tail of one payload zeroed
+STRATEGY_RANDOM_PAYLOAD = "random_payload"  #: one payload fully random
+
+#: Container strategies: the serialized stream itself is damaged, so
+#: ``BitstreamError`` is an acceptable (expected) outcome.
+STRATEGY_TRUNCATE = "truncate"        #: stream cut short at a random point
+STRATEGY_CONTAINER = "container"      #: random bytes anywhere in the stream
+
+PAYLOAD_STRATEGIES = (STRATEGY_BITFLIP, STRATEGY_BYTESWAP,
+                      STRATEGY_ZERO_TAIL, STRATEGY_RANDOM_PAYLOAD)
+CONTAINER_STRATEGIES = (STRATEGY_TRUNCATE, STRATEGY_CONTAINER)
+ALL_STRATEGIES = PAYLOAD_STRATEGIES + CONTAINER_STRATEGIES
+
+#: Default per-trial wall-clock budget (seconds). 0 disables the
+#: watchdog (and it is silently absent off the main thread / off POSIX).
+DEFAULT_FUZZ_TIMEOUT = 5.0
+
+#: Decode work scales with the *declared* frame geometry, so a corrupted
+#: header that claims a gigantic resolution makes decode legitimately
+#: slow, not buggy. Corrupted containers declaring more than this many
+#: times the clean clip's pixel volume are deserialized but not decoded
+#: (the usual fuzzing input-size bound); the deadline stays armed as the
+#: backstop for everything else.
+GEOMETRY_CAP = 8
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One decode() contract violation."""
+
+    trial: int
+    strategy: str
+    exception: str  #: exception type name; ``TrialTimeout`` for hangs
+    message: str
+    corpus_path: str = ""  #: persisted .rvap path ("" if no corpus dir)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    trials: int
+    elapsed_seconds: float
+    by_strategy: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+    hangs: int = 0  #: failures that were deadline breaches
+    oversized: int = 0  #: corrupted containers skipped by GEOMETRY_CAP
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _corrupt_payloads(payloads: List[bytes], strategy: str,
+                      rng: np.random.Generator) -> List[bytes]:
+    """Damage payload bytes only; every length is preserved."""
+    buffers = [bytearray(p) for p in payloads]
+    candidates = [i for i, p in enumerate(payloads) if len(p)]
+    if strategy == STRATEGY_BITFLIP:
+        flips = int(rng.integers(1, 129))
+        for _ in range(flips):
+            index = int(rng.choice(candidates))
+            flip_bit(buffers[index],
+                     int(rng.integers(0, 8 * len(buffers[index]))))
+    elif strategy == STRATEGY_BYTESWAP:
+        swaps = int(rng.integers(1, 33))
+        for _ in range(swaps):
+            index = int(rng.choice(candidates))
+            position = int(rng.integers(0, len(buffers[index])))
+            buffers[index][position] = int(rng.integers(0, 256))
+    elif strategy == STRATEGY_ZERO_TAIL:
+        index = int(rng.choice(candidates))
+        tail = int(rng.integers(1, len(buffers[index]) + 1))
+        buffers[index][-tail:] = bytes(tail)
+    elif strategy == STRATEGY_RANDOM_PAYLOAD:
+        index = int(rng.choice(candidates))
+        buffers[index] = bytearray(
+            rng.integers(0, 256, size=len(buffers[index]), dtype=np.uint8)
+            .tobytes())
+    else:
+        raise AnalysisError(f"unknown payload strategy {strategy!r}")
+    return [bytes(b) for b in buffers]
+
+
+def _corrupt_blob(blob: bytes, strategy: str,
+                  rng: np.random.Generator) -> bytes:
+    """Damage the serialized container itself (headers included)."""
+    if strategy == STRATEGY_TRUNCATE:
+        return blob[:int(rng.integers(0, len(blob)))]
+    if strategy == STRATEGY_CONTAINER:
+        buffer = bytearray(blob)
+        for _ in range(int(rng.integers(1, 17))):
+            position = int(rng.integers(0, len(buffer)))
+            buffer[position] = int(rng.integers(0, 256))
+        return bytes(buffer)
+    raise AnalysisError(f"unknown container strategy {strategy!r}")
+
+
+def _persist_counterexample(corpus_dir: Path, blob: bytes, trial: int,
+                            strategy: str, seed: int, exception: str,
+                            message: str) -> str:
+    """Write the failing bitstream + a JSON repro recipe; return the path."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(blob).hexdigest()[:16]
+    stem = f"{strategy}-{digest}"
+    blob_path = corpus_dir / f"{stem}.rvap"
+    blob_path.write_bytes(blob)
+    (corpus_dir / f"{stem}.json").write_text(json.dumps({
+        "trial": trial,
+        "strategy": strategy,
+        "seed": seed,
+        "exception": exception,
+        "message": message,
+        "sha256": hashlib.sha256(blob).hexdigest(),
+    }, indent=2, sort_keys=True) + "\n")
+    return str(blob_path)
+
+
+def fuzz_decoder(encoded: EncodedVideo,
+                 trials: int = 500,
+                 seed: int = 0,
+                 timeout: float = DEFAULT_FUZZ_TIMEOUT,
+                 corpus_dir: Union[str, Path, None] = None,
+                 strategies: Sequence[str] = ALL_STRATEGIES,
+                 decoder: Optional[Decoder] = None) -> FuzzReport:
+    """Fuzz ``decode()`` with randomized corruptions under a deadline.
+
+    Args:
+        encoded: a clean encoded video to corrupt (its trace is ignored).
+        trials: number of corrupted decodes to attempt.
+        seed: campaign seed; a failure reproduces from (seed, trial).
+        timeout: per-trial wall-clock budget in seconds; 0 disables.
+        corpus_dir: where counterexample bitstreams are persisted; None
+            keeps failures in the report only.
+        strategies: corruption strategies, applied round-robin so even a
+            short run exercises all of them.
+        decoder: decoder instance (mainly a test seam).
+
+    Returns a :class:`FuzzReport`; ``report.ok`` is the no-crash verdict.
+    """
+    if trials < 1:
+        raise AnalysisError(f"trials must be >= 1, got {trials}")
+    if not strategies:
+        raise AnalysisError("no fuzz strategies selected")
+    unknown = set(strategies) - set(ALL_STRATEGIES)
+    if unknown:
+        raise AnalysisError(f"unknown fuzz strategies {sorted(unknown)}")
+    payloads = encoded.frame_payloads()
+    if not any(len(p) for p in payloads):
+        raise AnalysisError("nothing to fuzz: every payload is empty")
+    decoder = decoder or Decoder()
+    clean_blob = encoded.serialize()
+    children = np.random.SeedSequence(seed).spawn(trials)
+    report = FuzzReport(trials=trials, elapsed_seconds=0.0,
+                        by_strategy={name: 0 for name in strategies})
+    corpus = Path(corpus_dir) if corpus_dir is not None else None
+    started = time.monotonic()
+    for trial in range(trials):
+        strategy = strategies[trial % len(strategies)]
+        report.by_strategy[strategy] += 1
+        rng = np.random.default_rng(children[trial])
+        if strategy in PAYLOAD_STRATEGIES:
+            blob = None  # serialized lazily, only for the corpus
+            victim = encoded.with_payloads(
+                _corrupt_payloads(payloads, strategy, rng))
+            allowed: Tuple[type, ...] = ()
+        else:
+            blob = _corrupt_blob(clean_blob, strategy, rng)
+            victim = None
+            allowed = (BitstreamError,)
+        try:
+            with trial_deadline(timeout, f"fuzz trial {trial}"):
+                if victim is None:
+                    victim = EncodedVideo.deserialize(blob)
+                    if _declared_pixels(victim) > GEOMETRY_CAP * \
+                            _declared_pixels(encoded):
+                        report.oversized += 1
+                        continue
+                decoder.decode(victim)
+        except allowed:
+            pass  # the codec's own, documented rejection path
+        except TrialTimeout as exc:
+            report.hangs += 1
+            _record(report, corpus, victim, blob, trial, strategy, seed,
+                    exc)
+        except Exception as exc:  # noqa: BLE001 - the contract is "never"
+            _record(report, corpus, victim, blob, trial, strategy, seed,
+                    exc)
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _declared_pixels(encoded: EncodedVideo) -> int:
+    """Pixel volume a container's header claims (decode work bound)."""
+    header = encoded.header
+    return header.width * header.height * max(1, header.num_frames)
+
+
+def _record(report: FuzzReport, corpus: Optional[Path],
+            victim: Optional[EncodedVideo], blob: Optional[bytes],
+            trial: int, strategy: str, seed: int,
+            exc: BaseException) -> None:
+    """Append one failure, persisting its bitstream when possible."""
+    if blob is None and victim is not None:
+        blob = victim.serialize()
+    corpus_path = ""
+    if corpus is not None and blob is not None:
+        corpus_path = _persist_counterexample(
+            corpus, blob, trial, strategy, seed,
+            type(exc).__name__, str(exc))
+    report.failures.append(FuzzFailure(
+        trial=trial, strategy=strategy, exception=type(exc).__name__,
+        message=str(exc), corpus_path=corpus_path))

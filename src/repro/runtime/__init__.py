@@ -1,54 +1,97 @@
-"""Trial-execution runtime: parallel Monte Carlo campaigns.
+"""Trial-execution runtime: parallel, fault-tolerant Monte Carlo campaigns.
 
 Turns the paper's fault-injection measurements into lists of
 self-contained :class:`TrialSpec` objects executed — serially or over a
 process pool — by :class:`TrialExecutor`, plus a session-scoped
 :class:`ArtifactCache` for the clean encode/decode every campaign needs.
+
+The execution layer survives its own failure modes: per-trial watchdog
+deadlines (:mod:`~repro.runtime.watchdog`), worker-crash recovery with
+bounded retries and poison-trial quarantine (:mod:`~repro.runtime.executor`),
+and append-only campaign checkpoint/resume (:mod:`~repro.runtime.journal`).
 """
 
 from .artifacts import ArtifactCache, CACHE_ENV, content_key, session_cache
 from .executor import (
+    DEFAULT_MAX_RETRIES,
+    MAX_RETRIES_ENV,
     TrialExecutor,
     WORKERS_ENV,
     default_chunksize,
     fork_available,
+    resolve_max_retries,
     resolve_workers,
     run_campaign,
 )
+from .journal import JOURNAL_VERSION, TrialJournal, campaign_digest, \
+    spec_digest
 from .trials import (
+    FAILURE_CRASH,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
     KIND_SINGLE_FLIP,
     KIND_STORED_READ,
     KIND_SWEEP,
     RunStats,
     TrialContext,
+    TrialFailure,
+    TrialOutcome,
     TrialResult,
     TrialSpec,
     WorkerState,
     build_sweep_specs,
     execute_trial,
+    register_trial_kind,
     spawn_trial_seeds,
+    unregister_trial_kind,
+)
+from .watchdog import (
+    TIMEOUT_ENV,
+    alarm_capable,
+    resolve_trial_timeout,
+    run_with_deadline,
+    trial_deadline,
 )
 
 __all__ = [
     "ArtifactCache",
     "CACHE_ENV",
+    "DEFAULT_MAX_RETRIES",
+    "FAILURE_CRASH",
+    "FAILURE_ERROR",
+    "FAILURE_TIMEOUT",
+    "JOURNAL_VERSION",
     "KIND_SINGLE_FLIP",
     "KIND_STORED_READ",
     "KIND_SWEEP",
+    "MAX_RETRIES_ENV",
     "RunStats",
+    "TIMEOUT_ENV",
     "TrialContext",
     "TrialExecutor",
+    "TrialFailure",
+    "TrialJournal",
+    "TrialOutcome",
     "TrialResult",
     "TrialSpec",
     "WORKERS_ENV",
     "WorkerState",
+    "alarm_capable",
     "build_sweep_specs",
+    "campaign_digest",
     "content_key",
     "default_chunksize",
     "execute_trial",
     "fork_available",
+    "register_trial_kind",
+    "resolve_max_retries",
+    "resolve_trial_timeout",
     "resolve_workers",
     "run_campaign",
+    "run_with_deadline",
     "session_cache",
     "spawn_trial_seeds",
+    "spec_digest",
+    "trial_deadline",
+    "unregister_trial_kind",
 ]

@@ -12,9 +12,34 @@ order. Parallelism is opt-in and *never* changes the numbers:
 * when ``fork`` is unavailable (or there is nothing to parallelize) the
   executor silently falls back to the serial path.
 
-Determinism is a property of the trial model, not the executor: every
-spec carries its own spawned seed, so any schedule produces bitwise
-identical results (see ``tests/runtime/test_executor.py``).
+Campaigns are additionally **fault tolerant** — one bad trial cannot
+lose the other nine hundred:
+
+* every trial may run under a wall-clock **watchdog** (``timeout=`` /
+  ``REPRO_TRIAL_TIMEOUT``): an in-process ``SIGALRM`` deadline converts
+  a pathologically slow decode into a structured
+  :class:`~repro.runtime.trials.TrialFailure` instead of a stalled
+  campaign, and a parent-side budget backstops *hard* hangs the alarm
+  cannot break (the pool is killed and respawned);
+* a worker **crash** (segfault, OOM kill, ``os._exit``) breaks the
+  pool; the executor respawns it with exponential backoff and re-runs
+  the lost chunks. To avoid blaming innocent trials, recovery enters an
+  isolation mode that runs suspect chunks one at a time — a repeat
+  crash is then attributable to exactly one chunk, which is bisected
+  down to the poison trial and quarantined after ``max_retries``
+  resubmissions;
+* an optional **journal** (see :mod:`repro.runtime.journal`) checkpoints
+  every completed trial so an interrupted campaign resumes with only
+  the missing trials re-run.
+
+Results therefore contain one :class:`TrialOutcome` per spec — a
+:class:`TrialResult`, or a :class:`TrialFailure` for quarantined trials
+— and :class:`RunStats` accounts for failures, retries, resumes, and
+pool restarts. Determinism is a property of the trial model, not the
+executor: every spec carries its own spawned seed, so any schedule —
+including one interleaved with crash recovery or resumed from a journal
+— produces bitwise identical surviving results (see
+``tests/runtime/``).
 """
 
 from __future__ import annotations
@@ -22,37 +47,100 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import AnalysisError
-from .trials import RunStats, TrialContext, TrialResult, TrialSpec, \
-    WorkerState, execute_trial
+from ..errors import AnalysisError, TrialTimeout
+from .journal import TrialJournal
+from .trials import (
+    FAILURE_CRASH,
+    FAILURE_ERROR,
+    FAILURE_TIMEOUT,
+    RunStats,
+    TrialContext,
+    TrialFailure,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    WorkerState,
+    execute_trial,
+)
+from .watchdog import TIMEOUT_ENV, resolve_trial_timeout, trial_deadline
 
 #: Environment knob: default worker count for every campaign.
 #: ``0`` or unset means serial; ``N >= 1`` means a pool of N processes.
 WORKERS_ENV = "REPRO_NUM_WORKERS"
 
+#: Environment knob: default crash-retry budget per trial.
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+#: Resubmissions a crash-suspect trial gets before quarantine.
+DEFAULT_MAX_RETRIES = 2
+
+#: Parent-side slack (seconds) added to a chunk's watchdog budget before
+#: the pool is presumed hard-hung and killed.
+DEFAULT_HANG_GRACE = 5.0
+
+#: Base delay of the exponential pool-respawn backoff, in seconds.
+DEFAULT_BACKOFF_BASE = 0.05
+
+_BACKOFF_CAP = 2.0       #: backoff ceiling, seconds
+_POLL_SECONDS = 0.05     #: future-poll period while a watchdog is armed
+
 _worker_state: Optional[WorkerState] = None
+_worker_timeout: float = 0.0
 
 
-def _init_worker(context: TrialContext) -> None:
+def _init_worker(context: TrialContext, timeout: float = 0.0) -> None:
     """Pool initializer: deserialize shared state once per process."""
-    global _worker_state
+    global _worker_state, _worker_timeout
     _worker_state = WorkerState(context)
+    _worker_timeout = timeout
 
 
-def _run_trial_remote(spec: TrialSpec) -> TrialResult:
+def _guarded_trial(state: WorkerState, spec: TrialSpec,
+                   timeout: float) -> TrialOutcome:
+    """Run one trial under the watchdog, never letting it escape.
+
+    Timeouts and exceptions become structured :class:`TrialFailure`
+    records (with the original error type preserved in the message);
+    only process death can still take a chunk down.
+    """
+    try:
+        with trial_deadline(timeout, what=f"trial {spec.index}"):
+            return execute_trial(state, spec)
+    except TrialTimeout as exc:
+        return TrialFailure(index=spec.index, kind=FAILURE_TIMEOUT,
+                            message=str(exc))
+    except Exception as exc:  # quarantine, never abort the campaign
+        return TrialFailure(index=spec.index, kind=FAILURE_ERROR,
+                            message=f"{type(exc).__name__}: {exc}")
+
+
+def _run_chunk_remote(
+        items: Sequence[Tuple[int, TrialSpec]]
+) -> List[Tuple[int, TrialOutcome]]:
     if _worker_state is None:  # pragma: no cover - initializer always ran
         raise AnalysisError("worker used before initialization")
-    return execute_trial(_worker_state, spec)
+    return [(pos, _guarded_trial(_worker_state, spec, _worker_timeout))
+            for pos, spec in items]
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve the effective worker count.
 
     Explicit ``workers`` wins; otherwise ``REPRO_NUM_WORKERS`` is
-    consulted; otherwise serial. Counts below zero are rejected.
+    consulted; otherwise serial. Non-integer or negative settings are
+    rejected with a clear :class:`AnalysisError` naming the source.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
@@ -62,10 +150,32 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             workers = int(raw)
         except ValueError:
             raise AnalysisError(
-                f"{WORKERS_ENV}={raw!r} is not an integer")
+                f"{WORKERS_ENV}={raw!r} is not an integer") from None
+        if workers < 0:
+            raise AnalysisError(f"{WORKERS_ENV}={raw!r} must be >= 0")
+        return workers
     if workers < 0:
         raise AnalysisError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+def resolve_max_retries(max_retries: Optional[int] = None) -> int:
+    """Resolve the crash-retry budget (``REPRO_MAX_RETRIES`` fallback)."""
+    if max_retries is None:
+        raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+        if not raw:
+            return DEFAULT_MAX_RETRIES
+        try:
+            max_retries = int(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"{MAX_RETRIES_ENV}={raw!r} is not an integer") from None
+        if max_retries < 0:
+            raise AnalysisError(f"{MAX_RETRIES_ENV}={raw!r} must be >= 0")
+        return max_retries
+    if max_retries < 0:
+        raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
 
 
 def fork_available() -> bool:
@@ -81,59 +191,317 @@ def default_chunksize(num_specs: int, workers: int) -> int:
     return max(1, -(-num_specs // (workers * 4)))
 
 
-class TrialExecutor:
-    """Runs campaigns at a fixed worker count."""
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Best-effort hard kill of a pool's workers (hung-trial backstop).
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    Reaches into the executor's process table; when unavailable the
+    orphaned workers are simply abandoned to finish on their own.
+    """
+    processes = getattr(pool, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.kill()
+        except Exception:  # already dead, or platform says no
+            pass
+
+
+@dataclass
+class _Chunk:
+    """A resubmittable unit of work: (campaign position, spec) pairs."""
+
+    items: List[Tuple[int, TrialSpec]]
+    attempts: int = 0  #: crash/hang events attributed to this chunk
+
+
+@dataclass
+class _Counters:
+    """Mutable fault accounting threaded through one campaign run."""
+
+    quarantined: int = 0
+    retried: int = 0
+    resumed: int = 0
+    pool_restarts: int = 0
+
+
+class TrialExecutor:
+    """Runs campaigns at a fixed worker count with fault tolerance.
+
+    Args:
+        workers: worker processes (None = ``REPRO_NUM_WORKERS``,
+            0 = serial).
+        timeout: per-trial wall-clock budget in seconds (None =
+            ``REPRO_TRIAL_TIMEOUT``, 0 = no watchdog).
+        max_retries: resubmissions a crash-suspect trial gets before
+            quarantine (None = ``REPRO_MAX_RETRIES``, default 2).
+        hang_grace: parent-side slack added to a chunk's budget before
+            the pool is presumed hard-hung and killed.
+        backoff_base: base delay of the exponential pool-respawn
+            backoff.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 hang_grace: float = DEFAULT_HANG_GRACE,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE) -> None:
         self.workers = resolve_workers(workers)
+        self.timeout = resolve_trial_timeout(timeout)
+        self.max_retries = resolve_max_retries(max_retries)
+        self.hang_grace = hang_grace
+        self.backoff_base = backoff_base
 
     def run(self, context: TrialContext, specs: Sequence[TrialSpec],
-            chunksize: Optional[int] = None) -> List[TrialResult]:
-        """Execute all specs; results come back in spec order."""
+            chunksize: Optional[int] = None,
+            journal: Union[TrialJournal, str, Path, None] = None
+            ) -> List[TrialOutcome]:
+        """Execute all specs; outcomes come back in spec order."""
         results, _stats = self.run_with_stats(context, specs,
-                                              chunksize=chunksize)
+                                              chunksize=chunksize,
+                                              journal=journal)
         return results
 
     def run_with_stats(self, context: TrialContext,
                        specs: Sequence[TrialSpec],
-                       chunksize: Optional[int] = None
-                       ) -> Tuple[List[TrialResult], RunStats]:
-        """Execute all specs and report wall-clock throughput."""
+                       chunksize: Optional[int] = None,
+                       journal: Union[TrialJournal, str, Path, None] = None
+                       ) -> Tuple[List[TrialOutcome], RunStats]:
+        """Execute all specs; report outcomes plus fault accounting.
+
+        ``journal`` may be a path (opened — and closed — for exactly
+        this campaign) or an already-open :class:`TrialJournal`. Specs
+        already present in the journal are restored, not re-run.
+        """
         started = time.time()
         clock = time.perf_counter()
-        workers = self.workers
-        if workers <= 0 or len(specs) <= 1 or not fork_available():
-            workers = 0
-            state = WorkerState(context)
-            results = [execute_trial(state, spec) for spec in specs]
+        counters = _Counters()
+        owns_journal = journal is not None and not isinstance(journal,
+                                                              TrialJournal)
+        journal_obj: Optional[TrialJournal]
+        if owns_journal:
+            journal_obj = TrialJournal.open_for(journal, specs)
         else:
-            results = self._run_pool(context, specs, workers, chunksize)
+            journal_obj = journal
+        workers = self.workers
+        outcomes: Dict[int, TrialOutcome] = {}
+        try:
+            remaining: List[Tuple[int, TrialSpec]] = []
+            for pos, spec in enumerate(specs):
+                prior = (journal_obj.completed(spec)
+                         if journal_obj is not None else None)
+                if prior is not None:
+                    outcomes[pos] = prior
+                    counters.resumed += 1
+                else:
+                    remaining.append((pos, spec))
+            if remaining:
+                if (workers <= 0 or len(remaining) <= 1
+                        or not fork_available()):
+                    workers = 0
+                    self._run_serial(context, remaining, outcomes,
+                                     journal_obj)
+                else:
+                    self._run_pool(context, remaining, outcomes, workers,
+                                   chunksize, journal_obj, counters)
+        finally:
+            if owns_journal and journal_obj is not None:
+                journal_obj.close()
+        results = [outcomes[pos] for pos in range(len(specs))]
         stats = RunStats(
             started_unix=started,
             elapsed_seconds=time.perf_counter() - clock,
             workers=workers,
             trials=len(specs),
+            failed=sum(1 for r in results if isinstance(r, TrialFailure)),
+            quarantined=counters.quarantined,
+            retried=counters.retried,
+            resumed=counters.resumed,
+            pool_restarts=counters.pool_restarts,
         )
         return results, stats
 
-    def _run_pool(self, context: TrialContext, specs: Sequence[TrialSpec],
-                  workers: int,
-                  chunksize: Optional[int]) -> List[TrialResult]:
+    # -- serial path ------------------------------------------------------
+
+    def _run_serial(self, context: TrialContext,
+                    items: Sequence[Tuple[int, TrialSpec]],
+                    outcomes: Dict[int, TrialOutcome],
+                    journal: Optional[TrialJournal]) -> None:
+        state = WorkerState(context)
+        for pos, spec in items:
+            outcome = _guarded_trial(state, spec, self.timeout)
+            outcomes[pos] = outcome
+            if journal is not None and isinstance(outcome, TrialResult):
+                journal.record(spec, outcome)
+
+    # -- pool path --------------------------------------------------------
+
+    def _run_pool(self, context: TrialContext,
+                  items: Sequence[Tuple[int, TrialSpec]],
+                  outcomes: Dict[int, TrialOutcome], workers: int,
+                  chunksize: Optional[int],
+                  journal: Optional[TrialJournal],
+                  counters: _Counters) -> None:
         mp_context = multiprocessing.get_context("fork")
-        chunk = chunksize or default_chunksize(len(specs), workers)
-        with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
-                                 mp_context=mp_context,
-                                 initializer=_init_worker,
-                                 initargs=(context,)) as pool:
-            results = list(pool.map(_run_trial_remote, specs,
-                                    chunksize=chunk))
-        return results
+        chunk = chunksize or default_chunksize(len(items), workers)
+        pending: Deque[_Chunk] = deque(
+            _Chunk(list(items[i:i + chunk]))
+            for i in range(0, len(items), chunk))
+        suspects: Deque[_Chunk] = deque()
+        max_workers = min(workers, len(items))
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def open_pool() -> ProcessPoolExecutor:
+            if counters.pool_restarts:
+                time.sleep(min(
+                    _BACKOFF_CAP,
+                    self.backoff_base * 2 ** (counters.pool_restarts - 1)))
+            return ProcessPoolExecutor(max_workers=max_workers,
+                                       mp_context=mp_context,
+                                       initializer=_init_worker,
+                                       initargs=(context, self.timeout))
+
+        def discard_pool(kill: bool) -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            if kill:
+                _kill_pool_processes(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+            counters.pool_restarts += 1
+
+        def settle(victim: _Chunk, kind: str, message: str) -> None:
+            # A chunk *attributably* implicated in a crash or hard hang:
+            # bisect toward the poison trial, or quarantine once a
+            # single trial exhausts its retries.
+            attempts = victim.attempts + 1
+            if len(victim.items) > 1:
+                mid = len(victim.items) // 2
+                suspects.append(_Chunk(victim.items[:mid], attempts))
+                suspects.append(_Chunk(victim.items[mid:], attempts))
+                counters.retried += 2
+            elif attempts > self.max_retries:
+                pos, spec = victim.items[0]
+                outcomes[pos] = TrialFailure(index=spec.index, kind=kind,
+                                             message=message,
+                                             attempts=attempts)
+                counters.quarantined += 1
+            else:
+                suspects.append(_Chunk(victim.items, attempts))
+                counters.retried += 1
+
+        def absorb(victim: _Chunk,
+                   records: Sequence[Tuple[int, TrialOutcome]]) -> None:
+            spec_by_pos = dict(victim.items)
+            for pos, outcome in records:
+                outcomes[pos] = outcome
+                if journal is not None and isinstance(outcome, TrialResult):
+                    journal.record(spec_by_pos[pos], outcome)
+
+        try:
+            while pending or suspects:
+                if pool is None:
+                    pool = open_pool()
+                # Isolation mode: after a crash, run suspect chunks one
+                # at a time so a repeat crash implicates exactly one
+                # chunk; fresh chunks keep full parallelism.
+                if suspects:
+                    batch = [suspects.popleft()]
+                else:
+                    batch = list(pending)
+                    pending.clear()
+                inflight: Dict[Future, _Chunk] = {}
+                budgets: Dict[Future, float] = {}
+                submit_failed = False
+                for position, chunk_ in enumerate(batch):
+                    try:
+                        future = pool.submit(_run_chunk_remote, chunk_.items)
+                    except (BrokenExecutor, RuntimeError):
+                        # pool died before the batch was fully submitted;
+                        # nothing is attributable — retry everything
+                        suspects.extend(batch[position:])
+                        suspects.extend(inflight.values())
+                        inflight.clear()
+                        budgets.clear()
+                        discard_pool(kill=False)
+                        submit_failed = True
+                        break
+                    inflight[future] = chunk_
+                    if self.timeout:
+                        budgets[future] = (time.monotonic()
+                                           + self.timeout * len(chunk_.items)
+                                           + self.hang_grace)
+                if submit_failed:
+                    continue
+                while inflight:
+                    done, _not_done = wait(
+                        set(inflight),
+                        timeout=_POLL_SECONDS if self.timeout else None,
+                        return_when=FIRST_COMPLETED)
+                    broken_chunks: List[_Chunk] = []
+                    for future in done:
+                        victim = inflight.pop(future)
+                        budgets.pop(future, None)
+                        try:
+                            absorb(victim, future.result())
+                        except BrokenExecutor:
+                            broken_chunks.append(victim)
+                        except Exception as exc:
+                            # result irretrievable (e.g. unpicklable);
+                            # fail the chunk, not the campaign
+                            for pos, spec in victim.items:
+                                outcomes[pos] = TrialFailure(
+                                    index=spec.index, kind=FAILURE_ERROR,
+                                    message=(f"chunk result lost: "
+                                             f"{type(exc).__name__}: {exc}"),
+                                    attempts=victim.attempts + 1)
+                    if broken_chunks:
+                        # the pool is dead; in-flight chunks that did not
+                        # report a crash were collateral, not culprits
+                        collateral = list(inflight.values())
+                        inflight.clear()
+                        budgets.clear()
+                        discard_pool(kill=False)
+                        if len(broken_chunks) == 1 and not collateral:
+                            settle(broken_chunks[0], FAILURE_CRASH,
+                                   "worker process died executing this "
+                                   "trial")
+                        else:
+                            suspects.extend(broken_chunks)
+                            suspects.extend(collateral)
+                        break
+                    if self.timeout and budgets:
+                        now = time.monotonic()
+                        overdue = {future for future, deadline
+                                   in budgets.items() if now > deadline}
+                        if overdue:
+                            # hard hang the in-worker alarm could not
+                            # break: kill the pool, blame exactly the
+                            # overdue chunks
+                            for future, victim in list(inflight.items()):
+                                if future in overdue:
+                                    settle(victim, FAILURE_TIMEOUT,
+                                           f"hard hang: trial ignored its "
+                                           f"{self.timeout:.3g}s deadline")
+                                else:
+                                    suspects.append(victim)
+                            inflight.clear()
+                            budgets.clear()
+                            discard_pool(kill=True)
+                            break
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
 
 def run_campaign(context: TrialContext, specs: Sequence[TrialSpec],
                  workers: Optional[int] = None,
-                 chunksize: Optional[int] = None
-                 ) -> Tuple[List[TrialResult], RunStats]:
+                 chunksize: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 journal: Union[TrialJournal, str, Path, None] = None
+                 ) -> Tuple[List[TrialOutcome], RunStats]:
     """One-shot convenience wrapper around :class:`TrialExecutor`."""
-    executor = TrialExecutor(workers)
-    return executor.run_with_stats(context, specs, chunksize=chunksize)
+    executor = TrialExecutor(workers, timeout=timeout,
+                             max_retries=max_retries)
+    return executor.run_with_stats(context, specs, chunksize=chunksize,
+                                   journal=journal)

@@ -1,0 +1,186 @@
+"""Campaign checkpoint/resume: an append-only journal of trial results.
+
+A Monte Carlo campaign worth journaling is long enough that losing it to
+a Ctrl-C, an OOM kill, or a machine reboot hurts. The journal makes a
+campaign restartable:
+
+* every completed :class:`TrialResult` is appended to a JSONL file —
+  one fsynced line per trial, keyed by a *spec digest* — the moment the
+  parent learns of it;
+* on resume, specs whose digest already appears in the journal are
+  restored instead of re-executed, so an interrupted campaign finishes
+  by running only the missing trials;
+* because each spec carries its own pre-spawned RNG seed, the merged
+  results are bitwise identical to an uninterrupted run.
+
+The digest covers everything that determines a trial's outcome — kind,
+rate, range reference, flip coordinates, and the exact seed entropy —
+so a journal can never leak results across campaigns: the file header
+additionally pins a whole-campaign digest and mismatches are rejected.
+
+Failures are deliberately *not* journaled: a crash or timeout may be
+transient, so a resumed campaign retries them for free.
+
+Format (one JSON object per line)::
+
+    {"type": "header", "version": 1, "campaign": "<hex>"}
+    {"type": "trial", "digest": "<hex>", "index": 3,
+     "value_db": -0.25, "num_flips": 2, "forced": false}
+
+A torn final line (the process died mid-write) is tolerated and simply
+re-run; any other undecodable content is an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from ..errors import AnalysisError
+from .trials import TrialResult, TrialSpec
+
+#: Journal format version (bumped on incompatible record changes).
+JOURNAL_VERSION = 1
+
+
+def spec_digest(spec: TrialSpec) -> str:
+    """A stable content digest of everything that determines a trial.
+
+    Covers the kind, all injection coordinates, and the exact RNG seed
+    (entropy + spawn key), so two specs collide only when they would
+    provably produce the same :class:`TrialResult`. The float rate is
+    hashed via ``float.hex`` — exact, no formatting loss.
+    """
+    seed = spec.seed
+    if seed is None:
+        seed_repr = "none"
+    else:
+        seed_repr = (f"{seed.entropy!r}/{tuple(seed.spawn_key)!r}"
+                     f"/{seed.pool_size}")
+    parts = (
+        spec.kind,
+        float(spec.rate).hex(),
+        repr(spec.ranges_ref),
+        repr(bool(spec.force_at_least_one)),
+        repr(spec.flip_payload),
+        repr(spec.flip_bit),
+        repr(spec.measure_frame),
+        seed_repr,
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]
+
+
+def campaign_digest(specs: Sequence[TrialSpec]) -> str:
+    """Digest of a whole campaign: the ordered list of spec digests."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(spec_digest(spec).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:32]
+
+
+class TrialJournal:
+    """Append-only JSONL journal of completed trials for one campaign."""
+
+    def __init__(self, path: Union[str, Path], campaign: str) -> None:
+        self.path = Path(path)
+        self.campaign = campaign
+        self.torn_lines = 0
+        self._completed: Dict[str, TrialResult] = {}
+        self._load_existing()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._append({"type": "header", "version": JOURNAL_VERSION,
+                          "campaign": self.campaign})
+
+    @classmethod
+    def open_for(cls, path: Union[str, Path],
+                 specs: Sequence[TrialSpec]) -> "TrialJournal":
+        """Open (or create) the journal for exactly this campaign."""
+        return cls(path, campaign_digest(specs))
+
+    # -- resume -----------------------------------------------------------
+
+    def _load_existing(self) -> None:
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return
+        records = []
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if number == len(lines) - 1:
+                    self.torn_lines += 1  # torn tail write: re-run it
+                    continue
+                raise AnalysisError(
+                    f"journal {self.path} line {number + 1} is not JSON "
+                    f"(corrupt journal; delete it to start over)"
+                ) from None
+        if not records:
+            return
+        header = records[0]
+        if header.get("type") != "header":
+            raise AnalysisError(
+                f"journal {self.path} has no header line; not a campaign "
+                f"journal")
+        if header.get("version") != JOURNAL_VERSION:
+            raise AnalysisError(
+                f"journal {self.path} is version {header.get('version')}, "
+                f"expected {JOURNAL_VERSION}")
+        if header.get("campaign") != self.campaign:
+            raise AnalysisError(
+                f"journal {self.path} belongs to campaign "
+                f"{header.get('campaign')}, not {self.campaign}; refusing "
+                f"to mix results (use a fresh journal path)")
+        for record in records[1:]:
+            if record.get("type") != "trial":
+                continue
+            self._completed[record["digest"]] = TrialResult(
+                index=int(record["index"]),
+                value_db=float(record["value_db"]),
+                num_flips=int(record["num_flips"]),
+                forced=bool(record["forced"]),
+            )
+
+    def completed(self, spec: TrialSpec) -> Optional[TrialResult]:
+        """The journaled result for this spec, or None if it must run."""
+        return self._completed.get(spec_digest(spec))
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # -- checkpoint -------------------------------------------------------
+
+    def record(self, spec: TrialSpec, result: TrialResult) -> None:
+        """Durably append one completed trial (flush + fsync)."""
+        digest = spec_digest(spec)
+        self._append({"type": "trial", "digest": digest,
+                      "index": result.index,
+                      "value_db": result.value_db,
+                      "num_flips": result.num_flips,
+                      "forced": result.forced})
+        self._completed[digest] = result
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

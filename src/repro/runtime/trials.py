@@ -22,7 +22,7 @@ worker count and in any execution order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,25 +39,49 @@ KIND_SWEEP = "sweep"              #: binomial flips over bit ranges
 KIND_SINGLE_FLIP = "single_flip"  #: one deterministic flip (Figure 3)
 KIND_STORED_READ = "stored_read"  #: full storage round trip (Figure 11)
 
+#: Failure kinds a trial can be quarantined with.
+FAILURE_TIMEOUT = "timeout"  #: exceeded its wall-clock watchdog budget
+FAILURE_ERROR = "error"      #: raised an exception inside the trial
+FAILURE_CRASH = "crash"      #: killed its worker process (segfault/OOM/exit)
+
 
 @dataclass(frozen=True)
 class RunStats:
-    """Wall-clock accounting for one campaign.
+    """Wall-clock and fault accounting for one campaign.
 
     Attached to experiment results (``compare=False`` fields) so
-    benchmark JSON and reports can show throughput, not just quality.
+    benchmark JSON and reports can show throughput — and, since the
+    fault-tolerance layer, how gracefully the campaign degraded — not
+    just quality.
     """
 
     started_unix: float      #: campaign start, seconds since the epoch
     elapsed_seconds: float   #: wall-clock duration of the campaign
     workers: int             #: resolved worker count (0 = in-process serial)
-    trials: int              #: number of trials executed
+    trials: int              #: number of trials in the campaign
+    #: Trials whose final outcome is a :class:`TrialFailure` (any kind).
+    failed: int = 0
+    #: Subset of ``failed`` abandoned only after crash/hang retries were
+    #: exhausted (poison trials).
+    quarantined: int = 0
+    #: Chunk resubmissions performed while recovering from worker
+    #: crashes or hard hangs.
+    retried: int = 0
+    #: Trials restored from a campaign journal instead of re-executed.
+    resumed: int = 0
+    #: Times the worker pool had to be respawned.
+    pool_restarts: int = 0
 
     @property
     def trials_per_second(self) -> float:
         if self.elapsed_seconds <= 0:
             return float("inf")
         return self.trials / self.elapsed_seconds
+
+    @property
+    def completed(self) -> int:
+        """Trials that produced a usable :class:`TrialResult`."""
+        return self.trials - self.failed
 
 
 @dataclass(frozen=True)
@@ -91,6 +115,25 @@ class TrialResult:
     value_db: float      #: kind-dependent measurement (see execute_trial)
     num_flips: int = 0
     forced: bool = False
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial the campaign gave up on — quarantined, not fatal.
+
+    Campaigns degrade gracefully: a failure occupies the trial's slot in
+    the (spec-ordered) result list so aggregation can skip-and-scale
+    instead of aborting, and :class:`RunStats` counts it.
+    """
+
+    index: int
+    kind: str          #: FAILURE_TIMEOUT | FAILURE_ERROR | FAILURE_CRASH
+    message: str = ""
+    attempts: int = 1  #: executions consumed before quarantining
+
+
+#: What campaigns actually return per spec: a measurement or a failure.
+TrialOutcome = Union[TrialResult, TrialFailure]
 
 
 @dataclass
@@ -145,6 +188,29 @@ def spawn_trial_seeds(rng: np.random.Generator,
     return root.spawn(count)
 
 
+#: Extension point: extra trial kinds beyond the built-in three.
+#: Handlers registered *before* a pool spawns are inherited by forked
+#: workers; tests also use this to inject crashing/hanging trials.
+TrialHandler = Callable[["WorkerState", "TrialSpec"], TrialResult]
+_KIND_HANDLERS: Dict[str, TrialHandler] = {}
+
+
+def register_trial_kind(kind: str, handler: TrialHandler) -> None:
+    """Register a custom trial kind executed by :func:`execute_trial`.
+
+    Built-in kinds cannot be overridden; re-registering a custom kind
+    replaces its handler.
+    """
+    if kind in (KIND_SWEEP, KIND_SINGLE_FLIP, KIND_STORED_READ):
+        raise AnalysisError(f"cannot override built-in trial kind {kind!r}")
+    _KIND_HANDLERS[kind] = handler
+
+
+def unregister_trial_kind(kind: str) -> None:
+    """Remove a custom trial kind (missing kinds are ignored)."""
+    _KIND_HANDLERS.pop(kind, None)
+
+
 def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
     """Run one trial against prepared worker state.
 
@@ -197,6 +263,9 @@ def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
         return TrialResult(spec.index,
                            float(video_psnr(context.reference, damaged)), 0,
                            False)
+    handler = _KIND_HANDLERS.get(spec.kind)
+    if handler is not None:
+        return handler(state, spec)
     raise AnalysisError(f"unknown trial kind {spec.kind!r}")
 
 

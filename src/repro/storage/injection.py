@@ -30,6 +30,10 @@ BitRange = Tuple[int, int, int]
 
 def flip_bit(payload: bytearray, bit_index: int) -> None:
     """Flip one bit (MSB-first indexing) of a byte buffer in place."""
+    if not payload:
+        raise StorageError("cannot flip a bit in an empty payload")
+    if bit_index < 0:
+        raise StorageError(f"negative bit index {bit_index}")
     byte_index, bit_offset = divmod(bit_index, 8)
     if byte_index >= len(payload):
         raise StorageError(
@@ -65,6 +69,8 @@ def occurrence_probability(total_bits: int, error_rate: float) -> float:
     """P[at least one flip lands in ``total_bits``]."""
     if total_bits <= 0 or error_rate <= 0.0:
         return 0.0
+    if error_rate >= 1.0:
+        return 1.0
     return float(-np.expm1(total_bits * np.log1p(-error_rate)))
 
 
@@ -85,16 +91,28 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
                          ) -> InjectionResult:
     """Flip bits at ``error_rate`` within the given bit ranges.
 
-    ``ranges`` defaults to the entirety of every payload. Returns new
-    payload byte strings (inputs are never mutated) plus the flip count.
+    ``ranges`` defaults to the entirety of every (non-empty) payload.
+    Returns new payload byte strings (inputs are never mutated) plus the
+    flip count. Empty payload lists and degenerate/inverted spans
+    (``start >= end``) are rejected rather than silently injecting zero
+    flips — a zero-flip "injection" would corrupt campaign statistics
+    without any visible symptom.
     """
+    if not payloads:
+        raise StorageError("no payloads to inject into")
     if ranges is None:
         ranges = [(index, 0, 8 * len(payload))
-                  for index, payload in enumerate(payloads)]
+                  for index, payload in enumerate(payloads)
+                  if len(payload)]
     lengths = []
     for payload_index, start, end in ranges:
         if not 0 <= payload_index < len(payloads):
             raise StorageError(f"range names payload {payload_index}")
+        if start >= end:
+            raise StorageError(
+                f"inverted or empty bit range ({start}, {end}) on payload "
+                f"{payload_index}: start must be < end"
+            )
         if not 0 <= start <= end <= 8 * len(payloads[payload_index]):
             raise StorageError(
                 f"range ({start}, {end}) outside payload "
@@ -126,6 +144,11 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
 def inject_single_flip(payloads: Sequence[bytes], payload_index: int,
                        bit_index: int) -> List[bytes]:
     """Deterministically flip exactly one bit (Figure 3's probe)."""
+    if not payloads:
+        raise StorageError("no payloads to inject into")
+    if not 0 <= payload_index < len(payloads):
+        raise StorageError(
+            f"payload index {payload_index} outside 0..{len(payloads) - 1}")
     buffers = [bytearray(p) for p in payloads]
     flip_bit(buffers[payload_index], bit_index)
     return [bytes(b) for b in buffers]

@@ -1,0 +1,132 @@
+"""Decoder/deserializer error paths: damaged *precise* metadata.
+
+The paper stores headers precisely, so a intact store never hits these;
+they define the failure mode for damaged or hostile containers: always
+:class:`BitstreamError`, never an internal ``KeyError``/``ValueError``/
+``ZeroDivisionError`` (the contract the fuzz harness hammers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.codec import Decoder, EncodedVideo
+from repro.codec.encoded import EncodedFrame
+from repro.errors import BitstreamError
+
+
+@pytest.fixture(scope="module")
+def blob(encoded_small):
+    return encoded_small.serialize()
+
+
+def _with_header(encoded, **changes):
+    return EncodedVideo(
+        header=dataclasses.replace(encoded.header, **changes),
+        frames=encoded.frames)
+
+
+class TestDeserializeErrors:
+    def test_truncated_magic(self, blob):
+        with pytest.raises(BitstreamError, match="not a serialized"):
+            EncodedVideo.deserialize(blob[:2])
+
+    def test_wrong_magic(self, blob):
+        with pytest.raises(BitstreamError, match="not a serialized"):
+            EncodedVideo.deserialize(b"XXXX" + blob[4:])
+
+    def test_truncated_video_header(self, blob):
+        with pytest.raises(BitstreamError, match="truncated header"):
+            EncodedVideo.deserialize(blob[:10])
+
+    def test_truncated_frame_header(self, blob):
+        # Cut inside the first frame header (video header is 21 bytes).
+        with pytest.raises(BitstreamError, match="truncated header"):
+            EncodedVideo.deserialize(blob[:24])
+
+    def test_truncated_payload(self, blob):
+        with pytest.raises(BitstreamError, match="truncated payload"):
+            EncodedVideo.deserialize(blob[:-3])
+
+    def test_invalid_frame_type(self, blob):
+        # Frame type is the byte right after the first frame's
+        # coded/display indices: 21 (video header) + 4.
+        damaged = bytearray(blob)
+        damaged[25] = 9
+        with pytest.raises(BitstreamError, match="invalid frame type"):
+            EncodedVideo.deserialize(bytes(damaged))
+
+    def test_clean_roundtrip_still_works(self, encoded_small, blob):
+        clone = EncodedVideo.deserialize(blob)
+        assert clone.header == dataclasses.replace(encoded_small.header)
+        assert clone.frame_payloads() == encoded_small.frame_payloads()
+
+
+class TestDecodeStructureErrors:
+    def test_frame_count_mismatch(self, encoded_small):
+        liar = _with_header(encoded_small,
+                            num_frames=encoded_small.header.num_frames + 1)
+        with pytest.raises(BitstreamError, match="promises"):
+            Decoder().decode(liar)
+
+    def test_zero_geometry(self, encoded_small):
+        with pytest.raises(BitstreamError, match="geometry"):
+            Decoder().decode(_with_header(encoded_small, height=0))
+
+    def test_non_macroblock_geometry(self, encoded_small):
+        with pytest.raises(BitstreamError, match="macroblock size"):
+            Decoder().decode(_with_header(encoded_small, width=50))
+
+    def test_invalid_fps(self, encoded_small):
+        with pytest.raises(BitstreamError, match="frame rate"):
+            Decoder().decode(_with_header(encoded_small, fps=0.0))
+
+    def test_zero_slices(self, encoded_small):
+        frames = list(encoded_small.frames)
+        frames[0] = EncodedFrame(
+            header=dataclasses.replace(frames[0].header,
+                                       slice_byte_lengths=[]),
+            payload=frames[0].payload)
+        liar = EncodedVideo(header=encoded_small.header, frames=frames)
+        with pytest.raises(BitstreamError, match="slices"):
+            Decoder().decode(liar)
+
+    def test_more_slices_than_rows(self, encoded_small):
+        frames = list(encoded_small.frames)
+        mb_rows = encoded_small.header.height // 16
+        frames[0] = EncodedFrame(
+            header=dataclasses.replace(
+                frames[0].header,
+                slice_byte_lengths=[0] * (mb_rows + 1)),
+            payload=frames[0].payload)
+        liar = EncodedVideo(header=encoded_small.header, frames=frames)
+        with pytest.raises(BitstreamError, match="slices"):
+            Decoder().decode(liar)
+
+    def test_duplicate_display_indices(self, encoded_small):
+        frames = list(encoded_small.frames)
+        frames[0] = EncodedFrame(
+            header=dataclasses.replace(frames[0].header,
+                                       display_index=1),
+            payload=frames[0].payload)
+        liar = EncodedVideo(header=encoded_small.header, frames=frames)
+        with pytest.raises(BitstreamError, match="display indices"):
+            Decoder().decode(liar)
+
+    def test_missing_forward_reference(self, encoded_small):
+        # Point a P/B frame at a reference that never decodes.
+        frames = list(encoded_small.frames)
+        for position, frame in enumerate(frames):
+            if frame.header.ref_forward is not None:
+                frames[position] = EncodedFrame(
+                    header=dataclasses.replace(frame.header,
+                                               ref_forward=60000),
+                    payload=frame.payload)
+                break
+        else:
+            pytest.skip("clip has no predicted frames")
+        liar = EncodedVideo(header=encoded_small.header, frames=frames)
+        with pytest.raises(BitstreamError, match="reference"):
+            Decoder().decode(liar)

@@ -1,0 +1,154 @@
+"""Decoder no-crash fuzz harness.
+
+Two things are under test: the decoder's contract itself (a short clean
+fuzz run must find nothing) and the harness's ability to detect and
+persist violations (verified against deliberately broken decoders).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.codec import Decoder, EncodedVideo
+from repro.errors import AnalysisError, BitstreamError
+from repro.fuzz import (
+    ALL_STRATEGIES,
+    CONTAINER_STRATEGIES,
+    PAYLOAD_STRATEGIES,
+    FuzzReport,
+    fuzz_decoder,
+)
+from repro.runtime import alarm_capable
+
+needs_alarm = pytest.mark.skipif(not alarm_capable(),
+                                 reason="SIGALRM deadline unavailable")
+
+
+class TestContractHolds:
+    def test_short_clean_run(self, encoded_small):
+        report = fuzz_decoder(encoded_small, trials=36, seed=3,
+                              timeout=30.0)
+        assert report.ok
+        assert report.trials == 36
+        assert report.hangs == 0
+        # Round-robin scheduling exercises every strategy evenly.
+        assert set(report.by_strategy) == set(ALL_STRATEGIES)
+        assert all(count == 6 for count in report.by_strategy.values())
+
+    def test_seeded_runs_agree(self, encoded_small):
+        first = fuzz_decoder(encoded_small, trials=12, seed=9,
+                             timeout=30.0)
+        second = fuzz_decoder(encoded_small, trials=12, seed=9,
+                              timeout=30.0)
+        assert first.failures == second.failures
+        assert first.by_strategy == second.by_strategy
+
+    def test_payload_strategies_preserve_shape(self, encoded_small):
+        # Payload corruption must decode to the clean geometry: the
+        # harness would mask shape bugs if decode returned garbage.
+        report = fuzz_decoder(encoded_small, trials=8, seed=1,
+                              timeout=30.0, strategies=PAYLOAD_STRATEGIES)
+        assert report.ok
+
+
+class _CrashingDecoder:
+    """Violates the contract with an internal error on every decode."""
+
+    def decode(self, encoded):
+        raise IndexError("list index out of range")
+
+
+class _HangingDecoder:
+    def decode(self, encoded):
+        time.sleep(60)
+
+
+class _BitstreamRejectingDecoder:
+    def decode(self, encoded):
+        raise BitstreamError("rejected")
+
+
+class TestViolationDetection:
+    def test_crash_detected_and_persisted(self, encoded_small, tmp_path):
+        corpus = tmp_path / "corpus"
+        report = fuzz_decoder(encoded_small, trials=4, seed=0,
+                              timeout=30.0, corpus_dir=corpus,
+                              strategies=PAYLOAD_STRATEGIES,
+                              decoder=_CrashingDecoder())
+        assert not report.ok
+        assert len(report.failures) == 4
+        for failure in report.failures:
+            assert failure.exception == "IndexError"
+            assert failure.corpus_path
+        # Counterexamples replay: each .rvap deserializes and crashes
+        # the same way, and the .json recipe names the trial.
+        blobs = sorted(corpus.glob("*.rvap"))
+        recipes = sorted(corpus.glob("*.json"))
+        assert blobs and len(blobs) == len(recipes)
+        victim = EncodedVideo.deserialize(blobs[0].read_bytes())
+        with pytest.raises(IndexError):
+            _CrashingDecoder().decode(victim)
+        recipe = json.loads(recipes[0].read_text())
+        assert recipe["exception"] == "IndexError"
+        assert recipe["strategy"] in PAYLOAD_STRATEGIES
+        assert recipe["seed"] == 0
+
+    def test_counterexample_decodes_cleanly_with_real_decoder(
+            self, encoded_small, tmp_path):
+        corpus = tmp_path / "corpus"
+        fuzz_decoder(encoded_small, trials=2, seed=0, timeout=30.0,
+                     corpus_dir=corpus, strategies=(PAYLOAD_STRATEGIES[0],),
+                     decoder=_CrashingDecoder())
+        blob = next(iter(corpus.glob("*.rvap"))).read_bytes()
+        video = Decoder().decode(EncodedVideo.deserialize(blob))
+        assert len(video) == len(encoded_small.frames)
+
+    @needs_alarm
+    def test_hang_detected(self, encoded_small):
+        report = fuzz_decoder(encoded_small, trials=1, seed=0,
+                              timeout=0.2,
+                              strategies=(PAYLOAD_STRATEGIES[0],),
+                              decoder=_HangingDecoder())
+        assert not report.ok
+        assert report.hangs == 1
+        assert report.failures[0].exception == "TrialTimeout"
+
+    def test_bitstream_error_is_violation_for_payload_damage(
+            self, encoded_small):
+        # Headers are intact under payload strategies, so even the
+        # codec's own rejection type breaks the contract there.
+        report = fuzz_decoder(encoded_small, trials=2, seed=0,
+                              timeout=30.0,
+                              strategies=(PAYLOAD_STRATEGIES[0],),
+                              decoder=_BitstreamRejectingDecoder())
+        assert not report.ok
+        assert report.failures[0].exception == "BitstreamError"
+
+    def test_bitstream_error_allowed_for_container_damage(
+            self, encoded_small):
+        report = fuzz_decoder(encoded_small, trials=6, seed=0,
+                              timeout=30.0,
+                              strategies=CONTAINER_STRATEGIES,
+                              decoder=_BitstreamRejectingDecoder())
+        assert report.ok
+
+
+class TestValidation:
+    def test_zero_trials_rejected(self, encoded_small):
+        with pytest.raises(AnalysisError):
+            fuzz_decoder(encoded_small, trials=0)
+
+    def test_unknown_strategy_rejected(self, encoded_small):
+        with pytest.raises(AnalysisError, match="unknown fuzz"):
+            fuzz_decoder(encoded_small, trials=1, strategies=("wat",))
+
+    def test_empty_strategies_rejected(self, encoded_small):
+        with pytest.raises(AnalysisError):
+            fuzz_decoder(encoded_small, trials=1, strategies=())
+
+    def test_report_ok_property(self):
+        assert FuzzReport(trials=1, elapsed_seconds=0.0).ok

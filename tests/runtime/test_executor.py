@@ -97,6 +97,16 @@ class TestResolveWorkers:
         with pytest.raises(AnalysisError):
             resolve_workers(None)
 
+    def test_negative_env_has_clear_message(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-3")
+        with pytest.raises(AnalysisError, match="REPRO_NUM_WORKERS"):
+            resolve_workers(None)
+
+    def test_float_env_has_clear_message(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2.5")
+        with pytest.raises(AnalysisError, match="not an integer"):
+            resolve_workers(None)
+
 
 class TestChunking:
     def test_small_batches_get_chunk_one(self):

@@ -37,6 +37,14 @@ class TestFlipBit:
         with pytest.raises(StorageError):
             flip_bit(bytearray(b"\x00"), 8)
 
+    def test_empty_payload_rejected(self):
+        with pytest.raises(StorageError, match="empty payload"):
+            flip_bit(bytearray(), 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(StorageError, match="negative"):
+            flip_bit(bytearray(b"\x00"), -1)
+
 
 class TestSampleFlipCount:
     def test_zero_rate_zero_flips(self, rng):
@@ -77,6 +85,21 @@ class TestOccurrence:
     def test_tiny_rate_stays_accurate(self):
         value = occurrence_probability(10_000, 1e-12)
         assert value == pytest.approx(1e-8, rel=1e-3)
+
+    def test_rate_zero_boundary(self):
+        assert occurrence_probability(1000, 0.0) == 0.0
+        assert rare_event_scale(1000, 0.0) == 0.0
+
+    def test_rate_one_boundary(self):
+        # log1p(-1) would warn/return -inf; the boundary is exact.
+        assert occurrence_probability(1000, 1.0) == 1.0
+        assert rare_event_scale(1, 1.0) == 1.0
+
+    def test_scale_monotone_in_rate(self):
+        rates = (0.0, 1e-9, 1e-6, 1e-3, 0.5, 1.0)
+        scales = [rare_event_scale(1000, r) for r in rates]
+        assert scales == sorted(scales)
+        assert scales[0] == 0.0 and scales[-1] == 1.0
 
 
 class TestInjectIntoPayloads:
@@ -128,6 +151,21 @@ class TestInjectIntoPayloads:
         with pytest.raises(StorageError):
             inject_into_payloads([bytes(4)], 0.1, rng, ranges=[(3, 0, 8)])
 
+    def test_empty_payload_list_rejected(self, rng):
+        with pytest.raises(StorageError, match="no payloads"):
+            inject_into_payloads([], 0.1, rng)
+
+    def test_inverted_span_rejected(self, rng):
+        with pytest.raises(StorageError, match="inverted or empty"):
+            inject_into_payloads([bytes(4)], 0.1, rng, ranges=[(0, 8, 8)])
+        with pytest.raises(StorageError, match="inverted or empty"):
+            inject_into_payloads([bytes(4)], 0.1, rng, ranges=[(0, 16, 8)])
+
+    def test_default_ranges_skip_empty_payloads(self, rng):
+        result = inject_into_payloads([b"", bytes(10), b""], 1.0, rng)
+        assert result.payloads[0] == b"" and result.payloads[2] == b""
+        assert result.payloads[1] == b"\xff" * 10
+
     @given(seed=st.integers(0, 1000), rate=st.floats(0.001, 0.5))
     @settings(max_examples=30, deadline=None)
     def test_flip_count_property(self, seed, rate):
@@ -144,3 +182,11 @@ class TestSingleFlip:
         out = inject_single_flip(payloads, 1, 37)
         assert _count_bit_diffs(payloads[0], out[0]) == 0
         assert _count_bit_diffs(payloads[1], out[1]) == 1
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(StorageError, match="no payloads"):
+            inject_single_flip([], 0, 0)
+
+    def test_payload_index_out_of_range(self):
+        with pytest.raises(StorageError, match="payload index"):
+            inject_single_flip([bytes(4)], 2, 0)

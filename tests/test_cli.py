@@ -75,6 +75,38 @@ class TestStore:
         assert len(read_raw_video(out)) == 6
 
 
+class TestSweep:
+    def test_journaled_sweep_resumes(self, clip, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        args = ["sweep", str(clip), "--rates", "1e-3", "--runs", "2",
+                "--workers", "0", "--gop", "6", "--crf", "26",
+                "--journal", str(journal)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 resumed from journal" in second
+        # Identical sweep table, trial work skipped entirely.
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+
+class TestFuzz:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--trials", "12", "--seed", "5",
+                     "--corpus", str(corpus)]) == 0
+        text = capsys.readouterr().out
+        assert "no-crash contract held" in text
+        assert not corpus.exists()  # corpus only appears on failure
+
+    def test_fuzz_accepts_input_clip(self, clip, tmp_path, capsys):
+        assert main(["fuzz", "--input", str(clip), "--trials", "6",
+                     "--gop", "6", "--crf", "26",
+                     "--corpus", str(tmp_path / "corpus")]) == 0
+        assert str(clip) in capsys.readouterr().out
+
+
 class TestModes:
     def test_scorecard(self, capsys):
         assert main(["modes"]) == 0
