@@ -24,7 +24,7 @@ from .executor import (
     run_campaign,
 )
 from .journal import JOURNAL_VERSION, TrialJournal, campaign_digest, \
-    spec_digest
+    context_digest, spec_digest
 from .trials import (
     FAILURE_CRASH,
     FAILURE_ERROR,
@@ -80,6 +80,7 @@ __all__ = [
     "build_sweep_specs",
     "campaign_digest",
     "content_key",
+    "context_digest",
     "default_chunksize",
     "execute_trial",
     "fork_available",

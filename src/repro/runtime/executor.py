@@ -20,17 +20,24 @@ lose the other nine hundred:
   a pathologically slow decode into a structured
   :class:`~repro.runtime.trials.TrialFailure` instead of a stalled
   campaign, and a parent-side budget backstops *hard* hangs the alarm
-  cannot break (the pool is killed and respawned);
+  cannot break (the pool is killed and respawned). Parent-side
+  deadlines are scaled by queue position — a chunk waiting behind
+  legitimately slow predecessors is never mistaken for a hang;
 * a worker **crash** (segfault, OOM kill, ``os._exit``) breaks the
   pool; the executor respawns it with exponential backoff and re-runs
   the lost chunks. To avoid blaming innocent trials, recovery enters an
   isolation mode that runs suspect chunks one at a time — a repeat
   crash is then attributable to exactly one chunk, which is bisected
   down to the poison trial and quarantined after ``max_retries``
-  resubmissions;
+  resubmissions. Every respawned pool must pass a trial-free
+  healthcheck; a pool that cannot even come up (a crashing
+  initializer) aborts the campaign with a clear error after a few
+  strikes instead of burning a retry cycle per trial;
 * an optional **journal** (see :mod:`repro.runtime.journal`) checkpoints
   every completed trial so an interrupted campaign resumes with only
-  the missing trials re-run.
+  the missing trials re-run; the journal is keyed to both the spec list
+  and the :class:`TrialContext`, so results cannot leak across
+  campaigns that share a spec grid but target different videos.
 
 Results therefore contain one :class:`TrialOutcome` per spec — a
 :class:`TrialResult`, or a :class:`TrialFailure` for quarantined trials
@@ -96,6 +103,14 @@ DEFAULT_BACKOFF_BASE = 0.05
 _BACKOFF_CAP = 2.0       #: backoff ceiling, seconds
 _POLL_SECONDS = 0.05     #: future-poll period while a watchdog is armed
 
+#: Consecutive failed post-respawn healthchecks before the campaign is
+#: aborted (a pool that cannot even initialize will never make progress).
+_MAX_HEALTH_STRIKES = 3
+
+#: Wall-clock budget for one healthcheck round trip (covers the worker
+#: initializer deserializing a large :class:`TrialContext`).
+_HEALTHCHECK_TIMEOUT = 60.0
+
 _worker_state: Optional[WorkerState] = None
 _worker_timeout: float = 0.0
 
@@ -124,6 +139,15 @@ def _guarded_trial(state: WorkerState, spec: TrialSpec,
     except Exception as exc:  # quarantine, never abort the campaign
         return TrialFailure(index=spec.index, kind=FAILURE_ERROR,
                             message=f"{type(exc).__name__}: {exc}")
+
+
+def _pool_healthcheck() -> bool:
+    """Sentinel task: proves a respawned pool can initialize and run.
+
+    Runs no trial code — a failure implicates the pool itself (e.g. an
+    initializer that crashes deserializing the context), not any trial.
+    """
+    return True
 
 
 def _run_chunk_remote(
@@ -278,7 +302,7 @@ class TrialExecutor:
                                                               TrialJournal)
         journal_obj: Optional[TrialJournal]
         if owns_journal:
-            journal_obj = TrialJournal.open_for(journal, specs)
+            journal_obj = TrialJournal.open_for(journal, specs, context)
         else:
             journal_obj = journal
         workers = self.workers
@@ -397,10 +421,35 @@ class TrialExecutor:
                 if journal is not None and isinstance(outcome, TrialResult):
                     journal.record(spec_by_pos[pos], outcome)
 
+        health_strikes = 0
         try:
             while pending or suspects:
                 if pool is None:
+                    respawned = counters.pool_restarts > 0
                     pool = open_pool()
+                    if respawned:
+                        # A pool that died once gets a trial-free probe:
+                        # if the *initializer* is what keeps crashing, no
+                        # amount of chunk retries or bisection can ever
+                        # make progress — fail fast with a clear error
+                        # instead of burning a retry cycle per trial.
+                        try:
+                            pool.submit(_pool_healthcheck).result(
+                                timeout=_HEALTHCHECK_TIMEOUT)
+                        except Exception as exc:
+                            health_strikes += 1
+                            discard_pool(kill=True)
+                            if health_strikes >= _MAX_HEALTH_STRIKES:
+                                raise AnalysisError(
+                                    f"worker pool failed to come back up "
+                                    f"{health_strikes} times in a row "
+                                    f"({type(exc).__name__}: {exc}); the "
+                                    f"pool initializer appears to be "
+                                    f"broken, aborting the campaign "
+                                    f"(journaled results are preserved)"
+                                ) from exc
+                            continue
+                        health_strikes = 0
                 # Isolation mode: after a crash, run suspect chunks one
                 # at a time so a repeat crash implicates exactly one
                 # chunk; fresh chunks keep full parallelism.
@@ -412,6 +461,7 @@ class TrialExecutor:
                 inflight: Dict[Future, _Chunk] = {}
                 budgets: Dict[Future, float] = {}
                 submit_failed = False
+                queued_items = 0
                 for position, chunk_ in enumerate(batch):
                     try:
                         future = pool.submit(_run_chunk_remote, chunk_.items)
@@ -426,9 +476,22 @@ class TrialExecutor:
                         submit_failed = True
                         break
                     inflight[future] = chunk_
+                    queued_items += len(chunk_.items)
                     if self.timeout:
+                        # Budget for the worst-case queue, not just this
+                        # chunk: the whole batch is submitted at once, so
+                        # a chunk may legitimately sit behind every
+                        # earlier chunk's full watchdog allowance before
+                        # it even starts. Anchoring each deadline at the
+                        # cumulative item count guarantees a healthy but
+                        # slow batch is never declared hard-hung; a real
+                        # hang still trips the earliest overdue chunk
+                        # first (deadlines grow with queue position), so
+                        # blame stays accurate. Isolation-mode batches
+                        # are single chunks, where this is exactly
+                        # ``timeout * items + grace``.
                         budgets[future] = (time.monotonic()
-                                           + self.timeout * len(chunk_.items)
+                                           + self.timeout * queued_items
                                            + self.hang_grace)
                 if submit_failed:
                     continue

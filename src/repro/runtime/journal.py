@@ -16,19 +16,25 @@ campaign restartable:
 The digest covers everything that determines a trial's outcome — kind,
 rate, range reference, flip coordinates, and the exact seed entropy —
 so a journal can never leak results across campaigns: the file header
-additionally pins a whole-campaign digest and mismatches are rejected.
+additionally pins a whole-campaign digest (which folds in a digest of
+the shared :class:`~repro.runtime.trials.TrialContext` — the encoded
+stream, bit-range tables, references, and store — so the same spec grid
+pointed at a different video refuses to resume) and mismatches are
+rejected.
 
 Failures are deliberately *not* journaled: a crash or timeout may be
 transient, so a resumed campaign retries them for free.
 
 Format (one JSON object per line)::
 
-    {"type": "header", "version": 1, "campaign": "<hex>"}
+    {"type": "header", "version": 2, "campaign": "<hex>"}
     {"type": "trial", "digest": "<hex>", "index": 3,
      "value_db": -0.25, "num_flips": 2, "forced": false}
 
-A torn final line (the process died mid-write) is tolerated and simply
-re-run; any other undecodable content is an error.
+A torn final line (the process died mid-write) is tolerated: the file
+is truncated back to the last complete line and the lost trial simply
+re-runs. Any *terminated* undecodable line is real corruption and is an
+error.
 """
 
 from __future__ import annotations
@@ -36,14 +42,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from ..errors import AnalysisError
-from .trials import TrialResult, TrialSpec
+from .trials import TrialContext, TrialResult, TrialSpec
 
 #: Journal format version (bumped on incompatible record changes).
-JOURNAL_VERSION = 1
+#: Version 2 folds the trial context into the campaign digest.
+JOURNAL_VERSION = 2
 
 
 def spec_digest(spec: TrialSpec) -> str:
@@ -73,9 +81,51 @@ def spec_digest(spec: TrialSpec) -> str:
     return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]
 
 
-def campaign_digest(specs: Sequence[TrialSpec]) -> str:
-    """Digest of a whole campaign: the ordered list of spec digests."""
+def context_digest(context: Optional[TrialContext]) -> str:
+    """Digest of the trial-determining shared state.
+
+    A spec is only half of a trial's identity: ``ranges_ref`` is an
+    index into ``context.ranges_table``, and every measurement depends
+    on the encoded stream (or store) the spec runs against. Two
+    campaigns with identical spec grids but different videos, bit-range
+    tables, or stores must therefore never share a journal — this
+    digest makes them distinguishable. Components that are plain bytes
+    are hashed directly; structured ones (sequences, stores) through
+    their pickle, which is what already defines their identity on the
+    wire to worker processes.
+    """
+    if context is None:
+        return hashlib.sha256(b"no-context").hexdigest()[:32]
     digest = hashlib.sha256()
+    if context.encoded_blob is not None:
+        digest.update(b"|blob:")
+        digest.update(hashlib.sha256(context.encoded_blob).digest())
+    digest.update(b"|ranges:")
+    digest.update(repr(context.ranges_table).encode())
+    if context.clean_psnr is not None:
+        digest.update(b"|clean_psnr:")
+        digest.update(float(context.clean_psnr).hex().encode())
+    for label, part in (("reference", context.reference),
+                        ("clean", context.clean),
+                        ("store", context.store),
+                        ("stored", context.stored)):
+        if part is None:
+            continue
+        digest.update(f"|{label}:".encode())
+        try:
+            digest.update(pickle.dumps(part, protocol=4))
+        except Exception:  # unpicklable (serial-only context): best effort
+            digest.update(repr(part).encode())
+    return digest.hexdigest()[:32]
+
+
+def campaign_digest(specs: Sequence[TrialSpec],
+                    context: Optional[TrialContext] = None) -> str:
+    """Digest of a whole campaign: the context it runs against plus the
+    ordered list of spec digests."""
+    digest = hashlib.sha256()
+    digest.update(context_digest(context).encode())
+    digest.update(b"\n")
     for spec in specs:
         digest.update(spec_digest(spec).encode())
         digest.update(b"\n")
@@ -98,19 +148,38 @@ class TrialJournal:
                           "campaign": self.campaign})
 
     @classmethod
-    def open_for(cls, path: Union[str, Path],
-                 specs: Sequence[TrialSpec]) -> "TrialJournal":
-        """Open (or create) the journal for exactly this campaign."""
-        return cls(path, campaign_digest(specs))
+    def open_for(cls, path: Union[str, Path], specs: Sequence[TrialSpec],
+                 context: Optional[TrialContext] = None) -> "TrialJournal":
+        """Open (or create) the journal for exactly this campaign.
+
+        ``context`` must be the :class:`TrialContext` the specs will run
+        against: it is folded into the campaign digest, so one journal
+        path cannot leak results between sweeps of different videos (or
+        bit-range tables, or stores) that happen to share a spec grid.
+        """
+        return cls(path, campaign_digest(specs, context))
 
     # -- resume -----------------------------------------------------------
 
     def _load_existing(self) -> None:
         if not self.path.exists():
             return
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        if not lines:
+        raw = self.path.read_bytes()
+        if not raw:
             return
+        # Every record is written as one ``json + "\n"`` call, so an
+        # unterminated tail is a torn write from a process that died
+        # mid-append. Truncate it away — otherwise the next append would
+        # glue onto the torn fragment, and the resulting mid-file garbage
+        # line would (rightly) read as corruption on the resume after
+        # this one. If the *header* itself was torn, truncation empties
+        # the file and ``__init__`` writes a fresh header.
+        terminated_end = raw.rfind(b"\n") + 1
+        if terminated_end < len(raw):
+            self.torn_lines += 1  # torn tail write: re-run it
+            os.truncate(self.path, terminated_end)
+            raw = raw[:terminated_end]
+        lines = raw.decode("utf-8").splitlines()
         records = []
         for number, line in enumerate(lines):
             if not line.strip():
@@ -118,9 +187,6 @@ class TrialJournal:
             try:
                 records.append(json.loads(line))
             except ValueError:
-                if number == len(lines) - 1:
-                    self.torn_lines += 1  # torn tail write: re-run it
-                    continue
                 raise AnalysisError(
                     f"journal {self.path} line {number + 1} is not JSON "
                     f"(corrupt journal; delete it to start over)"

@@ -93,10 +93,11 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
 
     ``ranges`` defaults to the entirety of every (non-empty) payload.
     Returns new payload byte strings (inputs are never mutated) plus the
-    flip count. Empty payload lists and degenerate/inverted spans
-    (``start >= end``) are rejected rather than silently injecting zero
-    flips — a zero-flip "injection" would corrupt campaign statistics
-    without any visible symptom.
+    flip count. Empty payload lists, empty range lists (including the
+    default ranges when every payload is zero-length), and
+    degenerate/inverted spans (``start >= end``) are rejected rather
+    than silently injecting zero flips — a zero-flip "injection" would
+    corrupt campaign statistics without any visible symptom.
     """
     if not payloads:
         raise StorageError("no payloads to inject into")
@@ -104,6 +105,10 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
         ranges = [(index, 0, 8 * len(payload))
                   for index, payload in enumerate(payloads)
                   if len(payload)]
+    if not ranges:
+        raise StorageError(
+            "no injectable bits: the bit-range list is empty (every "
+            "payload is zero-length?)")
     lengths = []
     for payload_index, start, end in ranges:
         if not 0 <= payload_index < len(payloads):

@@ -267,6 +267,39 @@ class TestCrashRecovery:
 
 
 @needs_fork
+class TestQueuedBudgets:
+    def test_slow_queued_chunks_not_mistaken_for_hangs(self):
+        # The whole batch is submitted at once, so with one worker the
+        # last chunk legitimately waits behind every earlier chunk's
+        # runtime. A naive submit-anchored deadline would declare it
+        # hard-hung while still queued; the queue-position-scaled budget
+        # must let the batch finish with zero pool kills.
+        specs = _specs(4, {i: ("ft_sleeper", 0.25) for i in range(4)})
+        executor = TrialExecutor(workers=1, timeout=0.5, max_retries=1,
+                                 hang_grace=0.2, backoff_base=0.01)
+        results, stats = executor.run_with_stats(TrialContext(), specs,
+                                                 chunksize=1)
+        assert all(isinstance(r, TrialResult) for r in results)
+        assert stats.failed == 0
+        assert stats.pool_restarts == 0
+
+
+@needs_fork
+class TestPoolHealthcheck:
+    def test_broken_initializer_fails_fast(self):
+        # A context whose deserialization crashes every worker at
+        # startup can never make progress — no amount of chunk retries
+        # or bisection helps. The post-respawn healthcheck must abort
+        # the campaign with a clear error instead of burning a full
+        # retry cycle per trial.
+        context = TrialContext(encoded_blob=b"not a serialized stream")
+        executor = TrialExecutor(workers=2, max_retries=2,
+                                 backoff_base=0.01)
+        with pytest.raises(AnalysisError, match="initializer"):
+            executor.run_with_stats(context, _specs(4), chunksize=1)
+
+
+@needs_fork
 class TestSkipAndScale:
     def test_sweep_survives_quarantine(self, encoded_small, small_video,
                                        decoded_small, monkeypatch):

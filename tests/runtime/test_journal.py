@@ -146,6 +146,40 @@ class TestRecordReplay:
         assert reopened.completed(specs[0]) is not None
         reopened.close()
 
+    def test_torn_tail_survives_second_resume(self, tmp_path):
+        # The torn fragment is truncated away on resume, so the next
+        # append lands on a fresh line — a third open must still parse
+        # cleanly instead of choking on a glued-together garbage line.
+        specs = _specs(3)
+        path = tmp_path / "j.jsonl"
+        with TrialJournal.open_for(path, specs) as journal:
+            journal.record(specs[0], TrialResult(0, -1.5, 1, False))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "trial", "digest": "dead')  # torn
+        with TrialJournal.open_for(path, specs) as journal:
+            assert journal.torn_lines == 1
+            journal.record(specs[1], TrialResult(1, -2.5, 2, False))
+        final = TrialJournal.open_for(path, specs)
+        assert final.torn_lines == 0
+        assert final.completed(specs[0]) is not None
+        assert final.completed(specs[1]) is not None
+        assert final.completed(specs[2]) is None
+        final.close()
+
+    def test_torn_header_rewritten(self, tmp_path):
+        # A process that died while writing the very first line leaves a
+        # headerless journal; reopening must start it over, not wedge it.
+        specs = _specs(1)
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type": "hea')  # torn header, no newline
+        with TrialJournal.open_for(path, specs) as journal:
+            assert journal.torn_lines == 1
+            assert len(journal) == 0
+            journal.record(specs[0], TrialResult(0, 0.5, 1, False))
+        reopened = TrialJournal.open_for(path, specs)
+        assert reopened.completed(specs[0]) is not None
+        reopened.close()
+
     def test_mid_file_corruption_is_loud(self, tmp_path):
         specs = _specs(1)
         path = tmp_path / "j.jsonl"
@@ -154,6 +188,69 @@ class TestRecordReplay:
         path.write_text(header + "\nnot json at all\n" + header + "\n")
         with pytest.raises(AnalysisError, match="corrupt"):
             TrialJournal.open_for(path, specs)
+
+
+class TestContextBinding:
+    """The campaign digest covers the TrialContext, not just the specs.
+
+    ``ranges_ref`` is an integer index and seeds are campaign-local, so
+    two sweeps of *different videos* can share an identical spec grid —
+    reusing one journal path across them must be refused, never silently
+    "resumed" with the other video's results.
+    """
+
+    def test_different_videos_rejected(self, tmp_path):
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        TrialJournal.open_for(path, specs,
+                              TrialContext(encoded_blob=b"video-a")).close()
+        with pytest.raises(AnalysisError, match="fresh journal path"):
+            TrialJournal.open_for(path, specs,
+                                  TrialContext(encoded_blob=b"video-b"))
+
+    def test_different_ranges_tables_rejected(self, tmp_path):
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        TrialJournal.open_for(
+            path, specs, TrialContext(ranges_table=(((0, 0, 8),),))).close()
+        with pytest.raises(AnalysisError, match="fresh journal path"):
+            TrialJournal.open_for(
+                path, specs, TrialContext(ranges_table=(((0, 8, 16),),)))
+
+    def test_missing_context_distinct_from_any_context(self, tmp_path):
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        TrialJournal.open_for(path, specs).close()
+        with pytest.raises(AnalysisError, match="fresh journal path"):
+            TrialJournal.open_for(path, specs,
+                                  TrialContext(encoded_blob=b"video-a"))
+
+    def test_equal_context_resumes(self, tmp_path):
+        specs = _specs(2)
+        path = tmp_path / "j.jsonl"
+        result = TrialResult(0, -1.0, 1, False)
+        context = TrialContext(encoded_blob=b"video-a",
+                               ranges_table=(((0, 0, 8),),))
+        with TrialJournal.open_for(path, specs, context) as journal:
+            journal.record(specs[0], result)
+        # A separately-constructed but equal context binds identically.
+        reopened = TrialJournal.open_for(
+            path, specs, TrialContext(encoded_blob=b"video-a",
+                                      ranges_table=(((0, 0, 8),),)))
+        assert reopened.completed(specs[0]) == result
+        reopened.close()
+
+    def test_campaign_cannot_leak_across_contexts(self, tmp_path):
+        # End to end through the executor: same spec grid, same journal
+        # path, different context — the second campaign must refuse to
+        # "resume" the first one's results.
+        specs = _specs(3)
+        path = tmp_path / "campaign.jsonl"
+        run_campaign(TrialContext(ranges_table=(((0, 0, 8),),)), specs,
+                     workers=0, journal=path)
+        with pytest.raises(AnalysisError, match="fresh journal path"):
+            run_campaign(TrialContext(ranges_table=(((0, 8, 16),),)), specs,
+                         workers=0, journal=path)
 
 
 class TestResume:

@@ -166,6 +166,16 @@ class TestInjectIntoPayloads:
         assert result.payloads[0] == b"" and result.payloads[2] == b""
         assert result.payloads[1] == b"\xff" * 10
 
+    def test_all_empty_payloads_rejected(self, rng):
+        # Non-empty list, but zero targetable bits: must be loud, not a
+        # silent zero-flip "injection".
+        with pytest.raises(StorageError, match="no injectable bits"):
+            inject_into_payloads([b"", b""], 0.1, rng)
+
+    def test_explicit_empty_ranges_rejected(self, rng):
+        with pytest.raises(StorageError, match="no injectable bits"):
+            inject_into_payloads([bytes(4)], 0.1, rng, ranges=[])
+
     @given(seed=st.integers(0, 1000), rate=st.floats(0.001, 0.5))
     @settings(max_examples=30, deadline=None)
     def test_flip_count_property(self, seed, rate):
