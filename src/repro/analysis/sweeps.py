@@ -90,7 +90,8 @@ def quality_sweep(encoded: EncodedVideo,
                   workers: Optional[int] = None,
                   timeout: Optional[float] = None,
                   max_retries: Optional[int] = None,
-                  journal: Union[str, Path, None] = None) -> SweepResult:
+                  journal: Union[str, Path, None] = None,
+                  progress: Optional[bool] = None) -> SweepResult:
     """Sweep error rates over the given bit ranges.
 
     Args:
@@ -113,6 +114,8 @@ def quality_sweep(encoded: EncodedVideo,
         journal: checkpoint file path; an interrupted sweep re-invoked
             with the same journal resumes, re-running only missing
             trials and producing bitwise-identical results.
+        progress: live terminal status line (None = ``REPRO_PROGRESS``);
+            observational only, never changes the numbers.
     """
     del decoder  # retained for API compatibility; workers own decoders
     if runs < 1:
@@ -136,7 +139,7 @@ def quality_sweep(encoded: EncodedVideo,
                               force_at_least_one=True)
     results, stats = run_campaign(context, specs, workers=workers,
                                   timeout=timeout, max_retries=max_retries,
-                                  journal=journal)
+                                  journal=journal, progress=progress)
 
     points: List[SweepPoint] = []
     for rate_index, rate in enumerate(rates):

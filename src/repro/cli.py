@@ -11,10 +11,15 @@ shell, the way a downstream user would script it:
   density report;
 * ``sweep``    — Monte Carlo error-rate sweep on the trial engine
   (parallel with ``--workers``/``REPRO_NUM_WORKERS``, per-trial
-  watchdogs with ``--timeout``, resumable with ``--journal``);
+  watchdogs with ``--timeout``, resumable with ``--journal``, live
+  status with ``--progress``, stage timing with ``--trace``);
 * ``fuzz``     — decoder no-crash fuzz harness (random bit/byte/
-  truncation corruptions under a deadline, crash corpus on failure);
+  truncation corruptions under a deadline, crash corpus on failure,
+  corpus replay with ``--replay``);
 * ``modes``    — AES block-mode compatibility scorecard.
+
+Observability flags and the ``REPRO_*`` environment variables behind
+them are documented in docs/OBSERVABILITY.md.
 
 Encoded files serialize only headers + payloads; ``analyze`` and
 ``store`` therefore take the *raw* clip and re-encode (the paper's
@@ -24,6 +29,7 @@ analysis is an encoder-side step and needs the trace).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -155,22 +161,76 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_trace_path(args: argparse.Namespace) -> Optional[str]:
+    """Effective Chrome-trace output path: ``--trace`` wins, then
+    ``REPRO_TRACE``; None means tracing stays off."""
+    from .obs.trace import TRACE_ENV
+
+    path = getattr(args, "trace", None)
+    if path:
+        return path
+    return os.environ.get(TRACE_ENV, "").strip() or None
+
+
+def _ecc_calibration() -> None:
+    """One tiny exact-ECC round trip, recorded as an ``ecc.calibration``
+    span.
+
+    Quality sweeps inject into payload bits and never touch the BCH
+    machinery, so a traced sweep would otherwise answer "where did the
+    time go" with no ECC stage at all; this gives the trace a measured
+    BCH encode/decode yardstick at negligible cost (one 64-byte blob).
+    """
+    from .obs import trace as obs_trace
+    from .storage.device import ApproximateDevice
+    from .storage.ecc import scheme_by_name
+
+    with obs_trace.span("ecc.calibration"):
+        device = ApproximateDevice(rng=np.random.default_rng(0), exact=True)
+        device.store_and_read(bytes(range(64)), scheme_by_name("BCH-6"))
+
+
+def _export_trace(tracer, trace_path: Optional[str],
+                  jsonl_path: Optional[str]) -> None:
+    """Drain the tracer and write the requested export files."""
+    from .obs.trace import write_chrome_trace, write_jsonl
+
+    records = tracer.drain()
+    if trace_path:
+        write_chrome_trace(trace_path, records)
+        print(f"wrote Chrome trace ({len(records)} spans) to {trace_path}"
+              f" — load in chrome://tracing or https://ui.perfetto.dev")
+    if jsonl_path:
+        write_jsonl(jsonl_path, records)
+        print(f"wrote span JSONL ({len(records)} spans) to {jsonl_path}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_run_stats
     from .analysis.sweeps import quality_sweep
+    from .obs import trace as obs_trace
     from .runtime import session_cache
 
-    video = read_raw_video(args.input)
-    config = _encoder_config(args)
-    cache = session_cache()
-    encoded = cache.encode(video, config)
-    clean = cache.clean_decode(video, config)
-    rates = tuple(float(r) for r in args.rates.split(","))
-    result = quality_sweep(
-        encoded, video, clean, None, rates=rates, runs=args.runs,
-        rng=np.random.default_rng(args.seed), workers=args.workers,
-        timeout=args.timeout, max_retries=args.retries,
-        journal=args.journal)
+    trace_path = _resolve_trace_path(args)
+    jsonl_path = args.trace_jsonl
+    tracer = (obs_trace.enable() if trace_path or jsonl_path
+              else obs_trace.active())
+    with obs_trace.span("repro.sweep", input=args.input):
+        if tracer is not None:
+            _ecc_calibration()
+        video = read_raw_video(args.input)
+        config = _encoder_config(args)
+        cache = session_cache()
+        encoded = cache.encode(video, config)
+        clean = cache.clean_decode(video, config)
+        rates = tuple(float(r) for r in args.rates.split(","))
+        result = quality_sweep(
+            encoded, video, clean, None, rates=rates, runs=args.runs,
+            rng=np.random.default_rng(args.seed), workers=args.workers,
+            timeout=args.timeout, max_retries=args.retries,
+            journal=args.journal, progress=args.progress)
+    if tracer is not None:
+        _export_trace(tracer, trace_path, jsonl_path)
     print(format_table(
         ("error rate", "mean change dB", "max loss dB", "mean flips",
          "forced %", "runs"),
@@ -186,20 +246,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .fuzz import fuzz_decoder
+    from .fuzz import fuzz_decoder, replay_corpus
+    from .obs import trace as obs_trace
     from .runtime import session_cache
 
-    if args.input:
-        video = read_raw_video(args.input)
-        source = args.input
+    trace_path = _resolve_trace_path(args)
+    tracer = obs_trace.enable() if trace_path else obs_trace.active()
+    if args.replay:
+        report = replay_corpus(args.replay, timeout=args.timeout)
+        source = f"corpus {args.replay}"
     else:
-        video = synthesize_scene(SceneConfig(
-            width=48, height=32, num_frames=4, seed=args.seed))
-        source = "synthetic 48x32x4 clip"
-    encoded = session_cache().encode(video, _encoder_config(args))
-    report = fuzz_decoder(
-        encoded, trials=args.trials, seed=args.seed,
-        timeout=args.timeout, corpus_dir=args.corpus)
+        if args.input:
+            video = read_raw_video(args.input)
+            source = args.input
+        else:
+            video = synthesize_scene(SceneConfig(
+                width=48, height=32, num_frames=4, seed=args.seed))
+            source = "synthetic 48x32x4 clip"
+        encoded = session_cache().encode(video, _encoder_config(args))
+        report = fuzz_decoder(
+            encoded, trials=args.trials, seed=args.seed,
+            timeout=args.timeout, corpus_dir=args.corpus)
+    if tracer is not None and trace_path:
+        _export_trace(tracer, trace_path, None)
     print(format_table(
         ("strategy", "trials"),
         sorted(report.by_strategy.items()),
@@ -209,10 +278,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"{report.oversized} corrupted containers skipped "
               f"(declared geometry over the decode-work cap)")
     if report.ok:
-        print("no-crash contract held: no crashes, no hangs")
+        if args.replay:
+            print("corpus replay clean: every historical counterexample "
+                  "now decodes within the no-crash contract")
+        else:
+            print("no-crash contract held: no crashes, no hangs")
         return 0
+    corpus_dir = args.replay or args.corpus
     print(f"CONTRACT VIOLATIONS: {len(report.failures)} "
-          f"({report.hangs} hangs); counterexamples in {args.corpus}")
+          f"({report.hangs} hangs); counterexamples in {corpus_dir}")
     for failure in report.failures:
         print(f"  trial {failure.trial} [{failure.strategy}] "
               f"{failure.exception}: {failure.message}"
@@ -298,6 +372,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--journal", default=None,
                        help="checkpoint file; re-running with the same "
                             "journal resumes an interrupted sweep")
+    sweep.add_argument("--trace", default=None,
+                       help="write a Chrome-trace JSON of campaign stage "
+                            "timings here (default REPRO_TRACE; open in "
+                            "chrome://tracing or Perfetto)")
+    sweep.add_argument("--trace-jsonl", default=None,
+                       help="also write raw span records as JSONL")
+    sweep.add_argument("--progress", action="store_true", default=None,
+                       help="live terminal status line (default "
+                            "REPRO_PROGRESS); observational only")
     _add_encoder_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -313,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "(0 = none)")
     fuzz.add_argument("--corpus", default="fuzz-corpus",
                       help="directory for counterexample bitstreams")
+    fuzz.add_argument("--replay", default=None, metavar="CORPUS_DIR",
+                      help="replay persisted counterexamples from this "
+                           "corpus directory instead of fuzzing; exits "
+                           "non-zero if any historical crash reproduces")
+    fuzz.add_argument("--trace", default=None,
+                      help="write a Chrome-trace JSON of fuzz stage "
+                           "timings here (default REPRO_TRACE)")
     _add_encoder_args(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 

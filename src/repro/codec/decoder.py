@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import BitstreamError
+from ..obs import trace as obs_trace
 from ..video.frame import MACROBLOCK_SIZE, VideoSequence
 from .cabac import CabacDecoder
 from .cavlc import CavlcDecoder
@@ -56,17 +57,18 @@ class Decoder:
                 f"container has {len(encoded.frames)}"
             )
         self._validate_structure(encoded)
-        pad = header.search_range
-        reconstructed: Dict[int, np.ndarray] = {}
-        padded: Dict[int, np.ndarray] = {}
-        for frame in encoded.frames:
-            recon = self._decode_frame(frame, encoded, padded)
-            if header.deblocking:
-                recon = deblock_frame(recon, frame.header.base_qp)
-            reconstructed[frame.header.display_index] = recon
-            padded[frame.header.display_index] = pad_reference(recon, pad)
-        frames = [reconstructed[i] for i in range(header.num_frames)]
-        return VideoSequence(frames, fps=header.fps)
+        with obs_trace.span("decode", frames=header.num_frames):
+            pad = header.search_range
+            reconstructed: Dict[int, np.ndarray] = {}
+            padded: Dict[int, np.ndarray] = {}
+            for frame in encoded.frames:
+                recon = self._decode_frame(frame, encoded, padded)
+                if header.deblocking:
+                    recon = deblock_frame(recon, frame.header.base_qp)
+                reconstructed[frame.header.display_index] = recon
+                padded[frame.header.display_index] = pad_reference(recon, pad)
+            frames = [reconstructed[i] for i in range(header.num_frames)]
+            return VideoSequence(frames, fps=header.fps)
 
     def _validate_structure(self, encoded: EncodedVideo) -> None:
         """Reject streams whose *precise* metadata is inconsistent.
@@ -124,6 +126,17 @@ class Decoder:
 
     def _decode_frame(self, frame: EncodedFrame, encoded: EncodedVideo,
                       padded: Dict[int, np.ndarray]) -> np.ndarray:
+        fh = frame.header
+        with obs_trace.span("decode.frame", coded_index=fh.coded_index,
+                            frame_type=fh.frame_type.name):
+            stages = obs_trace.stage_clock()
+            recon = self._decode_frame_body(frame, encoded, padded, stages)
+            stages.emit()
+            return recon
+
+    def _decode_frame_body(self, frame: EncodedFrame, encoded: EncodedVideo,
+                           padded: Dict[int, np.ndarray], stages
+                           ) -> np.ndarray:
         header = encoded.header
         fh = frame.header
         mb_rows = header.height // MACROBLOCK_SIZE
@@ -154,28 +167,32 @@ class Decoder:
                 for mb_col in range(mb_cols):
                     self._decode_macroblock(
                         entropy, fh.frame_type, state, recon, references,
-                        mb_row, mb_col, start_row)
+                        mb_row, mb_col, start_row, stages)
         return recon
 
     def _decode_macroblock(self, entropy, frame_type: FrameType,
                            state: FrameMbState, recon: np.ndarray,
                            references: ReferenceSet, mb_row: int,
-                           mb_col: int, min_mb_row: int) -> None:
-        decision = decode_macroblock(entropy, self._model, state,
-                                     frame_type, mb_row, mb_col, min_mb_row)
-        pad = 0
-        if references:
-            reference = next(iter(references.values()))
-            pad = (reference.shape[0] - recon.shape[0]) // 2
-        prediction = build_prediction(decision, recon, references, pad,
-                                      mb_row, mb_col, min_mb_row)
-        residual: Optional[np.ndarray] = None
-        if decision.coefficients is not None and any(decision.cbp):
-            residual = reconstruct_residual(decision.coefficients,
-                                            decision.qp)
-        top = mb_row * MACROBLOCK_SIZE
-        left = mb_col * MACROBLOCK_SIZE
-        recon[top:top + MACROBLOCK_SIZE,
-              left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
-                  decision, prediction, residual)
+                           mb_col: int, min_mb_row: int,
+                           stages=obs_trace.NULL_STAGE_CLOCK) -> None:
+        with stages.time("decode.entropy"):
+            decision = decode_macroblock(entropy, self._model, state,
+                                         frame_type, mb_row, mb_col,
+                                         min_mb_row)
+        with stages.time("decode.reconstruct"):
+            pad = 0
+            if references:
+                reference = next(iter(references.values()))
+                pad = (reference.shape[0] - recon.shape[0]) // 2
+            prediction = build_prediction(decision, recon, references, pad,
+                                          mb_row, mb_col, min_mb_row)
+            residual: Optional[np.ndarray] = None
+            if decision.coefficients is not None and any(decision.cbp):
+                residual = reconstruct_residual(decision.coefficients,
+                                                decision.qp)
+            top = mb_row * MACROBLOCK_SIZE
+            left = mb_col * MACROBLOCK_SIZE
+            recon[top:top + MACROBLOCK_SIZE,
+                  left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
+                      decision, prediction, residual)
         finalize_macroblock(state, decision, mb_row, mb_col)

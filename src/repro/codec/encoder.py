@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import EncoderError
+from ..obs import trace as obs_trace
 from ..video.frame import MACROBLOCK_SIZE, VideoSequence
 from .cabac import CabacEncoder
 from .cavlc import CavlcEncoder
@@ -85,6 +86,11 @@ class Encoder:
         """Encode ``video``; the result carries the VideoApp trace."""
         if len(video) == 0:
             raise EncoderError("cannot encode an empty sequence")
+        with obs_trace.span("encode", frames=len(video),
+                            entropy=self.config.entropy_coder.name):
+            return self._encode_sequence(video)
+
+    def _encode_sequence(self, video: VideoSequence) -> EncodedVideo:
         config = self.config
         plans = plan_gop(len(video), config.gop_size, config.bframes)
         coded_of = {plan.display_index: plan.coded_index for plan in plans}
@@ -144,6 +150,18 @@ class Encoder:
                       padded: Dict[int, np.ndarray],
                       coded_of: Dict[int, int]
                       ) -> Tuple[EncodedFrame, FrameTrace, np.ndarray]:
+        with obs_trace.span("encode.frame", coded_index=plan.coded_index,
+                            frame_type=plan.frame_type.name):
+            stages = obs_trace.stage_clock()
+            result = self._encode_frame_body(plan, video, padded, coded_of,
+                                             stages)
+            stages.emit()
+            return result
+
+    def _encode_frame_body(self, plan: FramePlan, video: VideoSequence,
+                           padded: Dict[int, np.ndarray],
+                           coded_of: Dict[int, int], stages
+                           ) -> Tuple[EncodedFrame, FrameTrace, np.ndarray]:
         config = self.config
         source = video[plan.display_index]
         mb_rows, mb_cols = video.mb_rows, video.mb_cols
@@ -170,7 +188,7 @@ class Encoder:
                     bit_start = offset_bits + encoder.bits_emitted
                     decision, deps = self._encode_macroblock(
                         encoder, plan, source, recon, references, ref_coded,
-                        state, base_qp, mb_row, mb_col, start_row)
+                        state, base_qp, mb_row, mb_col, start_row, stages)
                     bit_end = offset_bits + encoder.bits_emitted
                     mb_traces.append(MacroblockTrace(
                         frame_coded_index=plan.coded_index,
@@ -179,7 +197,8 @@ class Encoder:
                         bit_end=bit_end,
                         dependencies=deps,
                     ))
-            payload = encoder.finish()
+            with stages.time("encode.entropy"):
+                payload = encoder.finish()
             slice_payloads.append(payload)
             offset_bits += 8 * len(payload)
 
@@ -216,7 +235,8 @@ class Encoder:
                            references: ReferenceSet,
                            ref_coded: Dict[PredictionDirection, int],
                            state: FrameMbState, base_qp: int,
-                           mb_row: int, mb_col: int, min_mb_row: int
+                           mb_row: int, mb_col: int, min_mb_row: int,
+                           stages=obs_trace.NULL_STAGE_CLOCK
                            ) -> Tuple[MacroblockDecision,
                                       List[DependencyRecord]]:
         config = self.config
@@ -227,19 +247,23 @@ class Encoder:
         pred_mv = state.predict_mv(mb_row, mb_col, min_mb_row)
 
         if plan.frame_type == FrameType.I:
-            decision = self._decide_intra(current, recon, mb_row, mb_col,
-                                          min_mb_row, qp)
+            with stages.time("encode.intra"):
+                decision = self._decide_intra(current, recon, mb_row, mb_col,
+                                              min_mb_row, qp)
         else:
-            decision = self._decide_inter(
-                plan, current, recon, references, state, mb_row, mb_col,
-                min_mb_row, qp, pred_mv)
+            with stages.time("encode.inter"):
+                decision = self._decide_inter(
+                    plan, current, recon, references, state, mb_row, mb_col,
+                    min_mb_row, qp, pred_mv)
 
         # Residual coding against the chosen prediction.
-        prediction = build_prediction(decision, recon, references, self._pad,
-                                      mb_row, mb_col, min_mb_row)
-        residual = current.astype(np.int32) - prediction.astype(np.int32)
-        coefficients = transform_and_quantize(residual, decision.qp)
-        cbp = self._coded_block_pattern(coefficients)
+        with stages.time("encode.transform"):
+            prediction = build_prediction(decision, recon, references,
+                                          self._pad, mb_row, mb_col,
+                                          min_mb_row)
+            residual = current.astype(np.int32) - prediction.astype(np.int32)
+            coefficients = transform_and_quantize(residual, decision.qp)
+            cbp = self._coded_block_pattern(coefficients)
         decision.coefficients = coefficients
         decision.cbp = cbp
 
@@ -261,16 +285,18 @@ class Encoder:
                                           self._pad, mb_row, mb_col,
                                           min_mb_row)
 
-        encode_macroblock(encoder, self._model, state, decision,
-                          plan.frame_type, mb_row, mb_col, min_mb_row)
+        with stages.time("encode.entropy"):
+            encode_macroblock(encoder, self._model, state, decision,
+                              plan.frame_type, mb_row, mb_col, min_mb_row)
 
         # Reconstruction (closed loop).
-        residual_pixels = None
-        if decision.coefficients is not None and any(decision.cbp):
-            residual_pixels = reconstruct_residual(decision.coefficients,
-                                                   decision.qp)
-        recon_mb = reconstruct_macroblock(decision, prediction,
-                                          residual_pixels)
+        with stages.time("encode.transform"):
+            residual_pixels = None
+            if decision.coefficients is not None and any(decision.cbp):
+                residual_pixels = reconstruct_residual(decision.coefficients,
+                                                       decision.qp)
+            recon_mb = reconstruct_macroblock(decision, prediction,
+                                              residual_pixels)
         recon[top:top + MACROBLOCK_SIZE, left:left + MACROBLOCK_SIZE] = recon_mb
 
         finalize_macroblock(state, decision, mb_row, mb_col)

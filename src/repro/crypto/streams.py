@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import CryptoError
+from ..obs import trace as obs_trace
 from .aes import AES128, BLOCK_SIZE
 from .modes import make_mode
 
@@ -64,22 +65,32 @@ class StreamEncryptor:
 
     def encrypt_streams(self, streams: Dict[int, bytes]) -> Dict[int, bytes]:
         """Encrypt each stream under its derived IV (sizes preserved)."""
-        return {
-            stream_id: self._mode_for(stream_id).encrypt(data)
-            for stream_id, data in streams.items()
-        }
+        with obs_trace.span("aes.encrypt", mode=self.mode,
+                            streams=len(streams)):
+            return {
+                stream_id: self._mode_for(stream_id).encrypt(data)
+                for stream_id, data in streams.items()
+            }
 
     def decrypt_streams(self, streams: Dict[int, bytes]) -> Dict[int, bytes]:
-        return {
-            stream_id: self._mode_for(stream_id).decrypt(data)
-            for stream_id, data in streams.items()
-        }
+        """Decrypt each stream under its derived IV."""
+        with obs_trace.span("aes.decrypt", mode=self.mode,
+                            streams=len(streams)):
+            return {
+                stream_id: self._mode_for(stream_id).decrypt(data)
+                for stream_id, data in streams.items()
+            }
 
     def encrypt_list(self, payloads: List[bytes]) -> List[bytes]:
         """Encrypt an ordered payload list (ids are list positions)."""
-        return [self._mode_for(index).encrypt(data)
-                for index, data in enumerate(payloads)]
+        with obs_trace.span("aes.encrypt", mode=self.mode,
+                            streams=len(payloads)):
+            return [self._mode_for(index).encrypt(data)
+                    for index, data in enumerate(payloads)]
 
     def decrypt_list(self, payloads: List[bytes]) -> List[bytes]:
-        return [self._mode_for(index).decrypt(data)
-                for index, data in enumerate(payloads)]
+        """Decrypt an ordered payload list (ids are list positions)."""
+        with obs_trace.span("aes.decrypt", mode=self.mode,
+                            streams=len(payloads)):
+            return [self._mode_for(index).decrypt(data)
+                    for index, data in enumerate(payloads)]

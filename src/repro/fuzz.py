@@ -40,6 +40,8 @@ import numpy as np
 
 from .codec import Decoder, EncodedVideo
 from .errors import AnalysisError, BitstreamError, TrialTimeout
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .runtime.watchdog import trial_deadline
 from .storage.injection import flip_bit
 
@@ -203,39 +205,123 @@ def fuzz_decoder(encoded: EncodedVideo,
                         by_strategy={name: 0 for name in strategies})
     corpus = Path(corpus_dir) if corpus_dir is not None else None
     started = time.monotonic()
-    for trial in range(trials):
-        strategy = strategies[trial % len(strategies)]
-        report.by_strategy[strategy] += 1
-        rng = np.random.default_rng(children[trial])
-        if strategy in PAYLOAD_STRATEGIES:
-            blob = None  # serialized lazily, only for the corpus
-            victim = encoded.with_payloads(
-                _corrupt_payloads(payloads, strategy, rng))
-            allowed: Tuple[type, ...] = ()
-        else:
-            blob = _corrupt_blob(clean_blob, strategy, rng)
-            victim = None
-            allowed = (BitstreamError,)
-        try:
-            with trial_deadline(timeout, f"fuzz trial {trial}"):
-                if victim is None:
-                    victim = EncodedVideo.deserialize(blob)
-                    if _declared_pixels(victim) > GEOMETRY_CAP * \
-                            _declared_pixels(encoded):
-                        report.oversized += 1
-                        continue
-                decoder.decode(victim)
-        except allowed:
-            pass  # the codec's own, documented rejection path
-        except TrialTimeout as exc:
-            report.hangs += 1
-            _record(report, corpus, victim, blob, trial, strategy, seed,
-                    exc)
-        except Exception as exc:  # noqa: BLE001 - the contract is "never"
-            _record(report, corpus, victim, blob, trial, strategy, seed,
-                    exc)
+    with obs_trace.span("fuzz", trials=trials):
+        for trial in range(trials):
+            strategy = strategies[trial % len(strategies)]
+            report.by_strategy[strategy] += 1
+            rng = np.random.default_rng(children[trial])
+            if strategy in PAYLOAD_STRATEGIES:
+                blob = None  # serialized lazily, only for the corpus
+                victim = encoded.with_payloads(
+                    _corrupt_payloads(payloads, strategy, rng))
+                allowed: Tuple[type, ...] = ()
+            else:
+                blob = _corrupt_blob(clean_blob, strategy, rng)
+                victim = None
+                allowed = (BitstreamError,)
+            try:
+                with obs_trace.span("fuzz.trial", trial=trial,
+                                    strategy=strategy):
+                    with trial_deadline(timeout, f"fuzz trial {trial}"):
+                        if victim is None:
+                            victim = EncodedVideo.deserialize(blob)
+                            if _declared_pixels(victim) > GEOMETRY_CAP * \
+                                    _declared_pixels(encoded):
+                                report.oversized += 1
+                                continue
+                        decoder.decode(victim)
+            except allowed:
+                pass  # the codec's own, documented rejection path
+            except TrialTimeout as exc:
+                report.hangs += 1
+                _record(report, corpus, victim, blob, trial, strategy, seed,
+                        exc)
+            except Exception as exc:  # noqa: BLE001 - the contract is "never"
+                _record(report, corpus, victim, blob, trial, strategy, seed,
+                        exc)
     report.elapsed_seconds = time.monotonic() - started
+    _publish_fuzz_metrics(report)
     return report
+
+
+def _publish_fuzz_metrics(report: FuzzReport) -> None:
+    """Publish one fuzz campaign's totals into the metrics registry."""
+    registry = obs_metrics.get_registry()
+    registry.counter("fuzz_trials_total").inc(report.trials)
+    registry.counter("fuzz_failures_total").inc(len(report.failures))
+    registry.counter("fuzz_hangs_total").inc(report.hangs)
+    registry.counter("fuzz_oversized_total").inc(report.oversized)
+
+
+def replay_corpus(corpus_dir: Union[str, Path],
+                  timeout: float = DEFAULT_FUZZ_TIMEOUT,
+                  decoder: Optional[Decoder] = None) -> FuzzReport:
+    """Re-run every persisted counterexample through the decode contract.
+
+    Each ``<strategy>-<digest>.rvap`` bitstream in ``corpus_dir`` (as
+    written by :func:`fuzz_decoder`) is deserialized and decoded under
+    the same rules as a live fuzz trial: payload-strategy
+    counterexamples must decode without any exception, container ones
+    may only raise :class:`BitstreamError`, and either must finish
+    within ``timeout`` seconds. The strategy is read from the sidecar
+    ``.json`` recipe; a counterexample without one is treated as
+    container damage (the lenient rule), so a stale corpus never
+    produces false alarms.
+
+    Returns a :class:`FuzzReport`; ``report.ok`` means every historical
+    crash is fixed.
+    """
+    corpus = Path(corpus_dir)
+    if not corpus.is_dir():
+        raise AnalysisError(f"corpus directory {corpus} does not exist")
+    blob_paths = sorted(corpus.glob("*.rvap"))
+    if not blob_paths:
+        raise AnalysisError(f"no .rvap counterexamples in {corpus}")
+    decoder = decoder or Decoder()
+    report = FuzzReport(trials=len(blob_paths), elapsed_seconds=0.0)
+    started = time.monotonic()
+    with obs_trace.span("fuzz.replay", counterexamples=len(blob_paths)):
+        for trial, blob_path in enumerate(blob_paths):
+            strategy = _recipe_strategy(blob_path)
+            report.by_strategy[strategy] = (
+                report.by_strategy.get(strategy, 0) + 1)
+            allowed: Tuple[type, ...] = (
+                () if strategy in PAYLOAD_STRATEGIES else (BitstreamError,))
+            blob = blob_path.read_bytes()
+            try:
+                with obs_trace.span("fuzz.trial", strategy=strategy,
+                                    replay=True):
+                    with trial_deadline(timeout,
+                                        f"replay {blob_path.name}"):
+                        decoder.decode(EncodedVideo.deserialize(blob))
+            except allowed:
+                pass
+            except TrialTimeout as exc:
+                report.hangs += 1
+                report.failures.append(FuzzFailure(
+                    trial=trial, strategy=strategy,
+                    exception=type(exc).__name__, message=str(exc),
+                    corpus_path=str(blob_path)))
+            except Exception as exc:  # noqa: BLE001 - contract is "never"
+                report.failures.append(FuzzFailure(
+                    trial=trial, strategy=strategy,
+                    exception=type(exc).__name__, message=str(exc),
+                    corpus_path=str(blob_path)))
+    report.elapsed_seconds = time.monotonic() - started
+    _publish_fuzz_metrics(report)
+    return report
+
+
+def _recipe_strategy(blob_path: Path) -> str:
+    """Strategy recorded in a counterexample's sidecar recipe."""
+    recipe_path = blob_path.with_suffix(".json")
+    if recipe_path.exists():
+        try:
+            return str(json.loads(
+                recipe_path.read_text()).get("strategy", "unknown"))
+        except ValueError:
+            pass
+    return "unknown"
 
 
 def _declared_pixels(encoded: EncodedVideo) -> int:

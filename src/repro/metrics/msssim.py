@@ -13,6 +13,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..errors import VideoFormatError
+from ..obs import trace as obs_trace
 from ..video.frame import VideoSequence, require_comparable
 from .ssim import _C1, _C2, _filter2, gaussian_kernel
 
@@ -89,4 +90,6 @@ def ms_ssim(reference: np.ndarray, test: np.ndarray,
 def video_ms_ssim(reference: VideoSequence, test: VideoSequence) -> float:
     """Frame-averaged MS-SSIM."""
     require_comparable(reference, test)
-    return float(np.mean([ms_ssim(r, t) for r, t in zip(reference, test)]))
+    with obs_trace.span("metric.ms_ssim", frames=len(reference)):
+        return float(np.mean([ms_ssim(r, t)
+                              for r, t in zip(reference, test)]))

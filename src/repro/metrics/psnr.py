@@ -15,6 +15,7 @@ from typing import Iterable, List
 import numpy as np
 
 from ..errors import VideoFormatError
+from ..obs import trace as obs_trace
 from ..video.frame import VideoSequence, require_comparable
 
 #: PSNR reported for bit-exact frames (dB). 100 dB is far above any lossy
@@ -50,8 +51,9 @@ def frame_psnrs(reference: VideoSequence, test: VideoSequence) -> List[float]:
 
 def video_psnr(reference: VideoSequence, test: VideoSequence) -> float:
     """Frame-averaged PSNR (dB), the paper's headline quality number."""
-    values = frame_psnrs(reference, test)
-    return float(np.mean(values))
+    with obs_trace.span("metric.psnr", frames=len(reference)):
+        values = frame_psnrs(reference, test)
+        return float(np.mean(values))
 
 
 def quality_change_db(reference: VideoSequence,

@@ -12,6 +12,7 @@ from typing import List
 import numpy as np
 
 from ..errors import VideoFormatError
+from ..obs import trace as obs_trace
 from ..video.frame import VideoSequence, require_comparable
 
 _C1 = (0.01 * 255.0) ** 2
@@ -90,4 +91,5 @@ def frame_ssims(reference: VideoSequence, test: VideoSequence) -> List[float]:
 
 def video_ssim(reference: VideoSequence, test: VideoSequence) -> float:
     """Frame-averaged SSIM."""
-    return float(np.mean(frame_ssims(reference, test)))
+    with obs_trace.span("metric.ssim", frames=len(reference)):
+        return float(np.mean(frame_ssims(reference, test)))

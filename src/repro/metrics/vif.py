@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VideoFormatError
+from ..obs import trace as obs_trace
 from ..video.frame import VideoSequence, require_comparable
 from .ssim import _filter2, gaussian_kernel
 
@@ -81,4 +82,5 @@ def vifp(reference: np.ndarray, test: np.ndarray, scales: int = 4) -> float:
 def video_vifp(reference: VideoSequence, test: VideoSequence) -> float:
     """Frame-averaged VIFP."""
     require_comparable(reference, test)
-    return float(np.mean([vifp(r, t) for r, t in zip(reference, test)]))
+    with obs_trace.span("metric.vifp", frames=len(reference)):
+        return float(np.mean([vifp(r, t) for r, t in zip(reference, test)]))

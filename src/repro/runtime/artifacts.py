@@ -60,6 +60,7 @@ class ArtifactCache:
         return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every cached artifact (hit/miss counters retained)."""
         self._entries.clear()
 
     def _get(self, key: str) -> Optional[Tuple[EncodedVideo,

@@ -67,6 +67,9 @@ from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import AnalysisError, TrialTimeout
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.progress import ProgressReporter, resolve_progress
 from .journal import TrialJournal
 from .trials import (
     FAILURE_CRASH,
@@ -118,6 +121,12 @@ _worker_timeout: float = 0.0
 def _init_worker(context: TrialContext, timeout: float = 0.0) -> None:
     """Pool initializer: deserialize shared state once per process."""
     global _worker_state, _worker_timeout
+    tracer = obs_trace.active()
+    if tracer is not None:
+        # The fork copied the parent's span buffer and open stack; this
+        # worker must start clean and report spans under its own pid.
+        tracer.reset_after_fork()
+    obs_metrics.reset_registry()
     _worker_state = WorkerState(context)
     _worker_timeout = timeout
 
@@ -130,15 +139,26 @@ def _guarded_trial(state: WorkerState, spec: TrialSpec,
     records (with the original error type preserved in the message);
     only process death can still take a chunk down.
     """
+    outcome: TrialOutcome
+    started = time.perf_counter()
     try:
-        with trial_deadline(timeout, what=f"trial {spec.index}"):
-            return execute_trial(state, spec)
+        with obs_trace.span("trial", kind=spec.kind, index=spec.index,
+                            rate=spec.rate):
+            with trial_deadline(timeout, what=f"trial {spec.index}"):
+                outcome = execute_trial(state, spec)
     except TrialTimeout as exc:
-        return TrialFailure(index=spec.index, kind=FAILURE_TIMEOUT,
-                            message=str(exc))
+        outcome = TrialFailure(index=spec.index, kind=FAILURE_TIMEOUT,
+                               message=str(exc))
     except Exception as exc:  # quarantine, never abort the campaign
-        return TrialFailure(index=spec.index, kind=FAILURE_ERROR,
-                            message=f"{type(exc).__name__}: {exc}")
+        outcome = TrialFailure(index=spec.index, kind=FAILURE_ERROR,
+                               message=f"{type(exc).__name__}: {exc}")
+    registry = obs_metrics.get_registry()
+    registry.counter("trials_total").inc()
+    registry.histogram("trial_seconds").observe(
+        time.perf_counter() - started)
+    if isinstance(outcome, TrialFailure):
+        registry.counter("trial_failures_total").inc()
+    return outcome
 
 
 def _pool_healthcheck() -> bool:
@@ -150,13 +170,28 @@ def _pool_healthcheck() -> bool:
     return True
 
 
+#: What one chunk ships back over the result channel: outcome records
+#: plus the worker's drained observability buffers (spans, metrics).
+_ChunkPayload = Tuple[List[Tuple[int, TrialOutcome]], list, dict]
+
+
 def _run_chunk_remote(
         items: Sequence[Tuple[int, TrialSpec]]
-) -> List[Tuple[int, TrialOutcome]]:
+) -> _ChunkPayload:
     if _worker_state is None:  # pragma: no cover - initializer always ran
         raise AnalysisError("worker used before initialization")
-    return [(pos, _guarded_trial(_worker_state, spec, _worker_timeout))
-            for pos, spec in items]
+    records = [(pos, _guarded_trial(_worker_state, spec, _worker_timeout))
+               for pos, spec in items]
+    tracer = obs_trace.active()
+    spans = tracer.drain() if tracer is not None else []
+    return records, spans, obs_metrics.get_registry().drain()
+
+
+def _spec_label(spec: TrialSpec) -> str:
+    """Short progress-line label for a trial spec."""
+    if spec.rate:
+        return f"{spec.kind} rate {spec.rate:.0e}"
+    return f"{spec.kind} #{spec.index}"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -287,17 +322,29 @@ class TrialExecutor:
     def run_with_stats(self, context: TrialContext,
                        specs: Sequence[TrialSpec],
                        chunksize: Optional[int] = None,
-                       journal: Union[TrialJournal, str, Path, None] = None
+                       journal: Union[TrialJournal, str, Path, None] = None,
+                       progress: Union[bool, ProgressReporter, None] = None
                        ) -> Tuple[List[TrialOutcome], RunStats]:
         """Execute all specs; report outcomes plus fault accounting.
 
         ``journal`` may be a path (opened — and closed — for exactly
         this campaign) or an already-open :class:`TrialJournal`. Specs
         already present in the journal are restored, not re-run.
+
+        ``progress`` enables a live terminal status line: pass True /
+        False to override, a :class:`ProgressReporter` to render into,
+        or None to consult ``REPRO_PROGRESS``. Progress (like spans and
+        metrics) is observational only — it never changes outcomes.
         """
         started = time.time()
         clock = time.perf_counter()
         counters = _Counters()
+        if isinstance(progress, ProgressReporter):
+            reporter: Optional[ProgressReporter] = progress
+        elif resolve_progress(progress):
+            reporter = ProgressReporter(len(specs))
+        else:
+            reporter = None
         owns_journal = journal is not None and not isinstance(journal,
                                                               TrialJournal)
         journal_obj: Optional[TrialJournal]
@@ -307,26 +354,37 @@ class TrialExecutor:
             journal_obj = journal
         workers = self.workers
         outcomes: Dict[int, TrialOutcome] = {}
+        campaign_span = obs_trace.span("campaign", trials=len(specs),
+                                       workers=workers)
         try:
-            remaining: List[Tuple[int, TrialSpec]] = []
-            for pos, spec in enumerate(specs):
-                prior = (journal_obj.completed(spec)
-                         if journal_obj is not None else None)
-                if prior is not None:
-                    outcomes[pos] = prior
-                    counters.resumed += 1
-                else:
-                    remaining.append((pos, spec))
-            if remaining:
-                if (workers <= 0 or len(remaining) <= 1
-                        or not fork_available()):
-                    workers = 0
-                    self._run_serial(context, remaining, outcomes,
-                                     journal_obj)
-                else:
-                    self._run_pool(context, remaining, outcomes, workers,
-                                   chunksize, journal_obj, counters)
+            with campaign_span as live:
+                remaining: List[Tuple[int, TrialSpec]] = []
+                for pos, spec in enumerate(specs):
+                    prior = (journal_obj.completed(spec)
+                             if journal_obj is not None else None)
+                    if prior is not None:
+                        outcomes[pos] = prior
+                        counters.resumed += 1
+                    else:
+                        remaining.append((pos, spec))
+                if reporter is not None:
+                    reporter.begin(resumed=counters.resumed)
+                if remaining:
+                    if (workers <= 0 or len(remaining) <= 1
+                            or not fork_available()):
+                        workers = 0
+                        self._run_serial(context, remaining, outcomes,
+                                         journal_obj, reporter)
+                    else:
+                        self._run_pool(context, remaining, outcomes, workers,
+                                       chunksize, journal_obj, counters,
+                                       reporter)
+                if live is not None:
+                    live.attrs["workers"] = workers
+                    live.attrs["resumed"] = counters.resumed
         finally:
+            if reporter is not None:
+                reporter.finish()
             if owns_journal and journal_obj is not None:
                 journal_obj.close()
         results = [outcomes[pos] for pos in range(len(specs))]
@@ -341,6 +399,7 @@ class TrialExecutor:
             resumed=counters.resumed,
             pool_restarts=counters.pool_restarts,
         )
+        _publish_run_stats(stats)
         return results, stats
 
     # -- serial path ------------------------------------------------------
@@ -348,13 +407,17 @@ class TrialExecutor:
     def _run_serial(self, context: TrialContext,
                     items: Sequence[Tuple[int, TrialSpec]],
                     outcomes: Dict[int, TrialOutcome],
-                    journal: Optional[TrialJournal]) -> None:
+                    journal: Optional[TrialJournal],
+                    reporter: Optional[ProgressReporter] = None) -> None:
         state = WorkerState(context)
         for pos, spec in items:
             outcome = _guarded_trial(state, spec, self.timeout)
             outcomes[pos] = outcome
             if journal is not None and isinstance(outcome, TrialResult):
                 journal.record(spec, outcome)
+            if reporter is not None:
+                reporter.trial_finished(isinstance(outcome, TrialResult),
+                                        label=_spec_label(spec))
 
     # -- pool path --------------------------------------------------------
 
@@ -363,7 +426,8 @@ class TrialExecutor:
                   outcomes: Dict[int, TrialOutcome], workers: int,
                   chunksize: Optional[int],
                   journal: Optional[TrialJournal],
-                  counters: _Counters) -> None:
+                  counters: _Counters,
+                  reporter: Optional[ProgressReporter] = None) -> None:
         mp_context = multiprocessing.get_context("fork")
         chunk = chunksize or default_chunksize(len(items), workers)
         pending: Deque[_Chunk] = deque(
@@ -392,6 +456,8 @@ class TrialExecutor:
             pool.shutdown(wait=False, cancel_futures=True)
             pool = None
             counters.pool_restarts += 1
+            if reporter is not None:
+                reporter.note_pool_restart()
 
         def settle(victim: _Chunk, kind: str, message: str) -> None:
             # A chunk *attributably* implicated in a crash or hard hang:
@@ -403,23 +469,39 @@ class TrialExecutor:
                 suspects.append(_Chunk(victim.items[:mid], attempts))
                 suspects.append(_Chunk(victim.items[mid:], attempts))
                 counters.retried += 2
+                if reporter is not None:
+                    reporter.note_retry(2)
             elif attempts > self.max_retries:
                 pos, spec = victim.items[0]
                 outcomes[pos] = TrialFailure(index=spec.index, kind=kind,
                                              message=message,
                                              attempts=attempts)
                 counters.quarantined += 1
+                obs_metrics.counter("trials_quarantined_total").inc()
+                if reporter is not None:
+                    reporter.trial_finished(False, label=_spec_label(spec))
             else:
                 suspects.append(_Chunk(victim.items, attempts))
                 counters.retried += 1
+                if reporter is not None:
+                    reporter.note_retry(1)
 
-        def absorb(victim: _Chunk,
-                   records: Sequence[Tuple[int, TrialOutcome]]) -> None:
+        def absorb(victim: _Chunk, payload: _ChunkPayload) -> None:
+            records, spans, metrics_snapshot = payload
+            tracer = obs_trace.active()
+            if tracer is not None and spans:
+                tracer.absorb(spans)
+            if metrics_snapshot:
+                obs_metrics.get_registry().merge(metrics_snapshot)
             spec_by_pos = dict(victim.items)
             for pos, outcome in records:
                 outcomes[pos] = outcome
                 if journal is not None and isinstance(outcome, TrialResult):
                     journal.record(spec_by_pos[pos], outcome)
+                if reporter is not None:
+                    reporter.trial_finished(
+                        isinstance(outcome, TrialResult),
+                        label=_spec_label(spec_by_pos[pos]))
 
         health_strikes = 0
         try:
@@ -517,6 +599,9 @@ class TrialExecutor:
                                     message=(f"chunk result lost: "
                                              f"{type(exc).__name__}: {exc}"),
                                     attempts=victim.attempts + 1)
+                                if reporter is not None:
+                                    reporter.trial_finished(
+                                        False, label=_spec_label(spec))
                     if broken_chunks:
                         # the pool is dead; in-flight chunks that did not
                         # report a crash were collateral, not culprits
@@ -556,15 +641,33 @@ class TrialExecutor:
                 pool.shutdown(wait=True)
 
 
+def _publish_run_stats(stats: RunStats) -> None:
+    """Publish one campaign's :class:`RunStats` into the metrics
+    registry (counters accumulate across campaigns in one process)."""
+    registry = obs_metrics.get_registry()
+    registry.counter("campaign_runs_total").inc()
+    registry.counter("campaign_trials_total").inc(stats.trials)
+    registry.counter("campaign_failed_total").inc(stats.failed)
+    registry.counter("campaign_quarantined_total").inc(stats.quarantined)
+    registry.counter("campaign_retried_total").inc(stats.retried)
+    registry.counter("campaign_resumed_total").inc(stats.resumed)
+    registry.counter("campaign_pool_restarts_total").inc(
+        stats.pool_restarts)
+    registry.gauge("campaign_trials_per_second").set(
+        stats.trials_per_second)
+    registry.gauge("campaign_workers").set(stats.workers)
+
+
 def run_campaign(context: TrialContext, specs: Sequence[TrialSpec],
                  workers: Optional[int] = None,
                  chunksize: Optional[int] = None,
                  timeout: Optional[float] = None,
                  max_retries: Optional[int] = None,
-                 journal: Union[TrialJournal, str, Path, None] = None
+                 journal: Union[TrialJournal, str, Path, None] = None,
+                 progress: Union[bool, ProgressReporter, None] = None
                  ) -> Tuple[List[TrialOutcome], RunStats]:
     """One-shot convenience wrapper around :class:`TrialExecutor`."""
     executor = TrialExecutor(workers, timeout=timeout,
                              max_retries=max_retries)
     return executor.run_with_stats(context, specs, chunksize=chunksize,
-                                   journal=journal)
+                                   journal=journal, progress=progress)

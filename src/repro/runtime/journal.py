@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from ..errors import AnalysisError
+from ..obs import metrics as obs_metrics
 from .trials import TrialContext, TrialResult, TrialSpec
 
 #: Journal format version (bumped on incompatible record changes).
@@ -177,6 +178,7 @@ class TrialJournal:
         terminated_end = raw.rfind(b"\n") + 1
         if terminated_end < len(raw):
             self.torn_lines += 1  # torn tail write: re-run it
+            obs_metrics.counter("journal_torn_tails_total").inc()
             os.truncate(self.path, terminated_end)
             raw = raw[:terminated_end]
         lines = raw.decode("utf-8").splitlines()
@@ -216,6 +218,8 @@ class TrialJournal:
                 num_flips=int(record["num_flips"]),
                 forced=bool(record["forced"]),
             )
+        obs_metrics.counter("journal_restored_total").inc(
+            len(self._completed))
 
     def completed(self, spec: TrialSpec) -> Optional[TrialResult]:
         """The journaled result for this spec, or None if it must run."""
@@ -240,8 +244,10 @@ class TrialJournal:
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        obs_metrics.counter("journal_records_total").inc()
 
     def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
         if not self._handle.closed:
             self._handle.close()
 

@@ -74,6 +74,7 @@ class RunStats:
 
     @property
     def trials_per_second(self) -> float:
+        """Campaign throughput (infinite for a zero-duration run)."""
         if self.elapsed_seconds <= 0:
             return float("inf")
         return self.trials / self.elapsed_seconds

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from ..errors import AnalysisError, TrialTimeout
+from ..obs import metrics as obs_metrics
 
 #: Environment knob: default per-trial wall-clock budget in seconds.
 #: ``0`` or unset disables the watchdog.
@@ -92,9 +93,11 @@ def trial_deadline(seconds: float, what: str = "trial") -> Iterator[bool]:
         return
 
     def _on_alarm(signum, frame):
+        obs_metrics.counter("watchdog_expired_total").inc()
         raise TrialTimeout(
             f"{what} exceeded its {seconds:.3g}s wall-clock budget")
 
+    obs_metrics.counter("watchdog_armed_total").inc()
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:

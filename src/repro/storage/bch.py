@@ -22,6 +22,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import StorageError
+from ..obs import trace as obs_trace
 from .gf import GF2m
 
 
@@ -80,6 +81,10 @@ class BCHCode:
 
     def encode(self, data: np.ndarray) -> np.ndarray:
         """Systematic encode: returns ``data || parity`` as a bit array."""
+        with obs_trace.span("bch.encode", t=self.t):
+            return self._encode(data)
+
+    def _encode(self, data: np.ndarray) -> np.ndarray:
         bits = np.asarray(data, dtype=np.uint8)
         if bits.shape != (self.data_bits,):
             raise StorageError(
@@ -180,6 +185,10 @@ class BCHCode:
 
     def decode(self, received: np.ndarray) -> DecodeResult:
         """Correct up to ``t`` bit errors in a received codeword."""
+        with obs_trace.span("bch.decode", t=self.t):
+            return self._decode(received)
+
+    def _decode(self, received: np.ndarray) -> DecodeResult:
         bits = np.asarray(received, dtype=np.uint8).copy()
         if bits.shape != (self.block_bits,):
             raise StorageError(

@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import StorageError
+from ..obs import trace as obs_trace
 from .bch import get_bch_code
 from .ecc import ECCScheme
 from .mlc import MLCCellModel
@@ -87,6 +88,11 @@ class ApproximateDevice:
 
         Returns ``(read_back_bytes, StorageReport)``.
         """
+        with obs_trace.span("ecc.store_read", scheme=scheme.name,
+                            exact=self.exact, data_bytes=len(data)):
+            return self._store_and_read(data, scheme)
+
+    def _store_and_read(self, data: bytes, scheme: ECCScheme) -> tuple:
         bits = bytes_to_bits(data)
         if scheme.t == 0:
             out_bits, flipped = self._raw_round_trip(bits)

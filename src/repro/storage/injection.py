@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import StorageError
+from ..obs import trace as obs_trace
 
 #: One injectable region: (payload index, start bit, end bit).
 BitRange = Tuple[int, int, int]
@@ -127,23 +128,28 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
     cumulative = np.concatenate([[0], np.cumsum(lengths)])
     total_bits = int(cumulative[-1])
 
-    count, forced = sample_flip_count(total_bits, error_rate, rng,
-                                      force_at_least_one)
-    buffers = [bytearray(p) for p in payloads]
-    if count > total_bits:
-        count = total_bits
-    if count:
-        positions = rng.choice(total_bits, size=count, replace=False)
-        for position in positions:
-            range_index = bisect_right(cumulative, int(position)) - 1
-            payload_index, start, _end = ranges[range_index]
-            offset = int(position) - int(cumulative[range_index])
-            flip_bit(buffers[payload_index], start + offset)
-    return InjectionResult(
-        payloads=[bytes(b) for b in buffers],
-        num_flips=int(count),
-        forced=forced,
-    )
+    with obs_trace.span("inject", total_bits=total_bits,
+                        rate=error_rate) as live:
+        count, forced = sample_flip_count(total_bits, error_rate, rng,
+                                          force_at_least_one)
+        buffers = [bytearray(p) for p in payloads]
+        if count > total_bits:
+            count = total_bits
+        if count:
+            positions = rng.choice(total_bits, size=count, replace=False)
+            for position in positions:
+                range_index = bisect_right(cumulative, int(position)) - 1
+                payload_index, start, _end = ranges[range_index]
+                offset = int(position) - int(cumulative[range_index])
+                flip_bit(buffers[payload_index], start + offset)
+        if live is not None:
+            live.attrs["flips"] = int(count)
+            live.attrs["forced"] = forced
+        return InjectionResult(
+            payloads=[bytes(b) for b in buffers],
+            num_flips=int(count),
+            forced=forced,
+        )
 
 
 def inject_single_flip(payloads: Sequence[bytes], payload_index: int,
@@ -154,6 +160,7 @@ def inject_single_flip(payloads: Sequence[bytes], payload_index: int,
     if not 0 <= payload_index < len(payloads):
         raise StorageError(
             f"payload index {payload_index} outside 0..{len(payloads) - 1}")
-    buffers = [bytearray(p) for p in payloads]
-    flip_bit(buffers[payload_index], bit_index)
-    return [bytes(b) for b in buffers]
+    with obs_trace.span("inject", flips=1, single=True):
+        buffers = [bytearray(p) for p in payloads]
+        flip_bit(buffers[payload_index], bit_index)
+        return [bytes(b) for b in buffers]

@@ -21,6 +21,7 @@ from repro.fuzz import (
     PAYLOAD_STRATEGIES,
     FuzzReport,
     fuzz_decoder,
+    replay_corpus,
 )
 from repro.runtime import alarm_capable
 
@@ -135,6 +136,71 @@ class TestViolationDetection:
                               strategies=CONTAINER_STRATEGIES,
                               decoder=_BitstreamRejectingDecoder())
         assert report.ok
+
+
+class TestCorpusReplay:
+    def _populate(self, encoded_small, tmp_path):
+        """A corpus of real counterexamples from a crashing decoder."""
+        corpus = tmp_path / "corpus"
+        fuzz_decoder(encoded_small, trials=4, seed=0, timeout=30.0,
+                     corpus_dir=corpus, strategies=PAYLOAD_STRATEGIES,
+                     decoder=_CrashingDecoder())
+        assert list(corpus.glob("*.rvap"))
+        return corpus
+
+    def test_fixed_decoder_clears_the_corpus(self, encoded_small, tmp_path):
+        corpus = self._populate(encoded_small, tmp_path)
+        report = replay_corpus(corpus, timeout=30.0)
+        assert report.ok
+        assert report.trials == len(list(corpus.glob("*.rvap")))
+        assert set(report.by_strategy) <= set(PAYLOAD_STRATEGIES)
+
+    def test_still_broken_decoder_reproduces(self, encoded_small, tmp_path):
+        corpus = self._populate(encoded_small, tmp_path)
+        report = replay_corpus(corpus, timeout=30.0,
+                               decoder=_CrashingDecoder())
+        assert not report.ok
+        assert len(report.failures) == report.trials
+        for failure in report.failures:
+            assert failure.exception == "IndexError"
+            assert failure.corpus_path  # names the offending blob
+
+    def test_payload_strategy_rule_is_strict_on_replay(
+            self, encoded_small, tmp_path):
+        # BitstreamError is a violation for a payload-strategy blob,
+        # exactly as in a live fuzz trial.
+        corpus = self._populate(encoded_small, tmp_path)
+        report = replay_corpus(corpus, timeout=30.0,
+                               decoder=_BitstreamRejectingDecoder())
+        assert not report.ok
+
+    def test_missing_recipe_falls_back_to_lenient_rule(
+            self, encoded_small, tmp_path):
+        corpus = self._populate(encoded_small, tmp_path)
+        for recipe in corpus.glob("*.json"):
+            recipe.unlink()
+        report = replay_corpus(corpus, timeout=30.0,
+                               decoder=_BitstreamRejectingDecoder())
+        # without recipes the blobs count as container damage, where
+        # BitstreamError is the documented rejection path
+        assert report.ok
+        assert set(report.by_strategy) == {"unknown"}
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            replay_corpus(tmp_path / "nope")
+
+    def test_empty_corpus_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no .rvap"):
+            replay_corpus(tmp_path)
+
+    @needs_alarm
+    def test_replay_hang_detected(self, encoded_small, tmp_path):
+        corpus = self._populate(encoded_small, tmp_path)
+        report = replay_corpus(corpus, timeout=0.2,
+                               decoder=_HangingDecoder())
+        assert not report.ok
+        assert report.hangs == report.trials
 
 
 class TestValidation:

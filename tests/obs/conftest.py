@@ -1,0 +1,20 @@
+"""Observability tests share one invariant: no global state leaks.
+
+The tracer and the metrics registry are process-wide; every test in
+this package gets them reset afterwards so test order cannot matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    trace.disable()
+    metrics.reset_registry()
+    yield
+    trace.disable()
+    metrics.reset_registry()

@@ -1,0 +1,179 @@
+"""Instrumentation invariants: results never change, spans cover the
+pipeline, worker spans/metrics merge across the process boundary."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import quality_sweep
+from repro.obs import metrics, trace
+from repro.runtime import fork_available
+
+RATES = (1e-4, 1e-3)
+RUNS = 2
+
+
+def _sweep(encoded, video, decoded, workers=0, progress=None):
+    return quality_sweep(encoded, video, decoded, None, rates=RATES,
+                         runs=RUNS, rng=np.random.default_rng(7),
+                         workers=workers, progress=progress)
+
+
+class TestDeterminism:
+    def test_tracing_never_changes_results(self, encoded_small, small_video,
+                                           decoded_small):
+        baseline = _sweep(encoded_small, small_video, decoded_small)
+        trace.enable()
+        traced = _sweep(encoded_small, small_video, decoded_small)
+        trace.disable()
+        assert traced == baseline
+        for a, b in zip(baseline.points, traced.points):
+            assert a.mean_change_db == b.mean_change_db
+            assert a.max_loss_db == b.max_loss_db
+            assert a.mean_flips == b.mean_flips
+
+    def test_progress_never_changes_results(self, encoded_small, small_video,
+                                            decoded_small, capsys):
+        baseline = _sweep(encoded_small, small_video, decoded_small)
+        shown = _sweep(encoded_small, small_video, decoded_small,
+                       progress=True)
+        assert shown == baseline
+
+    @pytest.mark.skipif(not fork_available(),
+                        reason="parallel execution needs fork")
+    def test_traced_parallel_matches_untraced_serial(
+            self, encoded_small, small_video, decoded_small):
+        baseline = _sweep(encoded_small, small_video, decoded_small)
+        trace.enable()
+        traced = _sweep(encoded_small, small_video, decoded_small,
+                        workers=2)
+        trace.disable()
+        assert traced == baseline
+
+
+class TestSpanCoverage:
+    def test_serial_sweep_span_tree(self, encoded_small, small_video,
+                                    decoded_small):
+        trace.enable()
+        _sweep(encoded_small, small_video, decoded_small)
+        records = trace.active().drain()
+        names = {r.name for r in records}
+        for stage in ("campaign", "trial", "inject", "decode",
+                      "decode.frame", "metric.psnr"):
+            assert stage in names, f"missing span {stage}"
+        # every trial span is a child of the campaign span
+        campaign = [r for r in records if r.name == "campaign"][0]
+        trials = [r for r in records if r.name == "trial"]
+        assert len(trials) == len(RATES) * RUNS
+        assert all(t.parent_id == campaign.span_id for t in trials)
+
+    def test_encode_emits_aggregate_stage_spans(self, small_video,
+                                                default_config):
+        from repro.codec import Encoder
+
+        trace.enable()
+        Encoder(default_config).encode(small_video)
+        records = trace.active().drain()
+        names = {r.name for r in records}
+        for stage in ("encode", "encode.frame", "encode.intra",
+                      "encode.transform", "encode.entropy"):
+            assert stage in names, f"missing span {stage}"
+        aggregates = [r for r in records
+                      if r.attrs.get("aggregate") is True]
+        assert aggregates, "per-macroblock stages must aggregate"
+        frames = {r.span_id: r for r in records
+                  if r.name == "encode.frame"}
+        assert all(a.parent_id in frames for a in aggregates)
+
+    def test_bch_and_device_spans(self):
+        from repro.storage.device import ApproximateDevice
+        from repro.storage.ecc import scheme_by_name
+
+        trace.enable()
+        device = ApproximateDevice(rng=np.random.default_rng(0), exact=True)
+        device.store_and_read(bytes(range(32)), scheme_by_name("BCH-6"))
+        names = {r.name for r in trace.active().drain()}
+        assert "ecc.store_read" in names
+        assert "bch.encode" in names
+        assert "bch.decode" in names
+
+    def test_aes_spans(self):
+        from repro.crypto import StreamEncryptor
+
+        trace.enable()
+        encryptor = StreamEncryptor(key=bytes(16), master_iv=bytes(16))
+        streams = [b"payload-one", b"payload-two"]
+        encrypted = encryptor.encrypt_list(streams)
+        encryptor.decrypt_list(encrypted)
+        records = trace.active().drain()
+        names = {r.name for r in records}
+        assert "aes.encrypt" in names
+        assert "aes.decrypt" in names
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="parallel execution needs fork")
+class TestCrossProcessMerge:
+    def test_worker_spans_absorbed_with_distinct_pids(
+            self, encoded_small, small_video, decoded_small):
+        trace.enable()
+        _sweep(encoded_small, small_video, decoded_small, workers=2)
+        records = trace.active().drain()
+        pids = {r.pid for r in records}
+        assert os.getpid() in pids
+        assert len(pids) >= 2, "no worker spans crossed the boundary"
+        worker_trials = [r for r in records
+                         if r.name == "trial" and r.pid != os.getpid()]
+        assert len(worker_trials) == len(RATES) * RUNS
+
+    def test_worker_metrics_merged(self, encoded_small, small_video,
+                                   decoded_small):
+        metrics.reset_registry()
+        _sweep(encoded_small, small_video, decoded_small, workers=2)
+        snap = metrics.get_registry().snapshot()
+        # worker-side counters made it home
+        assert snap["counters"]["trials_total"] == len(RATES) * RUNS
+        assert (snap["histograms"]["trial_seconds"]["count"]
+                == len(RATES) * RUNS)
+        # parent-side campaign accounting
+        assert snap["counters"]["campaign_runs_total"] == 1
+        assert snap["counters"]["campaign_trials_total"] == len(RATES) * RUNS
+
+
+class TestRuntimeMetrics:
+    def test_serial_campaign_publishes_metrics(self, encoded_small,
+                                               small_video, decoded_small):
+        metrics.reset_registry()
+        _sweep(encoded_small, small_video, decoded_small)
+        snap = metrics.get_registry().snapshot()
+        assert snap["counters"]["trials_total"] == len(RATES) * RUNS
+        assert snap["counters"]["campaign_runs_total"] == 1
+        assert snap["gauges"]["campaign_workers"] == 0
+        assert snap["counters"].get("trial_failures_total", 0) == 0
+
+    def test_journal_metrics(self, tmp_path, encoded_small, small_video,
+                             decoded_small):
+        metrics.reset_registry()
+        journal = tmp_path / "sweep.jsonl"
+        first = quality_sweep(encoded_small, small_video, decoded_small,
+                              None, rates=RATES, runs=RUNS,
+                              rng=np.random.default_rng(7),
+                              journal=journal)
+        written = metrics.get_registry().snapshot()
+        # header + one record per trial
+        assert (written["counters"]["journal_records_total"]
+                == len(RATES) * RUNS + 1)
+        metrics.reset_registry()
+        resumed = quality_sweep(encoded_small, small_video, decoded_small,
+                                None, rates=RATES, runs=RUNS,
+                                rng=np.random.default_rng(7),
+                                journal=journal)
+        assert resumed == first
+        restored = metrics.get_registry().snapshot()
+        assert (restored["counters"]["journal_restored_total"]
+                == len(RATES) * RUNS)
+        assert (restored["counters"]["campaign_resumed_total"]
+                == len(RATES) * RUNS)

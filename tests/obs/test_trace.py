@@ -1,0 +1,304 @@
+"""Span tracer: nesting, aggregates, disabled fast path, exporters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_STAGE_CLOCK,
+    SpanRecord,
+    StageClock,
+    Tracer,
+    spans_to_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _by_name(records, name):
+    return [r for r in records if r.name == name]
+
+
+class TestSpanRecording:
+    def test_nesting_sets_parent_ids(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                with trace.span("leaf"):
+                    pass
+        records = trace.active().drain()
+        outer = _by_name(records, "outer")[0]
+        inner = _by_name(records, "inner")[0]
+        leaf = _by_name(records, "leaf")[0]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+
+    def test_innermost_closes_first(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        records = trace.active().drain()
+        assert [r.name for r in records] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        trace.enable()
+        with trace.span("parent"):
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+        records = trace.active().drain()
+        parent = _by_name(records, "parent")[0]
+        assert _by_name(records, "a")[0].parent_id == parent.span_id
+        assert _by_name(records, "b")[0].parent_id == parent.span_id
+
+    def test_span_ids_unique(self):
+        trace.enable()
+        for _ in range(5):
+            with trace.span("s"):
+                pass
+        records = trace.active().drain()
+        ids = [r.span_id for r in records]
+        assert len(set(ids)) == len(ids)
+
+    def test_timing_monotonic_and_contained(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        records = trace.active().drain()
+        outer = _by_name(records, "outer")[0]
+        inner = _by_name(records, "inner")[0]
+        assert outer.duration >= 0
+        assert inner.start >= outer.start
+        assert inner.end <= outer.end + 1e-9
+
+    def test_attrs_recorded_and_mutable_inside(self):
+        trace.enable()
+        with trace.span("work", size=3) as live:
+            live.attrs["learned"] = "later"
+        record = trace.active().drain()[0]
+        assert record.attrs == {"size": 3, "learned": "later"}
+
+    def test_pid_is_this_process(self):
+        trace.enable()
+        with trace.span("s"):
+            pass
+        assert trace.active().drain()[0].pid == os.getpid()
+
+    def test_exception_still_closes_span(self):
+        trace.enable()
+        with pytest.raises(ValueError):
+            with trace.span("boom"):
+                raise ValueError("x")
+        records = trace.active().drain()
+        assert [r.name for r in records] == ["boom"]
+
+    def test_leaked_child_popped_with_parent(self):
+        # A span left open across an exception boundary must not corrupt
+        # the stack for subsequent spans.
+        tracer = trace.enable()
+        outer_ctx = tracer.span("outer")
+        outer_ctx.__enter__()
+        tracer.span("leaked").__enter__()     # never exited explicitly
+        outer_ctx.__exit__(None, None, None)  # pops leaked, then outer
+        with trace.span("after"):
+            pass
+        records = tracer.drain()
+        names = [r.name for r in records]
+        assert names == ["leaked", "outer", "after"]
+        assert _by_name(records, "after")[0].parent_id is None
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null_singleton(self):
+        assert trace.span("anything") is NULL_SPAN
+        assert trace.span("other", k=1) is NULL_SPAN
+
+    def test_null_span_yields_none(self):
+        with trace.span("off") as live:
+            assert live is None
+
+    def test_aggregate_is_noop(self):
+        trace.aggregate("stage", 1.0)  # must not raise
+
+    def test_stage_clock_returns_shared_null(self):
+        assert trace.stage_clock() is NULL_STAGE_CLOCK
+        with NULL_STAGE_CLOCK.time("x"):
+            pass
+        NULL_STAGE_CLOCK.add("x", 1.0)
+        NULL_STAGE_CLOCK.emit()
+
+    def test_enable_disable_roundtrip(self):
+        assert not trace.enabled()
+        tracer = trace.enable()
+        assert trace.enabled()
+        assert trace.enable() is tracer  # idempotent
+        trace.disable()
+        assert not trace.enabled()
+        assert trace.active() is None
+
+
+class TestAggregates:
+    def test_aggregate_becomes_child_of_current_span(self):
+        trace.enable()
+        with trace.span("frame"):
+            trace.aggregate("stage.a", 0.25, count=10)
+        records = trace.active().drain()
+        frame = _by_name(records, "frame")[0]
+        agg = _by_name(records, "stage.a")[0]
+        assert agg.parent_id == frame.span_id
+        assert agg.duration == 0.25
+        assert agg.attrs["aggregate"] is True
+        assert agg.attrs["count"] == 10
+
+    def test_aggregates_laid_out_sequentially(self):
+        trace.enable()
+        with trace.span("frame"):
+            trace.aggregate("a", 0.1)
+            trace.aggregate("b", 0.2)
+        records = trace.active().drain()
+        a = _by_name(records, "a")[0]
+        b = _by_name(records, "b")[0]
+        assert b.start == pytest.approx(a.start + 0.1)
+
+    def test_stage_clock_accumulates_and_emits(self):
+        trace.enable()
+        clock = trace.stage_clock()
+        assert isinstance(clock, StageClock)
+        clock.add("encode.intra", 0.5)
+        clock.add("encode.intra", 0.25)
+        clock.add("encode.transform", 0.125, count=3)
+        with trace.span("frame"):
+            clock.emit()
+        records = trace.active().drain()
+        intra = _by_name(records, "encode.intra")[0]
+        assert intra.duration == 0.75
+        assert intra.attrs["count"] == 2
+        transform = _by_name(records, "encode.transform")[0]
+        assert transform.attrs["count"] == 3
+        # emit resets the clock
+        assert clock.totals == {} and clock.counts == {}
+
+    def test_stage_timer_measures(self):
+        trace.enable()
+        clock = trace.stage_clock()
+        with clock.time("stage"):
+            pass
+        assert clock.totals["stage"] >= 0
+        assert clock.counts["stage"] == 1
+
+
+class TestMerge:
+    def test_absorb_keeps_foreign_pids(self):
+        tracer = Tracer()
+        foreign = SpanRecord(name="remote", start=1.0, duration=0.5,
+                             span_id=0, parent_id=None, pid=99999)
+        tracer.absorb([foreign])
+        with tracer.span("local"):
+            pass
+        records = tracer.drain()
+        assert {r.pid for r in records} == {99999, os.getpid()}
+
+    def test_drain_clears_buffer(self):
+        trace.enable()
+        with trace.span("s"):
+            pass
+        assert len(trace.active().drain()) == 1
+        assert trace.active().drain() == []
+
+    def test_reset_after_fork_drops_parent_state(self):
+        tracer = trace.enable()
+        with tracer.span("parent-span"):
+            pass
+        open_ctx = tracer.span("still-open")
+        open_ctx.__enter__()
+        tracer.reset_after_fork()
+        assert tracer.records == []
+        with tracer.span("fresh"):
+            pass
+        assert [r.name for r in tracer.drain()] == ["fresh"]
+
+    def test_records_picklable(self):
+        import pickle
+        record = SpanRecord(name="s", start=0.0, duration=1.0, span_id=1,
+                            parent_id=None, pid=1, attrs={"k": "v"})
+        assert pickle.loads(pickle.dumps(record)) == record
+
+
+class TestExport:
+    def _records(self):
+        trace.enable()
+        with trace.span("outer", kind="sweep"):
+            with trace.span("inner"):
+                pass
+        return trace.active().drain()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(path, records)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"outer", "inner"}
+        assert all("span_id" in p and "pid" in p for p in parsed)
+
+    def test_jsonl_empty_is_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_chrome_trace_shape(self):
+        records = self._records()
+        doc = to_chrome_trace(records)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(metas) == 1  # one process
+        assert metas[0]["name"] == "process_name"
+        assert len(complete) == 2
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["tid"] == 0
+
+    def test_chrome_trace_parent_links(self):
+        records = self._records()
+        events = [e for e in to_chrome_trace(records)["traceEvents"]
+                  if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert (by_name["inner"]["args"]["parent_id"]
+                == by_name["outer"]["args"]["span_id"])
+        assert "parent_id" not in by_name["outer"]["args"]
+
+    def test_chrome_trace_microseconds(self):
+        record = SpanRecord(name="s", start=2.0, duration=0.5, span_id=0,
+                            parent_id=None, pid=1)
+        event = [e for e in to_chrome_trace([record])["traceEvents"]
+                 if e["ph"] == "X"][0]
+        assert event["ts"] == 2.0e6
+        assert event["dur"] == 0.5e6
+
+    def test_chrome_trace_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._records())
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+    def test_non_jsonable_attrs_stringified(self):
+        record = SpanRecord(name="s", start=0.0, duration=0.0, span_id=0,
+                            parent_id=None, pid=1,
+                            attrs={"obj": object(), "ok": 3})
+        event = [e for e in to_chrome_trace([record])["traceEvents"]
+                 if e["ph"] == "X"][0]
+        assert isinstance(event["args"]["obj"], str)
+        assert event["args"]["ok"] == 3
+        json.dumps(event)  # must serialize

@@ -1,10 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.obs import metrics, trace
 from repro.video import frames_equal, read_raw_video
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """CLI runs may enable tracing; never leak it across tests."""
+    yield
+    trace.disable()
+    metrics.reset_registry()
 
 
 @pytest.fixture()
@@ -90,6 +101,59 @@ class TestSweep:
         # Identical sweep table, trial work skipped entirely.
         assert first.splitlines()[:4] == second.splitlines()[:4]
 
+    def test_traced_sweep_writes_valid_chrome_trace(self, clip, tmp_path,
+                                                    capsys, monkeypatch):
+        # A cache hit would skip the clean encode (and its spans), so
+        # force the encode to actually run under the tracer.
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "0")
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        assert main(["sweep", str(clip), "--rates", "1e-3", "--runs", "2",
+                     "--workers", "0", "--gop", "6", "--crf", "26",
+                     "--trace", str(trace_path),
+                     "--trace-jsonl", str(jsonl_path)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+        # The acceptance span tree: encode, injection, ECC, decode, and
+        # quality-metric stages all present in one sweep trace.
+        for stage in ("repro.sweep", "campaign", "trial", "encode",
+                      "inject", "ecc.calibration", "bch.encode",
+                      "bch.decode", "decode", "metric.psnr"):
+            assert stage in names, f"missing span {stage}"
+        assert jsonl_path.read_text().strip()
+
+    def test_trace_env_fallback(self, clip, tmp_path, monkeypatch,
+                                capsys):
+        trace_path = tmp_path / "env-trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        assert main(["sweep", str(clip), "--rates", "1e-3", "--runs", "1",
+                     "--workers", "0", "--gop", "6", "--crf", "26"]) == 0
+        assert trace_path.exists()
+
+    def test_untraced_sweep_matches_traced(self, clip, tmp_path, capsys):
+        base = ["sweep", str(clip), "--rates", "1e-3,1e-2", "--runs", "2",
+                "--workers", "0", "--gop", "6", "--crf", "26",
+                "--seed", "4"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        trace.disable()
+        assert main(base + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        table = [line for line in untraced.splitlines() if "1.0e-" in line]
+        traced_table = [line for line in traced.splitlines()
+                        if "1.0e-" in line]
+        assert table == traced_table
+
+    def test_progress_flag_renders_to_stderr(self, clip, capsys):
+        assert main(["sweep", str(clip), "--rates", "1e-3", "--runs", "2",
+                     "--workers", "0", "--gop", "6", "--crf", "26",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "trials" in captured.err
+        assert "trials" in captured.out  # the report table is untouched
+
 
 class TestFuzz:
     def test_clean_run_exits_zero(self, tmp_path, capsys):
@@ -105,6 +169,31 @@ class TestFuzz:
                      "--gop", "6", "--crf", "26",
                      "--corpus", str(tmp_path / "corpus")]) == 0
         assert str(clip) in capsys.readouterr().out
+
+    def test_replay_of_clean_corpus_exits_zero(self, clip, tmp_path,
+                                               capsys):
+        # Build a one-entry corpus by hand: a valid encoded stream with
+        # a payload-damage recipe; the real decoder must handle it.
+        from repro.codec import Encoder, EncoderConfig
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        video = read_raw_video(clip)
+        blob = Encoder(EncoderConfig(crf=26, gop_size=6)).encode(
+            video).serialize()
+        (corpus / "bitflip-deadbeef.rvap").write_bytes(blob)
+        (corpus / "bitflip-deadbeef.json").write_text(
+            json.dumps({"strategy": "bitflip"}))
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        text = capsys.readouterr().out
+        assert "corpus replay clean" in text
+        assert str(corpus) in text
+
+    def test_replay_missing_corpus_raises(self, tmp_path):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="does not exist"):
+            main(["fuzz", "--replay", str(tmp_path / "nope")])
 
 
 class TestModes:
