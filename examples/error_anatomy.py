@@ -12,8 +12,6 @@ Reproduces the paper's Section 3 study interactively:
 Run:  python examples/error_anatomy.py
 """
 
-import numpy as np
-
 from repro.analysis import importance_map, macroblock_error_map
 from repro.codec import Decoder, Encoder, EncoderConfig
 from repro.core import compute_importance

@@ -33,7 +33,7 @@ from ..codec.config import EncoderConfig, EntropyCoder
 from ..codec.decoder import Decoder
 from ..codec.encoded import EncodedVideo
 from ..codec.encoder import Encoder
-from ..codec.types import FrameType, MacroblockMode
+from ..codec.types import FrameType
 from ..core.assignment import (
     DEFAULT_QUALITY_BUDGET_DB,
     PAPER_TABLE1,
@@ -47,11 +47,9 @@ from ..core.classes import (
     storage_fraction_by_class,
 )
 from ..core.importance import compute_importance, macroblock_bits
-from ..core.partition import partition_video
 from ..core.pipeline import ApproximateVideoStore
 from ..crypto.analysis import ModeVerdict, analyze_all_modes
 from ..errors import AnalysisError
-from ..metrics.psnr import psnr as frame_psnr
 from ..metrics.psnr import video_psnr
 from ..runtime import (
     KIND_SINGLE_FLIP,

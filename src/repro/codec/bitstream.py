@@ -44,8 +44,13 @@ class BitWriter:
             raise BitstreamError(
                 f"value {value} does not fit in {count} bits"
             )
-        for shift in range(count - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        accumulator = (self._accumulator << count) | value
+        pending = self._pending + count
+        while pending >= 8:
+            pending -= 8
+            self._buffer.append((accumulator >> pending) & 0xFF)
+        self._accumulator = accumulator & ((1 << pending) - 1)
+        self._pending = pending
 
     def getvalue(self) -> bytes:
         """Finish the stream, zero-padding the final partial byte."""
@@ -82,10 +87,23 @@ class BitReader:
     def read_bits(self, count: int) -> int:
         if count < 0:
             raise BitstreamError(f"negative bit count {count}")
-        value = 0
-        for _ in range(count):
-            value = (value << 1) | self.read_bit()
-        return value
+        if count == 0:
+            return 0
+        data = self._data
+        total_bits = 8 * len(data)
+        pos = self._pos
+        self._pos = pos + count
+        if pos >= total_bits:
+            return 0
+        end = min(pos + count, total_bits)
+        first_byte = pos >> 3
+        last_byte = (end - 1) >> 3
+        chunk = int.from_bytes(data[first_byte:last_byte + 1], "big")
+        bits_in_chunk = 8 * (last_byte - first_byte + 1)
+        chunk >>= bits_in_chunk - (end - (first_byte << 3))
+        chunk &= (1 << (end - pos)) - 1
+        # Bits past the end of the buffer read as zeros.
+        return chunk << (count - (end - pos))
 
     def read_byte(self) -> int:
         """Read 8 bits as one byte value (zeros past the end)."""

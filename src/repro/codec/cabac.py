@@ -77,6 +77,17 @@ class CabacEncoder(EntropyEncoder):
             self._shift_low()
             self._range = (self._range << 8) & _MASK32
 
+    def encode_bypass_bits(self, value: int, count: int) -> None:
+        # Same per-bit range-coder steps as encode_bypass, run in one
+        # call to amortize Python dispatch over whole bin strings.
+        for shift in range(count - 1, -1, -1):
+            self._range >>= 1
+            if (value >> shift) & 1:
+                self._low += self._range
+            while self._range < _TOP:
+                self._shift_low()
+                self._range = (self._range << 8) & _MASK32
+
     # -- EntropyEncoder interface ---------------------------------------
 
     def encode_flag(self, value: bool, group: ContextGroup,
@@ -149,6 +160,22 @@ class CabacDecoder(EntropyDecoder):
             self._code = ((self._code << 8) | self._next_byte()) & _MASK32
             self._range = (self._range << 8) & _MASK32
         return bit
+
+    def decode_bypass_bits(self, count: int) -> int:
+        # Bulk mirror of decode_bypass; bit-for-bit the same reads.
+        value = 0
+        for _ in range(count):
+            self._range >>= 1
+            if self._code >= self._range:
+                self._code -= self._range
+                value = (value << 1) | 1
+            else:
+                value = value << 1
+            while self._range < _TOP:
+                self._code = (((self._code << 8) | self._next_byte())
+                              & _MASK32)
+                self._range = (self._range << 8) & _MASK32
+        return value
 
     def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
         return bool(self._decode_context_bin(group.first_bin_context(variant)))

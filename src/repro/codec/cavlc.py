@@ -31,6 +31,9 @@ class CavlcEncoder(EntropyEncoder):
     def encode_bypass(self, bit: int) -> None:
         self._writer.write_bit(bit)
 
+    def encode_bypass_bits(self, value: int, count: int) -> None:
+        self._writer.write_bits(value, count)
+
     def encode_flag(self, value: bool, group: ContextGroup,
                     variant: int = 0) -> None:
         self._writer.write_bit(1 if value else 0)
@@ -57,6 +60,9 @@ class CavlcDecoder(EntropyDecoder):
 
     def decode_bypass(self) -> int:
         return self._reader.read_bit()
+
+    def decode_bypass_bits(self, count: int) -> int:
+        return self._reader.read_bits(count)
 
     def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
         return bool(self._reader.read_bit())

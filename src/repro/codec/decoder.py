@@ -15,7 +15,7 @@ streams best-effort, the way the paper's methodology requires:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -33,8 +33,12 @@ from .motion import pad_reference
 from .neighbors import FrameMbState
 from .reconstruct import ReferenceSet, build_prediction, reconstruct_macroblock
 from .syntax import decode_macroblock, finalize_macroblock
-from .transform import reconstruct_residual
-from .types import FrameType, MacroblockMode, PredictionDirection
+from .transform import reconstruct_residuals_many
+from .types import (
+    FrameType,
+    MacroblockDecision,
+    PredictionDirection,
+)
 
 
 class Decoder:
@@ -155,44 +159,65 @@ class Decoder:
         state = FrameMbState(mb_rows, mb_cols)
         recon = np.zeros((header.height, header.width), dtype=np.uint8)
         bands = slice_bands(mb_rows, len(fh.slice_byte_lengths))
+        # Pass 1: entropy-decode every macroblock decision. This pass is
+        # inherently sequential (adaptive contexts and neighbor state),
+        # but it needs no pixels.
+        mbs: List[Tuple[MacroblockDecision, int, int, int]] = []
         offset = 0
-        for (start_row, end_row), length in zip(bands,
-                                                fh.slice_byte_lengths):
-            payload = frame.payload[offset:offset + length]
-            offset += length
-            entropy = self._new_entropy_decoder(payload,
-                                                header.entropy_coder)
-            state.start_slice(fh.base_qp)
-            for mb_row in range(start_row, end_row):
-                for mb_col in range(mb_cols):
-                    self._decode_macroblock(
-                        entropy, fh.frame_type, state, recon, references,
-                        mb_row, mb_col, start_row, stages)
-        return recon
-
-    def _decode_macroblock(self, entropy, frame_type: FrameType,
-                           state: FrameMbState, recon: np.ndarray,
-                           references: ReferenceSet, mb_row: int,
-                           mb_col: int, min_mb_row: int,
-                           stages=obs_trace.NULL_STAGE_CLOCK) -> None:
         with stages.time("decode.entropy"):
-            decision = decode_macroblock(entropy, self._model, state,
-                                         frame_type, mb_row, mb_col,
-                                         min_mb_row)
+            for (start_row, end_row), length in zip(bands,
+                                                    fh.slice_byte_lengths):
+                payload = frame.payload[offset:offset + length]
+                offset += length
+                entropy = self._new_entropy_decoder(payload,
+                                                    header.entropy_coder)
+                state.start_slice(fh.base_qp)
+                for mb_row in range(start_row, end_row):
+                    for mb_col in range(mb_cols):
+                        decision = decode_macroblock(
+                            entropy, self._model, state, fh.frame_type,
+                            mb_row, mb_col, start_row)
+                        finalize_macroblock(state, decision, mb_row, mb_col)
+                        mbs.append((decision, mb_row, mb_col, start_row))
+        # Pass 2: one batched inverse transform for every coded residual
+        # in the frame, then a sequential prediction sweep (intra
+        # prediction reads reconstructed neighbor pixels).
         with stages.time("decode.reconstruct"):
+            residuals = self._frame_residuals(mbs)
             pad = 0
             if references:
                 reference = next(iter(references.values()))
                 pad = (reference.shape[0] - recon.shape[0]) // 2
-            prediction = build_prediction(decision, recon, references, pad,
-                                          mb_row, mb_col, min_mb_row)
-            residual: Optional[np.ndarray] = None
+            for index, (decision, mb_row, mb_col, min_mb_row) in \
+                    enumerate(mbs):
+                prediction = build_prediction(decision, recon, references,
+                                              pad, mb_row, mb_col,
+                                              min_mb_row)
+                top = mb_row * MACROBLOCK_SIZE
+                left = mb_col * MACROBLOCK_SIZE
+                recon[top:top + MACROBLOCK_SIZE,
+                      left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
+                          decision, prediction, residuals.get(index))
+        return recon
+
+    @staticmethod
+    def _frame_residuals(
+        mbs: List[Tuple[MacroblockDecision, int, int, int]],
+    ) -> Dict[int, np.ndarray]:
+        """Reconstruct every coded residual of a frame in one batch.
+
+        Returns macroblock index (position in ``mbs``) -> 16x16 residual
+        for macroblocks that carry coded coefficients; others are absent.
+        """
+        indices: List[int] = []
+        stacks: List[np.ndarray] = []
+        qps: List[int] = []
+        for index, (decision, _, _, _) in enumerate(mbs):
             if decision.coefficients is not None and any(decision.cbp):
-                residual = reconstruct_residual(decision.coefficients,
-                                                decision.qp)
-            top = mb_row * MACROBLOCK_SIZE
-            left = mb_col * MACROBLOCK_SIZE
-            recon[top:top + MACROBLOCK_SIZE,
-                  left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
-                      decision, prediction, residual)
-        finalize_macroblock(state, decision, mb_row, mb_col)
+                indices.append(index)
+                stacks.append(decision.coefficients)
+                qps.append(decision.qp)
+        if not indices:
+            return {}
+        residuals = reconstruct_residuals_many(np.stack(stacks), qps)
+        return {index: residuals[i] for i, index in enumerate(indices)}

@@ -25,16 +25,21 @@ from .encoded import EncodedFrame, EncodedVideo, FrameHeader, VideoHeader
 from .gop import FramePlan, plan_gop
 from .intra import choose_intra_mode, intra_dependencies
 from .motion import (
-    MacroblockSearch,
+    FrameMotionSearch,
     compensate,
     pad_reference,
     reference_dependencies,
 )
 from .neighbors import FrameMbState
-from .ratecontrol import frame_qp, macroblock_qp
+from .ratecontrol import frame_activity_offsets, frame_qp
 from .reconstruct import ReferenceSet, build_prediction, reconstruct_macroblock
 from .syntax import encode_macroblock, finalize_macroblock
-from .transform import reconstruct_residual, transform_and_quantize
+from .transform import (
+    MAX_QP,
+    MIN_QP,
+    reconstruct_residual,
+    transform_and_quantize,
+)
 from .types import (
     PARTITION_RECTS,
     QUADRANT_ORIGINS,
@@ -44,7 +49,6 @@ from .types import (
     FrameTrace,
     FrameType,
     InterPartition,
-    IntraMode,
     MacroblockDecision,
     MacroblockMode,
     MacroblockTrace,
@@ -174,6 +178,19 @@ class Encoder:
                 coded_of.get(plan.ref_backward, -1),
         }
         state = FrameMbState(mb_rows, mb_cols)
+        qp_offsets = (frame_activity_offsets(source)
+                      if config.adaptive_qp else None)
+        searches: Dict[PredictionDirection, FrameMotionSearch] = {}
+        if plan.frame_type != FrameType.I:
+            # One batched full-search pass per reference serves every
+            # macroblock and partition rectangle of this frame.
+            with stages.time("encode.inter"):
+                searches = {
+                    direction: FrameMotionSearch(
+                        source, reference, self._pad, config.search_range,
+                        config.mv_cost_lambda)
+                    for direction, reference in references.items()
+                }
         recon = np.zeros_like(source)
         slice_payloads: List[bytes] = []
         slice_starts: List[int] = []
@@ -188,7 +205,8 @@ class Encoder:
                     bit_start = offset_bits + encoder.bits_emitted
                     decision, deps = self._encode_macroblock(
                         encoder, plan, source, recon, references, ref_coded,
-                        state, base_qp, mb_row, mb_col, start_row, stages)
+                        state, base_qp, mb_row, mb_col, start_row, stages,
+                        searches, qp_offsets)
                     bit_end = offset_bits + encoder.bits_emitted
                     mb_traces.append(MacroblockTrace(
                         frame_coded_index=plan.coded_index,
@@ -236,14 +254,21 @@ class Encoder:
                            ref_coded: Dict[PredictionDirection, int],
                            state: FrameMbState, base_qp: int,
                            mb_row: int, mb_col: int, min_mb_row: int,
-                           stages=obs_trace.NULL_STAGE_CLOCK
+                           stages=obs_trace.NULL_STAGE_CLOCK,
+                           searches: Optional[Dict[PredictionDirection,
+                                                   FrameMotionSearch]] = None,
+                           qp_offsets: Optional[np.ndarray] = None
                            ) -> Tuple[MacroblockDecision,
                                       List[DependencyRecord]]:
         config = self.config
         top = mb_row * MACROBLOCK_SIZE
         left = mb_col * MACROBLOCK_SIZE
         current = source[top:top + MACROBLOCK_SIZE, left:left + MACROBLOCK_SIZE]
-        qp = macroblock_qp(base_qp, current, config.adaptive_qp)
+        if config.adaptive_qp and qp_offsets is None:
+            qp_offsets = frame_activity_offsets(source)
+        offset = (int(qp_offsets[mb_row, mb_col])
+                  if qp_offsets is not None else 0)
+        qp = min(max(base_qp + offset, MIN_QP), MAX_QP)
         pred_mv = state.predict_mv(mb_row, mb_col, min_mb_row)
 
         if plan.frame_type == FrameType.I:
@@ -252,9 +277,16 @@ class Encoder:
                                               min_mb_row, qp)
         else:
             with stages.time("encode.inter"):
+                if searches is None:
+                    searches = {
+                        direction: FrameMotionSearch(
+                            source, reference, self._pad,
+                            config.search_range, config.mv_cost_lambda)
+                        for direction, reference in references.items()
+                    }
                 decision = self._decide_inter(
-                    plan, current, recon, references, state, mb_row, mb_col,
-                    min_mb_row, qp, pred_mv)
+                    plan, current, recon, references, searches, state,
+                    mb_row, mb_col, min_mb_row, qp, pred_mv)
 
         # Residual coding against the chosen prediction.
         with stages.time("encode.transform"):
@@ -304,20 +336,19 @@ class Encoder:
                                   min_mb_row, source.shape)
         return decision, deps
 
+    #: 4x4 coefficient-block indices composing each 8x8 quadrant.
+    _QUADRANT_BLOCKS = np.array([
+        [(qy // 4 + by) * 4 + (qx // 4 + bx)
+         for by in range(2) for bx in range(2)]
+        for qy, qx in QUADRANT_ORIGINS
+    ])
+
     @staticmethod
     def _coded_block_pattern(coefficients: np.ndarray
                              ) -> Tuple[bool, bool, bool, bool]:
-        flags = []
-        for quadrant in range(4):
-            qy, qx = QUADRANT_ORIGINS[quadrant]
-            indices = [
-                (qy // 4 + by) * 4 + (qx // 4 + bx)
-                for by in range(2) for bx in range(2)
-            ]
-            flags.append(any(
-                np.any(coefficients[index]) for index in indices
-            ))
-        return tuple(flags)  # type: ignore[return-value]
+        block_coded = coefficients.reshape(16, 16).any(axis=1)
+        flags = block_coded[Encoder._QUADRANT_BLOCKS].any(axis=1)
+        return tuple(flags.tolist())  # type: ignore[return-value]
 
     # -- mode decisions -----------------------------------------------------
 
@@ -331,26 +362,27 @@ class Encoder:
 
     def _decide_inter(self, plan: FramePlan, current: np.ndarray,
                       recon: np.ndarray, references: ReferenceSet,
+                      searches: Dict[PredictionDirection, FrameMotionSearch],
                       state: FrameMbState, mb_row: int, mb_col: int,
                       min_mb_row: int, qp: int,
                       pred_mv: MotionVector) -> MacroblockDecision:
         config = self.config
         top = mb_row * MACROBLOCK_SIZE
         left = mb_col * MACROBLOCK_SIZE
-        searchers = {
-            direction: MacroblockSearch(
-                current, reference, self._pad, top, left,
-                config.search_range)
-            for direction, reference in references.items()
+
+        tables = {
+            direction: searcher.mb_table(mb_row, mb_col)
+            for direction, searcher in searches.items()
         }
 
         def best_for_rect(rect):
             """(mv, direction, cost, mv_backward) of the best candidate:
             forward, backward, or the bidirectional average."""
+            column = FrameMotionSearch.rect_column(rect)
             per_direction = {}
             best = None
-            for direction, searcher in searchers.items():
-                mv, sad = searcher.best_mv(rect, config.mv_cost_lambda)
+            for direction, table in tables.items():
+                mv, sad = table[column]
                 per_direction[direction] = mv
                 if best is None or sad < best[2]:
                     best = (mv, direction, sad, None)

@@ -92,6 +92,18 @@ class EntropyEncoder(abc.ABC):
     def finish(self) -> bytes:
         """Flush and return the complete payload."""
 
+    # -- bulk bypass ----------------------------------------------------
+
+    def encode_bypass_bits(self, value: int, count: int) -> None:
+        """Encode ``count`` bypass bits of ``value``, MSB first.
+
+        Backends override this with a batched path; the default loops,
+        so overriding never changes the emitted stream — only the
+        Python-level call overhead.
+        """
+        for shift in range(count - 1, -1, -1):
+            self.encode_bypass((value >> shift) & 1)
+
     # -- shared binarization -------------------------------------------
 
     def encode_uint(self, value: int, group: ContextGroup,
@@ -124,16 +136,19 @@ class EntropyEncoder(abc.ABC):
             self.encode_bypass(1 if value < 0 else 0)
 
     def _encode_eg0_bypass(self, value: int) -> None:
-        """Order-0 Exp-Golomb in bypass bins."""
+        """Order-0 Exp-Golomb in bypass bins.
+
+        Emitted as one bulk bin string — ``length`` ones, a zero, then
+        the ``length`` suffix bits — identical to bit-by-bit emission.
+        """
         shifted = value + 1
         length = shifted.bit_length() - 1
         if length > MAX_EG_PREFIX:
             raise BitstreamError(f"value {value} too large for EG0 suffix")
-        for _ in range(length):
-            self.encode_bypass(1)
-        self.encode_bypass(0)
-        for shift in range(length - 1, -1, -1):
-            self.encode_bypass((shifted >> shift) & 1)
+        prefix = ((1 << length) - 1) << 1
+        suffix = shifted - (1 << length)
+        self.encode_bypass_bits((prefix << length) | suffix,
+                                2 * length + 1)
 
 
 class EntropyDecoder(abc.ABC):
@@ -150,6 +165,19 @@ class EntropyDecoder(abc.ABC):
     @abc.abstractmethod
     def _decode_context_bin(self, ctx: int) -> int:
         ...
+
+    # -- bulk bypass ----------------------------------------------------
+
+    def decode_bypass_bits(self, count: int) -> int:
+        """Decode ``count`` bypass bits as one MSB-first integer.
+
+        Mirror of :meth:`EntropyEncoder.encode_bypass_bits`; backends
+        override it with a batched path that reads the same bits.
+        """
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.decode_bypass()
+        return value
 
     # -- shared binarization -------------------------------------------
 
@@ -175,7 +203,5 @@ class EntropyDecoder(abc.ABC):
         length = 0
         while self.decode_bypass() and length < MAX_EG_PREFIX:
             length += 1
-        suffix = 0
-        for _ in range(length):
-            suffix = (suffix << 1) | self.decode_bypass()
+        suffix = self.decode_bypass_bits(length)
         return (1 << length) - 1 + suffix

@@ -28,6 +28,12 @@ def _border_pixels(reconstructed: np.ndarray, mb_row: int, mb_col: int
     return above, left_col
 
 
+#: Plane-mode gradient taps and pixel coordinates, hoisted out of the
+#: per-macroblock hot path.
+_PLANE_TAPS = np.arange(1, 9, dtype=np.int64)
+_PLANE_XS = np.arange(MB_SIZE, dtype=np.int64) - 7
+
+
 def predict_intra(reconstructed: np.ndarray, mb_row: int, mb_col: int,
                   mode: IntraMode,
                   min_mb_row: int = 0) -> np.ndarray:
@@ -52,10 +58,9 @@ def predict_intra(reconstructed: np.ndarray, mb_row: int, mb_col: int,
             return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
         return np.repeat(left_col[:, np.newaxis], MB_SIZE, axis=1)
     if mode == IntraMode.DC:
-        parts = [p for p in (above, left_col) if p is not None]
-        if not parts:
+        if above is None and left_col is None:
             return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
-        mean = int(round(float(np.mean(np.concatenate(parts)))))
+        mean = _dc_value(above, left_col)
         return np.full((MB_SIZE, MB_SIZE), np.uint8(mean), dtype=np.uint8)
     if mode == IntraMode.PLANE:
         # H.264 Intra_16x16 Plane: a linear gradient fitted to the above
@@ -64,24 +69,50 @@ def predict_intra(reconstructed: np.ndarray, mb_row: int, mb_col: int,
         # fall back to mid-gray like the other modes.
         if above is None or left_col is None or mb_row == 0 or mb_col == 0:
             return np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
-        top = mb_row * MB_SIZE
-        left = mb_col * MB_SIZE
-        corner = int(reconstructed[top - 1, left - 1])
-        above_ext = np.concatenate([[corner], above.astype(np.int64)])
-        left_ext = np.concatenate([[corner], left_col.astype(np.int64)])
-        taps = np.arange(1, 9, dtype=np.int64)
-        # above_ext[8 + x] - above_ext[8 - x] for x = 1..8 (0-indexed
-        # offset by the prepended corner).
-        h_grad = int(np.sum(taps * (above_ext[8 + taps] - above_ext[8 - taps])))
-        v_grad = int(np.sum(taps * (left_ext[8 + taps] - left_ext[8 - taps])))
-        slope_x = (5 * h_grad + 32) >> 6
-        slope_y = (5 * v_grad + 32) >> 6
-        base = 16 * (int(above[15]) + int(left_col[15]))
-        xs = np.arange(MB_SIZE, dtype=np.int64) - 7
-        plane = (base + slope_x * xs[np.newaxis, :]
-                 + slope_y * xs[:, np.newaxis] + 16) >> 5
-        return np.clip(plane, 0, 255).astype(np.uint8)
+        return _plane_prediction(reconstructed, above, left_col,
+                                 mb_row, mb_col)
     raise EncoderError(f"unknown intra mode {mode!r}")
+
+
+def _dc_value(above: Optional[np.ndarray],
+              left_col: Optional[np.ndarray]) -> int:
+    """Rounded mean of the available borders (at least one present).
+
+    The pixel count is a power of two, so the division is exact and the
+    rounded mean matches np.mean over the concatenated borders.
+    """
+    total = 0
+    count = 0
+    if above is not None:
+        total += int(above.sum())
+        count += MB_SIZE
+    if left_col is not None:
+        total += int(left_col.sum())
+        count += MB_SIZE
+    return int(round(total / count))
+
+
+def _plane_prediction(reconstructed: np.ndarray, above: np.ndarray,
+                      left_col: np.ndarray, mb_row: int,
+                      mb_col: int) -> np.ndarray:
+    """PLANE prediction given both borders (availability pre-checked)."""
+    top = mb_row * MB_SIZE
+    left = mb_col * MB_SIZE
+    corner = int(reconstructed[top - 1, left - 1])
+    above_ext = np.concatenate([[corner], above.astype(np.int64)])
+    left_ext = np.concatenate([[corner], left_col.astype(np.int64)])
+    taps = _PLANE_TAPS
+    # above_ext[8 + x] - above_ext[8 - x] for x = 1..8 (0-indexed
+    # offset by the prepended corner).
+    h_grad = int(np.sum(taps * (above_ext[8 + taps] - above_ext[8 - taps])))
+    v_grad = int(np.sum(taps * (left_ext[8 + taps] - left_ext[8 - taps])))
+    slope_x = (5 * h_grad + 32) >> 6
+    slope_y = (5 * v_grad + 32) >> 6
+    base = 16 * (int(above[15]) + int(left_col[15]))
+    xs = _PLANE_XS
+    plane = (base + slope_x * xs[np.newaxis, :]
+             + slope_y * xs[:, np.newaxis] + 16) >> 5
+    return np.clip(plane, 0, 255).astype(np.uint8)
 
 
 def intra_dependencies(frame_coded_index: int, mb_row: int, mb_col: int,
@@ -134,22 +165,65 @@ def intra_dependencies(frame_coded_index: int, mb_row: int, mb_col: int,
     return deps
 
 
+#: Mode evaluation order; ties resolve to the earliest entry, exactly
+#: like the scalar strict-less-than scan this batched selection replaced.
+MODE_ORDER = (IntraMode.DC, IntraMode.VERTICAL, IntraMode.HORIZONTAL,
+              IntraMode.PLANE)
+
+
 def choose_intra_mode(source_mb: np.ndarray, reconstructed: np.ndarray,
                       mb_row: int, mb_col: int,
                       min_mb_row: int = 0) -> Tuple[IntraMode, np.ndarray, float]:
     """Pick the intra mode with the lowest SAD against ``source_mb``.
 
-    Returns (mode, prediction, sad).
+    SADs are computed straight from the border pixels — the constant
+    rows/columns of the DC/V/H predictions never get materialized, and
+    only the winner's 16x16 prediction is built. The winner (first
+    minimum in :data:`MODE_ORDER`) and every SAD are identical to
+    scoring fully-built predictions per mode. Returns
+    (mode, prediction, sad).
     """
-    best: Tuple[Optional[IntraMode], Optional[np.ndarray], float] = (
-        None, None, float("inf"))
-    source = source_mb.astype(np.int32)
-    for mode in (IntraMode.DC, IntraMode.VERTICAL, IntraMode.HORIZONTAL,
-                 IntraMode.PLANE):
-        prediction = predict_intra(reconstructed, mb_row, mb_col, mode,
-                                   min_mb_row)
-        sad = float(np.abs(source - prediction.astype(np.int32)).sum())
-        if sad < best[2]:
-            best = (mode, prediction, sad)
-    assert best[0] is not None and best[1] is not None
-    return best[0], best[1], best[2]
+    above, left_col = _border_pixels(reconstructed, mb_row, mb_col)
+    if mb_row == min_mb_row:
+        above = None
+    current = source_mb.astype(np.int32)
+    sad_flat = int(np.abs(current - 128).sum())
+
+    if above is None and left_col is None:
+        sad_dc = sad_flat
+        dc_value = 128
+    else:
+        dc_value = _dc_value(above, left_col)
+        sad_dc = int(np.abs(current - dc_value).sum())
+    sad_v = (sad_flat if above is None
+             else int(np.abs(current - above.astype(np.int32)).sum()))
+    sad_h = (sad_flat if left_col is None
+             else int(np.abs(current
+                             - left_col.astype(np.int32)[:, None]).sum()))
+    plane = None
+    if (above is None or left_col is None or mb_row == 0 or mb_col == 0):
+        sad_p = sad_flat
+    else:
+        plane = _plane_prediction(reconstructed, above, left_col,
+                                  mb_row, mb_col)
+        sad_p = int(np.abs(current - plane.astype(np.int32)).sum())
+
+    sads = (sad_dc, sad_v, sad_h, sad_p)
+    pick = min(range(len(MODE_ORDER)), key=sads.__getitem__)
+    mode = MODE_ORDER[pick]
+    if mode == IntraMode.DC:
+        prediction = np.full((MB_SIZE, MB_SIZE), np.uint8(dc_value),
+                             dtype=np.uint8)
+    elif mode == IntraMode.VERTICAL:
+        prediction = (np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+                      if above is None
+                      else np.repeat(above[np.newaxis, :], MB_SIZE, axis=0))
+    elif mode == IntraMode.HORIZONTAL:
+        prediction = (np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+                      if left_col is None
+                      else np.repeat(left_col[:, np.newaxis], MB_SIZE,
+                                     axis=1))
+    else:
+        prediction = (np.full((MB_SIZE, MB_SIZE), 128, dtype=np.uint8)
+                      if plane is None else plane)
+    return mode, prediction, float(sads[pick])

@@ -1,10 +1,19 @@
 """Integer-pel motion estimation and compensation.
 
-The estimator computes, per macroblock, a full absolute-difference
-tensor over the search window once, then answers SAD queries for any
-partition rectangle and displacement from a 2-D integral image — so
-evaluating all of H.264's partition shapes (16x16 down to 4x4) costs
-almost nothing beyond the initial tensor.
+Two estimators share the same candidate geometry and produce bitwise
+identical answers:
+
+* :class:`MacroblockSearch` — the scalar reference. Per macroblock it
+  builds a full absolute-difference tensor over the search window and
+  answers SAD queries for any partition rectangle from a 2-D integral
+  image. Retained for tests and as the equivalence oracle.
+* :class:`FrameMotionSearch` — the vectorized hot path the encoder
+  uses. It streams over the displacement window once per (frame,
+  reference) pair, reducing whole-frame absolute differences to 4x4
+  tile SADs and folding them into every macroblock's per-partition
+  best-cost running minimum with one masked matmul per displacement.
+  All of H.264's partition shapes are 4x4-tile aligned, so the 41
+  encoder rectangles come out of the same tile tensor for free.
 
 Compensation clamps the referenced region into the (edge-padded)
 reference frame, which serves two purposes: unrestricted motion vectors
@@ -14,12 +23,21 @@ motion vectors a corrupted bitstream decodes to.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..errors import EncoderError
-from .types import MB_SIZE, DependencyRecord, MotionVector
+from .types import (
+    MB_SIZE,
+    PARTITION_RECTS,
+    QUADRANT_ORIGINS,
+    SUBPARTITION_RECTS,
+    DependencyRecord,
+    MotionVector,
+    PartitionType,
+    SubPartitionType,
+)
 
 
 def pad_reference(frame: np.ndarray, pad: int) -> np.ndarray:
@@ -91,6 +109,198 @@ class MacroblockSearch:
         dy, dx = np.unravel_index(flat_index, cost.shape)
         mv = MotionVector(int(dy) - radius, int(dx) - radius)
         return mv, float(grid[dy, dx])
+
+
+def _encoder_rects() -> Tuple[Tuple[int, int, int, int], ...]:
+    """Every partition rectangle the encoder's mode decision evaluates.
+
+    16x16/16x8/8x16 at macroblock level plus all four sub-layouts of
+    every 8x8 quadrant — 41 rectangles, each aligned to the 4x4 tile
+    grid.
+    """
+    rects: List[Tuple[int, int, int, int]] = []
+    for ptype in (PartitionType.P16x16, PartitionType.P16x8,
+                  PartitionType.P8x16):
+        rects.extend(PARTITION_RECTS[ptype])
+    for qy, qx in QUADRANT_ORIGINS:
+        for sub in SubPartitionType:
+            for oy, ox, height, width in SUBPARTITION_RECTS[sub]:
+                rects.append((qy + oy, qx + ox, height, width))
+    return tuple(rects)
+
+
+#: Canonical rectangle set served by :class:`FrameMotionSearch`.
+ENCODER_RECTS = _encoder_rects()
+
+#: rect -> column index into the batched SAD tables.
+_RECT_COLUMN: Dict[Tuple[int, int, int, int], int] = {
+    rect: i for i, rect in enumerate(ENCODER_RECTS)
+}
+
+
+def _rect_tile_mask(rects: Tuple[Tuple[int, int, int, int], ...]
+                    ) -> np.ndarray:
+    """(16, len(rects)) 0/1 matrix: which 4x4 tiles compose each rect."""
+    mask = np.zeros((MB_SIZE, len(rects)), dtype=np.int64)
+    for column, (oy, ox, height, width) in enumerate(rects):
+        if oy % 4 or ox % 4 or height % 4 or width % 4:
+            raise EncoderError(f"rect {(oy, ox, height, width)} is not "
+                               f"aligned to the 4x4 tile grid")
+        tiles = np.zeros((4, 4), dtype=np.int64)
+        tiles[oy // 4:(oy + height) // 4, ox // 4:(ox + width) // 4] = 1
+        mask[:, column] = tiles.reshape(MB_SIZE)
+    return mask
+
+
+_ENCODER_RECT_MASK = _rect_tile_mask(ENCODER_RECTS)
+
+#: Summing vector for the 4-wide tile column reduction (BLAS matvec).
+_TILE_ONES = np.ones((4, 1), dtype=np.float32)
+
+#: Cache budget for one motion-search chunk's candidate-diff buffers.
+_CHUNK_BUDGET_BYTES = 4 << 20
+
+
+class FrameMotionSearch:
+    """Batched full-search SAD oracle for every macroblock of a frame.
+
+    Computes, in one streaming pass over the displacement window, the
+    lowest-cost motion vector (cost = SAD + lambda * |mv|_1) and its raw
+    SAD for all macroblocks and all :data:`ENCODER_RECTS` partition
+    rectangles at once. Answers are bitwise identical to running
+    :meth:`MacroblockSearch.best_mv` per macroblock and rectangle —
+    including argmin tie-breaking, which both resolve to the first
+    candidate in row-major displacement order.
+
+    Args:
+        current: the full frame being encoded (uint8, MB-aligned).
+        ref_padded: reference frame padded by at least ``search_range``.
+        pad: the padding amount used to build ``ref_padded``.
+        search_range: displacement radius R; candidates span [-R, R]^2.
+        mv_cost_lambda: SAD penalty per pixel of motion-vector deviation.
+    """
+
+    def __init__(self, current: np.ndarray, ref_padded: np.ndarray,
+                 pad: int, search_range: int,
+                 mv_cost_lambda: float) -> None:
+        if pad < search_range:
+            raise EncoderError(
+                f"padding {pad} smaller than search range {search_range}"
+            )
+        height, width = current.shape
+        if height % MB_SIZE or width % MB_SIZE:
+            raise EncoderError(
+                f"frame {height}x{width} is not macroblock-aligned"
+            )
+        self.search_range = search_range
+        self._mb_cols = width // MB_SIZE
+        diameter = 2 * search_range + 1
+        self._diameter = diameter
+        num_mbs = (height // MB_SIZE) * self._mb_cols
+        # float64 mask routes the per-displacement rect reduction through
+        # BLAS; tile SADs are <= 16*4080 so every sum is an exactly
+        # representable integer and results match the int64 matmul bit
+        # for bit.
+        mask = _ENCODER_RECT_MASK.astype(np.float64)
+        source = current.astype(np.int16)
+        tile_rows = height // 4
+        tile_cols = width // 4
+        mb_rows_count = tile_rows // 4
+
+        num_rects = _ENCODER_RECT_MASK.shape[1]
+        offsets = np.abs(np.arange(-search_range, search_range + 1))
+        penalty_flat = (mv_cost_lambda * (
+            offsets[:, None] + offsets[None, :]).reshape(-1)
+        ).astype(np.float64)
+        band_full = ref_padded[
+            pad - search_range:pad + search_range + height,
+            pad - search_range:pad + search_range + width]
+
+        # dy rows are processed in chunks sized to keep the per-chunk
+        # diff buffers (int16 + float32 passes, ~6 bytes per candidate
+        # pixel) inside a few MB of cache — full batching thrashes at
+        # larger frames, a per-row loop pays numpy call overhead 2R+1
+        # times.
+        row_bytes = 6 * diameter * height * width
+        chunk = max(1, min(diameter, _CHUNK_BUDGET_BYTES // row_bytes))
+
+        best_cost = np.full((num_mbs, num_rects), np.inf)
+        best_sad = np.zeros((num_mbs, num_rects), dtype=np.float64)
+        best_flat = np.zeros((num_mbs, num_rects), dtype=np.int64)
+        for start in range(0, diameter, chunk):
+            rows = min(chunk, diameter - start)
+            dd = rows * diameter
+            # All (dy, dx) displacements of these dy rows at once:
+            # windows is a strided (rows, D, height, width) view.
+            sub = band_full[start:start + rows - 1 + height, :]
+            windows = np.lib.stride_tricks.sliding_window_view(
+                sub, (height, width))
+            diff = np.abs(source[None, None] - windows)
+            # 4-wide column sums via a BLAS matvec, then the 4-row sum:
+            # per-pixel diffs are <= 255 and tile sums <= 4080, so
+            # float32 holds every intermediate exactly and this is ~3x
+            # faster than a strided integer reduction over both axes.
+            col_sums = (
+                diff.reshape(-1, 4).astype(np.float32) @ _TILE_ONES
+            ).reshape(dd, tile_rows, 4, tile_cols)
+            tiles = col_sums.sum(axis=2, dtype=np.float32)
+            mb_tiles = tiles.reshape(
+                dd, mb_rows_count, 4, self._mb_cols, 4
+            ).transpose(0, 1, 3, 2, 4).reshape(dd, num_mbs, MB_SIZE)
+            sads = mb_tiles.astype(np.float64) @ mask
+            cost = sads + penalty_flat[start * diameter:
+                                       start * diameter + dd, None, None]
+            # First-minimum within the chunk (argmin over the flat
+            # displacement axis), then strict < across chunks: together
+            # that reproduces the scalar path's row-major flat argmin
+            # tie-breaking exactly.
+            pick = np.argmin(cost, axis=0)
+            picked = np.expand_dims(pick, 0)
+            chunk_cost = np.take_along_axis(cost, picked, axis=0)[0]
+            chunk_sad = np.take_along_axis(sads, picked, axis=0)[0]
+            better = chunk_cost < best_cost
+            best_cost[better] = chunk_cost[better]
+            best_sad[better] = chunk_sad[better]
+            best_flat[better] = (start * diameter + pick)[better]
+        self._best_sad = best_sad.astype(np.int64)
+        self._best_flat = best_flat.astype(np.int32)
+
+    def best(self, mb_row: int, mb_col: int,
+             rect: Tuple[int, int, int, int]
+             ) -> Tuple[MotionVector, float]:
+        """Lowest-cost (motion vector, raw SAD) for one MB's rect."""
+        mb = mb_row * self._mb_cols + mb_col
+        column = _RECT_COLUMN[rect]
+        flat = int(self._best_flat[mb, column])
+        radius = self.search_range
+        mv = MotionVector(flat // self._diameter - radius,
+                          flat % self._diameter - radius)
+        return mv, float(self._best_sad[mb, column])
+
+    def mb_table(self, mb_row: int, mb_col: int
+                 ) -> List[Tuple[MotionVector, float]]:
+        """All of one MB's per-rect winners as plain Python values.
+
+        Returns a list indexed by :data:`ENCODER_RECTS` position of
+        (motion vector, raw SAD) pairs — one bulk fetch instead of 41
+        array-scalar reads.
+        """
+        mb = mb_row * self._mb_cols + mb_col
+        flats = self._best_flat[mb].tolist()
+        sads = self._best_sad[mb].tolist()
+        diameter = self._diameter
+        radius = self.search_range
+        return [
+            (MotionVector(flat // diameter - radius,
+                          flat % diameter - radius), float(sad))
+            for flat, sad in zip(flats, sads)
+        ]
+
+    @staticmethod
+    def rect_column(rect: Tuple[int, int, int, int]) -> int:
+        """Index of ``rect`` in :data:`ENCODER_RECTS` (and
+        :meth:`mb_table` output)."""
+        return _RECT_COLUMN[rect]
 
 
 def compensate(ref_padded: np.ndarray, pad: int, top: int, left: int,

@@ -29,7 +29,7 @@ def frame_qp(crf: int, frame_type: FrameType) -> int:
     """Base QP for a frame of the given type at the given CRF."""
     if not MIN_QP <= crf <= MAX_QP:
         raise EncoderError(f"crf must be in {MIN_QP}..{MAX_QP}, got {crf}")
-    return int(np.clip(crf + _TYPE_OFFSETS[frame_type], MIN_QP, MAX_QP))
+    return min(max(crf + _TYPE_OFFSETS[frame_type], MIN_QP), MAX_QP)
 
 
 def activity_qp_offset(mb_pixels: np.ndarray) -> int:
@@ -55,4 +55,30 @@ def macroblock_qp(base_qp: int, mb_pixels: np.ndarray,
                   adaptive: bool) -> int:
     """Final QP for one macroblock."""
     offset = activity_qp_offset(mb_pixels) if adaptive else 0
-    return int(np.clip(base_qp + offset, MIN_QP, MAX_QP))
+    return min(max(base_qp + offset, MIN_QP), MAX_QP)
+
+
+def frame_activity_offsets(frame: np.ndarray) -> np.ndarray:
+    """Per-macroblock :func:`activity_qp_offset` for a whole frame.
+
+    One batched variance pass replacing a per-MB ``np.var`` call. Pixel
+    values are small integers, so every mean/variance intermediate is an
+    exactly representable float64 and the result matches the scalar
+    function bit for bit. Returns an (mb_rows, mb_cols) int array.
+    """
+    mb_rows = frame.shape[0] // 16
+    mb_cols = frame.shape[1] // 16
+    pixels = (
+        frame.astype(np.float64)
+        .reshape(mb_rows, 16, mb_cols, 16)
+        .transpose(0, 2, 1, 3)
+        .reshape(mb_rows, mb_cols, 256)
+    )
+    means = pixels.mean(axis=2)
+    variances = ((pixels - means[..., None]) ** 2).mean(axis=2)
+    offsets = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+    offsets[variances < 100.0] = -1
+    offsets[variances < 25.0] = -2
+    offsets[variances > 400.0] = 1
+    offsets[variances > 1500.0] = 2
+    return offsets

@@ -20,7 +20,6 @@ from .types import (
     MB_SIZE,
     MacroblockDecision,
     MacroblockMode,
-    MotionVector,
     PredictionDirection,
 )
 

@@ -28,7 +28,12 @@ from ..errors import EncoderError
 from .contexts import ContextModel
 from .entropy import EntropyDecoder, EntropyEncoder
 from .neighbors import FrameMbState
-from .transform import MAX_QP, MIN_QP, zigzag_flatten, zigzag_unflatten
+from .transform import (
+    MAX_QP,
+    MIN_QP,
+    ZIGZAG_FLAT_INDEX,
+    ZIGZAG_FLAT_INVERSE,
+)
 from .types import (
     PARTITION_RECTS,
     QUADRANT_ORIGINS,
@@ -83,31 +88,33 @@ def _level_bucket(position: int) -> int:
 # ----------------------------------------------------------------------
 
 def _encode_block(enc: EntropyEncoder, model: ContextModel,
-                  block: np.ndarray, nnz_variant: int) -> None:
-    vector = zigzag_flatten(block)
-    nonzero = int(np.count_nonzero(vector))
+                  vector: List[int], nnz_variant: int) -> None:
+    # ``vector`` is the block's zigzag scan as plain Python ints (the
+    # caller gathers all 16 blocks of the MB in one indexing op); the
+    # bin loop below then runs without any array-scalar overhead.
+    nonzero = 16 - vector.count(0)
     enc.encode_uint(nonzero, model["nnz"], variant=nnz_variant)
     found = 0
     for position in range(16):
         remaining = nonzero - found
         if remaining == 0:
             break
+        value = vector[position]
         if 16 - position == remaining:
             significant = True  # implied: all remaining positions are set
         else:
-            significant = vector[position] != 0
-            enc.encode_flag(bool(significant), model["sig"], variant=position)
+            significant = value != 0
+            enc.encode_flag(significant, model["sig"], variant=position)
         if significant:
-            magnitude = int(abs(vector[position]))
-            enc.encode_uint(magnitude - 1, model["level"],
+            enc.encode_uint(abs(value) - 1, model["level"],
                             variant=_level_bucket(position))
-            enc.encode_bypass(1 if vector[position] < 0 else 0)
+            enc.encode_bypass(1 if value < 0 else 0)
             found += 1
 
 
 def _decode_block(dec: EntropyDecoder, model: ContextModel,
-                  nnz_variant: int) -> np.ndarray:
-    vector = np.zeros(16, dtype=np.int32)
+                  nnz_variant: int) -> List[int]:
+    vector = [0] * 16
     nonzero = dec.decode_uint(model["nnz"], variant=nnz_variant)
     found = 0
     for position in range(16):
@@ -125,7 +132,7 @@ def _decode_block(dec: EntropyDecoder, model: ContextModel,
                 magnitude = -magnitude
             vector[position] = magnitude
             found += 1
-    return zigzag_unflatten(vector)
+    return vector
 
 
 # ----------------------------------------------------------------------
@@ -190,13 +197,15 @@ def encode_macroblock(enc: EntropyEncoder, model: ContextModel,
                         variant=quadrant)
     nnz_variant = state.nnz_context(mb_row, mb_col, min_mb_row)
     if decision.coefficients is not None:
+        # Zigzag-scan all 16 blocks to plain Python ints in one gather.
+        vectors = np.asarray(decision.coefficients).reshape(16, 16)[
+            :, ZIGZAG_FLAT_INDEX].tolist()
         for quadrant in range(4):
             if not decision.cbp[quadrant]:
                 continue
             for block in range(4):
                 index = _block_index(quadrant, block)
-                _encode_block(enc, model, decision.coefficients[index],
-                              nnz_variant)
+                _encode_block(enc, model, vectors[index], nnz_variant)
 
 
 def decode_macroblock(dec: EntropyDecoder, model: ContextModel,
@@ -267,20 +276,23 @@ def decode_macroblock(dec: EntropyDecoder, model: ContextModel,
             ))
 
     dqp = dec.decode_sint(model["dqp"], variant=state.dqp_context())
-    qp = int(np.clip(state.prev_qp + dqp, MIN_QP, MAX_QP))
+    qp = min(max(state.prev_qp + dqp, MIN_QP), MAX_QP)
 
     cbp = tuple(
         dec.decode_flag(model["cbp"], variant=quadrant)
         for quadrant in range(4)
     )
-    coefficients = np.zeros((16, 4, 4), dtype=np.int32)
+    vectors = [[0] * 16 for _ in range(16)]
     nnz_variant = state.nnz_context(mb_row, mb_col, min_mb_row)
     for quadrant in range(4):
         if not cbp[quadrant]:
             continue
         for block in range(4):
             index = _block_index(quadrant, block)
-            coefficients[index] = _decode_block(dec, model, nnz_variant)
+            vectors[index] = _decode_block(dec, model, nnz_variant)
+    # One batched inverse zigzag for the whole macroblock.
+    coefficients = np.array(vectors, dtype=np.int32)[
+        :, ZIGZAG_FLAT_INVERSE].reshape(16, 4, 4)
 
     mode = MacroblockMode.INTRA if is_intra else MacroblockMode.INTER
     return MacroblockDecision(

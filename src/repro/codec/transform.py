@@ -102,6 +102,30 @@ def reconstruct_residual(levels: np.ndarray, qp: int) -> np.ndarray:
     return deblockify(inverse_transform(dequantize(levels, qp)))
 
 
+def reconstruct_residuals_many(levels_stack: np.ndarray,
+                               qps) -> np.ndarray:
+    """(M, 16, 4, 4) levels with per-MB QPs -> (M, 16, 16) residuals.
+
+    Bitwise identical to :func:`reconstruct_residual` per macroblock:
+    steps come from the scalar :func:`quant_step` (not a vectorized
+    power, which could differ in the last ulp), the per-element multiply
+    order matches :func:`dequantize`, and the inverse einsum's reduction
+    order is independent of batch size.
+    """
+    stack = np.asarray(levels_stack)
+    count = stack.shape[0]
+    steps = np.array([quant_step(int(qp)) for qp in qps],
+                     dtype=np.float64)
+    dequantized = (stack.astype(np.float64)
+                   * steps[:, None, None, None] * SCALE)
+    blocks = inverse_transform(dequantized.reshape(count * 16, 4, 4))
+    return (
+        blocks.reshape(count, 4, 4, 4, 4)
+        .transpose(0, 1, 3, 2, 4)
+        .reshape(count, 16, 16)
+    )
+
+
 #: Zigzag scan order for a 4x4 block (H.264).
 ZIGZAG_4x4 = (
     (0, 0), (0, 1), (1, 0), (2, 0),

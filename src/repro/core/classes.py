@@ -12,8 +12,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ..errors import AnalysisError
 from .importance import MacroblockBits
 

@@ -12,7 +12,7 @@ are unpacked to bit arrays for slicing and packed back afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import CryptoError
 from .aes import BLOCK_SIZE
 from .modes import MODES, make_mode
 

@@ -10,7 +10,7 @@ lossless frames.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import List
 
 import numpy as np
 

@@ -84,7 +84,7 @@ from .trials import (
     WorkerState,
     execute_trial,
 )
-from .watchdog import TIMEOUT_ENV, resolve_trial_timeout, trial_deadline
+from .watchdog import resolve_trial_timeout, trial_deadline
 
 #: Environment knob: default worker count for every campaign.
 #: ``0`` or unset means serial; ``N >= 1`` means a pool of N processes.

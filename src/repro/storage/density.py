@@ -10,7 +10,7 @@ scheme (BCH-16).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Mapping
 
 from ..errors import StorageError
 from .ecc import ECCScheme, PRECISE_SCHEME

@@ -13,7 +13,7 @@ frame tiles exactly into macroblocks, as the encoder requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import Iterator, List
 
 import numpy as np
 

@@ -11,7 +11,6 @@ row-major.
 
 from __future__ import annotations
 
-import io
 import os
 from typing import Union
 

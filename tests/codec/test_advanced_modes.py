@@ -7,7 +7,6 @@ from repro.codec import (
     Decoder,
     Encoder,
     EncoderConfig,
-    FrameType,
     IntraMode,
     MotionVector,
     PredictionDirection,

@@ -1,0 +1,85 @@
+"""Golden bitstream digests.
+
+Encodes fixed synthetic clips at pinned settings and asserts SHA-256
+digests of the serialized bitstreams and of the decoded pixels. The
+digests were produced by the scalar (pre-vectorization) codec; the
+vectorized kernels must keep every byte identical, so any future codec
+change that alters output — intentionally or not — fails here
+explicitly instead of silently shifting every experiment in the repo.
+
+To refresh after an *intentional* format change, run this file with
+``REPRO_PRINT_DIGESTS=1`` and copy the printed table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.codec import EncoderConfig, EntropyCoder
+from repro.codec.decoder import Decoder
+from repro.codec.encoder import Encoder
+from repro.video import SceneConfig, synthesize_scene
+
+#: name -> (scene, encoder config, expected stream digest, expected
+#: decoded-pixel digest). Geometry stays small so the whole table
+#: encodes in a few seconds.
+GOLDEN = {
+    "cabac_ipp": (
+        SceneConfig(width=64, height=48, num_frames=6, seed=11,
+                    num_objects=2),
+        EncoderConfig(crf=24, gop_size=6),
+        "83cdf2349d13faee48557157566280896846f5fcb6b492fcb7deefe087793eef",
+        "73d1c8ec463728cce77e3d915fb5ecc025ff5a0c29c38a76537dc528c27b28d1",
+    ),
+    "cabac_bframes_slices": (
+        SceneConfig(width=96, height=64, num_frames=9, seed=23,
+                    num_objects=3),
+        EncoderConfig(crf=20, gop_size=9, bframes=2, slices=2),
+        "6ad6dc040e75f4ceca028debe98980562f69ebbcda60e8bebd27c32d034a7b7d",
+        "8c5962b90e78aa75c67d70aacb456f8bc258829900c2fe71763c2cec5824294c",
+    ),
+    "cavlc_adaptive_qp": (
+        SceneConfig(width=64, height=64, num_frames=6, seed=7,
+                    num_objects=2),
+        EncoderConfig(crf=28, gop_size=3,
+                      entropy_coder=EntropyCoder.CAVLC),
+        "23552d69e65875d6c32020bd611f7587c501481cd0b17432b891d59309efdd16",
+        "8fa0569a55f191835ba662343e5a6090e5a14eb9ea4ef76608d6437dfde10876",
+    ),
+    "cabac_no_deblock_fine": (
+        SceneConfig(width=64, height=48, num_frames=5, seed=42,
+                    num_objects=1),
+        EncoderConfig(crf=16, gop_size=5, deblocking=False,
+                      adaptive_qp=False, search_range=4),
+        "dd299d20f40e741f8717bd31ac6f5de57ce482765be3df1577a78b0d3b19b864",
+        "92a251307799e0c5db9656e0ad6f4390006a7d923ec21f0b4d06ef9e5e403736",
+    ),
+}
+
+
+def _digests(scene: SceneConfig, config: EncoderConfig) -> tuple:
+    video = synthesize_scene(scene)
+    encoded = Encoder(config).encode(video)
+    stream = encoded.serialize()
+    decoded = Decoder().decode(encoded)
+    pixels = np.stack(list(decoded)).tobytes()
+    return (hashlib.sha256(stream).hexdigest(),
+            hashlib.sha256(pixels).hexdigest())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_digest(name):
+    scene, config, want_stream, want_pixels = GOLDEN[name]
+    got_stream, got_pixels = _digests(scene, config)
+    if os.environ.get("REPRO_PRINT_DIGESTS"):
+        print(f'\n    "{name}": stream "{got_stream}" pixels "{got_pixels}"')
+    assert got_stream == want_stream, (
+        f"{name}: bitstream changed (got {got_stream})"
+    )
+    assert got_pixels == want_pixels, (
+        f"{name}: decoded pixels changed (got {got_pixels})"
+    )

@@ -1,7 +1,6 @@
 """Tests for intra prediction."""
 
 import numpy as np
-import pytest
 
 from repro.codec.intra import (
     choose_intra_mode,

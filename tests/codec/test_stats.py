@@ -1,6 +1,5 @@
 """Tests for the bitstream inspector."""
 
-import numpy as np
 import pytest
 
 from repro.codec import Encoder, EncoderConfig, FrameType, MacroblockMode

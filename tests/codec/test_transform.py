@@ -8,11 +8,9 @@ from repro.codec.transform import (
     ZIGZAG_4x4,
     blockify,
     deblockify,
-    dequantize,
     forward_transform,
     inverse_transform,
     quant_step,
-    quantize,
     reconstruct_residual,
     transform_and_quantize,
     zigzag_flatten,

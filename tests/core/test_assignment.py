@@ -11,7 +11,7 @@ from repro.core import (
     assign_schemes_conservative,
 )
 from repro.errors import AnalysisError
-from repro.storage import NONE_SCHEME, PRECISE_SCHEME, scheme_by_name
+from repro.storage import NONE_SCHEME, PRECISE_SCHEME
 
 
 class TestPaperTable1:

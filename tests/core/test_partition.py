@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.codec import Decoder, Encoder, EncoderConfig
+from repro.codec import Decoder
 from repro.core import (
     PAPER_TABLE1,
     UNIFORM_ASSIGNMENT,
-    compute_importance,
     merge_streams,
     partition_video,
 )

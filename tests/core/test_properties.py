@@ -9,7 +9,6 @@ from repro.core import (
     ClassAssignment,
     compute_importance,
     importance_is_scan_monotone,
-    macroblock_bits,
     merge_streams,
     partition_video,
 )

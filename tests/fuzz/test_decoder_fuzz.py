@@ -10,7 +10,6 @@ from __future__ import annotations
 import json
 import time
 
-import numpy as np
 import pytest
 
 from repro.codec import Decoder, EncodedVideo

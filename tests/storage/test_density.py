@@ -5,7 +5,6 @@ import pytest
 from repro.errors import StorageError
 from repro.storage import (
     NONE_SCHEME,
-    PRECISE_SCHEME,
     density_report,
     ideal_density,
     scheme_by_name,

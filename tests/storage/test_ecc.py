@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage import (
-    ECCScheme,
     NONE_SCHEME,
     PRECISE_SCHEME,
     SCHEME_MENU,

@@ -1,6 +1,5 @@
 """Tests for raw video file I/O."""
 
-import numpy as np
 import pytest
 
 from repro.errors import VideoFormatError

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Codec-throughput perf gate: current bench run vs committed baseline.
+
+Compares ``BENCH_codec_throughput.json`` (written by
+``benchmarks/bench_codec_throughput.py``) against the committed
+snapshot ``benchmarks/baselines/codec_throughput.json`` and fails when
+any throughput metric regressed by more than the tolerance band
+(default 25%).
+
+Raw fps is meaningless across machines, so every metric is first
+divided by its run's *yardstick* — a fixed numpy workload timed by the
+same bench on the same host. The gate therefore checks::
+
+    (current_fps / current_yardstick)
+    ----------------------------------  >=  1 - tolerance
+    (baseline_fps / baseline_yardstick)
+
+for every (clip, metric) pair present in both files, and prints the
+whole delta table either way. Metrics present in only one file are
+reported but never fail the gate (clips may be added or renamed).
+
+Usage::
+
+    python tools/check_perf.py [--current BENCH_codec_throughput.json]
+                               [--baseline benchmarks/baselines/codec_throughput.json]
+                               [--tolerance 0.25]
+
+To refresh the baseline after an intentional perf change, rerun the
+bench at quick scale and copy its output over the baseline file.
+
+Exits 0 when every shared metric is inside the band, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Per-clip throughput metrics the gate watches (higher is better).
+METRICS = ("encode_fps", "decode_fps")
+
+
+def load_clips(path: Path) -> tuple[float, dict]:
+    """(yardstick ops/s, {clip label -> clip record}) from a bench file."""
+    payload = json.loads(path.read_text())
+    yardstick = float(payload["yardstick_ops_per_second"])
+    if yardstick <= 0:
+        raise ValueError(f"{path}: non-positive yardstick {yardstick}")
+    return yardstick, {clip["label"]: clip for clip in payload["clips"]}
+
+
+def compare(current_path: Path, baseline_path: Path, tolerance: float) -> int:
+    """Print the delta table; return the number of failing metrics."""
+    current_yard, current = load_clips(current_path)
+    baseline_yard, baseline = load_clips(baseline_path)
+
+    host_ratio = current_yard / baseline_yard
+    floor_pct = 100 * (1 - tolerance)
+    print(f"perf gate: {current_path} vs {baseline_path}")
+    print(f"yardstick: current {current_yard:.1f} ops/s, baseline", end=" ")
+    print(f"{baseline_yard:.1f} ops/s (host speed ratio {host_ratio:.3f})")
+    print(f"tolerance: fail below {floor_pct:.0f}% of baseline (normalized)")
+    print()
+
+    header = ("clip", "metric", "baseline", "current", "normalized", "status")
+    rows = []
+    failures = 0
+    for label in sorted(set(current) | set(baseline)):
+        if label not in current or label not in baseline:
+            if label not in current:
+                where = "baseline"
+            else:
+                where = "current run"
+            rows.append((label, "-", "-", "-", "-", f"only in {where} (ignored)"))
+            continue
+        for metric in METRICS:
+            base = float(baseline[label][metric])
+            cur = float(current[label][metric])
+            ratio = (cur / current_yard) / (base / baseline_yard)
+            if ratio < 1 - tolerance:
+                status = "FAIL"
+                failures += 1
+            else:
+                status = "ok"
+            delta = f"{100 * (ratio - 1):+.1f}%"
+            rows.append((label, metric, f"{base:.1f}", f"{cur:.1f}", delta, status))
+
+    widths = []
+    for i in range(len(header)):
+        widths.append(max(len(str(row[i])) for row in rows + [header]))
+    rule = tuple("-" * w for w in widths)
+    for row in [header, rule] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+    print()
+    if failures:
+        print(f"perf gate FAILED: {failures} metric(s) regressed more than", end=" ")
+        print(f"{100 * tolerance:.0f}% vs the committed baseline.")
+        print("If the regression is intentional, refresh the baseline file", end=" ")
+        print(f"({baseline_path}) from a fresh quick-scale bench run.")
+    else:
+        print("perf gate passed: all metrics within the tolerance band.")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_codec_throughput.json"),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baselines/codec_throughput.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance < 1:
+        parser.error(f"tolerance must be in (0, 1), got {args.tolerance}")
+    return 1 if compare(args.current, args.baseline, args.tolerance) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
