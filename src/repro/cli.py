@@ -13,6 +13,9 @@ shell, the way a downstream user would script it:
   (parallel with ``--workers``/``REPRO_NUM_WORKERS``, per-trial
   watchdogs with ``--timeout``, resumable with ``--journal``, live
   status with ``--progress``, stage timing with ``--trace``);
+* ``retention`` — quality vs retention time under the lifetime
+  mitigations (scrubbing, re-read retries, decoder concealment), per
+  ECC scheme, on the trial engine;
 * ``fuzz``     — decoder no-crash fuzz harness (random bit/byte/
   truncation corruptions under a deadline, crash corpus on failure,
   corpus replay with ``--replay``);
@@ -245,6 +248,112 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scrub_list(raw: str):
+    values = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if token in ("none", "off", "never"):
+            values.append(None)
+        else:
+            values.append(float(token))
+    return values
+
+
+def _retention_configs(args: argparse.Namespace):
+    """The mitigation grid: the default ladder, or the cross product of
+    any explicitly given ``--scrub``/``--retries``/``--conceal``."""
+    from .analysis.retention import DEFAULT_CONFIGS, MitigationConfig
+
+    if args.scrub is None and args.retries is None and args.conceal is None:
+        return DEFAULT_CONFIGS
+    scrubs = _parse_scrub_list(args.scrub) if args.scrub else [None]
+    retries = ([int(r) for r in args.retries.split(",")]
+               if args.retries else [0])
+    conceals = {"off": [False], "on": [True],
+                "both": [False, True]}[args.conceal or "off"]
+    configs = []
+    for scrub in scrubs:
+        for retry in retries:
+            for conceal in conceals:
+                label = "+".join(
+                    (["scrub-%gd" % scrub] if scrub is not None else [])
+                    + ([f"retry-{retry}"] if retry else [])
+                    + (["conceal"] if conceal else [])) or "unmitigated"
+                configs.append(MitigationConfig(
+                    label=label, scrub_days=scrub, retries=retry,
+                    conceal=conceal))
+    return tuple(configs)
+
+
+def _cmd_retention(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_run_stats
+    from .analysis.retention import run_retention_sweep
+    from .obs import trace as obs_trace
+
+    trace_path = _resolve_trace_path(args)
+    tracer = obs_trace.enable() if trace_path else obs_trace.active()
+    video = read_raw_video(args.input)
+    grid = tuple(float(t) for t in args.t_days.split(","))
+    configs = _retention_configs(args)
+    with obs_trace.span("repro.retention", input=args.input):
+        result = run_retention_sweep(
+            video, t_days=grid, configs=configs, scheme=args.scheme,
+            config=_encoder_config(args), runs=args.runs,
+            rng=np.random.default_rng(args.seed), workers=args.workers,
+            timeout=args.timeout, journal=args.journal,
+            progress=bool(args.progress))
+    if tracer is not None and trace_path:
+        _export_trace(tracer, trace_path, None)
+    longest = max(grid)
+    rows = []
+    for config in result.configs:
+        for point in result.series(config.label):
+            rows.append((config.label, f"{point.t_days:g}",
+                         f"{point.psnr_db:.2f}",
+                         f"{point.worst_psnr_db:.2f}",
+                         f"{point.runs}"
+                         + (f" ({point.failed} failed)"
+                            if point.failed else "")))
+    axis = args.scheme or "Table 1"
+    print(format_table(
+        ("mitigation", "t (days)", "mean PSNR dB", "worst PSNR dB", "runs"),
+        rows,
+        title=f"retention sweep of {args.input} ({axis}, "
+              f"clean {result.clean_psnr_db:.2f} dB)"))
+    counter_rows = [(label, name, str(value))
+                    for label, deltas in result.counters.items()
+                    for name, value in sorted(deltas.items())]
+    if counter_rows:
+        print(format_table(("mitigation", "counter", "delta"), counter_rows,
+                           title="per-mitigation lifetime counters"))
+    for stats in result.stats.values():
+        print(format_run_stats(stats))
+        break  # one line is representative; configs share the grid
+    if args.assert_scrub_benefit:
+        scrubbed = [c.label for c in result.configs
+                    if c.scrub_days is not None]
+        unscrubbed = [c.label for c in result.configs
+                      if c.scrub_days is None and not c.retries
+                      and not c.conceal]
+        if not scrubbed or not unscrubbed:
+            print("--assert-scrub-benefit needs both a scrubbed and an "
+                  "unmitigated config in the grid")
+            return 2
+        best_scrubbed = max(result.quality_at(label, longest)
+                            for label in scrubbed)
+        baseline = max(result.quality_at(label, longest)
+                       for label in unscrubbed)
+        if not best_scrubbed >= baseline:
+            print(f"SCRUB BENEFIT VIOLATED at t={longest:g} days: "
+                  f"scrubbed {best_scrubbed:.2f} dB < "
+                  f"unscrubbed {baseline:.2f} dB")
+            return 1
+        print(f"scrub benefit holds at t={longest:g} days: "
+              f"{best_scrubbed:.2f} dB (scrubbed) >= "
+              f"{baseline:.2f} dB (unscrubbed)")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import fuzz_decoder, replay_corpus
     from .obs import trace as obs_trace
@@ -383,6 +492,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "REPRO_PROGRESS); observational only")
     _add_encoder_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    retention = commands.add_parser(
+        "retention",
+        help="quality vs retention time under lifetime mitigations")
+    retention.add_argument("input")
+    retention.add_argument("--t-days", default="90,365,1000,3650",
+                           help="comma-separated retention times (days)")
+    retention.add_argument("--scrub", default=None,
+                           help="comma-separated scrub intervals in days "
+                                "('none' = never); with --retries/"
+                                "--conceal forms the mitigation grid "
+                                "(default: the built-in ladder)")
+    retention.add_argument("--retries", default=None,
+                           help="comma-separated re-read retry depths for "
+                                "detected-uncorrectable blocks")
+    retention.add_argument("--conceal", choices=["off", "on", "both"],
+                           default=None,
+                           help="decoder error concealment axis")
+    retention.add_argument("--scheme", default=None,
+                           help="store everything under one ECC scheme "
+                                "(e.g. BCH-6) instead of Table 1")
+    retention.add_argument("--runs", type=int, default=3,
+                           help="Monte Carlo trials per (config, t) cell")
+    retention.add_argument("--seed", type=int, default=0)
+    retention.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default "
+                                "REPRO_NUM_WORKERS; 0 = serial)")
+    retention.add_argument("--timeout", type=float, default=None,
+                           help="per-trial wall-clock budget in seconds")
+    retention.add_argument("--journal", default=None,
+                           help="checkpoint path prefix (one journal per "
+                                "mitigation config)")
+    retention.add_argument("--trace", default=None,
+                           help="write a Chrome-trace JSON here")
+    retention.add_argument("--progress", action="store_true", default=None,
+                           help="live terminal status line")
+    retention.add_argument("--assert-scrub-benefit", action="store_true",
+                           help="exit non-zero unless scrubbed quality >= "
+                                "unscrubbed at the longest retention "
+                                "(CI smoke check)")
+    _add_encoder_args(retention)
+    retention.set_defaults(func=_cmd_retention)
 
     fuzz = commands.add_parser(
         "fuzz", help="decoder no-crash fuzz harness")

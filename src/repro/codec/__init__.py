@@ -15,7 +15,7 @@ from .config import (
     EncoderConfig,
     EntropyCoder,
 )
-from .decoder import Decoder
+from .decoder import DamageMap, DamageRanges, Decoder
 from .encoded import EncodedFrame, EncodedVideo, FrameHeader, VideoHeader
 from .encoder import Encoder, slice_bands
 from .gop import FramePlan, coded_to_display_order, plan_gop
@@ -37,6 +37,8 @@ __all__ = [
     "CRF_HIGH_QUALITY",
     "CRF_STANDARD_QUALITY",
     "CRF_VERY_HIGH_QUALITY",
+    "DamageMap",
+    "DamageRanges",
     "Decoder",
     "DependencyRecord",
     "EncodedFrame",

@@ -124,6 +124,13 @@ class CabacDecoder(EntropyDecoder):
         for _ in range(5):
             self._code = ((self._code << 8) | self._next_byte()) & _MASK32
 
+    @property
+    def bits_consumed(self) -> int:
+        # The range register reads ahead (5 bytes at init, then byte by
+        # byte), so this over-reports actual consumption by up to a few
+        # bytes — a conservative bound for concealment salvage.
+        return 8 * self._pos
+
     def _next_byte(self) -> int:
         if self._pos >= len(self._data):
             self._pos += 1

@@ -55,6 +55,11 @@ class CavlcDecoder(EntropyDecoder):
     def __init__(self, data: bytes, num_contexts: int = 0) -> None:
         self._reader = BitReader(data)
 
+    @property
+    def bits_consumed(self) -> int:
+        # Codes map to whole bits, so the position is exact.
+        return self._reader.bit_position
+
     def _decode_context_bin(self, ctx: int) -> int:
         return self._reader.read_bit()
 

@@ -11,15 +11,38 @@ streams best-effort, the way the paper's methodology requires:
 * damage propagates exactly like in a real decoder: through entropy
   desynchronization and context corruption within the slice, and through
   motion-compensated references across frames.
+
+When the storage layer *knows* a byte range is unreadable (a detected-
+uncorrectable ECC block that survived the retry ladder), the decoder
+can do better than decoding the garbage — but only where garbage is
+actually expensive. With ``conceal_uncorrectable=True`` it accepts a
+damage map and **salvages then conceals** every *I* slice the damage
+touches: macroblocks decoded entirely from bits before the first
+damaged bit are kept (they are provably bit-identical to the clean
+decode), and the rest of the band is concealed — copied from the
+nearest previously decoded frame (temporal concealment); only the very
+first frame, with no temporal source at all, interpolates vertically
+between the reconstructed border rows (128 mid-gray when no neighbor
+exists). Damaged *P/B* slices are left to the ordinary best-effort
+decode: the hardened entropy layer misinterprets locally instead of
+failing, and paired measurements show that decode beating or tying
+co-located temporal copy (which pays the full motion error), while
+concealing I bands — whose garbage intra decode anchors a whole GOP —
+wins clearly. Slices are self-contained (contexts reset, intra
+prediction clamped to the slice), so concealing one never
+desynchronizes its neighbors. The flag defaults to off and the damage
+map to ``None``, in which case decoding is bit-identical to the
+paper-faithful path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import BitstreamError
+from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..video.frame import MACROBLOCK_SIZE, VideoSequence
 from .cabac import CabacDecoder
@@ -41,18 +64,42 @@ from .types import (
 )
 
 
+#: Half-open bit ranges within one frame payload marked unreadable.
+DamageRanges = Sequence[Tuple[int, int]]
+
+#: Frame position in the container -> that frame's damage ranges.
+DamageMap = Dict[int, DamageRanges]
+
+
 class Decoder:
-    """H.264-like decoder; robust against corrupted payloads."""
+    """H.264-like decoder; robust against corrupted payloads.
 
-    def __init__(self) -> None:
+    ``conceal_uncorrectable`` arms the error-concealment path: I slices
+    touched by ``damage`` entries (see :meth:`decode`) salvage their
+    clean prefix and conceal the rest of their band instead of decoding
+    known garbage; damaged P/B slices still decode best-effort (see the
+    module docstring for the measured rationale). Off by default — the
+    default construction decodes bit-identically to the original
+    decoder.
+    """
+
+    def __init__(self, conceal_uncorrectable: bool = False) -> None:
         self._model = DEFAULT_CONTEXT_MODEL
+        self.conceal_uncorrectable = conceal_uncorrectable
 
-    def decode(self, encoded: EncodedVideo) -> VideoSequence:
+    def decode(self, encoded: EncodedVideo,
+               damage: Optional[DamageMap] = None) -> VideoSequence:
         """Decode to a display-order raw sequence.
 
         Raises :class:`BitstreamError` for structurally invalid streams
         (the precise headers are inconsistent); payload damage alone
         never raises — it decodes best-effort.
+
+        ``damage`` maps a frame's position in ``encoded.frames`` to
+        half-open ``(bit_start, bit_end)`` ranges of its payload known
+        to be unreadable (:func:`repro.core.partition.map_stream_damage`
+        produces exactly this). It is ignored unless the decoder was
+        constructed with ``conceal_uncorrectable=True``.
         """
         header = encoded.header
         if len(encoded.frames) != header.num_frames:
@@ -61,12 +108,16 @@ class Decoder:
                 f"container has {len(encoded.frames)}"
             )
         self._validate_structure(encoded)
+        if not self.conceal_uncorrectable:
+            damage = None
         with obs_trace.span("decode", frames=header.num_frames):
             pad = header.search_range
             reconstructed: Dict[int, np.ndarray] = {}
             padded: Dict[int, np.ndarray] = {}
-            for frame in encoded.frames:
-                recon = self._decode_frame(frame, encoded, padded)
+            for position, frame in enumerate(encoded.frames):
+                frame_damage = damage.get(position) if damage else None
+                recon = self._decode_frame(frame, encoded, padded,
+                                           frame_damage)
                 if header.deblocking:
                     recon = deblock_frame(recon, frame.header.base_qp)
                 reconstructed[frame.header.display_index] = recon
@@ -129,17 +180,35 @@ class Decoder:
         return references
 
     def _decode_frame(self, frame: EncodedFrame, encoded: EncodedVideo,
-                      padded: Dict[int, np.ndarray]) -> np.ndarray:
+                      padded: Dict[int, np.ndarray],
+                      damage: Optional[DamageRanges] = None) -> np.ndarray:
         fh = frame.header
         with obs_trace.span("decode.frame", coded_index=fh.coded_index,
                             frame_type=fh.frame_type.name):
             stages = obs_trace.stage_clock()
-            recon = self._decode_frame_body(frame, encoded, padded, stages)
+            recon = self._decode_frame_body(frame, encoded, padded, stages,
+                                            damage)
             stages.emit()
             return recon
 
+    @staticmethod
+    def _first_damaged_bit(damage: Optional[DamageRanges], offset: int,
+                           length: int) -> Optional[int]:
+        """Slice-local position of the earliest damaged bit, or None.
+
+        Payload bytes ``[offset, offset + length)`` hold the slice; the
+        returned position is relative to the slice's first bit, so the
+        salvage loop can compare it against the entropy decoder's
+        consumed-bit count directly.
+        """
+        bit_lo, bit_hi = 8 * offset, 8 * (offset + length)
+        hits = [max(start, bit_lo) - bit_lo for start, end in damage or ()
+                if start < bit_hi and end > bit_lo]
+        return min(hits) if hits else None
+
     def _decode_frame_body(self, frame: EncodedFrame, encoded: EncodedVideo,
-                           padded: Dict[int, np.ndarray], stages
+                           padded: Dict[int, np.ndarray], stages,
+                           damage: Optional[DamageRanges] = None
                            ) -> np.ndarray:
         header = encoded.header
         fh = frame.header
@@ -163,12 +232,29 @@ class Decoder:
         # inherently sequential (adaptive contexts and neighbor state),
         # but it needs no pixels.
         mbs: List[Tuple[MacroblockDecision, int, int, int]] = []
+        concealed_bands: List[Tuple[int, int, int, int]] = []
         offset = 0
         with stages.time("decode.entropy"):
             for (start_row, end_row), length in zip(bands,
                                                     fh.slice_byte_lengths):
                 payload = frame.payload[offset:offset + length]
+                first_bad = self._first_damaged_bit(damage, offset, length)
                 offset += length
+                if first_bad is not None and fh.frame_type == FrameType.I:
+                    # Storage reported this I slice partially unreadable:
+                    # salvage the macroblocks decoded entirely from bits
+                    # before the damage, then conceal from the first
+                    # suspect macroblock to the end of the band instead
+                    # of entropy-decoding known garbage. Unfinalized
+                    # macroblocks are already treated as unavailable by
+                    # neighboring slices. Damaged P/B slices fall through
+                    # to the ordinary best-effort decode below.
+                    stop = self._salvage_slice(
+                        payload, header, state, fh, start_row, end_row,
+                        mb_cols, first_bad, mbs)
+                    if stop is not None:
+                        concealed_bands.append((start_row, end_row) + stop)
+                    continue
                 entropy = self._new_entropy_decoder(payload,
                                                     header.entropy_coder)
                 state.start_slice(fh.base_qp)
@@ -198,7 +284,120 @@ class Decoder:
                 recon[top:top + MACROBLOCK_SIZE,
                       left:left + MACROBLOCK_SIZE] = reconstruct_macroblock(
                           decision, prediction, residuals.get(index))
+            if concealed_bands:
+                earlier = [d for d in padded if d < fh.display_index]
+                source = padded[max(earlier)] if earlier else None
+                self._conceal_bands(recon, concealed_bands, mb_cols, source)
         return recon
+
+    def _salvage_slice(self, payload: bytes, header, state: FrameMbState,
+                       fh, start_row: int, end_row: int, mb_cols: int,
+                       first_bad: int,
+                       mbs: List[Tuple[MacroblockDecision, int, int, int]],
+                       ) -> Optional[Tuple[int, int]]:
+        """Decode a damaged slice's clean prefix; report where it ends.
+
+        Macroblocks are kept only while the entropy decoder's consumed-
+        bit count stays at or before ``first_bad`` — those provably never
+        saw a damaged bit, so they decode bit-identically to the clean
+        stream. The first macroblock whose decode crosses the damage is
+        discarded (``decode_macroblock`` never mutates ``state``; only
+        ``finalize_macroblock`` does), and its raster position is
+        returned as the concealment start. Returns ``None`` when every
+        macroblock decoded clean — the damage sits entirely in the
+        slice's padding bits and nothing needs concealing.
+        """
+        if first_bad <= 0:
+            return start_row, 0
+        entropy = self._new_entropy_decoder(payload, header.entropy_coder)
+        state.start_slice(fh.base_qp)
+        for mb_row in range(start_row, end_row):
+            for mb_col in range(mb_cols):
+                try:
+                    decision = decode_macroblock(
+                        entropy, self._model, state, fh.frame_type,
+                        mb_row, mb_col, start_row)
+                except BitstreamError:
+                    return mb_row, mb_col
+                if entropy.bits_consumed > first_bad:
+                    return mb_row, mb_col
+                finalize_macroblock(state, decision, mb_row, mb_col)
+                mbs.append((decision, mb_row, mb_col, start_row))
+        return None
+
+    @staticmethod
+    def _conceal_bands(recon: np.ndarray,
+                       bands: List[Tuple[int, int, int, int]],
+                       mb_cols: int,
+                       source: Optional[np.ndarray] = None) -> None:
+        """Fill the unreadable suffix of each damaged slice band.
+
+        Each entry is ``(band_start_row, band_end_row, stop_row,
+        stop_col)``: macroblocks from raster position ``(stop_row,
+        stop_col)`` through the band's end were not salvaged and get
+        concealed; macroblocks before it decoded clean and are kept.
+
+        Concealed regions copy the co-located pixels from ``source`` —
+        the nearest previously decoded display frame, padded like a
+        reference (temporal concealment: a mid-stream I frame is
+        content-continuous with its predecessor, so the co-located
+        patch is the best zero-information guess). Only with no
+        temporal source at all (the very first frame) do regions
+        interpolate vertically between the reconstructed rows bordering
+        the band (spatial neighbor concealment), degrading to DC
+        extension of whichever border row exists and to mid-gray 128
+        when neither does. Bands are filled top-down, so an
+        already-filled band above counts as a neighbor; a still-
+        unfilled concealed band below does not.
+        """
+        forward = source
+        ordered = sorted(bands)
+        concealed_rows = {row for _, end, stop, _ in ordered
+                          for row in range(stop, end)}
+        width = recon.shape[1]
+        concealed_mbs = 0
+        for _, end_row, stop_row, stop_col in ordered:
+            bottom = end_row * MACROBLOCK_SIZE
+            concealed_mbs += (end_row - stop_row) * mb_cols - stop_col
+            # The concealed region: a partial first macroblock row from
+            # stop_col onward, then full rows to the band's end.
+            rects = []
+            top = stop_row * MACROBLOCK_SIZE
+            if stop_col:
+                rects.append((top, top + MACROBLOCK_SIZE,
+                              stop_col * MACROBLOCK_SIZE))
+                top += MACROBLOCK_SIZE
+            if top < bottom:
+                rects.append((top, bottom, 0))
+            if forward is not None:
+                pad = (forward.shape[0] - recon.shape[0]) // 2
+                for r_top, r_bottom, left in rects:
+                    recon[r_top:r_bottom, left:] = forward[
+                        pad + r_top:pad + r_bottom, pad + left:pad + width]
+                continue
+            top = stop_row * MACROBLOCK_SIZE
+            above = recon[top - 1].astype(np.float64) if top > 0 else None
+            below = None
+            if bottom < recon.shape[0] and end_row not in concealed_rows:
+                below = recon[bottom].astype(np.float64)
+            height = bottom - top
+            if above is not None and below is not None:
+                weights = ((np.arange(height) + 1.0)
+                           / (height + 1.0))[:, None]
+                fill = (1.0 - weights) * above[None, :] \
+                    + weights * below[None, :]
+            elif above is not None:
+                fill = np.broadcast_to(above[None, :], (height, width))
+            elif below is not None:
+                fill = np.broadcast_to(below[None, :], (height, width))
+            else:
+                fill = np.full((height, width), 128.0)
+            fill = np.clip(np.rint(fill), 0, 255).astype(np.uint8)
+            for r_top, r_bottom, left in rects:
+                recon[r_top:r_bottom, left:] = fill[
+                    r_top - top:r_bottom - top, left:]
+        obs_metrics.counter("decode_concealed_slices_total").inc(len(bands))
+        obs_metrics.counter("decode_concealed_mbs_total").inc(concealed_mbs)
 
     @staticmethod
     def _frame_residuals(

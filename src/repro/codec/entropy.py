@@ -154,6 +154,19 @@ class EntropyEncoder(abc.ABC):
 class EntropyDecoder(abc.ABC):
     """Deserializer mirroring :class:`EntropyEncoder`."""
 
+    @property
+    @abc.abstractmethod
+    def bits_consumed(self) -> int:
+        """Upper bound on payload bits consumed so far.
+
+        Used by the decoder's error-concealment salvage: macroblocks
+        whose decode finished with ``bits_consumed`` at or before the
+        first damaged bit provably never saw damaged input. Backends may
+        over-report (the CABAC register reads ahead a few bytes), which
+        only makes salvage conservative — never unsound.
+        """
+        ...
+
     @abc.abstractmethod
     def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
         ...

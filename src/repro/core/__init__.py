@@ -37,7 +37,12 @@ from .importance import (
     importance_is_scan_monotone,
     macroblock_bits,
 )
-from .partition import ProtectedVideo, merge_streams, partition_video
+from .partition import (
+    ProtectedVideo,
+    map_stream_damage,
+    merge_streams,
+    partition_video,
+)
 from .pipeline import ApproximateVideoStore, StoredVideo
 from .pivots import FramePivots, Segment, build_frame_pivots, total_pivot_bits
 
@@ -70,6 +75,7 @@ __all__ = [
     "importance_class",
     "importance_is_scan_monotone",
     "macroblock_bits",
+    "map_stream_damage",
     "merge_streams",
     "partition_video",
     "storage_fraction_by_class",

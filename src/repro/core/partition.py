@@ -13,7 +13,7 @@ are unpacked to bit arrays for slicing and packed back afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -133,3 +133,53 @@ def merge_streams(protected: ProtectedVideo,
             cursors[segment.scheme_name] = cursor + segment.bits
         payloads.append(_pack(bits)[:len(frame.payload)])
     return payloads
+
+
+def map_stream_damage(protected: ProtectedVideo,
+                      damage: Dict[str, Sequence[Tuple[int, int]]]
+                      ) -> Dict[int, List[Tuple[int, int]]]:
+    """Project per-stream damage intervals onto frame payloads.
+
+    ``damage`` maps scheme name to half-open ``(bit_start, bit_end)``
+    intervals in *stream* bit coordinates — exactly what the device's
+    :class:`~repro.storage.device.UncorrectableBlock` reports describe.
+    The return value maps frame index to sorted, coalesced half-open bit
+    ranges in that frame's *payload* coordinates: the slices of the
+    bitstream the decoder must treat as unreadable.
+
+    The walk mirrors :func:`merge_streams`'s cursor sweep, so the
+    mapping is consistent with how payloads are actually reassembled.
+    """
+    per_stream: Dict[str, List[Tuple[int, int]]] = {}
+    for name, intervals in damage.items():
+        if name not in protected.streams:
+            raise AnalysisError(
+                f"damage names unknown stream {name!r}")
+        cleaned = sorted((int(a), int(b)) for a, b in intervals if b > a)
+        if cleaned:
+            per_stream[name] = cleaned
+    hit: Dict[int, List[Tuple[int, int]]] = {}
+    cursors: Dict[str, int] = {name: 0 for name in protected.streams}
+    for frame_index, table in enumerate(protected.pivots):
+        for segment in table.segments:
+            cursor = cursors[segment.scheme_name]
+            cursors[segment.scheme_name] = cursor + segment.bits
+            for start, end in per_stream.get(segment.scheme_name, ()):
+                lo = max(start, cursor)
+                hi = min(end, cursor + segment.bits)
+                if lo < hi:
+                    hit.setdefault(frame_index, []).append(
+                        (segment.start_bit + lo - cursor,
+                         segment.start_bit + hi - cursor))
+    merged: Dict[int, List[Tuple[int, int]]] = {}
+    for frame_index, ranges in hit.items():
+        ranges.sort()
+        coalesced: List[Tuple[int, int]] = [ranges[0]]
+        for start, end in ranges[1:]:
+            last_start, last_end = coalesced[-1]
+            if start <= last_end:
+                coalesced[-1] = (last_start, max(last_end, end))
+            else:
+                coalesced.append((start, end))
+        merged[frame_index] = coalesced
+    return merged

@@ -29,7 +29,7 @@ from ..codec.decoder import Decoder
 from ..codec.encoder import Encoder
 from ..crypto.streams import StreamEncryptor
 from ..storage.density import DensityReport
-from ..storage.device import ApproximateDevice, StorageReport
+from ..storage.device import ApproximateDevice, ScrubPolicy, StorageReport
 from ..storage.ecc import scheme_by_name
 from ..storage.mlc import MLCCellModel
 from ..video.frame import VideoSequence
@@ -39,7 +39,12 @@ from .importance import (
     compute_importance,
     compute_importance_streaming,
 )
-from .partition import ProtectedVideo, merge_streams, partition_video
+from .partition import (
+    ProtectedVideo,
+    map_stream_damage,
+    merge_streams,
+    partition_video,
+)
 
 
 @dataclass
@@ -85,6 +90,7 @@ class ApproximateVideoStore:
         self.streaming_analysis = streaming_analysis
         self._encoder = Encoder(self.config)
         self._decoder = Decoder()
+        self._concealing_decoder: Optional[Decoder] = None
 
     # -- write path -------------------------------------------------------
 
@@ -119,14 +125,29 @@ class ApproximateVideoStore:
 
     def read(self, stored: StoredVideo,
              rng: Optional[np.random.Generator] = None,
-             inject_errors: bool = True) -> VideoSequence:
-        """Simulate the storage round trip and decode."""
+             inject_errors: bool = True,
+             t_days: Optional[float] = None,
+             scrub: Optional[ScrubPolicy] = None,
+             read_retries: Optional[int] = None,
+             conceal: bool = False) -> VideoSequence:
+        """Simulate the storage round trip and decode.
+
+        The lifetime knobs all default to the paper-faithful read:
+        ``t_days`` reads the cells at a given retention time, ``scrub``
+        applies a periodic-rewrite policy, ``read_retries`` arms the
+        re-read ladder for detected-uncorrectable blocks, and
+        ``conceal`` routes the surviving uncorrectable ranges into the
+        decoder's error-concealment path instead of letting it entropy-
+        decode known-garbage slices.
+        """
         streams = stored.device_streams
         reports: Dict[str, StorageReport] = {}
         if inject_errors:
             device = ApproximateDevice(cell_model=self.cell_model,
                                        rng=rng or np.random.default_rng(),
-                                       exact=self.exact_ecc)
+                                       exact=self.exact_ecc,
+                                       scrub=scrub,
+                                       read_retries=read_retries)
             read_back: Dict[str, bytes] = {}
             # Iterate in sorted-name order so a seeded rng produces the
             # same flip pattern regardless of dict insertion order
@@ -134,7 +155,7 @@ class ApproximateVideoStore:
             for name in sorted(streams):
                 scheme = scheme_by_name(name)
                 read_back[name], reports[name] = device.store_and_read(
-                    streams[name], scheme)
+                    streams[name], scheme, t_days=t_days)
             streams = read_back
         if stored.encrypted:
             if self.encryptor is None:
@@ -148,7 +169,24 @@ class ApproximateVideoStore:
         payloads = merge_streams(stored.protected, streams)
         corrupted = stored.protected.encoded.with_payloads(payloads)
         self._last_storage_reports = reports
-        return self._decoder.decode(corrupted)
+        if not conceal:
+            return self._decoder.decode(corrupted)
+        # Escalated uncorrectable blocks arrive in stream data-bit
+        # coordinates; the stream ciphers (CTR/OFB) are positional, so
+        # the same coordinates hold for the plaintext streams. Clamp to
+        # the real (pre-padding) stream length before projection.
+        damage = {
+            name: [(min(block.bit_start, stored.protected.stream_bits[name]),
+                    min(block.bit_end, stored.protected.stream_bits[name]))
+                   for block in report.uncorrectable]
+            for name, report in reports.items()
+            if report.uncorrectable and name in stored.protected.stream_bits
+        }
+        frame_damage = map_stream_damage(stored.protected, damage) \
+            if damage else {}
+        if self._concealing_decoder is None:
+            self._concealing_decoder = Decoder(conceal_uncorrectable=True)
+        return self._concealing_decoder.decode(corrupted, frame_damage)
 
     # -- baselines -----------------------------------------------------------
 

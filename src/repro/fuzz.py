@@ -11,6 +11,11 @@ That gives :meth:`~repro.codec.decoder.Decoder.decode` a hard contract:
   stream, precise headers included): ``deserialize``/``decode`` may
   reject the stream, but only ever with :class:`BitstreamError` —
   internal ``KeyError``/``ValueError`` artifacts are bugs.
+* **concealment** (payload damage plus a randomized uncorrectable-range
+  damage map, decoded with ``conceal_uncorrectable=True``): decode must
+  neither raise nor drop pixels — it must return a video with exactly
+  the declared frame count and frame geometry, no matter how the damage
+  ranges land relative to slice boundaries.
 * **either way, under a deadline**: a decode that hangs is as much a
   contract violation as one that crashes.
 
@@ -38,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .codec import Decoder, EncodedVideo
+from .codec import DamageMap, Decoder, EncodedVideo
 from .errors import AnalysisError, BitstreamError, TrialTimeout
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
@@ -56,10 +61,17 @@ STRATEGY_RANDOM_PAYLOAD = "random_payload"  #: one payload fully random
 STRATEGY_TRUNCATE = "truncate"        #: stream cut short at a random point
 STRATEGY_CONTAINER = "container"      #: random bytes anywhere in the stream
 
+#: Concealment strategy: payload bit flips *plus* a randomized damage
+#: map, decoded with ``conceal_uncorrectable=True``. Same zero-exception
+#: rule as payload strategies, with an extra geometry obligation: the
+#: decode must return every declared frame at the declared resolution.
+STRATEGY_CONCEAL = "conceal"
+
 PAYLOAD_STRATEGIES = (STRATEGY_BITFLIP, STRATEGY_BYTESWAP,
                       STRATEGY_ZERO_TAIL, STRATEGY_RANDOM_PAYLOAD)
 CONTAINER_STRATEGIES = (STRATEGY_TRUNCATE, STRATEGY_CONTAINER)
-ALL_STRATEGIES = PAYLOAD_STRATEGIES + CONTAINER_STRATEGIES
+ALL_STRATEGIES = PAYLOAD_STRATEGIES + CONTAINER_STRATEGIES + \
+    (STRATEGY_CONCEAL,)
 
 #: Default per-trial wall-clock budget (seconds). 0 disables the
 #: watchdog (and it is silently absent off the main thread / off POSIX).
@@ -132,6 +144,48 @@ def _corrupt_payloads(payloads: List[bytes], strategy: str,
     return [bytes(b) for b in buffers]
 
 
+def _random_damage(payloads: List[bytes],
+                   rng: np.random.Generator) -> Dict[int, List[Tuple[int, int]]]:
+    """Randomized uncorrectable damage: a few bit ranges on a few frames.
+
+    Ranges are half-open ``(bit_start, bit_end)`` within each frame's
+    payload, the coordinate system
+    :func:`repro.core.partition.map_stream_damage` produces. They land
+    anywhere — straddling slice boundaries, overlapping each other,
+    covering a whole payload — because the concealment contract must
+    hold regardless.
+    """
+    candidates = [i for i, p in enumerate(payloads) if len(p)]
+    count = int(rng.integers(1, min(3, len(candidates)) + 1))
+    frames = rng.choice(len(candidates), size=count, replace=False)
+    damage: Dict[int, List[Tuple[int, int]]] = {}
+    for pick in frames:
+        index = candidates[int(pick)]
+        payload_bits = 8 * len(payloads[index])
+        ranges = []
+        for _ in range(int(rng.integers(1, 3))):
+            start = int(rng.integers(0, payload_bits))
+            end = int(rng.integers(start + 1, payload_bits + 1))
+            ranges.append((start, end))
+        damage[index] = ranges
+    return damage
+
+
+def _check_full_geometry(decoded, encoded: EncodedVideo) -> None:
+    """Concealment obligation: every declared frame, at full size."""
+    header = encoded.header
+    if len(decoded) != header.num_frames:
+        raise AnalysisError(
+            f"concealing decode returned {len(decoded)} frames, header "
+            f"declares {header.num_frames}")
+    expected = (header.height, header.width)
+    for position, frame in enumerate(decoded.frames):
+        if frame.shape != expected:
+            raise AnalysisError(
+                f"concealing decode frame {position} has shape "
+                f"{frame.shape}, expected {expected}")
+
+
 def _corrupt_blob(blob: bytes, strategy: str,
                   rng: np.random.Generator) -> bytes:
     """Damage the serialized container itself (headers included)."""
@@ -148,21 +202,29 @@ def _corrupt_blob(blob: bytes, strategy: str,
 
 def _persist_counterexample(corpus_dir: Path, blob: bytes, trial: int,
                             strategy: str, seed: int, exception: str,
-                            message: str) -> str:
+                            message: str,
+                            damage: Optional[DamageMap] = None) -> str:
     """Write the failing bitstream + a JSON repro recipe; return the path."""
     corpus_dir.mkdir(parents=True, exist_ok=True)
     digest = hashlib.sha256(blob).hexdigest()[:16]
     stem = f"{strategy}-{digest}"
     blob_path = corpus_dir / f"{stem}.rvap"
     blob_path.write_bytes(blob)
-    (corpus_dir / f"{stem}.json").write_text(json.dumps({
+    recipe = {
         "trial": trial,
         "strategy": strategy,
         "seed": seed,
         "exception": exception,
         "message": message,
         "sha256": hashlib.sha256(blob).hexdigest(),
-    }, indent=2, sort_keys=True) + "\n")
+    }
+    if damage is not None:
+        # JSON keys must be strings; replay converts them back to ints.
+        recipe["damage"] = {
+            str(frame): [[int(s), int(e)] for s, e in ranges]
+            for frame, ranges in sorted(damage.items())}
+    (corpus_dir / f"{stem}.json").write_text(
+        json.dumps(recipe, indent=2, sort_keys=True) + "\n")
     return str(blob_path)
 
 
@@ -199,6 +261,7 @@ def fuzz_decoder(encoded: EncodedVideo,
     if not any(len(p) for p in payloads):
         raise AnalysisError("nothing to fuzz: every payload is empty")
     decoder = decoder or Decoder()
+    concealer = Decoder(conceal_uncorrectable=True)
     clean_blob = encoded.serialize()
     children = np.random.SeedSequence(seed).spawn(trials)
     report = FuzzReport(trials=trials, elapsed_seconds=0.0,
@@ -210,11 +273,18 @@ def fuzz_decoder(encoded: EncodedVideo,
             strategy = strategies[trial % len(strategies)]
             report.by_strategy[strategy] += 1
             rng = np.random.default_rng(children[trial])
-            if strategy in PAYLOAD_STRATEGIES:
+            damage: Optional[DamageMap] = None
+            if strategy == STRATEGY_CONCEAL:
+                blob = None
+                victim = encoded.with_payloads(
+                    _corrupt_payloads(payloads, STRATEGY_BITFLIP, rng))
+                damage = _random_damage(payloads, rng)
+                allowed: Tuple[type, ...] = ()
+            elif strategy in PAYLOAD_STRATEGIES:
                 blob = None  # serialized lazily, only for the corpus
                 victim = encoded.with_payloads(
                     _corrupt_payloads(payloads, strategy, rng))
-                allowed: Tuple[type, ...] = ()
+                allowed = ()
             else:
                 blob = _corrupt_blob(clean_blob, strategy, rng)
                 victim = None
@@ -229,16 +299,20 @@ def fuzz_decoder(encoded: EncodedVideo,
                                     _declared_pixels(encoded):
                                 report.oversized += 1
                                 continue
-                        decoder.decode(victim)
+                        if strategy == STRATEGY_CONCEAL:
+                            _check_full_geometry(
+                                concealer.decode(victim, damage), victim)
+                        else:
+                            decoder.decode(victim)
             except allowed:
                 pass  # the codec's own, documented rejection path
             except TrialTimeout as exc:
                 report.hangs += 1
                 _record(report, corpus, victim, blob, trial, strategy, seed,
-                        exc)
+                        exc, damage)
             except Exception as exc:  # noqa: BLE001 - the contract is "never"
                 _record(report, corpus, victim, blob, trial, strategy, seed,
-                        exc)
+                        exc, damage)
     report.elapsed_seconds = time.monotonic() - started
     _publish_fuzz_metrics(report)
     return report
@@ -262,11 +336,13 @@ def replay_corpus(corpus_dir: Union[str, Path],
     written by :func:`fuzz_decoder`) is deserialized and decoded under
     the same rules as a live fuzz trial: payload-strategy
     counterexamples must decode without any exception, container ones
-    may only raise :class:`BitstreamError`, and either must finish
-    within ``timeout`` seconds. The strategy is read from the sidecar
-    ``.json`` recipe; a counterexample without one is treated as
-    container damage (the lenient rule), so a stale corpus never
-    produces false alarms.
+    may only raise :class:`BitstreamError`, concealment ones are decoded
+    with ``conceal_uncorrectable=True`` and the damage map persisted in
+    their recipe (and must still return full-geometry frames), and any
+    of them must finish within ``timeout`` seconds. The strategy is read
+    from the sidecar ``.json`` recipe; a counterexample without one is
+    treated as container damage (the lenient rule), so a stale corpus
+    never produces false alarms.
 
     Returns a :class:`FuzzReport`; ``report.ok`` means every historical
     crash is fixed.
@@ -278,22 +354,30 @@ def replay_corpus(corpus_dir: Union[str, Path],
     if not blob_paths:
         raise AnalysisError(f"no .rvap counterexamples in {corpus}")
     decoder = decoder or Decoder()
+    concealer = Decoder(conceal_uncorrectable=True)
     report = FuzzReport(trials=len(blob_paths), elapsed_seconds=0.0)
     started = time.monotonic()
     with obs_trace.span("fuzz.replay", counterexamples=len(blob_paths)):
         for trial, blob_path in enumerate(blob_paths):
-            strategy = _recipe_strategy(blob_path)
+            strategy, damage = _load_recipe(blob_path)
             report.by_strategy[strategy] = (
                 report.by_strategy.get(strategy, 0) + 1)
+            strict = (strategy in PAYLOAD_STRATEGIES
+                      or strategy == STRATEGY_CONCEAL)
             allowed: Tuple[type, ...] = (
-                () if strategy in PAYLOAD_STRATEGIES else (BitstreamError,))
+                () if strict else (BitstreamError,))
             blob = blob_path.read_bytes()
             try:
                 with obs_trace.span("fuzz.trial", strategy=strategy,
                                     replay=True):
                     with trial_deadline(timeout,
                                         f"replay {blob_path.name}"):
-                        decoder.decode(EncodedVideo.deserialize(blob))
+                        victim = EncodedVideo.deserialize(blob)
+                        if strategy == STRATEGY_CONCEAL:
+                            _check_full_geometry(
+                                concealer.decode(victim, damage), victim)
+                        else:
+                            decoder.decode(victim)
             except allowed:
                 pass
             except TrialTimeout as exc:
@@ -312,16 +396,21 @@ def replay_corpus(corpus_dir: Union[str, Path],
     return report
 
 
-def _recipe_strategy(blob_path: Path) -> str:
-    """Strategy recorded in a counterexample's sidecar recipe."""
+def _load_recipe(blob_path: Path) -> Tuple[str, Optional[DamageMap]]:
+    """Strategy + damage map recorded in a counterexample's recipe."""
     recipe_path = blob_path.with_suffix(".json")
     if recipe_path.exists():
         try:
-            return str(json.loads(
-                recipe_path.read_text()).get("strategy", "unknown"))
+            recipe = json.loads(recipe_path.read_text())
+            strategy = str(recipe.get("strategy", "unknown"))
+            damage = None
+            if isinstance(recipe.get("damage"), dict):
+                damage = {int(frame): [(int(s), int(e)) for s, e in ranges]
+                          for frame, ranges in recipe["damage"].items()}
+            return strategy, damage
         except ValueError:
             pass
-    return "unknown"
+    return "unknown", None
 
 
 def _declared_pixels(encoded: EncodedVideo) -> int:
@@ -332,8 +421,8 @@ def _declared_pixels(encoded: EncodedVideo) -> int:
 
 def _record(report: FuzzReport, corpus: Optional[Path],
             victim: Optional[EncodedVideo], blob: Optional[bytes],
-            trial: int, strategy: str, seed: int,
-            exc: BaseException) -> None:
+            trial: int, strategy: str, seed: int, exc: BaseException,
+            damage: Optional[DamageMap] = None) -> None:
     """Append one failure, persisting its bitstream when possible."""
     if blob is None and victim is not None:
         blob = victim.serialize()
@@ -341,7 +430,7 @@ def _record(report: FuzzReport, corpus: Optional[Path],
     if corpus is not None and blob is not None:
         corpus_path = _persist_counterexample(
             corpus, blob, trial, strategy, seed,
-            type(exc).__name__, str(exc))
+            type(exc).__name__, str(exc), damage)
     report.failures.append(FuzzFailure(
         trial=trial, strategy=strategy, exception=type(exc).__name__,
         message=str(exc), corpus_path=corpus_path))

@@ -29,6 +29,7 @@ from .trials import (
     FAILURE_CRASH,
     FAILURE_ERROR,
     FAILURE_TIMEOUT,
+    KIND_RETENTION_READ,
     KIND_SINGLE_FLIP,
     KIND_STORED_READ,
     KIND_SWEEP,
@@ -61,6 +62,7 @@ __all__ = [
     "FAILURE_ERROR",
     "FAILURE_TIMEOUT",
     "JOURNAL_VERSION",
+    "KIND_RETENTION_READ",
     "KIND_SINGLE_FLIP",
     "KIND_STORED_READ",
     "KIND_SWEEP",

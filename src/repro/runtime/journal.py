@@ -52,7 +52,9 @@ from .trials import TrialContext, TrialResult, TrialSpec
 
 #: Journal format version (bumped on incompatible record changes).
 #: Version 2 folds the trial context into the campaign digest.
-JOURNAL_VERSION = 2
+#: Version 3 folds the lifetime fields (retention time, scrub interval,
+#: retry depth, concealment flag) into the spec digest.
+JOURNAL_VERSION = 3
 
 
 def spec_digest(spec: TrialSpec) -> str:
@@ -77,6 +79,10 @@ def spec_digest(spec: TrialSpec) -> str:
         repr(spec.flip_payload),
         repr(spec.flip_bit),
         repr(spec.measure_frame),
+        "none" if spec.t_days is None else float(spec.t_days).hex(),
+        "none" if spec.scrub_days is None else float(spec.scrub_days).hex(),
+        repr(spec.retries),
+        repr(bool(spec.conceal)),
         seed_repr,
     )
     return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]

@@ -38,6 +38,7 @@ from ..video.frame import VideoSequence
 KIND_SWEEP = "sweep"              #: binomial flips over bit ranges
 KIND_SINGLE_FLIP = "single_flip"  #: one deterministic flip (Figure 3)
 KIND_STORED_READ = "stored_read"  #: full storage round trip (Figure 11)
+KIND_RETENTION_READ = "retention_read"  #: aged read with lifetime knobs
 
 #: Failure kinds a trial can be quarantined with.
 FAILURE_TIMEOUT = "timeout"  #: exceeded its wall-clock watchdog budget
@@ -106,6 +107,15 @@ class TrialSpec:
     flip_bit: Optional[int] = None
     #: For KIND_SINGLE_FLIP: display index of the frame to measure.
     measure_frame: Optional[int] = None
+    #: For KIND_RETENTION_READ: retention time of the read, in days.
+    t_days: Optional[float] = None
+    #: For KIND_RETENTION_READ: scrub interval in days (None = never).
+    scrub_days: Optional[float] = None
+    #: For KIND_RETENTION_READ: re-read retry depth for detected-
+    #: uncorrectable blocks (None = resolve from REPRO_READ_RETRIES).
+    retries: Optional[int] = None
+    #: For KIND_RETENTION_READ: conceal uncorrectable slices on decode.
+    conceal: bool = False
 
 
 @dataclass(frozen=True)
@@ -202,7 +212,8 @@ def register_trial_kind(kind: str, handler: TrialHandler) -> None:
     Built-in kinds cannot be overridden; re-registering a custom kind
     replaces its handler.
     """
-    if kind in (KIND_SWEEP, KIND_SINGLE_FLIP, KIND_STORED_READ):
+    if kind in (KIND_SWEEP, KIND_SINGLE_FLIP, KIND_STORED_READ,
+                KIND_RETENTION_READ):
         raise AnalysisError(f"cannot override built-in trial kind {kind!r}")
     _KIND_HANDLERS[kind] = handler
 
@@ -223,7 +234,10 @@ def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
     * ``KIND_SINGLE_FLIP`` — ``value_db`` is the damaged PSNR of the
       measured frame against its clean decode;
     * ``KIND_STORED_READ`` — ``value_db`` is the whole-video PSNR of a
-      storage round trip against the raw reference.
+      storage round trip against the raw reference;
+    * ``KIND_RETENTION_READ`` — like ``KIND_STORED_READ`` but the read
+      happens at ``spec.t_days`` of retention with the spec's scrubbing,
+      re-read retry, and concealment mitigations applied.
     """
     context = state.context
     if spec.kind == KIND_SWEEP:
@@ -261,6 +275,20 @@ def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
             raise AnalysisError("stored-read trial needs a store context")
         rng = np.random.default_rng(spec.seed)
         damaged = context.store.read(context.stored, rng=rng)
+        return TrialResult(spec.index,
+                           float(video_psnr(context.reference, damaged)), 0,
+                           False)
+    if spec.kind == KIND_RETENTION_READ:
+        if context.store is None or context.stored is None \
+                or context.reference is None:
+            raise AnalysisError("retention trial needs a store context")
+        from ..storage.device import ScrubPolicy
+        rng = np.random.default_rng(spec.seed)
+        scrub = (None if spec.scrub_days is None
+                 else ScrubPolicy(interval_days=spec.scrub_days))
+        damaged = context.store.read(
+            context.stored, rng=rng, t_days=spec.t_days, scrub=scrub,
+            read_retries=spec.retries, conceal=spec.conceal)
         return TrialResult(spec.index,
                            float(video_psnr(context.reference, damaged)), 0,
                            False)

@@ -41,11 +41,29 @@ def _polynomial_remainder_bits(dividend: int, dividend_bits: int,
 
 @dataclass(frozen=True)
 class DecodeResult:
-    """Outcome of one block decode."""
+    """Outcome of one block decode.
+
+    Three outcomes are distinguishable:
+
+    * ``success`` and the data is right — a clean or corrected block;
+    * ``detected_uncorrectable`` — the decoder *knows* it failed (the
+      locator was inconsistent: degree above ``t``, Chien search found
+      fewer roots than the locator degree, or the residual syndromes
+      did not vanish after correction) and returned the received data
+      bits untouched, never a partial correction;
+    * ``success`` but the data is wrong — a *silent miscorrection*
+      (2t+1 or more raw errors landed on another codeword's correction
+      sphere). Only a caller with ground truth can observe this; the
+      exact-mode device counts them.
+    """
 
     data: np.ndarray          #: corrected data bits (uint8 array)
     corrected_errors: int     #: number of bit flips undone
     success: bool             #: False when the error count exceeded t
+    #: True when the decoder itself detected the failure and returned
+    #: the received bits uncorrected (always equals ``not success`` for
+    #: this decoder: every failure path is a detected one).
+    detected_uncorrectable: bool = False
 
 
 class BCHCode:
@@ -204,15 +222,20 @@ class BCHCode:
         sigma = sigma[:degree + 1]
         positions = self._chien_search(sigma)
         if degree == 0 or degree > self.t or len(positions) != degree:
-            # More than t errors: uncorrectable; return bits unchanged.
-            return DecodeResult(bits[:self.data_bits], 0, False)
+            # More than t errors, detected: a locator of impossible
+            # degree, or a Chien search finding fewer roots than the
+            # locator degree (sigma does not split over the field).
+            # Never apply a partial correction — return bits unchanged.
+            return DecodeResult(bits[:self.data_bits], 0, False,
+                                detected_uncorrectable=True)
         for position in positions:
             bits[position] ^= 1
-        # Verify: residual syndromes must vanish, otherwise miscorrection.
+        # Verify: residual syndromes must vanish, otherwise the applied
+        # correction was wrong — undo it and report detected failure.
         if any(self._syndromes(bits)):
             return DecodeResult(
                 np.asarray(received, dtype=np.uint8)[:self.data_bits],
-                0, False)
+                0, False, detected_uncorrectable=True)
         return DecodeResult(bits[:self.data_bits], len(positions), True)
 
 

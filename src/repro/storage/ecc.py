@@ -54,6 +54,40 @@ def binomial_tail(n: int, p: float, t: int) -> float:
     return min(total, 1.0)
 
 
+def conditional_error_count(n: int, p: float, t: int, u: float) -> int:
+    """Sample ``K ~ Binomial(n, p)`` conditioned on ``K > t`` by inverse
+    CDF, driven by the uniform variate ``u`` in ``[0, 1)``.
+
+    This is the surviving-raw-error count of a failed ECC block: the
+    analytic device already knows the block failed (that is what
+    conditioning on ``K > t`` encodes), and ``u`` tells it *how badly*.
+    At low raw BER the answer is almost surely ``t + 1`` (the dominant
+    failure pattern); at high BER the conditional mass shifts upward —
+    matching what the exact mode's physical round trip produces.
+
+    Driving this from an externally supplied ``u`` (rather than drawing
+    internally) lets the device reuse the same uniform that decided the
+    failure event, keeping its RNG stream layout unchanged.
+    """
+    if not 0.0 <= u < 1.0:
+        raise StorageError(f"conditional variate {u} out of [0, 1)")
+    if not 0 <= t < n:
+        raise StorageError(f"threshold t={t} out of range for n={n}")
+    tail = binomial_tail(n, p, t)
+    if tail <= 0.0:
+        return t + 1
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    cumulative = 0.0
+    for k in range(t + 1, n + 1):
+        log_term = (math.lgamma(n + 1) - math.lgamma(k + 1)
+                    - math.lgamma(n - k + 1) + k * log_p + (n - k) * log_q)
+        cumulative += math.exp(log_term) / tail
+        if cumulative > u:
+            return k
+    return n
+
+
 @dataclass(frozen=True)
 class ECCScheme:
     """One row of the paper's error-correction menu.

@@ -4,13 +4,15 @@ Models the substrate of Guo et al. that the paper adopts (Sections 2.2
 and 6.2): PCM cells whose resistance range is divided into 8 levels
 (3 bits/cell, 3x the density of SLC), written with Gaussian programming
 noise, and subject to upward resistance drift that grows
-logarithmically with time and is stronger for higher-resistance levels.
-Drift has a deterministic component (mean drift, larger for higher
-levels) and a stochastic component (per-cell drift-coefficient
-variation), so the read-time uncertainty of a cell grows with both its
-level and the time since it was written.
+logarithmically with time. Drift is multiplicative on the stored analog
+value — ``v(t) = v(0) * (1 + (c + delta) * log10(1 + t))`` — so it has
+a deterministic component (mean drift, proportionally stronger for
+higher-resistance levels) and a stochastic component (per-cell
+drift-coefficient variation ``delta``), and it carries the programming
+noise along with the signal. The read-time uncertainty of a cell
+therefore grows with both its level and the time since it was written.
 
-Two mitigations from the paper are modelled:
+Three mitigations are modelled:
 
 * **non-uniform level placement**: written levels are positioned so
   that (a) the *mean* drift is compensated exactly — drifted means land
@@ -19,8 +21,16 @@ Two mitigations from the paper are modelled:
   equalizing per-level error rates (the paper's "biasing the level
   ranges ... to equalize write/read error rates with drift error
   rates");
+* **drift-aware read references**: reads at an arbitrary retention time
+  use :meth:`MLCCellModel.thresholds_at`, which re-centers the decision
+  thresholds on the drifted level means for that time, so
+  :meth:`MLCCellModel.raw_bit_error_rate` is monotone non-decreasing in
+  retention time (fresh cells read better, aged cells worse — never the
+  other way around);
 * **scrubbing**: cells are rewritten every ``scrub_interval_days``,
-  bounding the accumulated stochastic drift.
+  bounding the accumulated stochastic drift (the rewrite cadence itself
+  is enforced by the device layer's scrub policy; here the interval
+  anchors the level placement).
 
 With the default parameters the analytic raw bit error rate at the
 3-month scrub point is ~1e-3, the paper's headline substrate figure.
@@ -64,17 +74,26 @@ class MLCCellModel:
     """An L-level PCM cell population.
 
     The normalized resistance range is [0, 1]. A write targets a level
-    position and lands at ``position + N(0, write_sigma)``. Between
-    write and read (``t`` days apart) the stored value drifts upward by
-    ``(drift_coefficient + N(0, drift_sigma)) * position * log10(1+t)``
-    — deterministic mean drift plus per-cell variation, both stronger
-    for higher-resistance levels.
+    position and lands at ``position + N(0, write_sigma / drift_gain)``.
+    Between write and read (``t`` days apart) the stored analog value is
+    multiplied by ``1 + (drift_coefficient + N(0, drift_sigma)) *
+    log10(1+t)`` — deterministic mean drift plus per-cell variation,
+    both proportionally stronger for higher-resistance levels, and both
+    amplifying the programming noise along with the signal.
+
+    ``write_sigma`` is parameterized in *scrub-read-time* units: the
+    drift-amplified programming noise equals exactly ``write_sigma`` at
+    the scrub read point, which anchors the historical calibration (the
+    default model's raw BER at 90 days is bit-identical to the
+    pre-retention-timeline model) while keeping the error rate monotone
+    in retention time.
 
     Attributes:
         levels: number of resistance levels (8 in the paper).
-        write_sigma: programming noise std-dev (normalized units),
-            calibrated so the default 8-level cell hits ~1e-3 raw BER
-            at the 3-month scrub point (see :func:`calibrated_model`).
+        write_sigma: programming noise std-dev at the scrub read point
+            (normalized units), calibrated so the default 8-level cell
+            hits ~1e-3 raw BER at the 3-month scrub point (see
+            :func:`calibrated_model`).
         drift_coefficient: mean log-time drift strength.
         drift_sigma: per-cell drift-coefficient spread; this is what
             makes longer scrub intervals costlier.
@@ -121,10 +140,41 @@ class MLCCellModel:
 
     def _sigma_at(self, write_positions: np.ndarray,
                   t_days: float) -> np.ndarray:
-        """Read-time std-dev per level after ``t_days`` of drift."""
-        spread = (self.drift_sigma * write_positions
-                  * self._log_time(t_days))
-        return np.sqrt(self.write_sigma ** 2 + spread ** 2)
+        """Read-time std-dev per level after ``t_days`` of drift.
+
+        Two terms: the programming noise, amplified multiplicatively by
+        the mean drift (normalized so it equals ``write_sigma`` exactly
+        at the scrub read point), and the stochastic drift spread from
+        per-cell drift-coefficient variation.
+        """
+        log_t = self._log_time(t_days)
+        amplified = (self.write_sigma
+                     * (1.0 + self.drift_coefficient * log_t)
+                     / self._drift_gain())
+        spread = self.drift_sigma * write_positions * log_t
+        return np.sqrt(amplified ** 2 + spread ** 2)
+
+    def thresholds_at(self, t_days: Optional[float] = None) -> np.ndarray:
+        """Drift-aware read thresholds for a read after ``t_days``.
+
+        Re-centers the decision thresholds on the drifted level means at
+        the requested retention time, splitting each gap in proportion
+        to the two levels' read-time noise (the same rule the scrub-time
+        placement uses). At the scrub point this returns the placement's
+        own ``read_thresholds`` verbatim, so default reads are
+        bit-identical to the fixed-threshold model.
+        """
+        if t_days is None:
+            return self.read_thresholds
+        t_days = float(t_days)
+        if t_days == self.scrub_interval_days:
+            return self.read_thresholds
+        log_t = self._log_time(t_days)
+        means = self.level_positions * (1.0
+                                        + self.drift_coefficient * log_t)
+        sigmas = self._sigma_at(self.level_positions, t_days)
+        return (means[:-1] + (means[1:] - means[:-1])
+                * sigmas[:-1] / (sigmas[:-1] + sigmas[1:]))
 
     def _optimize_levels(self) -> None:
         """Error-equalizing placement (Guo et al.'s biasing).
@@ -157,17 +207,22 @@ class MLCCellModel:
     # -- analytic error rates -----------------------------------------------
 
     def level_error_rates(self, t_days: Optional[float] = None) -> np.ndarray:
-        """Per-level misread probability after ``t_days`` of drift."""
+        """Per-level misread probability after ``t_days`` of drift.
+
+        Reads are drift-aware (see :meth:`thresholds_at`), so the rates
+        are monotone non-decreasing in retention time.
+        """
         if t_days is None:
             t_days = self.scrub_interval_days
         log_t = self._log_time(t_days)
         means = self.level_positions * (1.0 + self.drift_coefficient * log_t)
         sigmas = self._sigma_at(self.level_positions, t_days)
+        thresholds = self.thresholds_at(t_days)
         rates = np.empty(self.levels)
         for index in range(self.levels):
-            low = (self.read_thresholds[index - 1]
+            low = (thresholds[index - 1]
                    if index > 0 else -math.inf)
-            high = (self.read_thresholds[index]
+            high = (thresholds[index]
                     if index < self.levels - 1 else math.inf)
             sigma = sigmas[index]
             below = (0.0 if low == -math.inf else
@@ -212,14 +267,16 @@ class MLCCellModel:
             [gray_code(v) for v in range(self.levels)])
         levels = gray_to_level[values]
         positions = self.level_positions[levels]
-        analog = positions + rng.normal(0.0, self.write_sigma,
-                                        size=levels.shape)
+        # write_sigma is in scrub-read-time units; divide out the mean
+        # drift gain to get the physical write-time magnitude.
+        analog = positions + rng.normal(
+            0.0, self.write_sigma / self._drift_gain(), size=levels.shape)
         drift_coeffs = self.drift_coefficient
         if self.drift_sigma > 0:
             drift_coeffs = rng.normal(self.drift_coefficient,
                                       self.drift_sigma, size=levels.shape)
-        analog = analog + drift_coeffs * positions * log_t
-        read_levels = np.searchsorted(self.read_thresholds, analog)
+        analog = analog * (1.0 + drift_coeffs * log_t)
+        read_levels = np.searchsorted(self.thresholds_at(t_days), analog)
         read_values = level_to_gray[read_levels]
         out = ((read_values[:, None] >> np.arange(per_cell - 1, -1, -1))
                & 1).astype(np.uint8)

@@ -1,0 +1,168 @@
+"""Tests for the retention sweep (quality over the device lifetime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEFAULT_CONFIGS,
+    MitigationConfig,
+    run_retention_sweep,
+    single_scheme_assignment,
+)
+from repro.analysis.retention import TRACKED_COUNTERS, lifetime_substrate
+from repro.codec import EncoderConfig
+from repro.errors import AnalysisError
+from repro.video import SceneConfig, synthesize_scene
+
+#: Tiny but multi-slice clip: concealment operates per slice band.
+CONFIG = EncoderConfig(crf=24, gop_size=8, slices=2)
+
+
+@pytest.fixture(scope="module")
+def video():
+    return synthesize_scene(SceneConfig(
+        width=64, height=48, num_frames=6, seed=3, num_objects=2))
+
+
+@pytest.fixture(scope="module")
+def sweep(video):
+    """One shared small sweep: unmitigated vs the full mitigation stack."""
+    return run_retention_sweep(
+        video, t_days=(90.0, 3650.0),
+        configs=(MitigationConfig(label="unmitigated"),
+                 MitigationConfig(label="scrub", scrub_days=90.0),
+                 MitigationConfig(label="all", scrub_days=90.0, retries=3,
+                                  conceal=True)),
+        scheme="BCH-6", config=CONFIG, runs=2, workers=0,
+        rng=np.random.default_rng(17))
+
+
+class TestMitigationConfig:
+    def test_defaults_are_distinct_and_valid(self):
+        labels = [c.label for c in DEFAULT_CONFIGS]
+        assert len(set(labels)) == len(labels)
+        assert any(c.scrub_days for c in DEFAULT_CONFIGS)
+        assert any(c.retries for c in DEFAULT_CONFIGS)
+        assert any(c.conceal for c in DEFAULT_CONFIGS)
+
+    def test_invalid_scrub_rejected(self):
+        with pytest.raises(AnalysisError):
+            MitigationConfig(label="x", scrub_days=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(AnalysisError):
+            MitigationConfig(label="x", retries=-1)
+
+
+class TestSingleSchemeAssignment:
+    def test_uniform_single_scheme(self):
+        assignment = single_scheme_assignment("BCH-6")
+        assert len(assignment.schemes) == 1
+        assert assignment.schemes[0].name == "BCH-6"
+
+    def test_raw_scheme_rejected(self):
+        with pytest.raises(AnalysisError):
+            single_scheme_assignment("None")
+
+
+class TestSweepShape:
+    def test_every_cell_present(self, sweep):
+        assert len(sweep.points) == 3 * 2  # configs x t grid
+        for label in ("unmitigated", "scrub", "all"):
+            curve = sweep.series(label)
+            assert [p.t_days for p in curve] == [90.0, 3650.0]
+            for point in curve:
+                assert point.runs == 2
+                assert point.failed == 0
+                assert np.isfinite(point.psnr_db)
+                assert point.worst_psnr_db <= point.psnr_db
+
+    def test_clean_psnr_is_ceiling(self, sweep):
+        for point in sweep.points:
+            assert point.psnr_db <= sweep.clean_psnr_db + 1e-9
+
+    def test_unknown_series_rejected(self, sweep):
+        with pytest.raises(AnalysisError, match="unknown mitigation"):
+            sweep.series("nope")
+        with pytest.raises(AnalysisError, match="no point"):
+            sweep.quality_at("scrub", 123.0)
+
+
+class TestLifetimeStory:
+    """The headline claims, pinned at unit-test scale."""
+
+    def test_unmitigated_quality_degrades(self, sweep):
+        assert sweep.quality_at("unmitigated", 3650.0) < \
+            sweep.quality_at("unmitigated", 90.0) - 3.0
+
+    def test_mitigations_recover_quality(self, sweep):
+        unmitigated = sweep.quality_at("unmitigated", 3650.0)
+        assert sweep.quality_at("scrub", 3650.0) > unmitigated
+        assert sweep.quality_at("all", 3650.0) > unmitigated
+
+    def test_counters_attribute_mitigations(self, sweep):
+        assert set(sweep.counters) == {"unmitigated", "scrub", "all"}
+        assert all(set(c) <= set(TRACKED_COUNTERS)
+                   for c in sweep.counters.values())
+        # Unmitigated: only failures; no scrubs, retries, concealment.
+        unmitigated = sweep.counters["unmitigated"]
+        assert unmitigated.get("storage_uncorrectable_blocks_total", 0) > 0
+        assert "storage_scrubs_total" not in unmitigated
+        assert "storage_read_retries_total" not in unmitigated
+        assert "decode_concealed_slices_total" not in unmitigated
+        # Scrubbing config actually scrubbed.
+        assert sweep.counters["scrub"].get("storage_scrubs_total", 0) > 0
+        assert "decode_concealed_slices_total" not in \
+            sweep.counters["scrub"]
+        # The full stack scrubs too (and with drift reset, rarely needs
+        # the rest of the ladder).
+        assert sweep.counters["all"].get("storage_scrubs_total", 0) > 0
+
+    def test_run_stats_per_config(self, sweep):
+        assert set(sweep.stats) == {"unmitigated", "scrub", "all"}
+        for stats in sweep.stats.values():
+            assert stats.completed == 4  # 2 t_days x 2 runs
+
+
+class TestSubstrate:
+    def test_lifetime_substrate_is_drift_dominated(self):
+        model = lifetime_substrate()
+        ber_now = model.raw_bit_error_rate(model.scrub_interval_days)
+        ber_decade = model.raw_bit_error_rate(3650.0)
+        assert ber_decade > 10 * ber_now
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self, video):
+        with pytest.raises(AnalysisError):
+            run_retention_sweep(video, t_days=(), config=CONFIG)
+
+    def test_negative_t_rejected(self, video):
+        with pytest.raises(AnalysisError):
+            run_retention_sweep(video, t_days=(-5.0,), config=CONFIG)
+
+    def test_duplicate_labels_rejected(self, video):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            run_retention_sweep(
+                video, configs=(MitigationConfig(label="a"),
+                                MitigationConfig(label="a", retries=1)),
+                config=CONFIG)
+
+    def test_empty_configs_rejected(self, video):
+        with pytest.raises(AnalysisError):
+            run_retention_sweep(video, configs=(), config=CONFIG)
+
+
+class TestJournaling:
+    def test_per_config_journals(self, video, tmp_path):
+        prefix = tmp_path / "retention"
+        run_retention_sweep(
+            video, t_days=(3650.0,),
+            configs=(MitigationConfig(label="unmitigated"),
+                     MitigationConfig(label="scrub", scrub_days=90.0)),
+            scheme="BCH-6", config=CONFIG, runs=1, workers=0,
+            rng=np.random.default_rng(5), journal=str(prefix))
+        assert (tmp_path / "retention.unmitigated.jsonl").exists()
+        assert (tmp_path / "retention.scrub.jsonl").exists()

@@ -7,6 +7,7 @@ from repro.codec import Decoder
 from repro.core import (
     PAPER_TABLE1,
     UNIFORM_ASSIGNMENT,
+    map_stream_damage,
     merge_streams,
     partition_video,
 )
@@ -121,3 +122,76 @@ class TestDensity:
 
     def test_precise_bits_include_pivots(self, protected, encoded_medium):
         assert protected.precise_bits > encoded_medium.header_bits
+
+
+class TestMapStreamDamage:
+    """Stream-coordinate damage must project onto exactly the payload
+    bits merge_streams would place those stream bits into."""
+
+    def _diff_bits(self, merged, clean):
+        """{frame: sorted payload-bit positions that differ}."""
+        diffs = {}
+        for index, (a, b) in enumerate(zip(merged, clean)):
+            bits_a = np.unpackbits(np.frombuffer(a, dtype=np.uint8))
+            bits_b = np.unpackbits(np.frombuffer(b, dtype=np.uint8))
+            positions = np.nonzero(bits_a != bits_b)[0]
+            if positions.size:
+                diffs[index] = positions.tolist()
+        return diffs
+
+    def test_mapping_matches_merge_placement(self, protected,
+                                             encoded_medium):
+        # Flip every bit in one stream interval; the payload bits that
+        # change must be exactly the mapped damage ranges.
+        name = max(protected.stream_bits,
+                   key=lambda n: protected.stream_bits[n])
+        interval = (100, 1200)
+        damage_map = map_stream_damage(protected, {name: [interval]})
+        assert damage_map  # the interval lands somewhere
+
+        bits = np.unpackbits(
+            np.frombuffer(protected.streams[name], dtype=np.uint8)).copy()
+        bits[interval[0]:interval[1]] ^= 1
+        corrupted = dict(protected.streams)
+        corrupted[name] = np.packbits(bits).tobytes()
+        merged = merge_streams(protected, corrupted)
+        diffs = self._diff_bits(merged, encoded_medium.frame_payloads())
+
+        expected = {
+            frame: sorted(pos for start, end in ranges
+                          for pos in range(start, end))
+            for frame, ranges in damage_map.items()
+        }
+        assert diffs == expected
+
+    def test_ranges_sorted_and_coalesced(self, protected):
+        name = max(protected.stream_bits,
+                   key=lambda n: protected.stream_bits[n])
+        damage_map = map_stream_damage(
+            protected, {name: [(50, 300), (200, 400), (390, 600)]})
+        merged_once = map_stream_damage(protected, {name: [(50, 600)]})
+        assert damage_map == merged_once
+        for ranges in damage_map.values():
+            assert ranges == sorted(ranges)
+            for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+                assert e1 < s2  # strictly separated after coalescing
+
+    def test_ranges_stay_inside_payloads(self, protected, encoded_medium):
+        name = max(protected.stream_bits,
+                   key=lambda n: protected.stream_bits[n])
+        total = protected.stream_bits[name]
+        damage_map = map_stream_damage(protected, {name: [(0, total)]})
+        payload_bits = [f.payload_bits for f in encoded_medium.frames]
+        for frame, ranges in damage_map.items():
+            for start, end in ranges:
+                assert 0 <= start < end <= payload_bits[frame]
+
+    def test_empty_and_inverted_intervals_ignored(self, protected):
+        name = next(iter(protected.streams))
+        assert map_stream_damage(protected, {name: [(10, 10)]}) == {}
+        assert map_stream_damage(protected, {name: [(20, 10)]}) == {}
+        assert map_stream_damage(protected, {}) == {}
+
+    def test_unknown_stream_rejected(self, protected):
+        with pytest.raises(AnalysisError, match="unknown stream"):
+            map_stream_damage(protected, {"BCH-99": [(0, 10)]})

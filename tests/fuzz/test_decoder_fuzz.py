@@ -18,6 +18,7 @@ from repro.fuzz import (
     ALL_STRATEGIES,
     CONTAINER_STRATEGIES,
     PAYLOAD_STRATEGIES,
+    STRATEGY_CONCEAL,
     FuzzReport,
     fuzz_decoder,
     replay_corpus,
@@ -30,14 +31,15 @@ needs_alarm = pytest.mark.skipif(not alarm_capable(),
 
 class TestContractHolds:
     def test_short_clean_run(self, encoded_small):
-        report = fuzz_decoder(encoded_small, trials=36, seed=3,
+        trials = 5 * len(ALL_STRATEGIES)
+        report = fuzz_decoder(encoded_small, trials=trials, seed=3,
                               timeout=30.0)
         assert report.ok
-        assert report.trials == 36
+        assert report.trials == trials
         assert report.hangs == 0
         # Round-robin scheduling exercises every strategy evenly.
         assert set(report.by_strategy) == set(ALL_STRATEGIES)
-        assert all(count == 6 for count in report.by_strategy.values())
+        assert all(count == 5 for count in report.by_strategy.values())
 
     def test_seeded_runs_agree(self, encoded_small):
         first = fuzz_decoder(encoded_small, trials=12, seed=9,
@@ -53,6 +55,78 @@ class TestContractHolds:
         report = fuzz_decoder(encoded_small, trials=8, seed=1,
                               timeout=30.0, strategies=PAYLOAD_STRATEGIES)
         assert report.ok
+
+
+class TestConcealContract:
+    def test_conceal_trials_never_crash(self, encoded_small):
+        # Payload flips + randomized damage maps through the concealing
+        # decoder: no exception, full geometry, every trial.
+        report = fuzz_decoder(encoded_small, trials=24, seed=11,
+                              timeout=30.0, strategies=(STRATEGY_CONCEAL,))
+        assert report.ok
+        assert report.by_strategy == {STRATEGY_CONCEAL: 24}
+        assert report.hangs == 0
+
+    def test_recipe_persists_damage_map(self, encoded_small, tmp_path,
+                                        monkeypatch):
+        # Force a violation so the counterexample (with its damage map)
+        # lands in the corpus.
+        import repro.fuzz as fuzz_module
+
+        def boom(decoded, encoded):
+            raise AnalysisError("synthetic geometry violation")
+
+        monkeypatch.setattr(fuzz_module, "_check_full_geometry", boom)
+        corpus = tmp_path / "corpus"
+        report = fuzz_decoder(encoded_small, trials=2, seed=4,
+                              timeout=30.0, corpus_dir=corpus,
+                              strategies=(STRATEGY_CONCEAL,))
+        assert not report.ok
+        recipes = sorted(corpus.glob("*.json"))
+        assert recipes
+        recipe = json.loads(recipes[0].read_text())
+        assert recipe["strategy"] == STRATEGY_CONCEAL
+        damage = recipe["damage"]
+        assert damage  # at least one damaged frame
+        for frame, ranges in damage.items():
+            int(frame)  # JSON keys stringify the frame position
+            for start, end in ranges:
+                assert 0 <= start < end
+
+    def test_replay_honors_recipe_damage(self, encoded_small, tmp_path,
+                                         monkeypatch):
+        import repro.fuzz as fuzz_module
+
+        def boom(decoded, encoded):
+            raise AnalysisError("synthetic geometry violation")
+
+        corpus = tmp_path / "corpus"
+        monkeypatch.setattr(fuzz_module, "_check_full_geometry", boom)
+        fuzz_decoder(encoded_small, trials=2, seed=4, timeout=30.0,
+                     corpus_dir=corpus, strategies=(STRATEGY_CONCEAL,))
+        monkeypatch.undo()
+        # The real decoder honors the persisted damage map and meets the
+        # geometry obligation, so the historical failure is cleared.
+        report = replay_corpus(corpus, timeout=30.0)
+        assert report.ok
+        assert set(report.by_strategy) == {STRATEGY_CONCEAL}
+
+    def test_replay_conceal_rule_is_strict(self, encoded_small, tmp_path,
+                                           monkeypatch):
+        import repro.fuzz as fuzz_module
+
+        def boom(decoded, encoded):
+            raise AnalysisError("synthetic geometry violation")
+
+        corpus = tmp_path / "corpus"
+        monkeypatch.setattr(fuzz_module, "_check_full_geometry", boom)
+        fuzz_decoder(encoded_small, trials=1, seed=4, timeout=30.0,
+                     corpus_dir=corpus, strategies=(STRATEGY_CONCEAL,))
+        # The geometry obligation applies on replay too: with the check
+        # still failing, the historical counterexample reproduces.
+        report = replay_corpus(corpus, timeout=30.0)
+        assert not report.ok
+        assert report.failures[0].exception == "AnalysisError"
 
 
 class _CrashingDecoder:

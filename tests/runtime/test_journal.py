@@ -88,6 +88,19 @@ class TestDigests:
         assert spec_digest(base) != spec_digest(
             dataclasses.replace(base, kind="single_flip"))
 
+    def test_digest_sensitive_to_lifetime_fields(self):
+        seed = np.random.SeedSequence(5)
+        base = TrialSpec(index=0, kind="retention_read", seed=seed,
+                         t_days=90.0)
+        assert spec_digest(base) != spec_digest(
+            dataclasses.replace(base, t_days=365.0))
+        assert spec_digest(base) != spec_digest(
+            dataclasses.replace(base, scrub_days=90.0))
+        assert spec_digest(base) != spec_digest(
+            dataclasses.replace(base, retries=3))
+        assert spec_digest(base) != spec_digest(
+            dataclasses.replace(base, conceal=True))
+
     def test_spawned_siblings_differ(self):
         parent = np.random.SeedSequence(5)
         first, second = parent.spawn(2)

@@ -111,6 +111,42 @@ class TestDecode:
         with pytest.raises(StorageError):
             bch6.decode(np.zeros(100, dtype=np.uint8))
 
+    @given(seed=st.integers(0, 10_000), extra=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_beyond_t_never_partially_corrects(self, seed, extra):
+        """t+1..t+3 errors: detect-and-return-unchanged or land on a
+        *valid* codeword within distance t — never a partial correction.
+
+        This is the contract the retry ladder and damage escalation are
+        built on: a detected-uncorrectable block hands back exactly the
+        received bits, and any claimed success is a real codeword.
+        """
+        code = get_bch_code(3, data_bits=64)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        codeword = code.encode(data)
+        positions = rng.choice(code.block_bits, code.t + extra,
+                               replace=False)
+        received = codeword.copy()
+        received[positions] ^= 1
+        result = code.decode(received)
+        if result.success:
+            # Silent miscorrection: decode landed on a different valid
+            # codeword, which must sit within t flips of the received
+            # word (that is what "correcting <= t errors" means).
+            assert not result.detected_uncorrectable
+            corrected = code.encode(result.data)
+            assert np.count_nonzero(corrected != received) <= code.t
+        else:
+            assert result.detected_uncorrectable
+            assert np.array_equal(result.data, received[:64])
+
+    def test_detected_uncorrectable_flag_on_clean_decode(self, bch6):
+        data = _random_data(21)
+        result = bch6.decode(bch6.encode(data))
+        assert result.success
+        assert not result.detected_uncorrectable
+
     @given(seed=st.integers(0, 10_000), errors=st.integers(0, 3))
     @settings(max_examples=25, deadline=None)
     def test_roundtrip_property(self, seed, errors):

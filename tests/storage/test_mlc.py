@@ -76,14 +76,25 @@ class TestErrorRates:
         model = MLCCellModel()
         assert model.raw_bit_error_rate(365.0) > model.raw_bit_error_rate(90.0)
 
-    def test_error_minimized_near_scrub_time(self):
-        """Level placement anticipates drift: thresholds are tuned for
-        the scrub read point, so the error rate bottoms out there (fresh
-        reads are off-target and decade-long drift overshoots)."""
+    def test_drift_aware_reads_order_fresh_before_aged(self):
+        """Reads use drift-aware thresholds (re-centered on the drifted
+        means at the read time), so fresh cells always read better than
+        scrub-aged cells, which read better than decade-aged ones."""
         model = MLCCellModel()
         at_scrub = model.raw_bit_error_rate()
-        assert at_scrub < model.raw_bit_error_rate(0.0)
+        assert model.raw_bit_error_rate(0.0) < at_scrub
         assert at_scrub < model.raw_bit_error_rate(3650.0)
+
+    def test_thresholds_at_scrub_point_are_the_placement_thresholds(self):
+        """At the scrub read point the drift-aware thresholds are the
+        placement's own thresholds, bit for bit — default reads are
+        identical to the fixed-threshold model."""
+        model = MLCCellModel()
+        assert model.thresholds_at() is model.read_thresholds
+        assert model.thresholds_at(model.scrub_interval_days) \
+            is model.read_thresholds
+        assert not np.array_equal(model.thresholds_at(0.0),
+                                  model.read_thresholds)
 
     def test_fewer_levels_fewer_errors(self):
         dense = MLCCellModel(levels=8)
@@ -126,3 +137,48 @@ class TestMonteCarlo:
         assert model.cells_for_bits(3) == 1
         assert model.cells_for_bits(4) == 2
         assert model.cells_for_bits(0) == 0
+
+
+class TestRetentionDrift:
+    """Drift behaviour over the retention timeline (the lifetime
+    subsystem's substrate contract)."""
+
+    #: A retention grid spanning fresh cells to a decade, straddling
+    #: the default 90-day scrub point.
+    T_GRID = (0.0, 0.25, 1.0, 3.0, 10.0, 30.0, 60.0, 90.0, 91.0,
+              180.0, 365.0, 1000.0, 3650.0)
+
+    @pytest.mark.parametrize("levels", [4, 8, 16])
+    def test_raw_ber_monotone_in_retention_time(self, levels):
+        """raw_bit_error_rate(t) never decreases as cells age."""
+        model = MLCCellModel(levels=levels)
+        rates = [model.raw_bit_error_rate(t) for t in self.T_GRID]
+        for earlier, later in zip(rates, rates[1:]):
+            assert later >= earlier
+
+    @pytest.mark.parametrize("levels", [4, 8, 16])
+    def test_raw_ber_matches_level_rate_aggregation(self, levels):
+        """The scalar BER is exactly the uniform-usage mean of the
+        per-level misread rates divided by the bits per cell."""
+        model = MLCCellModel(levels=levels)
+        for t in (0.0, 30.0, 90.0, 365.0, 3650.0):
+            aggregated = (float(np.mean(model.level_error_rates(t)))
+                          / model.bits_per_cell)
+            assert model.raw_bit_error_rate(t) == aggregated
+
+    @pytest.mark.parametrize("levels", [4, 8, 16])
+    def test_default_rate_is_the_scrub_point_rate(self, levels):
+        model = MLCCellModel(levels=levels)
+        assert model.raw_bit_error_rate() == model.raw_bit_error_rate(
+            model.scrub_interval_days)
+
+    def test_monte_carlo_tracks_analytic_at_other_times(self, rng):
+        """write_and_read honours t_days: aged reads show the aged
+        analytic error rate, not the scrub-point one."""
+        model = MLCCellModel()
+        bits = rng.integers(0, 2, 3 * 120_000).astype(np.uint8)
+        aged = model.write_and_read(bits, rng, t_days=3650.0)
+        empirical = float(np.mean(bits != aged))
+        assert empirical == pytest.approx(
+            model.raw_bit_error_rate(3650.0), rel=0.5)
+        assert empirical > 1.5 * model.raw_bit_error_rate()

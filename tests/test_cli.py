@@ -195,6 +195,43 @@ class TestFuzz:
             main(["fuzz", "--replay", str(tmp_path / "nope")])
 
 
+class TestRetention:
+    ARGS = ["--scheme", "BCH-6", "--slices", "2", "--runs", "2",
+            "--workers", "0", "--t-days", "90,3650"]
+
+    def test_default_sweep_with_assertion(self, clip, capsys):
+        assert main(["retention", str(clip), *self.ARGS,
+                     "--assert-scrub-benefit"]) == 0
+        text = capsys.readouterr().out
+        assert "unmitigated" in text
+        assert "scrub-90d" in text
+        assert "scrub benefit holds" in text
+        assert "storage_uncorrectable_blocks_total" in text
+
+    def test_explicit_mitigation_grid(self, clip, capsys):
+        assert main(["retention", str(clip), *self.ARGS,
+                     "--scrub", "none,90", "--retries", "0",
+                     "--conceal", "off"]) == 0
+        text = capsys.readouterr().out
+        assert "unmitigated" in text
+        assert "scrub-90d" in text
+
+    def test_journal_prefix_creates_per_config_files(self, clip,
+                                                     tmp_path, capsys):
+        prefix = tmp_path / "journal"
+        assert main(["retention", str(clip), *self.ARGS, "--t-days",
+                     "3650", "--runs", "1",
+                     "--journal", str(prefix)]) == 0
+        journals = sorted(p.name for p in tmp_path.glob("journal.*.jsonl"))
+        assert journals  # one journal per mitigation config
+        assert any("unmitigated" in name for name in journals)
+
+    def test_scrub_assertion_needs_both_populations(self, clip, capsys):
+        assert main(["retention", str(clip), *self.ARGS,
+                     "--scrub", "90", "--assert-scrub-benefit"]) == 2
+        assert "needs both" in capsys.readouterr().out
+
+
 class TestModes:
     def test_scorecard(self, capsys):
         assert main(["modes"]) == 0
