@@ -7,17 +7,27 @@ and writes the measured throughput trajectory to
 ``BENCH_parallel_scaling.json`` so regressions are trackable run over
 run.
 
+Every configuration is timed best-of-3: pool startup, page-cache state,
+and scheduler noise all perturb a single run, and the minimum elapsed
+time is the stable estimator of what the configuration can deliver.
+The one-time dispatch cost of shipping the campaign context to a pool
+(pickle bytes and seconds) is measured and recorded separately so
+throughput regressions can be told apart from serialization bloat.
+
 Speedup is only asserted when the host can actually deliver it: set
 ``REPRO_REQUIRE_SCALING=1`` on a machine with >= 4 physical cores to
 enforce the >= 2.5x target at 4 workers. On starved CI runners or a
-single-core box the numbers are still measured and recorded.
+single-core box (flagged ``single_core_host`` in the payload) the
+numbers are still measured and recorded.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 import platform
+import time
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +38,8 @@ from repro.runtime import fork_available, session_cache
 #: Worker counts probed after the serial baseline.
 WORKER_COUNTS = (1, 2, 4, 8)
 RATES = (1e-4, 1e-3, 1e-2)
+#: Timing repeats per configuration; the fastest run is recorded.
+REPEATS = 3
 OUTPUT = Path("BENCH_parallel_scaling.json")
 
 
@@ -35,6 +47,37 @@ def _campaign(encoded, video, clean, runs, workers):
     return quality_sweep(encoded, video, clean, None, rates=RATES,
                          runs=runs, rng=np.random.default_rng(97),
                          workers=workers)
+
+
+def _best_of(repeats, fn):
+    """Fastest campaign of ``repeats`` runs, by wall-clock elapsed."""
+    best = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or (result.stats.elapsed_seconds
+                            < best.stats.elapsed_seconds):
+            best = result
+    return best
+
+
+def _dispatch_overhead(encoded, video, clean):
+    """Pickle cost of the context a pool ships to every worker once.
+
+    Mirrors the `quality_sweep` campaign context: the serialized
+    stream, the reference frames, and the clean decode. Returned as
+    (bytes, best-of-REPEATS seconds).
+    """
+    context = (encoded.serialize(), video, clean)
+    blob = pickle.dumps(context)
+    seconds = min(
+        _timed(lambda: pickle.dumps(context)) for _ in range(REPEATS))
+    return len(blob), seconds
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def test_parallel_scaling(benchmark, bench_video, bench_config, scale,
@@ -50,15 +93,27 @@ def test_parallel_scaling(benchmark, bench_video, bench_config, scale,
     serial = benchmark.pedantic(
         _campaign, args=(encoded, bench_video, clean, runs, 0),
         rounds=1, iterations=1)
+    for _ in range(REPEATS - 1):
+        repeat = _campaign(encoded, bench_video, clean, runs, 0)
+        assert repeat == serial, "serial repeat results diverge"
+        if repeat.stats.elapsed_seconds < serial.stats.elapsed_seconds:
+            serial = repeat
     configurations = [(0, serial)]
     for workers in WORKER_COUNTS:
         if not fork_available():
             break
-        result = _campaign(encoded, bench_video, clean, runs, workers)
-        # The engine's core guarantee: fan-out never changes the numbers
-        # (RunStats is excluded from equality).
-        assert result == serial, f"{workers}-worker results diverge"
-        configurations.append((workers, result))
+
+        def run(workers=workers):
+            result = _campaign(encoded, bench_video, clean, runs, workers)
+            # The engine's core guarantee: fan-out never changes the
+            # numbers (RunStats is excluded from equality).
+            assert result == serial, f"{workers}-worker results diverge"
+            return result
+
+        configurations.append((workers, _best_of(REPEATS, run)))
+
+    pickle_bytes, pickle_seconds = _dispatch_overhead(
+        encoded, bench_video, clean)
 
     serial_rate = serial.stats.trials_per_second
     rows = []
@@ -80,7 +135,10 @@ def test_parallel_scaling(benchmark, bench_video, bench_config, scale,
         })
     print()
     print(format_table(("workers", "elapsed s", "trials/s", "speedup"),
-                       rows, title="trial-engine parallel scaling"))
+                       rows, title="trial-engine parallel scaling "
+                                   f"(best of {REPEATS})"))
+    print(f"dispatch context: {pickle_bytes} pickle bytes, "
+          f"{1e3 * pickle_seconds:.2f} ms to serialize")
 
     payload = {
         "exhibit": "parallel_scaling",
@@ -90,9 +148,13 @@ def test_parallel_scaling(benchmark, bench_video, bench_config, scale,
                   "frames": len(bench_video)},
         "rates": list(RATES),
         "runs_per_rate": runs,
+        "timing_repeats": REPEATS,
         "cpu_count": os.cpu_count(),
+        "single_core_host": os.cpu_count() == 1,
         "platform": platform.platform(),
         "fork_available": fork_available(),
+        "dispatch_pickle_bytes": pickle_bytes,
+        "dispatch_pickle_seconds": pickle_seconds,
         "results": records,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,167 @@
+"""Rate/quality prediction from motion-search statistics.
+
+Sweeping a CRF grid costs one full encode *plus a Monte Carlo campaign*
+per grid point. Most of that is wasted on operating points nobody would
+pick: beyond some CRF the quality curve plateaus while bits keep
+growing. This module predicts each grid point's rate and quality from a
+single cheap *probe* encode — using the coding statistics the encoder's
+motion search already produced (:mod:`repro.codec.stats`) — so
+dominated points can be skipped before any expensive work
+(``repro sweep --crf-grid ... --prune-predicted``).
+
+The model is a pair of linear fits on probe features (probe bits per
+pixel, mean motion-vector magnitude, skip/intra fractions, residual
+density, mean QP) plus the target CRF. Rate is predicted in
+``log2(bits/pixel)`` — compression is multiplicative, so the log domain
+is where it is near-linear in CRF. The default weights are least-squares
+fits over a synthetic suite spanning static, panning, noisy, and
+high-detail content at CRFs 16..36 (see ``tests/analysis`` for the
+fit-quality floor the committed weights must keep meeting).
+
+Prediction is advisory: pruning changes which sweeps *run*, never any
+measured number. A kept point's campaign is identical to an unpruned
+run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codec.config import EncoderConfig
+from ..codec.stats import VideoStats, inspect_video
+from ..errors import AnalysisError
+from ..video.frame import VideoSequence
+
+#: CRF of the probe encode default weights were fitted against.
+PROBE_CRF = 24
+
+#: A kept point must be predicted to gain at least this much PSNR over
+#: every cheaper kept point, or it is dominated.
+DEFAULT_EPSILON_DB = 0.25
+
+
+@dataclass(frozen=True)
+class EncodePrediction:
+    """Predicted operating point of one CRF."""
+
+    crf: int
+    bits_per_pixel: float
+    psnr_db: float
+
+
+def probe_features(stats: VideoStats, total_pixels: int,
+                   crf: int) -> List[float]:
+    """Feature vector for one (probe stats, target CRF) pair."""
+    if total_pixels <= 0:
+        raise AnalysisError(f"total_pixels must be > 0, got {total_pixels}")
+    frames = stats.frames
+    mean_mv = float(np.mean([f.mean_mv_magnitude for f in frames]))
+    skip = float(np.mean([f.skip_fraction for f in frames]))
+    intra = float(np.mean([f.intra_fraction for f in frames]))
+    mean_qp = float(np.mean([f.mean_qp for f in frames]))
+    density = sum(f.total_nonzero_coefficients
+                  for f in frames) / total_pixels
+    log_bpp = float(np.log2(max(stats.total_payload_bits, 1)
+                            / total_pixels))
+    return [1.0, float(crf), log_bpp, mean_mv, skip, intra, density,
+            mean_qp]
+
+
+@dataclass(frozen=True)
+class RateQualityPredictor:
+    """Linear rate/quality model over :func:`probe_features`."""
+
+    #: Weights for ``log2(bits/pixel)`` at the target CRF.
+    bits_weights: Tuple[float, ...]
+    #: Weights for clean-decode PSNR (dB) at the target CRF.
+    psnr_weights: Tuple[float, ...]
+
+    def predict(self, stats: VideoStats, total_pixels: int,
+                crf: int) -> EncodePrediction:
+        features = np.asarray(probe_features(stats, total_pixels, crf))
+        if features.shape != (len(self.bits_weights),):
+            raise AnalysisError(
+                f"predictor expects {len(self.bits_weights)} features, "
+                f"got {features.shape[0]}")
+        log_bpp = float(features @ np.asarray(self.bits_weights))
+        psnr = float(features @ np.asarray(self.psnr_weights))
+        return EncodePrediction(crf=int(crf),
+                                bits_per_pixel=float(2.0 ** log_bpp),
+                                psnr_db=psnr)
+
+    @classmethod
+    def fit(cls, feature_rows: Sequence[Sequence[float]],
+            log_bpp: Sequence[float],
+            psnr_db: Sequence[float]) -> "RateQualityPredictor":
+        """Least-squares fit of both heads on observed encodes."""
+        matrix = np.asarray(feature_rows, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < matrix.shape[1]:
+            raise AnalysisError(
+                f"need at least as many samples as features, got shape "
+                f"{matrix.shape}")
+        bits_w = np.linalg.lstsq(matrix, np.asarray(log_bpp), rcond=None)[0]
+        psnr_w = np.linalg.lstsq(matrix, np.asarray(psnr_db), rcond=None)[0]
+        return cls(tuple(float(w) for w in bits_w),
+                   tuple(float(w) for w in psnr_w))
+
+
+#: Weights fitted on the synthetic suite in
+#: ``tools/fit_predictor.py`` (12 clips x CRFs 16..36, probe at CRF 24;
+#: in-sample R^2 = 0.952 for log2 bits/pixel, 0.997 for PSNR).
+DEFAULT_PREDICTOR = RateQualityPredictor(
+    bits_weights=(0.0031497244162290616, -0.09089741150150435,
+                  0.7835557489635746, 0.03705778986047997,
+                  0.132782776193894, 0.00031497244162287104,
+                  0.33591041505426733, 0.0812628899387098),
+    psnr_weights=(0.09099967755798122, -0.930754577332203,
+                  -0.9491287812715132, 0.0889949486643231,
+                  1.3367096401579153, 0.009099967755798178,
+                  0.16487673219798174, 2.34779168099592),
+)
+
+
+def probe_and_predict(video: VideoSequence, crf_grid: Sequence[int],
+                      config: Optional[EncoderConfig] = None,
+                      predictor: Optional[RateQualityPredictor] = None
+                      ) -> List[EncodePrediction]:
+    """One probe encode, then a prediction per grid CRF.
+
+    ``config`` supplies the non-CRF knobs of the probe (GOP size,
+    slices, entropy coder, ...); its CRF is replaced by
+    :data:`PROBE_CRF`, which the default weights were fitted at.
+    """
+    import dataclasses
+
+    from ..codec.encoder import Encoder
+
+    predictor = predictor or DEFAULT_PREDICTOR
+    base = config or EncoderConfig()
+    probe_config = dataclasses.replace(base, crf=PROBE_CRF)
+    encoded = Encoder(probe_config).encode(video)
+    stats = inspect_video(encoded)
+    pixels = video.total_pixels
+    return [predictor.predict(stats, pixels, crf) for crf in crf_grid]
+
+
+def prune_dominated(predictions: Sequence[EncodePrediction],
+                    epsilon_db: float = DEFAULT_EPSILON_DB) -> List[bool]:
+    """Keep mask over predicted operating points.
+
+    A point is dominated when some cheaper point (strictly fewer
+    predicted bits) already achieves its predicted PSNR within
+    ``epsilon_db``. The cheapest point is always kept, so pruning can
+    never empty the grid.
+    """
+    if epsilon_db < 0:
+        raise AnalysisError(f"epsilon_db must be >= 0, got {epsilon_db}")
+    keep = [True] * len(predictions)
+    for j, candidate in enumerate(predictions):
+        for other in predictions:
+            if (other.bits_per_pixel < candidate.bits_per_pixel
+                    and other.psnr_db >= candidate.psnr_db - epsilon_db):
+                keep[j] = False
+                break
+    return keep

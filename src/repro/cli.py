@@ -224,28 +224,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         video = read_raw_video(args.input)
         config = _encoder_config(args)
         cache = session_cache()
-        encoded = cache.encode(video, config)
-        clean = cache.clean_decode(video, config)
         rates = tuple(float(r) for r in args.rates.split(","))
-        result = quality_sweep(
-            encoded, video, clean, None, rates=rates, runs=args.runs,
-            rng=np.random.default_rng(args.seed), workers=args.workers,
-            timeout=args.timeout, max_retries=args.retries,
-            journal=args.journal, progress=args.progress)
+        crf_grid = (None if args.crf_grid is None else
+                    [int(c) for c in args.crf_grid.split(",")])
+        configs = [config]
+        if crf_grid is not None:
+            import dataclasses
+
+            kept = crf_grid
+            if args.prune_predicted:
+                kept = _prune_crf_grid(video, crf_grid, config)
+            configs = [dataclasses.replace(config, crf=c) for c in kept]
+        results = []
+        for point_config in configs:
+            journal = args.journal
+            if journal is not None and len(configs) > 1:
+                journal = f"{journal}.crf{point_config.crf}"
+            encoded = cache.encode(video, point_config)
+            clean = cache.clean_decode(video, point_config)
+            results.append((point_config, quality_sweep(
+                encoded, video, clean, None, rates=rates, runs=args.runs,
+                rng=np.random.default_rng(args.seed), workers=args.workers,
+                timeout=args.timeout, max_retries=args.retries,
+                journal=journal, progress=args.progress)))
     if tracer is not None:
         _export_trace(tracer, trace_path, jsonl_path)
-    print(format_table(
-        ("error rate", "mean change dB", "max loss dB", "mean flips",
-         "forced %", "runs"),
-        [(f"{p.rate:.1e}", f"{p.mean_change_db:.3f}",
-          f"{p.max_loss_db:.3f}", f"{p.mean_flips:.1f}",
-          f"{100 * p.forced_fraction:.0f}",
-          f"{p.runs}" + (f" ({p.failed} failed)" if p.failed else ""))
-         for p in result.points],
-        title=f"error-rate sweep of {args.input} "
-              f"({result.targeted_bits} payload bits)"))
-    print(format_run_stats(result.stats))
+    for point_config, result in results:
+        print(format_table(
+            ("error rate", "mean change dB", "max loss dB", "mean flips",
+             "forced %", "runs"),
+            [(f"{p.rate:.1e}", f"{p.mean_change_db:.3f}",
+              f"{p.max_loss_db:.3f}", f"{p.mean_flips:.1f}",
+              f"{100 * p.forced_fraction:.0f}",
+              f"{p.runs}" + (f" ({p.failed} failed)" if p.failed else ""))
+             for p in result.points],
+            title=f"error-rate sweep of {args.input} at CRF "
+                  f"{point_config.crf} ({result.targeted_bits} payload "
+                  f"bits)"))
+        print(format_run_stats(result.stats))
     return 0
+
+
+def _prune_crf_grid(video, crf_grid, config):
+    """Predict each grid point and drop dominated ones (with a table)."""
+    from .analysis.predictor import probe_and_predict, prune_dominated
+
+    predictions = probe_and_predict(video, crf_grid, config)
+    keep = prune_dominated(predictions)
+    print(format_table(
+        ("crf", "predicted bits/px", "predicted PSNR dB", "verdict"),
+        [(str(p.crf), f"{p.bits_per_pixel:.3f}", f"{p.psnr_db:.2f}",
+          "sweep" if k else "skip (dominated)")
+         for p, k in zip(predictions, keep)],
+        title="predicted operating points (one probe encode)"))
+    return [c for c, k in zip(crf_grid, keep) if k]
 
 
 def _parse_scrub_list(raw: str):
@@ -490,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true", default=None,
                        help="live terminal status line (default "
                             "REPRO_PROGRESS); observational only")
+    sweep.add_argument("--crf-grid", default=None,
+                       help="comma-separated CRFs: run the sweep at each "
+                            "grid point (overrides --crf)")
+    sweep.add_argument("--prune-predicted", action="store_true",
+                       help="with --crf-grid: probe-encode once, predict "
+                            "each point's rate/quality from motion-search "
+                            "statistics, and skip dominated points before "
+                            "any campaign runs")
     _add_encoder_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import List
 
-from .entropy import ContextGroup, EntropyDecoder, EntropyEncoder
+from ..errors import BitstreamError
+from .entropy import (
+    MAX_EG_PREFIX,
+    ContextGroup,
+    EntropyDecoder,
+    EntropyEncoder,
+)
 
 _PROB_BITS = 11
 _PROB_ONE = 1 << _PROB_BITS          # 2048
@@ -92,8 +98,170 @@ class CabacEncoder(EntropyEncoder):
 
     def encode_flag(self, value: bool, group: ContextGroup,
                     variant: int = 0) -> None:
-        self._encode_context_bin(1 if value else 0,
-                                 group.first_bin_context(variant))
+        # Single context bin, inlined: flags are the most frequent symbol
+        # (skip / intra / cbp / sig) and the extra dispatch through
+        # _encode_context_bin is measurable at batch-encode scale.
+        ctx = group.first_bin_context(variant)
+        prob = self._probs[ctx]
+        bound = (self._range >> _PROB_BITS) * prob
+        if value:
+            self._low += bound
+            self._range -= bound
+            self._probs[ctx] = prob - (prob >> _MOVE_BITS)
+        else:
+            self._range = bound
+            self._probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+        while self._range < _TOP:
+            self._shift_low()
+            self._range = (self._range << 8) & _MASK32
+
+    def encode_uint(self, value: int, group: ContextGroup,
+                    variant: int = 0) -> None:
+        """Specialized TU + EG0 encoder: same bins as the base-class
+        implementation, emitted by one loop over local coder state.
+
+        Entropy coding is the one per-clip stage the batch encoder
+        cannot turn into numpy calls, and the generic path pays two-plus
+        method calls per bin. Keeping ``low``/``range``/the byte cache
+        in locals for the whole symbol cuts that to plain integer ops;
+        the emitted stream is bit-for-bit identical (asserted by the
+        CABAC equivalence tests against the base-class path).
+        """
+        if value < 0:
+            raise BitstreamError(f"encode_uint got negative value {value}")
+        if value > group.max_value:
+            raise BitstreamError(
+                f"value {value} exceeds group max {group.max_value}"
+            )
+        ladder = group.unary_ladder(variant)
+        tu_cap = group.tu_cap
+        probs = self._probs
+        low = self._low
+        rng = self._range
+        cache = self._cache
+        cache_size = self._cache_size
+        out = self._out
+
+        prefix = value if value < tu_cap else tu_cap
+        for position in range(prefix):
+            ctx = ladder[position]
+            prob = probs[ctx]
+            bound = (rng >> _PROB_BITS) * prob
+            low += bound
+            rng -= bound
+            probs[ctx] = prob - (prob >> _MOVE_BITS)
+            while rng < _TOP:
+                if low < 0xFF000000 or low > _MASK32:
+                    carry = low >> 32
+                    out.append((cache + carry) & 0xFF)
+                    for _ in range(cache_size - 1):
+                        out.append((0xFF + carry) & 0xFF)
+                    cache = (low >> 24) & 0xFF
+                    cache_size = 0
+                cache_size += 1
+                low = (low << 8) & _MASK32
+                rng = (rng << 8) & _MASK32
+        if value < tu_cap:
+            # Terminating zero bin of the truncated-unary prefix.
+            ctx = ladder[value]
+            prob = probs[ctx]
+            bound = (rng >> _PROB_BITS) * prob
+            rng = bound
+            probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+            while rng < _TOP:
+                if low < 0xFF000000 or low > _MASK32:
+                    carry = low >> 32
+                    out.append((cache + carry) & 0xFF)
+                    for _ in range(cache_size - 1):
+                        out.append((0xFF + carry) & 0xFF)
+                    cache = (low >> 24) & 0xFF
+                    cache_size = 0
+                cache_size += 1
+                low = (low << 8) & _MASK32
+                rng = (rng << 8) & _MASK32
+        else:
+            # EG0 bypass suffix: ``length`` ones, a zero, ``length``
+            # suffix bits — the exact bulk bin string of
+            # ``_encode_eg0_bypass``.
+            shifted = value - tu_cap + 1
+            length = shifted.bit_length() - 1
+            if length > MAX_EG_PREFIX:
+                raise BitstreamError(
+                    f"value {value - tu_cap} too large for EG0 suffix")
+            pattern = ((((1 << length) - 1) << 1) << length) \
+                | (shifted - (1 << length))
+            for shift in range(2 * length, -1, -1):
+                rng >>= 1
+                if (pattern >> shift) & 1:
+                    low += rng
+                while rng < _TOP:
+                    if low < 0xFF000000 or low > _MASK32:
+                        carry = low >> 32
+                        out.append((cache + carry) & 0xFF)
+                        for _ in range(cache_size - 1):
+                            out.append((0xFF + carry) & 0xFF)
+                        cache = (low >> 24) & 0xFF
+                        cache_size = 0
+                    cache_size += 1
+                    low = (low << 8) & _MASK32
+                    rng = (rng << 8) & _MASK32
+        self._low = low
+        self._range = rng
+        self._cache = cache
+        self._cache_size = cache_size
+
+    def encode_bins(self, ops) -> None:
+        """Batched mirror of the base-class ``encode_bins``.
+
+        One loop over pre-planned bins with the whole coder state in
+        locals; the bin arithmetic is exactly ``_encode_context_bin`` /
+        ``encode_bypass``, so the stream is bit-for-bit identical to
+        dispatching each bin through those methods.
+        """
+        probs = self._probs
+        low = self._low
+        rng = self._range
+        cache = self._cache
+        cache_size = self._cache_size
+        out = self._out
+        # Module constants as locals: this loop runs once per bin and
+        # global loads are measurable at batch-encode scale.
+        prob_bits = _PROB_BITS
+        move_bits = _MOVE_BITS
+        prob_one = _PROB_ONE
+        top = _TOP
+        mask32 = _MASK32
+        for op in ops:
+            if op >= 0:
+                ctx = op >> 1
+                prob = probs[ctx]
+                bound = (rng >> prob_bits) * prob
+                if op & 1:
+                    low += bound
+                    rng -= bound
+                    probs[ctx] = prob - (prob >> move_bits)
+                else:
+                    rng = bound
+                    probs[ctx] = prob + ((prob_one - prob) >> move_bits)
+            else:
+                rng >>= 1
+                if op != -1:
+                    low += rng
+            while rng < top:
+                if low < 0xFF000000 or low > mask32:
+                    carry = low >> 32
+                    out.append((cache + carry) & 0xFF)
+                    for _ in range(cache_size - 1):
+                        out.append((0xFF + carry) & 0xFF)
+                    cache = (low >> 24) & 0xFF
+                    cache_size = 0
+                cache_size += 1
+                low = (low << 8) & mask32
+                rng = (rng << 8) & mask32
+        self._low = low
+        self._range = rng
+        self._cache = cache
+        self._cache_size = cache_size
 
     @property
     def bits_emitted(self) -> int:
@@ -185,4 +353,102 @@ class CabacDecoder(EntropyDecoder):
         return value
 
     def decode_flag(self, group: ContextGroup, variant: int = 0) -> bool:
-        return bool(self._decode_context_bin(group.first_bin_context(variant)))
+        # Inlined mirror of the encoder's flag fast path.
+        ctx = group.first_bin_context(variant)
+        prob = self._probs[ctx]
+        bound = (self._range >> _PROB_BITS) * prob
+        if self._code < bound:
+            bit = False
+            self._range = bound
+            self._probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+        else:
+            bit = True
+            self._code -= bound
+            self._range -= bound
+            self._probs[ctx] = prob - (prob >> _MOVE_BITS)
+        while self._range < _TOP:
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+            self._range = (self._range << 8) & _MASK32
+        return bit
+
+    def decode_uint(self, group: ContextGroup, variant: int = 0) -> int:
+        """Specialized mirror of :meth:`CabacEncoder.encode_uint`.
+
+        Reads exactly the bins the generic base-class path reads (same
+        contexts, same renormalization byte fetches), with the register
+        state held in locals for the whole symbol. This is the decoder
+        half of the entropy hot path; clean-stream decodes and corrupted
+        -stream clamping behave identically to the base implementation.
+        """
+        ladder = group.unary_ladder(variant)
+        tu_cap = group.tu_cap
+        max_value = group.max_value
+        probs = self._probs
+        rng = self._range
+        code = self._code
+        data = self._data
+        pos = self._pos
+        data_len = len(data)
+
+        value = 0
+        terminated = False
+        while value < tu_cap:
+            ctx = ladder[value]
+            prob = probs[ctx]
+            bound = (rng >> _PROB_BITS) * prob
+            if code < bound:
+                rng = bound
+                probs[ctx] = prob + ((_PROB_ONE - prob) >> _MOVE_BITS)
+                bit = 0
+            else:
+                code -= bound
+                rng -= bound
+                probs[ctx] = prob - (prob >> _MOVE_BITS)
+                bit = 1
+            while rng < _TOP:
+                byte = data[pos] if pos < data_len else 0
+                pos += 1
+                code = ((code << 8) | byte) & _MASK32
+                rng = (rng << 8) & _MASK32
+            if not bit:
+                terminated = True
+                break
+            value += 1
+        if not terminated:
+            # EG0 bypass suffix: count the ones prefix (bounded), then
+            # read that many suffix bits — the same bits the generic
+            # ``_decode_eg0_bypass`` consumes.
+            length = 0
+            while True:
+                rng >>= 1
+                if code >= rng:
+                    code -= rng
+                    bit = 1
+                else:
+                    bit = 0
+                while rng < _TOP:
+                    byte = data[pos] if pos < data_len else 0
+                    pos += 1
+                    code = ((code << 8) | byte) & _MASK32
+                    rng = (rng << 8) & _MASK32
+                if not bit or length >= MAX_EG_PREFIX:
+                    break
+                length += 1
+            suffix = 0
+            for _ in range(length):
+                rng >>= 1
+                if code >= rng:
+                    code -= rng
+                    suffix = (suffix << 1) | 1
+                else:
+                    suffix <<= 1
+                while rng < _TOP:
+                    byte = data[pos] if pos < data_len else 0
+                    pos += 1
+                    code = ((code << 8) | byte) & _MASK32
+                    rng = (rng << 8) & _MASK32
+            value += (1 << length) - 1 + suffix
+        self._range = rng
+        self._code = code
+        self._pos = pos
+        return value if value < max_value else max_value

@@ -50,24 +50,28 @@ def _filter_vertical_edges(frame: np.ndarray, alpha: int, beta: int,
     writes [c-1, c], so no edge ever touches pixels another edge wrote
     and the batch is exactly equivalent to the left-to-right scalar
     sweep.
+
+    ``frame`` may carry leading batch axes (``(..., H, W)``): the filter
+    is purely per-row elementwise, so a stacked call is bitwise
+    identical to filtering each frame alone.
     """
-    width = frame.shape[1]
+    width = frame.shape[-1]
     columns = np.arange(_EDGE_STEP, width, _EDGE_STEP)
     if columns.size == 0:
         return
-    p1 = frame[:, columns - 2]
-    p0 = frame[:, columns - 1]
-    q0 = frame[:, columns]
+    p1 = frame[..., columns - 2]
+    p0 = frame[..., columns - 1]
+    q0 = frame[..., columns]
     next_columns = np.minimum(columns + 1, width - 1)
-    q1 = np.where(columns + 1 < width, frame[:, next_columns], q0)
+    q1 = np.where(columns + 1 < width, frame[..., next_columns], q0)
     active = ((np.abs(p0 - q0) < alpha)
               & (np.abs(p1 - p0) < beta)
               & (np.abs(q1 - q0) < beta))
     delta = np.clip(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3,
                     -clip_limit, clip_limit)
-    frame[:, columns - 1] = np.where(
+    frame[..., columns - 1] = np.where(
         active, np.clip(p0 + delta, 0, 255), p0)
-    frame[:, columns] = np.where(
+    frame[..., columns] = np.where(
         active, np.clip(q0 - delta, 0, 255), q0)
 
 
@@ -86,6 +90,23 @@ def deblock_frame(frame: np.ndarray, qp: int) -> np.ndarray:
     working = working.T.copy()
     _filter_vertical_edges(working, alpha, beta, clip_limit)
     return working.T.astype(np.uint8)
+
+
+def deblock_frames(frames: np.ndarray, qp: int) -> np.ndarray:
+    """Apply :func:`deblock_frame` to a stack of frames at once.
+
+    ``frames`` is ``(N, H, W)``; the result is bitwise identical to
+    filtering each frame separately (the filter never reads across the
+    batch axis). One numpy pass per edge direction for the whole stack.
+    """
+    alpha, beta, clip_limit = filter_thresholds(qp)
+    if alpha == 0:
+        return frames.copy()
+    working = frames.astype(np.int16)
+    _filter_vertical_edges(working, alpha, beta, clip_limit)
+    working = working.swapaxes(-1, -2).copy()
+    _filter_vertical_edges(working, alpha, beta, clip_limit)
+    return working.swapaxes(-1, -2).astype(np.uint8)
 
 
 def blockiness(frame: np.ndarray) -> float:

@@ -25,6 +25,36 @@ from ..errors import BitstreamError
 #: clamping. Bounds worst-case work on corrupted streams.
 MAX_EG_PREFIX = 24
 
+#: Largest value with a precomputed ``encode_bins`` op string in
+#: :meth:`ContextGroup.uint_op_table`; larger values are planned on the
+#: fly (they are rare: quantized levels are overwhelmingly small).
+UINT_OP_TABLE_LIMIT = 128
+
+
+def uint_bin_ops(value: int, ladder, tu_cap: int) -> tuple:
+    """The ``encode_bins`` op string for one unsigned value.
+
+    Same TU + EG0 binarization as :meth:`EntropyEncoder.encode_uint`:
+    context bins are ``(ctx << 1) | bit``, bypass bins ``-1 - bit``.
+    The op string depends only on the value and the group's ladder —
+    never on coder state — which is what makes it precomputable.
+    """
+    if value < tu_cap:
+        ops = [(ladder[position] << 1) | 1 for position in range(value)]
+        ops.append(ladder[value] << 1)
+        return tuple(ops)
+    ops = [(ladder[position] << 1) | 1 for position in range(tu_cap)]
+    shifted = value - tu_cap + 1
+    length = shifted.bit_length() - 1
+    if length > MAX_EG_PREFIX:
+        raise BitstreamError(
+            f"value {value - tu_cap} too large for EG0 suffix")
+    pattern = ((((1 << length) - 1) << 1) << length) \
+        | (shifted - (1 << length))
+    ops.extend(-1 - ((pattern >> shift) & 1)
+               for shift in range(2 * length, -1, -1))
+    return tuple(ops)
+
 
 @dataclass(frozen=True)
 class ContextGroup:
@@ -66,6 +96,54 @@ class ContextGroup:
             return self.base
         return self.base + self.variants + min(bin_index - 1, self.tail - 1)
 
+    def unary_ladder(self, variant: int) -> tuple:
+        """Context index per truncated-unary bin position 0..tu_cap-1.
+
+        The TU binarization selects contexts purely from the bin
+        position — never from coder state — so the whole ladder is
+        computed once per variant and indexed in the backends' hot
+        loops. ``ladder[b]`` serves both the ``1`` bin at position
+        ``b`` and the terminating ``0`` bin of value ``b``. Cached on
+        the instance (via ``object.__setattr__``, the dataclass being
+        frozen) because hashing the group per symbol costs more than
+        the lookup it saves.
+        """
+        if not 0 <= variant < self.variants:
+            raise BitstreamError(
+                f"context variant {variant} out of range 0..{self.variants - 1}"
+            )
+        ladders = getattr(self, "_ladders", None)
+        if ladders is None:
+            ladders = tuple(
+                (self.first_bin_context(v),)
+                + tuple(self.tail_context(index)
+                        for index in range(1, self.tu_cap))
+                for v in range(self.variants)
+            )
+            object.__setattr__(self, "_ladders", ladders)
+        return ladders[variant]
+
+    def uint_op_table(self, variant: int) -> tuple:
+        """Precomputed ``encode_bins`` op strings for small values.
+
+        ``table[v]`` is :func:`uint_bin_ops` for value ``v``, covering
+        ``0..min(max_value, UINT_OP_TABLE_LIMIT)``; callers fall back to
+        on-the-fly planning beyond the table. Cached on the instance
+        like :meth:`unary_ladder`.
+        """
+        tables = getattr(self, "_uint_op_tables", None)
+        if tables is None:
+            tables = {}
+            object.__setattr__(self, "_uint_op_tables", tables)
+        table = tables.get(variant)
+        if table is None:
+            ladder = self.unary_ladder(variant)
+            limit = min(self.max_value, UINT_OP_TABLE_LIMIT)
+            table = tuple(uint_bin_ops(value, ladder, self.tu_cap)
+                          for value in range(limit + 1))
+            tables[variant] = table
+        return table
+
 
 class EntropyEncoder(abc.ABC):
     """Serializer of syntax symbols into a byte payload."""
@@ -103,6 +181,24 @@ class EntropyEncoder(abc.ABC):
         """
         for shift in range(count - 1, -1, -1):
             self.encode_bypass((value >> shift) & 1)
+
+    # -- planned bin strings -------------------------------------------
+
+    def encode_bins(self, ops) -> None:
+        """Encode a pre-planned bin string.
+
+        ``ops`` holds one int per bin: a context bin is
+        ``(ctx << 1) | bit``, a bypass bin is ``-1 - bit``. The syntax
+        layer uses this to emit a whole residual block in one backend
+        call. The default dispatches bin by bin, so backends overriding
+        it with a batched loop (CABAC) never change the emitted stream —
+        only the Python call overhead.
+        """
+        for op in ops:
+            if op >= 0:
+                self._encode_context_bin(op & 1, op >> 1)
+            else:
+                self.encode_bypass(-1 - op)
 
     # -- shared binarization -------------------------------------------
 

@@ -334,20 +334,44 @@ def reference_dependencies(ref_coded_index: int, top: int, left: int,
     material for VideoApp's compensation edge weights (Section 4.1).
     """
     oy, ox, height, width = rect
-    rows = np.clip(np.arange(top + oy + mv.dy, top + oy + mv.dy + height),
-                   0, frame_height - 1)
-    cols = np.clip(np.arange(left + ox + mv.dx, left + ox + mv.dx + width),
-                   0, frame_width - 1)
-    mb_row_counts = np.bincount(rows // MB_SIZE,
-                                minlength=frame_height // MB_SIZE)
-    mb_col_counts = np.bincount(cols // MB_SIZE,
-                                minlength=frame_width // MB_SIZE)
+    row_counts = _axis_mb_counts(top + oy + mv.dy, height, frame_height)
+    col_counts = _axis_mb_counts(left + ox + mv.dx, width, frame_width)
     deps: List[DependencyRecord] = []
-    for mb_row in np.nonzero(mb_row_counts)[0]:
-        for mb_col in np.nonzero(mb_col_counts)[0]:
-            pixels = int(mb_row_counts[mb_row]) * int(mb_col_counts[mb_col])
+    for mb_row, row_pixels in row_counts:
+        base = mb_row * mb_cols
+        for mb_col, col_pixels in col_counts:
             deps.append(DependencyRecord(
-                source=(ref_coded_index, int(mb_row) * mb_cols + int(mb_col)),
-                pixels=pixels,
+                source=(ref_coded_index, base + mb_col),
+                pixels=row_pixels * col_pixels,
             ))
     return deps
+
+
+def _axis_mb_counts(start: int, length: int,
+                    limit: int) -> List[Tuple[int, int]]:
+    """Per-MB pixel counts of one clamped axis of a compensated rect.
+
+    The ``length`` coordinates ``start..start+length-1`` are clamped
+    into ``[0, limit)`` (padding replicates the edge pixels) and
+    bucketed by :data:`MB_SIZE`. Returns ascending ``(mb index, count)``
+    pairs — exactly the nonzero entries a clip/bincount over the same
+    coordinates produces, without any small-array numpy overhead (this
+    runs once per partition axis, i.e. hundreds of thousands of times
+    per campaign).
+    """
+    below = min(max(-start, 0), length)
+    above = min(max(start + length - limit, 0), length - below)
+    counts: Dict[int, int] = {}
+    if below:
+        counts[0] = below
+    position = start + below
+    stop = start + length - above
+    while position < stop:
+        mb = position // MB_SIZE
+        step = min(stop, (mb + 1) * MB_SIZE) - position
+        counts[mb] = counts.get(mb, 0) + step
+        position += step
+    if above:
+        edge = (limit - 1) // MB_SIZE
+        counts[edge] = counts.get(edge, 0) + above
+    return sorted(counts.items())

@@ -14,15 +14,18 @@ the slice's first MB row, and the left neighbor stops at column 0.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from .types import MacroblockMode, MotionVector
 
 
 class FrameMbState:
-    """Mutable per-macroblock bookkeeping for one frame."""
+    """Mutable per-macroblock bookkeeping for one frame.
+
+    Plain Python lists, not numpy arrays: every macroblock does a
+    handful of scalar neighbor lookups, and list indexing is several
+    times cheaper than numpy scalar indexing at that grain.
+    """
 
     #: Sentinel mode for not-yet-coded macroblocks.
     UNSET = -1
@@ -30,9 +33,12 @@ class FrameMbState:
     def __init__(self, mb_rows: int, mb_cols: int) -> None:
         self.mb_rows = mb_rows
         self.mb_cols = mb_cols
-        self.modes = np.full((mb_rows, mb_cols), self.UNSET, dtype=np.int8)
-        self.mvs = np.zeros((mb_rows, mb_cols, 2), dtype=np.int32)
-        self.nnz = np.zeros((mb_rows, mb_cols), dtype=np.int32)
+        self.modes: List[List[int]] = [
+            [self.UNSET] * mb_cols for _ in range(mb_rows)]
+        self.mvs: List[List[Tuple[int, int]]] = [
+            [(0, 0)] * mb_cols for _ in range(mb_rows)]
+        self.nnz: List[List[int]] = [
+            [0] * mb_cols for _ in range(mb_rows)]
         self.last_dqp_nonzero = False
         self.prev_qp = 0  # seeded with the slice QP at slice start
 
@@ -41,9 +47,9 @@ class FrameMbState:
     def record(self, mb_row: int, mb_col: int, mode: MacroblockMode,
                mv: MotionVector, qp: int, dqp: int, nnz: int) -> None:
         """Store the outcome of one coded macroblock."""
-        self.modes[mb_row, mb_col] = int(mode)
-        self.mvs[mb_row, mb_col] = (mv.dy, mv.dx)
-        self.nnz[mb_row, mb_col] = nnz
+        self.modes[mb_row][mb_col] = int(mode)
+        self.mvs[mb_row][mb_col] = (mv.dy, mv.dx)
+        self.nnz[mb_row][mb_col] = nnz
         self.last_dqp_nonzero = dqp != 0
         self.prev_qp = qp
 
@@ -57,13 +63,16 @@ class FrameMbState:
         return (
             min_mb_row <= mb_row < self.mb_rows
             and 0 <= mb_col < self.mb_cols
-            and self.modes[mb_row, mb_col] != self.UNSET
+            and self.modes[mb_row][mb_col] != self.UNSET
         )
 
     def _mode_at(self, mb_row: int, mb_col: int,
                  min_mb_row: int) -> Optional[int]:
-        if self._available(mb_row, mb_col, min_mb_row):
-            return int(self.modes[mb_row, mb_col])
+        if (min_mb_row <= mb_row < self.mb_rows
+                and 0 <= mb_col < self.mb_cols):
+            mode = self.modes[mb_row][mb_col]
+            if mode != self.UNSET:
+                return mode
         return None
 
     # -- metadata prediction ----------------------------------------------
@@ -90,8 +99,8 @@ class FrameMbState:
         for row, col in positions:
             mode = self._mode_at(row, col, min_mb_row)
             if mode in (int(MacroblockMode.INTER), int(MacroblockMode.SKIP)):
-                mv = self.mvs[row, col]
-                vector = MotionVector(int(mv[0]), int(mv[1]))
+                mv = self.mvs[row][col]
+                vector = MotionVector(mv[0], mv[1])
                 candidates.append(vector)
                 inter_vectors.append(vector)
             else:
@@ -136,8 +145,8 @@ class FrameMbState:
         total = 0
         for row, col in ((mb_row, mb_col - 1), (mb_row - 1, mb_col)):
             if self._available(row, col, min_mb_row):
-                mv = self.mvs[row, col]
-                total += abs(int(mv[0])) + abs(int(mv[1]))
+                mv = self.mvs[row][col]
+                total += abs(mv[0]) + abs(mv[1])
         if total < 3:
             return 0
         if total < 32:
@@ -153,7 +162,7 @@ class FrameMbState:
         total = 0
         for row, col in ((mb_row, mb_col - 1), (mb_row - 1, mb_col)):
             if self._available(row, col, min_mb_row):
-                total += int(self.nnz[row, col])
+                total += self.nnz[row][col]
         if total == 0:
             return 0
         if total < 16:

@@ -24,9 +24,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import EncoderError
+from ..errors import BitstreamError, EncoderError
 from .contexts import ContextModel
-from .entropy import EntropyDecoder, EntropyEncoder
+from .entropy import EntropyDecoder, EntropyEncoder, uint_bin_ops
 from .neighbors import FrameMbState
 from .transform import (
     MAX_QP,
@@ -83,17 +83,39 @@ def _level_bucket(position: int) -> int:
     return 2
 
 
+#: ``_level_bucket`` for every scan position, as a table for the hot loop.
+_LEVEL_BUCKETS = tuple(_level_bucket(position) for position in range(16))
+
+
 # ----------------------------------------------------------------------
 # Residual blocks
 # ----------------------------------------------------------------------
 
-def _encode_block(enc: EntropyEncoder, model: ContextModel,
-                  vector: List[int], nnz_variant: int) -> None:
+#: Per-variant cap on cached whole-block plans; quantized residual
+#: blocks repeat heavily, so the cache saturates far below this.
+_PLAN_CACHE_LIMIT = 1 << 16
+
+
+def _block_ops(plan_cache, nnz_ops, sig_base, level_tables, level_group,
+               vector: List[int]) -> List[int]:
     # ``vector`` is the block's zigzag scan as plain Python ints (the
-    # caller gathers all 16 blocks of the MB in one indexing op); the
-    # bin loop below then runs without any array-scalar overhead.
+    # caller gathers all 16 blocks of the MB in one indexing op) and the
+    # op tables are hoisted out of the residual loop by the caller. The
+    # whole block is planned as one bin string and the caller emits all
+    # of a macroblock's blocks in a single ``encode_bins`` call —
+    # identical bins, contexts, and order to symbol-by-symbol encoding,
+    # without per-symbol dispatch. Bin strings depend only on the
+    # values (never on coder state), so whole-block plans are memoized
+    # by scan content: quantization collapses most blocks onto a small
+    # set of sparse vectors.
+    key = tuple(vector)
+    ops = plan_cache.get(key)
+    if ops is not None:
+        return ops
     nonzero = 16 - vector.count(0)
-    enc.encode_uint(nonzero, model["nnz"], variant=nnz_variant)
+    ops = list(nnz_ops[nonzero])
+    append = ops.append
+    extend = ops.extend
     found = 0
     for position in range(16):
         remaining = nonzero - found
@@ -104,18 +126,36 @@ def _encode_block(enc: EntropyEncoder, model: ContextModel,
             significant = True  # implied: all remaining positions are set
         else:
             significant = value != 0
-            enc.encode_flag(significant, model["sig"], variant=position)
+            append(((sig_base + position) << 1) | (1 if significant else 0))
         if significant:
-            enc.encode_uint(abs(value) - 1, model["level"],
-                            variant=_level_bucket(position))
-            enc.encode_bypass(1 if value < 0 else 0)
+            magnitude = abs(value) - 1
+            table = level_tables[_LEVEL_BUCKETS[position]]
+            if magnitude < len(table):
+                extend(table[magnitude])
+            else:
+                # Rare large level: plan on the fly (validates range).
+                if magnitude > level_group.max_value:
+                    raise BitstreamError(
+                        f"value {magnitude} exceeds group max "
+                        f"{level_group.max_value}")
+                extend(uint_bin_ops(
+                    magnitude,
+                    level_group.unary_ladder(_LEVEL_BUCKETS[position]),
+                    level_group.tu_cap))
+            append(-2 if value < 0 else -1)
             found += 1
+    if len(plan_cache) < _PLAN_CACHE_LIMIT:
+        plan_cache[key] = ops
+    return ops
 
 
-def _decode_block(dec: EntropyDecoder, model: ContextModel,
+def _decode_block(dec: EntropyDecoder, nnz_group, sig_group, level_group,
                   nnz_variant: int) -> List[int]:
     vector = [0] * 16
-    nonzero = dec.decode_uint(model["nnz"], variant=nnz_variant)
+    decode_uint = dec.decode_uint
+    decode_flag = dec.decode_flag
+    decode_bypass = dec.decode_bypass
+    nonzero = decode_uint(nnz_group, variant=nnz_variant)
     found = 0
     for position in range(16):
         remaining = nonzero - found
@@ -124,11 +164,11 @@ def _decode_block(dec: EntropyDecoder, model: ContextModel,
         if 16 - position == remaining:
             significant = True
         else:
-            significant = dec.decode_flag(model["sig"], variant=position)
+            significant = decode_flag(sig_group, variant=position)
         if significant:
-            magnitude = dec.decode_uint(model["level"],
-                                        variant=_level_bucket(position)) + 1
-            if dec.decode_bypass():
+            magnitude = decode_uint(level_group,
+                                    variant=_LEVEL_BUCKETS[position]) + 1
+            if decode_bypass():
                 magnitude = -magnitude
             vector[position] = magnitude
             found += 1
@@ -200,12 +240,36 @@ def encode_macroblock(enc: EntropyEncoder, model: ContextModel,
         # Zigzag-scan all 16 blocks to plain Python ints in one gather.
         vectors = np.asarray(decision.coefficients).reshape(16, 16)[
             :, ZIGZAG_FLAT_INDEX].tolist()
+        level_group = model["level"]
+        nnz_group = model["nnz"]
+        nnz_ops = nnz_group.uint_op_table(nnz_variant)
+        sig_base = model["sig"].first_bin_context(0)
+        level_tables = (level_group.uint_op_table(0),
+                        level_group.uint_op_table(1),
+                        level_group.uint_op_table(2))
+        # Whole-block plan caches live on the model (one per nnz
+        # variant — the plan's nnz prefix depends on it; everything
+        # else in the plan is variant-independent).
+        caches = getattr(model, "_block_plan_caches", None)
+        if caches is None:
+            caches = tuple({} for _ in range(nnz_group.variants))
+            model._block_plan_caches = caches
+        plan_cache = caches[nnz_variant]
+        # All coded blocks of the MB go out in one encode_bins call:
+        # the op streams concatenate exactly as the per-block calls
+        # would have emitted them.
+        combined: List[int] = []
+        extend = combined.extend
         for quadrant in range(4):
             if not decision.cbp[quadrant]:
                 continue
             for block in range(4):
                 index = _block_index(quadrant, block)
-                _encode_block(enc, model, vectors[index], nnz_variant)
+                extend(_block_ops(plan_cache, nnz_ops, sig_base,
+                                  level_tables, level_group,
+                                  vectors[index]))
+        if combined:
+            enc.encode_bins(combined)
 
 
 def decode_macroblock(dec: EntropyDecoder, model: ContextModel,
@@ -284,12 +348,16 @@ def decode_macroblock(dec: EntropyDecoder, model: ContextModel,
     )
     vectors = [[0] * 16 for _ in range(16)]
     nnz_variant = state.nnz_context(mb_row, mb_col, min_mb_row)
+    nnz_group = model["nnz"]
+    sig_group = model["sig"]
+    level_group = model["level"]
     for quadrant in range(4):
         if not cbp[quadrant]:
             continue
         for block in range(4):
             index = _block_index(quadrant, block)
-            vectors[index] = _decode_block(dec, model, nnz_variant)
+            vectors[index] = _decode_block(dec, nnz_group, sig_group,
+                                           level_group, nnz_variant)
     # One batched inverse zigzag for the whole macroblock.
     coefficients = np.array(vectors, dtype=np.int32)[
         :, ZIGZAG_FLAT_INVERSE].reshape(16, 4, 4)

@@ -102,6 +102,30 @@ def reconstruct_residual(levels: np.ndarray, qp: int) -> np.ndarray:
     return deblockify(inverse_transform(dequantize(levels, qp)))
 
 
+def transform_and_quantize_many(residual_stack: np.ndarray,
+                                qps) -> np.ndarray:
+    """(M, 16, 16) residuals with per-MB QPs -> (M, 16, 4, 4) levels.
+
+    Bitwise identical to :func:`transform_and_quantize` per macroblock:
+    the batched blockify applies the same axis permutation per item, the
+    integer einsum is exact at any batch size, and each QP's divisor is
+    the same ``step * SCALE`` float64 product the scalar path divides
+    by.
+    """
+    stack = np.asarray(residual_stack)
+    count = stack.shape[0]
+    blocks = (
+        stack.reshape(count, 4, 4, 4, 4)
+        .transpose(0, 1, 3, 2, 4)
+        .reshape(count * 16, 4, 4)
+    )
+    coefficients = forward_transform(blocks).reshape(count, 16, 4, 4)
+    steps = np.array([quant_step(int(qp)) for qp in qps],
+                     dtype=np.float64)
+    divisors = steps[:, None, None, None] * SCALE
+    return np.rint(coefficients / divisors).astype(np.int32)
+
+
 def reconstruct_residuals_many(levels_stack: np.ndarray,
                                qps) -> np.ndarray:
     """(M, 16, 4, 4) levels with per-MB QPs -> (M, 16, 16) residuals.

@@ -23,12 +23,23 @@ from .executor import (
     resolve_workers,
     run_campaign,
 )
+from .farm import (
+    ClipEncodeResult,
+    FarmResult,
+    build_encode_unit_specs,
+    build_farm_context,
+    encode_farm,
+)
 from .journal import JOURNAL_VERSION, TrialJournal, campaign_digest, \
     context_digest, spec_digest
+from .shm import SHM_ENV, SharedClipStore, pack_clips, shared_memory_enabled
 from .trials import (
+    BATCH_SIZE_ENV,
+    DEFAULT_BATCH_SIZE,
     FAILURE_CRASH,
     FAILURE_ERROR,
     FAILURE_TIMEOUT,
+    KIND_ENCODE_UNIT,
     KIND_RETENTION_READ,
     KIND_SINGLE_FLIP,
     KIND_STORED_READ,
@@ -42,7 +53,9 @@ from .trials import (
     WorkerState,
     build_sweep_specs,
     execute_trial,
+    execute_trial_batch,
     register_trial_kind,
+    resolve_batch_size,
     spawn_trial_seeds,
     unregister_trial_kind,
 )
@@ -56,18 +69,25 @@ from .watchdog import (
 
 __all__ = [
     "ArtifactCache",
+    "BATCH_SIZE_ENV",
     "CACHE_ENV",
+    "ClipEncodeResult",
+    "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_RETRIES",
     "FAILURE_CRASH",
     "FAILURE_ERROR",
     "FAILURE_TIMEOUT",
+    "FarmResult",
     "JOURNAL_VERSION",
+    "KIND_ENCODE_UNIT",
     "KIND_RETENTION_READ",
     "KIND_SINGLE_FLIP",
     "KIND_STORED_READ",
     "KIND_SWEEP",
     "MAX_RETRIES_ENV",
     "RunStats",
+    "SHM_ENV",
+    "SharedClipStore",
     "TIMEOUT_ENV",
     "TrialContext",
     "TrialExecutor",
@@ -79,20 +99,27 @@ __all__ = [
     "WORKERS_ENV",
     "WorkerState",
     "alarm_capable",
+    "build_encode_unit_specs",
+    "build_farm_context",
     "build_sweep_specs",
     "campaign_digest",
     "content_key",
     "context_digest",
     "default_chunksize",
+    "encode_farm",
     "execute_trial",
+    "execute_trial_batch",
     "fork_available",
+    "pack_clips",
     "register_trial_kind",
+    "resolve_batch_size",
     "resolve_max_retries",
     "resolve_trial_timeout",
     "resolve_workers",
     "run_campaign",
     "run_with_deadline",
     "session_cache",
+    "shared_memory_enabled",
     "spawn_trial_seeds",
     "spec_digest",
     "trial_deadline",

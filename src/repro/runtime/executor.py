@@ -75,6 +75,7 @@ from .trials import (
     FAILURE_CRASH,
     FAILURE_ERROR,
     FAILURE_TIMEOUT,
+    KIND_ENCODE_UNIT,
     RunStats,
     TrialContext,
     TrialFailure,
@@ -83,6 +84,8 @@ from .trials import (
     TrialSpec,
     WorkerState,
     execute_trial,
+    execute_trial_batch,
+    resolve_batch_size,
 )
 from .watchdog import resolve_trial_timeout, trial_deadline
 
@@ -161,6 +164,93 @@ def _guarded_trial(state: WorkerState, spec: TrialSpec,
     return outcome
 
 
+def _batchable_key(state: WorkerState,
+                   spec: TrialSpec) -> Optional[tuple]:
+    """Geometry key for stacking, or None if the spec can't batch."""
+    if spec.kind != KIND_ENCODE_UNIT:
+        return None
+    context = state.context
+    if context.clips is None or context.encoder_config is None:
+        return None
+    try:
+        clip = context.clips[spec.clip_ref]
+        start = 0 if spec.unit_start is None else spec.unit_start
+        stop = len(clip) if spec.unit_stop is None else spec.unit_stop
+        return (clip.height, clip.width, stop - start)
+    except Exception:
+        return None  # malformed spec: let the scalar path report it
+
+
+def _guarded_batch(state: WorkerState,
+                   group: Sequence[Tuple[int, TrialSpec]],
+                   timeout: float) -> List[Tuple[int, TrialOutcome]]:
+    """Run one same-geometry encode-unit group as a batched encode.
+
+    The watchdog budget scales with group size (the batch does the work
+    of ``len(group)`` trials). Any batch-level failure — timeout or
+    exception — falls back to per-spec :func:`_guarded_trial` execution
+    so blame lands on individual trials, exactly as if the group had
+    never been batched.
+    """
+    specs = [spec for _, spec in group]
+    started = time.perf_counter()
+    try:
+        with obs_trace.span("trial.batch", kind=KIND_ENCODE_UNIT,
+                            size=len(specs)):
+            with trial_deadline(timeout * len(specs) if timeout else 0.0,
+                                what=f"encode batch of {len(specs)}"):
+                results = execute_trial_batch(state, specs)
+    except Exception:  # includes TrialTimeout; per-spec retry assigns blame
+        obs_metrics.counter("encode_batch_fallbacks_total").inc()
+        return [(pos, _guarded_trial(state, spec, timeout))
+                for pos, spec in group]
+    elapsed = time.perf_counter() - started
+    registry = obs_metrics.get_registry()
+    registry.counter("trials_total").inc(len(specs))
+    registry.counter("encode_units_batched_total").inc(len(specs))
+    registry.histogram("encode_batch_occupancy").observe(len(specs))
+    for _ in specs:  # amortized per-trial cost, for comparable rates
+        registry.histogram("trial_seconds").observe(elapsed / len(specs))
+    return [(pos, result) for (pos, _), result in zip(group, results)]
+
+
+def _iter_chunk_outcomes(state: WorkerState,
+                         items: Sequence[Tuple[int, TrialSpec]],
+                         timeout: float):
+    """Execute a chunk's items, batching encode units; yields
+    ``(pos, spec, outcome)`` as work completes.
+
+    Consecutive same-geometry ``KIND_ENCODE_UNIT`` items are grouped up
+    to the resolved batch width and run through the stacked kernels;
+    everything else runs per-spec. Grouping only reorders *completion*
+    within the chunk — the (pos, outcome) mapping is untouched, so
+    campaign results are independent of batching.
+    """
+    batch_size = resolve_batch_size(
+        getattr(state.context, "batch_size", None))
+    groups: Dict[tuple, List[Tuple[int, TrialSpec]]] = {}
+    for pos, spec in items:
+        key = _batchable_key(state, spec) if batch_size > 1 else None
+        if key is None:
+            yield pos, spec, _guarded_trial(state, spec, timeout)
+            continue
+        group = groups.setdefault(key, [])
+        group.append((pos, spec))
+        if len(group) >= batch_size:
+            del groups[key]
+            for (out_pos, out_spec), (_, outcome) in zip(
+                    group, _guarded_batch(state, group, timeout)):
+                yield out_pos, out_spec, outcome
+    for group in groups.values():
+        if len(group) == 1:
+            pos, spec = group[0]
+            yield pos, spec, _guarded_trial(state, spec, timeout)
+            continue
+        for (out_pos, out_spec), (_, outcome) in zip(
+                group, _guarded_batch(state, group, timeout)):
+            yield out_pos, out_spec, outcome
+
+
 def _pool_healthcheck() -> bool:
     """Sentinel task: proves a respawned pool can initialize and run.
 
@@ -180,8 +270,8 @@ def _run_chunk_remote(
 ) -> _ChunkPayload:
     if _worker_state is None:  # pragma: no cover - initializer always ran
         raise AnalysisError("worker used before initialization")
-    records = [(pos, _guarded_trial(_worker_state, spec, _worker_timeout))
-               for pos, spec in items]
+    records = [(pos, outcome) for pos, _, outcome in
+               _iter_chunk_outcomes(_worker_state, items, _worker_timeout)]
     tracer = obs_trace.active()
     spans = tracer.drain() if tracer is not None else []
     return records, spans, obs_metrics.get_registry().drain()
@@ -410,8 +500,8 @@ class TrialExecutor:
                     journal: Optional[TrialJournal],
                     reporter: Optional[ProgressReporter] = None) -> None:
         state = WorkerState(context)
-        for pos, spec in items:
-            outcome = _guarded_trial(state, spec, self.timeout)
+        for pos, spec, outcome in _iter_chunk_outcomes(
+                state, items, self.timeout):
             outcomes[pos] = outcome
             if journal is not None and isinstance(outcome, TrialResult):
                 journal.record(spec, outcome)

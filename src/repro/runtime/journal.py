@@ -54,7 +54,10 @@ from .trials import TrialContext, TrialResult, TrialSpec
 #: Version 2 folds the trial context into the campaign digest.
 #: Version 3 folds the lifetime fields (retention time, scrub interval,
 #: retry depth, concealment flag) into the spec digest.
-JOURNAL_VERSION = 3
+#: Version 4 folds the encode-unit fields (clip reference, unit bounds,
+#: clip content, encoder config) into the digests and journals the
+#: kind-specific ``aux`` payload.
+JOURNAL_VERSION = 4
 
 
 def spec_digest(spec: TrialSpec) -> str:
@@ -83,6 +86,9 @@ def spec_digest(spec: TrialSpec) -> str:
         "none" if spec.scrub_days is None else float(spec.scrub_days).hex(),
         repr(spec.retries),
         repr(bool(spec.conceal)),
+        repr(spec.clip_ref),
+        repr(spec.unit_start),
+        repr(spec.unit_stop),
         seed_repr,
     )
     return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]
@@ -123,6 +129,18 @@ def context_digest(context: Optional[TrialContext]) -> str:
             digest.update(pickle.dumps(part, protocol=4))
         except Exception:  # unpicklable (serial-only context): best effort
             digest.update(repr(part).encode())
+    if context.clips is not None:
+        # Hash clip *content*, not transport: the digest must not change
+        # between shared-memory and by-value clip shipping, or toggling
+        # REPRO_BATCH_SHM would orphan every encode-farm journal.
+        digest.update(b"|clips:")
+        for index in range(len(context.clips)):
+            clip = context.clips[index]
+            digest.update(hashlib.sha256(clip.to_array().tobytes()).digest())
+            digest.update(float(clip.fps).hex().encode())
+    if context.encoder_config is not None:
+        digest.update(b"|config:")
+        digest.update(repr(context.encoder_config).encode())
     return digest.hexdigest()[:32]
 
 
@@ -223,6 +241,7 @@ class TrialJournal:
                 value_db=float(record["value_db"]),
                 num_flips=int(record["num_flips"]),
                 forced=bool(record["forced"]),
+                aux=record.get("aux"),
             )
         obs_metrics.counter("journal_restored_total").inc(
             len(self._completed))
@@ -239,11 +258,14 @@ class TrialJournal:
     def record(self, spec: TrialSpec, result: TrialResult) -> None:
         """Durably append one completed trial (flush + fsync)."""
         digest = spec_digest(spec)
-        self._append({"type": "trial", "digest": digest,
-                      "index": result.index,
-                      "value_db": result.value_db,
-                      "num_flips": result.num_flips,
-                      "forced": result.forced})
+        record = {"type": "trial", "digest": digest,
+                  "index": result.index,
+                  "value_db": result.value_db,
+                  "num_flips": result.num_flips,
+                  "forced": result.forced}
+        if result.aux is not None:
+            record["aux"] = result.aux
+        self._append(record)
         self._completed[digest] = result
 
     def _append(self, record: dict) -> None:

@@ -21,6 +21,7 @@ worker count and in any execution order.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,6 +40,27 @@ KIND_SWEEP = "sweep"              #: binomial flips over bit ranges
 KIND_SINGLE_FLIP = "single_flip"  #: one deterministic flip (Figure 3)
 KIND_STORED_READ = "stored_read"  #: full storage round trip (Figure 11)
 KIND_RETENTION_READ = "retention_read"  #: aged read with lifetime knobs
+KIND_ENCODE_UNIT = "encode_unit"  #: batchable clip/GOP encode work unit
+
+#: Upper bound on same-geometry encode units stacked into one batched
+#: kernel call (``REPRO_BATCH_SIZE`` overrides).
+BATCH_SIZE_ENV = "REPRO_BATCH_SIZE"
+DEFAULT_BATCH_SIZE = 16
+
+
+def resolve_batch_size(batch_size: Optional[int] = None) -> int:
+    """Effective encode-batch width: argument, env knob, or default."""
+    if batch_size is not None:
+        return max(1, int(batch_size))
+    raw = os.environ.get(BATCH_SIZE_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError as exc:
+            raise AnalysisError(
+                f"{BATCH_SIZE_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    return DEFAULT_BATCH_SIZE
 
 #: Failure kinds a trial can be quarantined with.
 FAILURE_TIMEOUT = "timeout"  #: exceeded its wall-clock watchdog budget
@@ -116,6 +138,12 @@ class TrialSpec:
     retries: Optional[int] = None
     #: For KIND_RETENTION_READ: conceal uncorrectable slices on decode.
     conceal: bool = False
+    #: For KIND_ENCODE_UNIT: index into ``TrialContext.clips``.
+    clip_ref: Optional[int] = None
+    #: For KIND_ENCODE_UNIT: display-frame bounds of the work unit
+    #: (None/None = the whole clip).
+    unit_start: Optional[int] = None
+    unit_stop: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -126,6 +154,10 @@ class TrialResult:
     value_db: float      #: kind-dependent measurement (see execute_trial)
     num_flips: int = 0
     forced: bool = False
+    #: Kind-specific extras, JSON-serializable (journaled verbatim).
+    #: Encode units report ``bits`` and per-frame PSNRs so the farm can
+    #: aggregate rate and frame-weighted quality across units.
+    aux: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +201,15 @@ class TrialContext:
     ranges_table: Tuple[Tuple[BitRange, ...], ...] = ()
     store: Optional[object] = None   # ApproximateVideoStore
     stored: Optional[object] = None  # StoredVideo
+    #: Encode-farm clip table: any indexable of ``VideoSequence`` — a
+    #: plain tuple, or a ``SharedClipStore`` handle whose frames live in
+    #: shared memory and attach lazily in each worker.
+    clips: Optional[object] = None
+    #: Encoder configuration for KIND_ENCODE_UNIT trials.
+    encoder_config: Optional[object] = None
+    #: Explicit encode-batch width for this campaign (None = resolve
+    #: from ``REPRO_BATCH_SIZE``); carried here so it reaches workers.
+    batch_size: Optional[int] = None
 
 
 class WorkerState:
@@ -213,7 +254,7 @@ def register_trial_kind(kind: str, handler: TrialHandler) -> None:
     replaces its handler.
     """
     if kind in (KIND_SWEEP, KIND_SINGLE_FLIP, KIND_STORED_READ,
-                KIND_RETENTION_READ):
+                KIND_RETENTION_READ, KIND_ENCODE_UNIT):
         raise AnalysisError(f"cannot override built-in trial kind {kind!r}")
     _KIND_HANDLERS[kind] = handler
 
@@ -292,10 +333,94 @@ def execute_trial(state: WorkerState, spec: TrialSpec) -> TrialResult:
         return TrialResult(spec.index,
                            float(video_psnr(context.reference, damaged)), 0,
                            False)
+    if spec.kind == KIND_ENCODE_UNIT:
+        return _execute_encode_unit(state, spec)
     handler = _KIND_HANDLERS.get(spec.kind)
     if handler is not None:
         return handler(state, spec)
     raise AnalysisError(f"unknown trial kind {spec.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Encode-unit trials (the batched encode farm)
+# ----------------------------------------------------------------------
+
+def _unit_video(context: TrialContext, spec: TrialSpec) -> VideoSequence:
+    """Materialize the clip slice an encode-unit spec points at."""
+    if context.clips is None or context.encoder_config is None:
+        raise AnalysisError(
+            "encode-unit trial needs clips and an encoder config")
+    clip = context.clips[spec.clip_ref]
+    if spec.unit_start is None and spec.unit_stop is None:
+        return clip
+    start = 0 if spec.unit_start is None else spec.unit_start
+    stop = len(clip) if spec.unit_stop is None else spec.unit_stop
+    return clip.subsequence(start, stop)
+
+
+def _encode_unit_result(spec: TrialSpec, unit: VideoSequence,
+                        encoded: EncodedVideo,
+                        recon: np.ndarray) -> TrialResult:
+    """Score one encoded unit: rate in bits, quality per frame.
+
+    ``value_db`` is the unit's frame-averaged PSNR; ``aux`` carries the
+    per-frame PSNR list so the farm reconstructs the whole-clip
+    ``video_psnr`` exactly (units partition the clip's frames, and
+    ``video_psnr`` is the mean over frames).
+    """
+    source = unit.to_array()
+    frame_values = [float(frame_psnr(source[i], recon[i]))
+                    for i in range(source.shape[0])]
+    bits = 8 * len(encoded.serialize())
+    value = float(np.mean(frame_values))
+    return TrialResult(spec.index, value, 0, False,
+                       aux={"bits": bits, "frame_psnrs": frame_values})
+
+
+def _execute_encode_unit(state: WorkerState, spec: TrialSpec) -> TrialResult:
+    """Scalar encode-unit path: encode, decode, measure.
+
+    This is the per-clip baseline the batched path must match bit for
+    bit: the decode of the emitted stream *is* the measured
+    reconstruction (the codec's closed loop guarantees recon == decode,
+    which is what lets :func:`execute_trial_batch` skip the decode).
+    """
+    from ..codec.encoder import Encoder
+
+    context = state.context
+    unit = _unit_video(context, spec)
+    encoded = Encoder(context.encoder_config).encode(unit)
+    recon = state.decoder.decode(encoded).to_array()
+    return _encode_unit_result(spec, unit, encoded, recon)
+
+
+def execute_trial_batch(state: WorkerState,
+                        specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Execute a group of encode-unit trials as one batched encode.
+
+    All specs must be ``KIND_ENCODE_UNIT``. Same-geometry units are
+    stacked through the vectorized kernels by
+    :class:`~repro.codec.batch.BatchEncoder` (mixed geometry falls back
+    to its scalar path internally); each unit's stream is bitwise
+    identical to :func:`execute_trial` on the same spec, and the
+    encoder-side reconstruction replaces the redundant decode.
+    """
+    from ..codec.batch import BatchEncoder
+
+    for spec in specs:
+        if spec.kind != KIND_ENCODE_UNIT:
+            raise AnalysisError(
+                f"execute_trial_batch got a {spec.kind!r} trial")
+    context = state.context
+    if context.clips is None or context.encoder_config is None:
+        raise AnalysisError(
+            "encode-unit trial needs clips and an encoder config")
+    units = [_unit_video(context, spec) for spec in specs]
+    encodeds, recons = BatchEncoder(
+        context.encoder_config).encode_batch_with_recon(units)
+    return [_encode_unit_result(spec, unit, encoded, recon)
+            for spec, unit, encoded, recon
+            in zip(specs, units, encodeds, recons)]
 
 
 def build_sweep_specs(rates: Sequence[float], runs: int,

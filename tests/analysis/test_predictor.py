@@ -1,0 +1,143 @@
+"""Rate/quality predictor: fit-quality floor and pruning semantics.
+
+``DEFAULT_PREDICTOR``'s module docstring promises its committed
+weights keep predicting the synthetic fit suite well; the floor test
+here is that promise. It re-measures a diverse subset of the
+``tools/fit_predictor.py`` suite and fails if the committed weights'
+R^2 drops below floors set safely under the fit-time values (0.952
+for log2 bits/pixel, 0.997 for PSNR) — so refitting with worse
+features, or editing the weights by hand, is caught.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictor import (
+    DEFAULT_PREDICTOR,
+    PROBE_CRF,
+    EncodePrediction,
+    probe_and_predict,
+    probe_features,
+    prune_dominated,
+)
+from repro.codec.config import EncoderConfig
+from repro.codec.decoder import Decoder
+from repro.codec.encoder import Encoder
+from repro.codec.stats import inspect_video
+from repro.errors import AnalysisError
+from repro.metrics.psnr import video_psnr
+from repro.video.frame import VideoSequence
+
+FRAMES, HEIGHT, WIDTH = 10, 48, 64
+
+
+def _suite_clip(seed):
+    """One clip of the ``tools/fit_predictor.py`` synthetic suite."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 220, size=(HEIGHT, WIDTH), dtype=np.int32)
+    detail = rng.integers(0, 35 + 15 * (seed % 3), size=(HEIGHT, WIDTH))
+    pan = seed % 4
+    noise = 3 * (seed % 3)
+    fade = 4 if seed % 5 == 0 else 0
+    frames = []
+    for t in range(FRAMES):
+        frame = np.roll(base + detail, shift=pan * t, axis=1)
+        if noise:
+            frame = frame + rng.integers(-noise, noise + 1,
+                                         size=frame.shape)
+        frames.append(np.clip(frame + fade * t, 0, 255))
+    return VideoSequence.from_array(np.stack(frames).astype(np.uint8))
+
+
+class TestFitQualityFloor:
+    #: Static+fade, pan+noise, and fast-pan+detail regimes.
+    SEEDS = (0, 5, 7)
+    CRF_GRID = (16, 24, 32)
+
+    def test_default_weights_keep_predicting_the_fit_suite(self):
+        predicted_bpp, actual_bpp = [], []
+        predicted_psnr, actual_psnr = [], []
+        for seed in self.SEEDS:
+            clip = _suite_clip(seed)
+            pixels = clip.total_pixels
+            probe = Encoder(EncoderConfig(crf=PROBE_CRF)).encode(clip)
+            stats = inspect_video(probe)
+            for crf in self.CRF_GRID:
+                prediction = DEFAULT_PREDICTOR.predict(stats, pixels, crf)
+                config = dataclasses.replace(EncoderConfig(), crf=crf)
+                encoded = Encoder(config).encode(clip)
+                bits = inspect_video(encoded).total_payload_bits
+                predicted_bpp.append(np.log2(prediction.bits_per_pixel))
+                actual_bpp.append(np.log2(bits / pixels))
+                predicted_psnr.append(prediction.psnr_db)
+                actual_psnr.append(
+                    video_psnr(clip, Decoder().decode(encoded)))
+
+        def r_squared(actual, predicted):
+            actual = np.asarray(actual)
+            residual = actual - np.asarray(predicted)
+            return 1.0 - residual.var() / actual.var()
+
+        assert r_squared(actual_bpp, predicted_bpp) > 0.80
+        assert r_squared(actual_psnr, predicted_psnr) > 0.95
+
+
+class TestPredictionShape:
+    def test_probe_and_predict_covers_the_grid_monotonically(self):
+        clip = _suite_clip(1)
+        grid = (16, 22, 28, 34)
+        predictions = probe_and_predict(clip, grid)
+        assert [p.crf for p in predictions] == list(grid)
+        bpp = [p.bits_per_pixel for p in predictions]
+        psnr = [p.psnr_db for p in predictions]
+        # Raising CRF must never be predicted to cost more bits or
+        # gain quality.
+        assert all(a >= b for a, b in zip(bpp, bpp[1:]))
+        assert all(a >= b for a, b in zip(psnr, psnr[1:]))
+
+    def test_probe_features_reject_empty_frame_budget(self):
+        clip = _suite_clip(2)
+        stats = inspect_video(Encoder(EncoderConfig()).encode(clip))
+        with pytest.raises(AnalysisError):
+            probe_features(stats, 0, 24)
+
+
+class TestPruneDominated:
+    def _point(self, crf, bpp, psnr):
+        return EncodePrediction(crf=crf, bits_per_pixel=bpp, psnr_db=psnr)
+
+    def test_plateau_points_are_dominated(self):
+        predictions = [
+            self._point(36, 0.4, 30.0),
+            self._point(28, 0.8, 33.0),
+            self._point(20, 1.6, 33.1),  # +0.1 dB for 2x the bits
+        ]
+        assert prune_dominated(predictions, epsilon_db=0.25) == [
+            True, True, False]
+
+    def test_cheapest_point_always_survives(self):
+        predictions = [
+            self._point(36, 0.4, 35.0),  # cheapest and best: dominates
+            self._point(28, 0.8, 33.0),
+            self._point(20, 1.6, 31.0),
+        ]
+        keep = prune_dominated(predictions, epsilon_db=0.25)
+        assert keep == [True, False, False]
+
+    def test_epsilon_widens_the_pruning_band(self):
+        predictions = [
+            self._point(36, 0.4, 30.0),
+            self._point(28, 0.8, 31.0),
+        ]
+        assert prune_dominated(predictions, epsilon_db=0.25) == [
+            True, True]
+        assert prune_dominated(predictions, epsilon_db=1.5) == [
+            True, False]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(AnalysisError):
+            prune_dominated([self._point(24, 1.0, 30.0)], epsilon_db=-0.1)

@@ -13,9 +13,16 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as npst
 
 from repro.codec import reference as ref
+from repro.codec.batch import (
+    assemble_gop_units,
+    encode_batch_with_recon,
+    gop_unit_bounds,
+)
 from repro.codec.bitstream import BitReader, BitWriter
 from repro.codec.cabac import CabacDecoder, CabacEncoder
 from repro.codec.cavlc import CavlcDecoder, CavlcEncoder
+from repro.codec.config import EncoderConfig
+from repro.codec.decoder import Decoder
 from repro.codec.deblock import (
     _filter_vertical_edges,
     deblock_frame,
@@ -36,6 +43,7 @@ from repro.codec.transform import (
     reconstruct_residual,
     reconstruct_residuals_many,
 )
+from repro.video.frame import VideoSequence
 
 pixels = st.integers(min_value=0, max_value=255)
 
@@ -294,3 +302,56 @@ class TestEncoderHelperEquivalence:
                 mb = frame[16 * mb_row:16 * mb_row + 16,
                            16 * mb_col:16 * mb_col + 16]
                 assert offsets[mb_row, mb_col] == activity_qp_offset(mb)
+
+
+# ----------------------------------------------------------------------
+# Whole-pipeline batching: the encode farm's stacked path
+# ----------------------------------------------------------------------
+
+def clip_stacks(count: int, min_frames: int = 2, max_frames: int = 5):
+    """Strategy: ``count`` same-geometry uint8 clips as one array."""
+    return st.tuples(
+        st.integers(1, 2), st.integers(1, 2),
+        st.integers(min_frames, max_frames),
+    ).flatmap(
+        lambda dims: npst.arrays(
+            np.uint8,
+            (count, dims[2], 16 * dims[0], 16 * dims[1]),
+            elements=pixels,
+        )
+    )
+
+
+class TestBatchEncoderEquivalence:
+    """The batch encoder's contract is bit-for-bit equality: same
+    streams (traces included — ``serialize`` covers them) and the same
+    reconstruction the decoder would produce from those streams."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data(), crf=st.integers(18, 42), gop=st.integers(2, 4))
+    def test_batched_streams_and_recon_match_per_clip(self, data, crf,
+                                                      gop):
+        count = data.draw(st.integers(2, 3))
+        stack = data.draw(clip_stacks(count))
+        videos = [VideoSequence.from_array(clip) for clip in stack]
+        config = EncoderConfig(crf=crf, gop_size=gop)
+        encodeds, recons = encode_batch_with_recon(videos, config)
+        for video, encoded, recon in zip(videos, encodeds, recons):
+            want = Encoder(config).encode(video)
+            assert encoded.serialize() == want.serialize()
+            decoded = Decoder().decode(want).to_array()
+            np.testing.assert_array_equal(recon, decoded)
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data(), crf=st.integers(20, 40), gop=st.integers(2, 4))
+    def test_gop_unit_assembly_is_byte_identical(self, data, crf, gop):
+        stack = data.draw(clip_stacks(1, min_frames=3, max_frames=9))
+        video = VideoSequence.from_array(stack[0])
+        config = EncoderConfig(crf=crf, gop_size=gop)
+        whole = Encoder(config).encode(video).serialize()
+        bounds = gop_unit_bounds(len(video), config)
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(video)
+        units = [Encoder(config).encode(video.subsequence(start, stop))
+                 for start, stop in bounds]
+        stitched = assemble_gop_units(units, len(video))
+        assert stitched.serialize() == whole

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
-"""Codec-throughput perf gate: current bench run vs committed baseline.
+"""Bench perf gate: current bench run vs committed baseline.
 
-Compares ``BENCH_codec_throughput.json`` (written by
-``benchmarks/bench_codec_throughput.py``) against the committed
-snapshot ``benchmarks/baselines/codec_throughput.json`` and fails when
-any throughput metric regressed by more than the tolerance band
-(default 25%).
+Compares a bench output file (``BENCH_codec_throughput.json`` or
+``BENCH_batch_throughput.json``) against its committed snapshot under
+``benchmarks/baselines/`` and fails when any throughput metric
+regressed by more than the tolerance band (default 25%).
 
-Raw fps is meaningless across machines, so every metric is first
-divided by its run's *yardstick* — a fixed numpy workload timed by the
-same bench on the same host. The gate therefore checks::
+Raw fps is meaningless across machines, so every throughput metric is
+first divided by its run's *yardstick* — a fixed numpy workload timed
+by the same bench on the same host. The gate therefore checks::
 
     (current_fps / current_yardstick)
     ----------------------------------  >=  1 - tolerance
     (baseline_fps / baseline_yardstick)
 
 for every (clip, metric) pair present in both files, and prints the
-whole delta table either way. Metrics present in only one file are
-reported but never fail the gate (clips may be added or renamed).
+whole delta table either way. Which metrics are watched depends on the
+file's ``exhibit`` field (see ``EXHIBIT_METRICS``); metrics present in
+only one file are reported but never fail the gate (clips may be added
+or renamed).
+
+The batch-throughput exhibit additionally carries *absolute* floors:
+``batch_speedup`` is a within-run ratio (both paths timed interleaved
+on the same host), so it needs no yardstick and is gated against fixed
+floors (``ABSOLUTE_FLOORS``) — the batched encode farm must stay >=
+2.0x the per-clip path at width 32 and >= 1.5x at width 8, on any
+host.
 
 Usage::
 
@@ -28,7 +36,8 @@ Usage::
 To refresh the baseline after an intentional perf change, rerun the
 bench at quick scale and copy its output over the baseline file.
 
-Exits 0 when every shared metric is inside the band, 1 otherwise.
+Exits 0 when every shared metric is inside the band and every absolute
+floor holds, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -38,23 +47,47 @@ import json
 import sys
 from pathlib import Path
 
-#: Per-clip throughput metrics the gate watches (higher is better).
-METRICS = ("encode_fps", "decode_fps")
+#: Per-clip throughput metrics the gate watches (higher is better),
+#: keyed by the bench file's ``exhibit`` field.
+EXHIBIT_METRICS = {
+    "codec_throughput": ("encode_fps", "decode_fps"),
+    "batch_throughput": ("clips_per_second",),
+}
+
+#: Absolute floors, keyed by exhibit then clip label: (metric, floor).
+#: These metrics are within-run ratios — self-normalized, so they are
+#: compared against a constant, not against the baseline file.
+ABSOLUTE_FLOORS = {
+    "batch_throughput": {
+        "batch8": ("batch_speedup", 1.5),
+        "batch32": ("batch_speedup", 2.0),
+    },
+}
 
 
-def load_clips(path: Path) -> tuple[float, dict]:
-    """(yardstick ops/s, {clip label -> clip record}) from a bench file."""
+def load_clips(path: Path) -> tuple[str, float, dict]:
+    """(exhibit, yardstick ops/s, {label -> record}) from a bench file."""
     payload = json.loads(path.read_text())
+    exhibit = payload.get("exhibit", "codec_throughput")
+    if exhibit not in EXHIBIT_METRICS:
+        raise ValueError(f"{path}: unknown exhibit {exhibit!r}")
     yardstick = float(payload["yardstick_ops_per_second"])
     if yardstick <= 0:
         raise ValueError(f"{path}: non-positive yardstick {yardstick}")
-    return yardstick, {clip["label"]: clip for clip in payload["clips"]}
+    return exhibit, yardstick, {clip["label"]: clip for clip in payload["clips"]}
 
 
 def compare(current_path: Path, baseline_path: Path, tolerance: float) -> int:
     """Print the delta table; return the number of failing metrics."""
-    current_yard, current = load_clips(current_path)
-    baseline_yard, baseline = load_clips(baseline_path)
+    exhibit, current_yard, current = load_clips(current_path)
+    base_exhibit, baseline_yard, baseline = load_clips(baseline_path)
+    if exhibit != base_exhibit:
+        raise ValueError(
+            f"exhibit mismatch: current {exhibit!r} vs baseline "
+            f"{base_exhibit!r} — wrong --baseline for this bench file?"
+        )
+    metrics = EXHIBIT_METRICS[exhibit]
+    floors = ABSOLUTE_FLOORS.get(exhibit, {})
 
     host_ratio = current_yard / baseline_yard
     floor_pct = 100 * (1 - tolerance)
@@ -75,7 +108,7 @@ def compare(current_path: Path, baseline_path: Path, tolerance: float) -> int:
                 where = "current run"
             rows.append((label, "-", "-", "-", "-", f"only in {where} (ignored)"))
             continue
-        for metric in METRICS:
+        for metric in metrics:
             base = float(baseline[label][metric])
             cur = float(current[label][metric])
             ratio = (cur / current_yard) / (base / baseline_yard)
@@ -86,6 +119,24 @@ def compare(current_path: Path, baseline_path: Path, tolerance: float) -> int:
                 status = "ok"
             delta = f"{100 * (ratio - 1):+.1f}%"
             rows.append((label, metric, f"{base:.1f}", f"{cur:.1f}", delta, status))
+
+    # Absolute floors are checked on the current run only: the metric
+    # is already a within-run ratio, so the baseline adds nothing.
+    for label in sorted(floors):
+        metric, floor = floors[label]
+        if label not in current:
+            rows.append((label, metric, "-", "-", "-", "FAIL (missing label)"))
+            failures += 1
+            continue
+        cur = float(current[label][metric])
+        if cur < floor:
+            status = "FAIL"
+            failures += 1
+        else:
+            status = "ok"
+        rows.append(
+            (label, metric, f">= {floor:.2f}", f"{cur:.2f}", "absolute", status)
+        )
 
     widths = []
     for i in range(len(header)):
