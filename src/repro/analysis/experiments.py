@@ -378,20 +378,27 @@ class Figure11Result:
 
 
 def _slim_stored(stored):
-    """A copy of a StoredVideo without the encoding trace.
+    """A copy of a StoredVideo without the encoding trace or timings.
 
     The read path never touches the trace, and it dominates the pickle
-    shipped to worker processes.
+    shipped to worker processes. The importance analysis wall-clock is
+    zeroed too: the campaign journal folds this object's pickle into
+    the campaign digest, and a timing that changes every run would
+    orphan the journal on resume (two identical campaigns would look
+    like different ones).
     """
     from dataclasses import replace
 
-    encoded = stored.protected.encoded
+    slim = replace(stored,
+                   importance=replace(stored.importance,
+                                      analysis_seconds=0.0))
+    encoded = slim.protected.encoded
     if encoded.trace is None:
-        return stored
+        return slim
     slim_encoded = EncodedVideo(header=encoded.header,
                                 frames=encoded.frames, trace=None)
-    return replace(stored,
-                   protected=replace(stored.protected,
+    return replace(slim,
+                   protected=replace(slim.protected,
                                      encoded=slim_encoded))
 
 

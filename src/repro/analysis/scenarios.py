@@ -1,0 +1,563 @@
+"""The scenario matrix: hostile content × injected faults, with invariants.
+
+Every robustness mechanism in the repo — the executor's crash
+quarantine, the journal's torn-tail recovery, the farm's skip-and-scale
+aggregation, the device's never-silently-corrupted contract — was built
+against *friendly* content and *assumed* faults. This exhibit runs the
+cross product that proves they compose: each content suite (the
+friendly synthetic baseline plus every :mod:`~repro.video.adversarial`
+generator) is pushed through the pipeline while a seeded
+:class:`~repro.runtime.chaos.ChaosPolicy` injects one fault class per
+cell, and each cell asserts the invariant that fault class must not
+break:
+
+========================  ==============================================
+fault cell                invariant
+========================  ==============================================
+``none``                  campaign completes; content-model gap checks
+                          (importance ranking, predictor prune audit)
+                          run here and *flag* rather than fail
+``device_overrate``       reads fail beyond the modeled rates, yet every
+                          extra failure surfaces as an uncorrectable
+                          block (nothing silently miscorrected) and the
+                          campaign still completes
+``trial_error``           an injected mid-trial exception fails exactly
+                          that trial; every survivor is bitwise equal to
+                          the fault-free run
+``worker_crash``          a killed worker process is quarantined after
+                          retries; survivors bitwise equal
+``shm_loss``              a shared-memory clip segment vanishing
+                          mid-campaign fails one encode unit; the farm
+                          skip-and-scales and other clips are untouched
+``journal_torn``          a torn journal tail aborts the writer; a
+                          resume completes the campaign and the final
+                          journal is exactly what an uninterrupted run
+                          would have written
+========================  ==============================================
+
+Determinism is the point: the same ``seed`` produces the same fault
+schedule (:func:`~repro.runtime.chaos.schedule_digest` per cell) and
+the same journal digest, so the whole matrix is a replayable regression
+artifact — the JSON report it emits is compared across runs in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..codec.config import EncoderConfig
+from ..codec.decoder import Decoder
+from ..codec.encoder import Encoder
+from ..core.importance import compute_importance, macroblock_bits
+from ..core.pipeline import ApproximateVideoStore
+from ..errors import AnalysisError, ChaosError
+from ..metrics.psnr import video_psnr
+from ..obs import metrics as obs_metrics
+from ..runtime import chaos
+from ..runtime.executor import run_campaign
+from ..runtime.farm import encode_farm
+from ..runtime.journal import (
+    JOURNAL_VERSION,
+    campaign_digest,
+    spec_digest,
+)
+from ..runtime.shm import SharedClipStore, pack_clips
+from ..runtime.trials import (
+    KIND_STORED_READ,
+    TrialContext,
+    TrialResult,
+    TrialSpec,
+    spawn_trial_seeds,
+)
+from ..video.adversarial import ADVERSARIAL_PRESETS, make_adversarial_suite
+from ..video.frame import VideoSequence
+from ..video.synthesis import SceneConfig, synthesize_scene
+from .binning import equal_storage_bins
+from .experiments import _slim_stored
+from .predictor import (
+    DEFAULT_EPSILON_DB,
+    probe_and_predict,
+    prune_dominated,
+)
+from .sweeps import quality_sweep
+
+#: Fault cells, in execution order. ``none`` must stay first: it is the
+#: paired baseline every other cell's bitwise comparisons run against.
+DEFAULT_FAULTS: Tuple[str, ...] = (
+    "none", "device_overrate", "trial_error", "worker_crash", "shm_loss",
+    "journal_torn",
+)
+
+#: Every content suite: the friendly baseline plus the full hostile set.
+ALL_CONTENTS: Tuple[str, ...] = (
+    ("friendly",) + tuple(name for name, _ in ADVERSARIAL_PRESETS))
+
+#: The CI-sized subset (--quick): baseline plus the three generators
+#: that stress distinct codec assumptions (reference reuse, temporal
+#: ordering, transform energy compaction).
+QUICK_CONTENTS: Tuple[str, ...] = (
+    "friendly", "scene_cut_storm", "timeline_shuffle", "high_freq_texture")
+
+#: Importance-inversion tolerance: damaging the most important bin may
+#: score up to this much *less* loss than the least important bin
+#: before the content is flagged as an importance-model gap.
+IMPORTANCE_GAP_TOLERANCE_DB = 0.5
+
+#: Extra dB of slack (beyond the prune epsilon) a pruned CRF point gets
+#: against ground truth before the prune is flagged as wrong.
+PREDICTOR_AUDIT_SLACK_DB = 1.0
+
+
+def build_content(name: str, width: int, height: int, num_frames: int,
+                  seed: int) -> VideoSequence:
+    """Materialize one named content suite at the matrix geometry."""
+    if name == "friendly":
+        return synthesize_scene(SceneConfig(
+            width=width, height=height, num_frames=num_frames, seed=seed,
+            num_objects=2))
+    return make_adversarial_suite(width, height, num_frames, names=[name],
+                                  seed=seed)[0][1]
+
+
+@dataclass
+class ScenarioCell:
+    """One (content, fault) cell's verdict."""
+
+    content: str
+    fault: str
+    #: Every invariant held. Model-gap flags do NOT clear this.
+    passed: bool
+    #: Named invariant verdicts (all must be True for ``passed``).
+    invariants: Dict[str, bool] = field(default_factory=dict)
+    #: Model gaps and environment skips: recorded, never failing.
+    flags: List[str] = field(default_factory=list)
+    #: Parent-side chaos schedule fingerprint while this cell ran.
+    schedule_digest: str = ""
+    #: Chaos events fired in the parent during this cell.
+    chaos_events: int = 0
+    #: Cell-specific numbers (trial values, counter deltas, bits).
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioReport:
+    """A full scenario-matrix run."""
+
+    cells: List[ScenarioCell]
+    seed: int
+    width: int
+    height: int
+    num_frames: int
+    trials: int
+    #: Canonical digest of the torn-then-resumed campaign journal.
+    journal_digest: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Every cell's invariants held (flags never fail a run)."""
+        return all(cell.passed for cell in self.cells)
+
+    @property
+    def flagged(self) -> List[Tuple[str, str, str]]:
+        """(content, fault, flag) for every recorded model gap / skip."""
+        return [(c.content, c.fault, flag)
+                for c in self.cells for flag in c.flags]
+
+    @property
+    def matrix_digest(self) -> str:
+        """Replayable fingerprint of the whole matrix outcome.
+
+        Folds every cell's fault schedule, invariant verdicts, and
+        measured values (via exact float repr) plus the journal digest.
+        Wall-clock and throughput never enter, so two runs with one
+        seed must produce one digest — CI compares them byte for byte.
+        """
+        payload = {
+            "seed": self.seed,
+            "geometry": [self.width, self.height, self.num_frames,
+                         self.trials],
+            "journal": self.journal_digest,
+            "cells": [{
+                "content": c.content, "fault": c.fault,
+                "passed": c.passed, "invariants": c.invariants,
+                "flags": c.flags, "schedule": c.schedule_digest,
+                "events": c.chaos_events,
+                "details": {k: repr(v) for k, v in sorted(c.details.items())},
+            } for c in self.cells],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()[:32]
+
+    def to_dict(self) -> dict:
+        """JSON-ready report: all cells plus the derived verdicts."""
+        data = dataclasses.asdict(self)
+        data["passed"] = self.passed
+        data["matrix_digest"] = self.matrix_digest
+        return data
+
+
+def journal_file_digest(path: Union[str, Path]) -> str:
+    """Order-independent content digest of one campaign journal.
+
+    Sorted-line hashing, because a resumed journal holds the same
+    records as an uninterrupted run's journal but possibly reordered.
+    """
+    lines = sorted(Path(path).read_bytes().splitlines())
+    return hashlib.sha256(b"\n".join(lines)).hexdigest()[:32]
+
+
+def _expected_journal_lines(specs: Sequence[TrialSpec],
+                            context: TrialContext,
+                            outcomes: Sequence[TrialResult]) -> List[bytes]:
+    """The exact lines an uninterrupted journaled campaign writes."""
+    lines = [json.dumps({"type": "header", "version": JOURNAL_VERSION,
+                         "campaign": campaign_digest(specs, context)})]
+    for spec, outcome in zip(specs, outcomes):
+        record = {"type": "trial", "digest": spec_digest(spec),
+                  "index": outcome.index, "value_db": outcome.value_db,
+                  "num_flips": outcome.num_flips, "forced": outcome.forced}
+        if outcome.aux is not None:
+            record["aux"] = outcome.aux
+        lines.append(json.dumps(record))
+    return sorted(line.encode() for line in lines)
+
+
+def _cell_seed(seed: int, content: str, fault: str) -> int:
+    """Stable per-cell chaos seed, independent of matrix ordering."""
+    digest = hashlib.sha256(f"{seed}|{content}|{fault}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _counters(*names: str) -> Dict[str, int]:
+    snapshot = obs_metrics.get_registry().snapshot()["counters"]
+    return {name: int(snapshot.get(name, 0)) for name in names}
+
+
+def _values(outcomes: Sequence[object]) -> List[Optional[float]]:
+    return [o.value_db if isinstance(o, TrialResult) else None
+            for o in outcomes]
+
+
+# ----------------------------------------------------------------------
+# Content-model gap checks (run in the fault-free cell; they flag)
+# ----------------------------------------------------------------------
+
+def importance_ranking_flags(video: VideoSequence, config: EncoderConfig,
+                             seed: int) -> List[str]:
+    """Does importance-based partitioning still rank damage correctly?
+
+    Damages the most- and least-important equal-storage bins at one
+    error rate with *paired* randomness. On content the importance
+    model understands, hurting the top bin must hurt at least as much
+    as hurting the bottom bin (within tolerance); an inversion is a
+    genuine model gap on that content and is returned as a flag.
+    """
+    encoded = Encoder(config).encode(video)
+    assert encoded.trace is not None
+    clean = Decoder().decode(encoded)
+    importance = compute_importance(encoded.trace)
+    bins = equal_storage_bins(macroblock_bits(encoded.trace, importance),
+                              num_bins=4)
+    if not bins[0].ranges or not bins[-1].ranges:
+        return ["importance-bins-degenerate"]
+    sweeps = {}
+    for label, bucket in (("bottom", bins[0]), ("top", bins[-1])):
+        sweeps[label] = quality_sweep(
+            encoded, video, clean, bucket.ranges, rates=(1e-3,), runs=3,
+            rng=np.random.default_rng(seed), workers=0)
+    top_loss = sweeps["top"].points[0].max_loss_db
+    bottom_loss = sweeps["bottom"].points[0].max_loss_db
+    if top_loss + IMPORTANCE_GAP_TOLERANCE_DB < bottom_loss:
+        return [f"importance-inversion: top-bin loss {top_loss:.2f} dB < "
+                f"bottom-bin loss {bottom_loss:.2f} dB at rate 1e-3"]
+    return []
+
+
+def predictor_prune_flags(video: VideoSequence, config: EncoderConfig,
+                          crf_grid: Sequence[int] = (20, 28, 36)
+                          ) -> List[str]:
+    """Audit CRF-grid prune decisions against ground-truth encodes.
+
+    Every point the predictor prunes as dominated is re-checked against
+    real encodes of the full grid: if no ground-truth point with
+    strictly fewer bits reaches the pruned point's true PSNR within
+    epsilon + slack, the prune threw away a genuinely useful operating
+    point on this content — a predictor model gap, returned as a flag.
+    """
+    predictions = probe_and_predict(video, crf_grid, config)
+    keep = prune_dominated(predictions)
+    if all(keep):
+        return []
+    truth = {}
+    for crf in crf_grid:
+        encoded = Encoder(dataclasses.replace(config, crf=crf)).encode(video)
+        decoded = Decoder().decode(encoded)
+        truth[crf] = (8 * len(encoded.serialize()),
+                      float(video_psnr(video, decoded)))
+    budget = DEFAULT_EPSILON_DB + PREDICTOR_AUDIT_SLACK_DB
+    flags = []
+    for prediction, kept in zip(predictions, keep):
+        if kept:
+            continue
+        bits, psnr = truth[prediction.crf]
+        dominated = any(
+            other_bits < bits and other_psnr >= psnr - budget
+            for crf, (other_bits, other_psnr) in truth.items()
+            if crf != prediction.crf)
+        if not dominated:
+            flags.append(
+                f"predictor-pruned-nondominated: crf {prediction.crf} "
+                f"(truth {bits} bits / {psnr:.2f} dB) has no cheaper "
+                f"ground-truth point within {budget:.2f} dB")
+    return flags
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+
+def run_scenario_matrix(contents: Optional[Sequence[str]] = None,
+                        faults: Sequence[str] = DEFAULT_FAULTS,
+                        width: int = 64, height: int = 48,
+                        num_frames: int = 6, trials: int = 4,
+                        seed: int = 0,
+                        config: Optional[EncoderConfig] = None,
+                        journal_dir: Union[str, Path, None] = None,
+                        model_checks: bool = True) -> ScenarioReport:
+    """Run the (content × fault) scenario matrix.
+
+    Serial except the ``worker_crash`` cell (which needs a pool to have
+    a worker to kill), so in-parent fault ordinals are deterministic.
+    ``journal_dir`` holds the ``journal_torn`` cell's journals (a
+    temporary directory when None). Same ``seed`` → same content, same
+    trial seeds, same fault schedule, same :attr:`ScenarioReport.matrix_digest`.
+    """
+    if chaos.active() is not None:
+        raise AnalysisError(
+            "scenario matrix manages its own chaos policies; disarm the "
+            "ambient one first")
+    contents = list(QUICK_CONTENTS if contents is None else contents)
+    unknown = [c for c in contents if c not in ALL_CONTENTS]
+    if unknown:
+        raise AnalysisError(
+            f"unknown scenario contents {unknown}; known: "
+            f"{list(ALL_CONTENTS)}")
+    unknown = [f for f in faults if f not in DEFAULT_FAULTS]
+    if unknown:
+        raise AnalysisError(
+            f"unknown fault cells {unknown}; known: {list(DEFAULT_FAULTS)}")
+    if trials < 3:
+        raise AnalysisError(f"the matrix needs >= 3 trials, got {trials}")
+    config = config or EncoderConfig(crf=30, gop_size=4)
+    cells: List[ScenarioCell] = []
+    journal_digest = ""
+    own_tmp = tempfile.TemporaryDirectory() if journal_dir is None else None
+    journal_root = Path(own_tmp.name if own_tmp else journal_dir)
+    journal_root.mkdir(parents=True, exist_ok=True)
+    try:
+        for content in contents:
+            video = build_content(content, width, height, num_frames, seed)
+            store = ApproximateVideoStore(config=config)
+            stored = store.put(video)
+            context = TrialContext(reference=video, store=store,
+                                   stored=_slim_stored(stored))
+            rng = np.random.default_rng([seed, contents.index(content)])
+            seeds = spawn_trial_seeds(rng, trials)
+            specs = [TrialSpec(index=i, kind=KIND_STORED_READ,
+                               seed=seeds[i]) for i in range(trials)]
+            baseline, _stats = run_campaign(context, specs, workers=0)
+            baseline_values = _values(baseline)
+            for fault in faults:
+                cell = _run_fault_cell(
+                    fault, content, video, context, specs, baseline_values,
+                    config, seed, journal_root, model_checks)
+                if fault == "journal_torn" and cell.details.get(
+                        "journal_digest"):
+                    journal_digest = str(cell.details["journal_digest"])
+                cells.append(cell)
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return ScenarioReport(cells=cells, seed=seed, width=width,
+                          height=height, num_frames=num_frames,
+                          trials=trials, journal_digest=journal_digest)
+
+
+def _finish_cell(cell: ScenarioCell) -> ScenarioCell:
+    cell.schedule_digest = chaos.schedule_digest()
+    cell.chaos_events = len(chaos.chaos_events())
+    cell.passed = all(cell.invariants.values())
+    return cell
+
+
+def _run_fault_cell(fault: str, content: str, video: VideoSequence,
+                    context: TrialContext, specs: List[TrialSpec],
+                    baseline_values: List[Optional[float]],
+                    config: EncoderConfig, seed: int, journal_root: Path,
+                    model_checks: bool) -> ScenarioCell:
+    cell = ScenarioCell(content=content, fault=fault, passed=False)
+    cell_seed = _cell_seed(seed, content, fault)
+
+    if fault == "none":
+        cell.invariants["campaign_completes"] = all(
+            value is not None for value in baseline_values)
+        cell.details["values"] = baseline_values
+        if model_checks:
+            cell.flags += importance_ranking_flags(video, config, cell_seed)
+            cell.flags += predictor_prune_flags(video, config)
+        cell.schedule_digest = chaos.schedule_digest()  # disarmed digest
+        cell.passed = all(cell.invariants.values())
+        return cell
+
+    if fault == "device_overrate":
+        chaos.arm(chaos.ChaosPolicy(seed=cell_seed, device_fault_rate=0.9))
+        try:
+            before = _counters("storage_uncorrectable_blocks_total",
+                               "storage_miscorrected_blocks_total",
+                               "chaos_device_read_total")
+            outcomes, stats = run_campaign(context, specs, workers=0)
+            # The retry ladder must not pretend to fix chaos damage:
+            # faults are keyed by payload content, so a re-read faults
+            # identically and the block must stay *visibly* bad.
+            context.store.read(context.stored,
+                               rng=np.random.default_rng(cell_seed),
+                               read_retries=2)
+            after = _counters(*before)
+            events = (after["chaos_device_read_total"]
+                      - before["chaos_device_read_total"])
+            uncorrectable = (after["storage_uncorrectable_blocks_total"]
+                             - before["storage_uncorrectable_blocks_total"])
+            miscorrected = (after["storage_miscorrected_blocks_total"]
+                            - before["storage_miscorrected_blocks_total"])
+            cell.invariants["campaign_completes"] = (stats.failed == 0)
+            cell.invariants["damage_visible"] = (uncorrectable >= events)
+            cell.invariants["no_silent_miscorrection"] = (miscorrected == 0)
+            if events == 0:
+                cell.flags.append("no-device-fault-fired")
+            cell.details.update(device_events=events,
+                                uncorrectable_blocks=uncorrectable,
+                                values=_values(outcomes))
+            return _finish_cell(cell)
+        finally:
+            chaos.disarm()
+
+    if fault == "trial_error":
+        victim = 1
+        chaos.arm(chaos.ChaosPolicy(seed=cell_seed, fail_trials=(victim,)))
+        try:
+            outcomes, stats = run_campaign(context, specs, workers=0)
+            values = _values(outcomes)
+            cell.invariants["victim_fails"] = (stats.failed == 1
+                                               and values[victim] is None)
+            cell.invariants["survivors_bitwise_equal"] = all(
+                values[i] == baseline_values[i]
+                for i in range(len(values)) if i != victim)
+            cell.details.update(values=values, victim=victim)
+            return _finish_cell(cell)
+        finally:
+            chaos.disarm()
+
+    if fault == "worker_crash":
+        if os.name != "posix":  # pragma: no cover - posix-only runtime
+            cell.flags.append("worker-pool-unavailable")
+            cell.invariants["skipped"] = True
+            return _finish_cell(cell)
+        victim = 1
+        chaos.arm(chaos.ChaosPolicy(seed=cell_seed, crash_trials=(victim,)))
+        try:
+            outcomes, stats = run_campaign(context, specs, workers=2,
+                                           max_retries=2)
+            values = _values(outcomes)
+            cell.invariants["victim_quarantined"] = (
+                stats.quarantined == 1 and values[victim] is None)
+            cell.invariants["survivors_bitwise_equal"] = all(
+                values[i] == baseline_values[i]
+                for i in range(len(values)) if i != victim)
+            cell.details.update(values=values, victim=victim,
+                                retried=stats.retried,
+                                pool_restarts=stats.pool_restarts)
+            return _finish_cell(cell)
+        finally:
+            chaos.disarm()
+
+    if fault == "shm_loss":
+        clips = [video, build_content("friendly", video.width, video.height,
+                                      len(video), seed + 1)]
+        probe = pack_clips(clips, use_shared_memory=True)
+        if not isinstance(probe, SharedClipStore):
+            cell.flags.append("shared-memory-unavailable")
+            cell.invariants["skipped"] = True
+            return _finish_cell(cell)
+        probe.close()
+        baseline_farm = encode_farm(clips, config, workers=0, batch_size=1,
+                                    use_shared_memory=True)
+        chaos.arm(chaos.ChaosPolicy(seed=cell_seed, shm_fail_at=0))
+        try:
+            farm = encode_farm(clips, config, workers=0, batch_size=1,
+                               use_shared_memory=True)
+            failed_units = sum(c.failed_units for c in farm.clips)
+            cell.invariants["exactly_one_unit_lost"] = (failed_units == 1)
+            cell.invariants["other_clip_untouched"] = (
+                farm.clips[1].bits == baseline_farm.clips[1].bits
+                and farm.clips[1].psnr_db == baseline_farm.clips[1].psnr_db
+                and farm.clips[1].complete)
+            cell.invariants["lost_clip_scaled"] = (
+                farm.clips[0].failed_units == 1
+                and farm.clips[0].units == baseline_farm.clips[0].units)
+            cell.details.update(
+                failed_units=failed_units,
+                bits=[c.bits for c in farm.clips],
+                baseline_bits=[c.bits for c in baseline_farm.clips])
+            return _finish_cell(cell)
+        finally:
+            chaos.disarm()
+
+    if fault == "journal_torn":
+        journal_path = journal_root / f"scenario.{content}.jsonl"
+        if journal_path.exists():
+            journal_path.unlink()
+        chaos.arm(chaos.ChaosPolicy(seed=cell_seed, journal_tear_at=1))
+        try:
+            aborted = False
+            try:
+                run_campaign(context, specs, workers=0,
+                             journal=str(journal_path))
+            except ChaosError:
+                aborted = True
+            cell.invariants["writer_crashes"] = aborted
+            cell.schedule_digest = chaos.schedule_digest()
+            cell.chaos_events = len(chaos.chaos_events())
+        finally:
+            chaos.disarm()
+        before = _counters("journal_torn_tails_total")
+        outcomes, stats = run_campaign(context, specs, workers=0,
+                                       journal=str(journal_path))
+        after = _counters(*before)
+        values = _values(outcomes)
+        cell.invariants["torn_tail_detected"] = (
+            after["journal_torn_tails_total"]
+            - before["journal_torn_tails_total"] == 1)
+        cell.invariants["resume_completes"] = (stats.failed == 0
+                                               and stats.resumed >= 1)
+        cell.invariants["resume_bitwise_equal"] = (
+            values == baseline_values)
+        cell.invariants["journal_canonical"] = (
+            sorted(journal_path.read_bytes().splitlines())
+            == _expected_journal_lines(
+                specs, context,
+                [o for o in outcomes if isinstance(o, TrialResult)]))
+        cell.details.update(values=values, resumed=stats.resumed,
+                            journal_digest=journal_file_digest(journal_path))
+        cell.passed = all(cell.invariants.values())
+        return cell
+
+    raise AnalysisError(f"unknown fault cell {fault!r}")

@@ -436,6 +436,45 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.scenarios import (ALL_CONTENTS, run_scenario_matrix)
+    from .obs import trace as obs_trace
+
+    contents = None
+    if args.full:
+        contents = ALL_CONTENTS
+    if args.contents:
+        contents = tuple(c.strip() for c in args.contents.split(","))
+    with obs_trace.span("repro.scenarios", seed=args.seed):
+        report = run_scenario_matrix(
+            contents=contents, seed=args.seed, trials=args.trials,
+            journal_dir=args.journal_dir,
+            model_checks=not args.no_model_checks)
+    rows = []
+    for cell in report.cells:
+        broken = sorted(k for k, ok in cell.invariants.items() if not ok)
+        status = "PASS" if cell.passed else "FAIL"
+        if cell.flags:
+            status += " *"
+        rows.append((cell.content, cell.fault, status,
+                     ", ".join(broken) if broken
+                     else f"{len(cell.invariants)} invariants held"))
+    print(format_table(
+        ("content", "fault", "verdict", "detail"), rows,
+        title=f"scenario matrix: {len(report.cells)} cells, seed "
+              f"{report.seed}"))
+    for content, fault, flag in report.flagged:
+        print(f"  flag [{content} x {fault}]: {flag}")
+    print(f"matrix digest: {report.matrix_digest}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def _cmd_modes(_args: argparse.Namespace) -> int:
     verdicts = analyze_all_modes()
     print(format_table(
@@ -597,6 +636,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_encoder_args(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="chaos x adversarial-content survival matrix")
+    scenarios.add_argument("--full", action="store_true",
+                           help="run every adversarial content suite "
+                                "(default: the quick CI subset)")
+    scenarios.add_argument("--contents", default=None,
+                           help="comma-separated content names "
+                                "(overrides --full)")
+    scenarios.add_argument("--trials", type=int, default=4,
+                           help="Monte Carlo trials per campaign cell "
+                                "(min 3: a chaos victim needs bitwise-"
+                                "comparable survivors on both sides)")
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--journal-dir", default=None,
+                           help="directory for the journal_torn cell's "
+                                "journals (default: a temp dir)")
+    scenarios.add_argument("--no-model-checks", action="store_true",
+                           help="skip the importance-ranking and "
+                                "predictor-prune model-gap audits")
+    scenarios.add_argument("--json", default=None,
+                           help="write the full ScenarioReport here "
+                                "(CI compares matrix_digest across runs)")
+    scenarios.set_defaults(func=_cmd_scenarios)
+
     modes = commands.add_parser("modes", help="AES mode scorecard")
     modes.set_defaults(func=_cmd_modes)
     return parser
@@ -605,7 +669,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from .runtime import chaos
+    policy = chaos.policy_from_env()
+    if policy is None:
+        return args.func(args)
+    # REPRO_CHAOS_* set: run the whole subcommand under the injected
+    # fault schedule (any exhibit becomes a chaos experiment).
+    chaos.arm(policy)
+    try:
+        return args.func(args)
+    finally:
+        chaos.disarm()
 
 
 if __name__ == "__main__":

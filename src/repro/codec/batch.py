@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import EncoderError
+from ..errors import EncoderError, GopStructureError
 from ..obs import trace as obs_trace
 from ..video.frame import MACROBLOCK_SIZE, VideoSequence
 from .config import EncoderConfig
@@ -876,9 +876,11 @@ def gop_unit_bounds(num_frames: int, config: EncoderConfig
     if num_frames < 1:
         raise EncoderError(f"num_frames must be >= 1, got {num_frames}")
     if config.bframes != 0:
-        raise EncoderError(
-            "GOP work units require bframes == 0 (B-frames straddle GOP "
-            "boundaries)")
+        raise GopStructureError(
+            f"GOP work units require bframes == 0 (B-frames straddle GOP "
+            f"boundaries; got bframes={config.bframes}). Encode the clip "
+            f"as one whole-clip unit instead — the farm does this "
+            f"automatically.")
     gop = config.gop_size
     return [(start, min(start + gop, num_frames))
             for start in range(0, num_frames, gop)]

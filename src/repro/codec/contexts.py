@@ -42,6 +42,23 @@ class ContextModel:
     def __getitem__(self, name: str) -> ContextGroup:
         return self.groups[name]
 
+    def __getstate__(self) -> dict:
+        """Pickle the layout, never the block-plan memo cache.
+
+        The syntax layer memoizes whole-block op plans on the model
+        (``_block_plan_caches``), and the default model is shared by
+        every encoder and decoder in the process. The cache is a pure
+        speedup — plans are recomputed on miss — but it grows with the
+        coefficient patterns seen so far, so letting it ride in pickles
+        would make encoder/decoder (and store) pickles depend on
+        encoding history. Campaign journals hash those pickles into the
+        context digest; a history-dependent pickle would orphan any
+        journal on resume.
+        """
+        state = self.__dict__.copy()
+        state.pop("_block_plan_caches", None)
+        return state
+
 
 def build_context_model() -> ContextModel:
     """The context model used by the codec's macroblock syntax.

@@ -70,6 +70,16 @@ DamageRanges = Sequence[Tuple[int, int]]
 #: Frame position in the container -> that frame's damage ranges.
 DamageMap = Dict[int, DamageRanges]
 
+#: Default ceiling on the pixel volume (width x height x frames) a
+#: container may *declare* before decode refuses it. Decode time and
+#: memory scale with the declared geometry — not with the payload bytes
+#: actually present — so a corrupted or hostile header claiming a
+#: gigantic resolution would otherwise drive unbounded allocation. The
+#: default admits the paper's largest workload (720p x 600 frames is
+#: ~5.5e8 pixels) with an order of magnitude to spare; callers decoding
+#: legitimately bigger streams raise the limit per instance.
+MAX_DECLARED_PIXELS = 1 << 32
+
 
 class Decoder:
     """H.264-like decoder; robust against corrupted payloads.
@@ -83,9 +93,11 @@ class Decoder:
     decoder.
     """
 
-    def __init__(self, conceal_uncorrectable: bool = False) -> None:
+    def __init__(self, conceal_uncorrectable: bool = False,
+                 max_declared_pixels: int = MAX_DECLARED_PIXELS) -> None:
         self._model = DEFAULT_CONTEXT_MODEL
         self.conceal_uncorrectable = conceal_uncorrectable
+        self.max_declared_pixels = int(max_declared_pixels)
 
     def decode(self, encoded: EncodedVideo,
                damage: Optional[DamageMap] = None) -> VideoSequence:
@@ -146,6 +158,18 @@ class Decoder:
             )
         if not np.isfinite(header.fps) or header.fps <= 0:
             raise BitstreamError(f"invalid frame rate {header.fps}")
+        declared = (header.width * header.height
+                    * max(1, header.num_frames))
+        if declared > self.max_declared_pixels:
+            # Resource guard (formerly only the fuzz harness's): decode
+            # work is bounded by what the header *claims*, so absurd
+            # declared geometry must be rejected before any per-frame
+            # allocation happens, for every caller.
+            raise BitstreamError(
+                f"declared pixel volume {header.width}x{header.height}"
+                f"x{header.num_frames} = {declared} exceeds the decoder "
+                f"limit of {self.max_declared_pixels} (raise "
+                f"max_declared_pixels to decode larger streams)")
         mb_rows = header.height // MACROBLOCK_SIZE
         displays = []
         for frame in encoded.frames:

@@ -82,6 +82,20 @@ class ContextGroup:
     def size(self) -> int:
         return self.variants + self.tail
 
+    def __getstate__(self) -> dict:
+        """Pickle only the layout fields, never the lazy memo tables.
+
+        ``_ladders`` / ``_uint_op_tables`` are derived purely from the
+        layout but populated on demand per *used* variant, so which
+        entries exist depends on what has been coded in this process.
+        A pickle that carried them would make encoder/decoder (and
+        store) identity depend on coding history — and campaign
+        journals hash those pickles, so resumes would break.
+        """
+        return {field: getattr(self, field)
+                for field in ("base", "variants", "tail", "tu_cap",
+                              "max_value")}
+
     def first_bin_context(self, variant: int) -> int:
         if not 0 <= variant < self.variants:
             raise BitstreamError(

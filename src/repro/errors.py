@@ -20,6 +20,18 @@ class EncoderError(ReproError):
     """The encoder was misconfigured or hit an internal inconsistency."""
 
 
+class GopStructureError(EncoderError):
+    """A GOP structure cannot be split into independent work units.
+
+    Raised by :func:`repro.codec.batch.gop_unit_bounds` when the
+    configured GOP shape creates cross-boundary references (today:
+    ``bframes > 0``, whose trailing B-frames reference the next GOP's
+    anchor). Callers that can fall back — like the encode farm, which
+    degrades to one whole-clip unit per clip — catch exactly this type
+    instead of pattern-matching a generic :class:`EncoderError`.
+    """
+
+
 class BitstreamError(ReproError):
     """A coded bitstream is structurally unusable.
 
@@ -40,6 +52,17 @@ class CryptoError(ReproError):
 
 class AnalysisError(ReproError):
     """A VideoApp analysis step received inconsistent inputs."""
+
+
+class ChaosError(ReproError):
+    """A fault deliberately injected by an armed chaos policy.
+
+    Raised only from the seams instrumented by
+    :mod:`repro.runtime.chaos` while a :class:`~repro.runtime.chaos.
+    ChaosPolicy` is armed. Production code never raises it on its own;
+    seeing one outside a chaos run means a policy leaked past
+    ``disarm()``.
+    """
 
 
 class TrialTimeout(ReproError):

@@ -79,10 +79,13 @@ DEFAULT_FUZZ_TIMEOUT = 5.0
 
 #: Decode work scales with the *declared* frame geometry, so a corrupted
 #: header that claims a gigantic resolution makes decode legitimately
-#: slow, not buggy. Corrupted containers declaring more than this many
-#: times the clean clip's pixel volume are deserialized but not decoded
-#: (the usual fuzzing input-size bound); the deadline stays armed as the
-#: backstop for everything else.
+#: slow, not buggy. The decoder itself rejects absurd declarations
+#: outright (:data:`repro.codec.decoder.MAX_DECLARED_PIXELS` — the
+#: resource guard that used to live only here); this *relative* cap
+#: additionally skips containers that are merely slow rather than
+#: absurd: corrupted containers declaring more than this many times the
+#: clean clip's pixel volume are deserialized but not decoded, and the
+#: deadline stays armed as the backstop for everything else.
 GEOMETRY_CAP = 8
 
 

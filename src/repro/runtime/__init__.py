@@ -12,6 +12,14 @@ and append-only campaign checkpoint/resume (:mod:`~repro.runtime.journal`).
 """
 
 from .artifacts import ArtifactCache, CACHE_ENV, content_key, session_cache
+from .chaos import (
+    ChaosPolicy,
+    arm as arm_chaos,
+    chaos_events,
+    disarm as disarm_chaos,
+    policy_from_env as chaos_policy_from_env,
+    schedule_digest as chaos_schedule_digest,
+)
 from .executor import (
     DEFAULT_MAX_RETRIES,
     MAX_RETRIES_ENV,
@@ -28,6 +36,7 @@ from .farm import (
     FarmResult,
     build_encode_unit_specs,
     build_farm_context,
+    clip_unit_bounds,
     encode_farm,
 )
 from .journal import JOURNAL_VERSION, TrialJournal, campaign_digest, \
@@ -71,6 +80,13 @@ __all__ = [
     "ArtifactCache",
     "BATCH_SIZE_ENV",
     "CACHE_ENV",
+    "ChaosPolicy",
+    "arm_chaos",
+    "chaos_events",
+    "chaos_policy_from_env",
+    "chaos_schedule_digest",
+    "clip_unit_bounds",
+    "disarm_chaos",
     "ClipEncodeResult",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_RETRIES",

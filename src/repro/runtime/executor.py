@@ -70,6 +70,7 @@ from ..errors import AnalysisError, TrialTimeout
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.progress import ProgressReporter, resolve_progress
+from . import chaos
 from .journal import TrialJournal
 from .trials import (
     FAILURE_CRASH,
@@ -148,6 +149,11 @@ def _guarded_trial(state: WorkerState, spec: TrialSpec,
         with obs_trace.span("trial", kind=spec.kind, index=spec.index,
                             rate=spec.rate):
             with trial_deadline(timeout, what=f"trial {spec.index}"):
+                if chaos._ACTIVE is not None:
+                    # Inside the watchdog and the exception guard, so an
+                    # injected error/hang is absorbed exactly like a
+                    # real one (a crash still kills the process).
+                    chaos.trial_fault(spec.index)
                 outcome = execute_trial(state, spec)
     except TrialTimeout as exc:
         outcome = TrialFailure(index=spec.index, kind=FAILURE_TIMEOUT,
@@ -171,6 +177,11 @@ def _batchable_key(state: WorkerState,
         return None
     context = state.context
     if context.clips is None or context.encoder_config is None:
+        return None
+    if getattr(context.encoder_config, "bframes", 0):
+        # Whole-clip fallback units (B-frame configs) must take the
+        # scalar path: the batch encoder's GOP stacking assumes
+        # self-contained bframes == 0 units.
         return None
     try:
         clip = context.clips[spec.clip_ref]

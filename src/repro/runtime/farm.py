@@ -33,7 +33,7 @@ import numpy as np
 
 from ..codec.batch import gop_unit_bounds
 from ..codec.config import EncoderConfig
-from ..errors import AnalysisError
+from ..errors import AnalysisError, GopStructureError
 from ..obs.progress import ProgressReporter
 from ..video.frame import VideoSequence
 from .executor import run_campaign
@@ -82,6 +82,24 @@ class FarmResult:
     outcomes: List[TrialOutcome] = field(compare=False, default_factory=list)
 
 
+def clip_unit_bounds(num_frames: int,
+                     config: EncoderConfig) -> List[Tuple[int, int]]:
+    """Work-unit bounds for one clip, with a whole-clip fallback.
+
+    GOP-aligned units when the structure supports splitting; for
+    configurations :func:`gop_unit_bounds` refuses with a
+    :class:`GopStructureError` (``bframes > 0``), the clip becomes a
+    single whole-clip unit. The scalar encoder handles B-frames, so the
+    farm still encodes such corpora — it just cannot split or batch
+    them (``_batchable_key`` excludes B-frame configs), trading
+    granularity for correctness instead of refusing the corpus.
+    """
+    try:
+        return gop_unit_bounds(num_frames, config)
+    except GopStructureError:
+        return [(0, num_frames)]
+
+
 def build_encode_unit_specs(clips: Sequence[VideoSequence],
                             config: EncoderConfig,
                             rng: np.random.Generator) -> List[TrialSpec]:
@@ -90,11 +108,12 @@ def build_encode_unit_specs(clips: Sequence[VideoSequence],
     Units are emitted clip-major in display order, each with its own
     spawned seed (encode units are deterministic, but seeds keep the
     journal digests campaign-unique and leave room for stochastic
-    trial kinds built on top).
+    trial kinds built on top). Clips whose GOP structure cannot split
+    (B-frames) contribute one whole-clip unit each.
     """
     if not clips:
         raise AnalysisError("encode farm needs at least one clip")
-    bounds = [gop_unit_bounds(len(clip), config) for clip in clips]
+    bounds = [clip_unit_bounds(len(clip), config) for clip in clips]
     seeds = spawn_trial_seeds(rng, sum(len(b) for b in bounds))
     specs: List[TrialSpec] = []
     for clip_index, clip_bounds in enumerate(bounds):
@@ -181,7 +200,7 @@ def encode_farm(clips: Sequence[VideoSequence],
     results = []
     cursor = 0
     for clip_index, clip in enumerate(clips):
-        count = len(gop_unit_bounds(len(clip), config))
+        count = len(clip_unit_bounds(len(clip), config))
         results.append(_aggregate_clip(
             clip_index, outcomes[cursor:cursor + count]))
         cursor += count

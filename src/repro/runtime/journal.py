@@ -48,6 +48,7 @@ from typing import Dict, Optional, Sequence, Union
 
 from ..errors import AnalysisError
 from ..obs import metrics as obs_metrics
+from . import chaos
 from .trials import TrialContext, TrialResult, TrialSpec
 
 #: Journal format version (bumped on incompatible record changes).
@@ -266,6 +267,12 @@ class TrialJournal:
         if result.aux is not None:
             record["aux"] = result.aux
         self._append(record)
+        if chaos._ACTIVE is not None:
+            # Tear the fsynced tail exactly as a mid-write crash would
+            # and abort (ChaosError) like the crash kills the writer;
+            # a resume re-runs the torn trial from the truncated file.
+            chaos.journal_record_fault(self.path,
+                                       len(json.dumps(record)) + 1)
         self._completed[digest] = result
 
     def _append(self, record: dict) -> None:

@@ -35,6 +35,7 @@ import numpy as np
 from ..errors import AnalysisError
 from ..obs import metrics as obs_metrics
 from ..video.frame import VideoSequence
+from . import chaos
 
 #: Set to ``0`` to ship clips by value instead of by shared segment.
 SHM_ENV = "REPRO_BATCH_SHM"
@@ -95,12 +96,26 @@ class SharedClipStore:
             offset += array.nbytes
         segment = shared_memory.SharedMemory(create=True,
                                              size=max(1, offset))
-        for record, array in zip(manifest, arrays):
-            view = np.ndarray(record.shape, dtype=np.uint8,
-                              buffer=segment.buf, offset=record.offset)
-            view[...] = array
-        store = cls(segment.name, tuple(manifest), digest.hexdigest(),
-                    offset, segment=segment, owner=True)
+        try:
+            for record, array in zip(manifest, arrays):
+                view = np.ndarray(record.shape, dtype=np.uint8,
+                                  buffer=segment.buf, offset=record.offset)
+                view[...] = array
+            store = cls(segment.name, tuple(manifest), digest.hexdigest(),
+                        offset, segment=segment, owner=True)
+        except BaseException:
+            # A half-packed segment must not outlive the failed pack:
+            # callers (pack_clips) fall back to by-value clips, and a
+            # leaked segment would survive until reboot.
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - paranoia
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            raise
         obs_metrics.counter("shm_segments_created_total").inc()
         obs_metrics.counter("shm_clip_bytes_total").inc(offset)
         atexit.register(store.close)
@@ -148,6 +163,8 @@ class SharedClipStore:
     def __getitem__(self, index: int) -> VideoSequence:
         if not -len(self.manifest) <= index < len(self.manifest):
             raise IndexError(index)
+        if chaos._ACTIVE is not None:
+            chaos.shm_access_fault(self.name, index)
         record = self.manifest[index]
         segment = self._attach()
         stack = np.ndarray(record.shape, dtype=np.uint8,
@@ -185,7 +202,36 @@ def _attached_segment(name: str):
     return _ATTACHED.get(name)
 
 
+#: Whether the attachment-cache cleanup hook has been registered in
+#: this process (forked children re-register lazily: the flag is True
+#: but their inherited atexit stack still runs the handler).
+_CLEANUP_REGISTERED = False
+
+
+def _close_attached_segments() -> None:
+    """Unmap every cached attachment at interpreter exit.
+
+    Non-owning processes (pool workers) never unlink, but leaving the
+    mappings open past interpreter teardown trips the multiprocessing
+    resource tracker and — on abnormal-but-clean exits like
+    ``sys.exit`` mid-campaign — can keep segments pinned after the
+    owner unlinked them.
+    """
+    for name in list(_ATTACHED):
+        segment = _ATTACHED.pop(name, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown
+            pass
+
+
 def _cache_segment(name: str, segment) -> None:
+    global _CLEANUP_REGISTERED
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_close_attached_segments)
+        _CLEANUP_REGISTERED = True
     _ATTACHED[name] = segment
 
 

@@ -49,6 +49,14 @@ from .mlc import MLCCellModel
 #: blocks. ``0`` or unset disables the retry ladder.
 RETRIES_ENV = "REPRO_READ_RETRIES"
 
+#: Chaos seam: :func:`repro.runtime.chaos.arm` installs a fault decider
+#: here (and :func:`~repro.runtime.chaos.disarm` clears it) so the
+#: storage layer never imports the runtime. ``None`` — the production
+#: state — costs one identity check per coded read; armed, a faulted
+#: read corrupts one extra block *and escalates it* (see
+#: ``_chaos_damage``), so chaos can never make the device lie.
+_CHAOS_READ_FAULT = None
+
 
 def resolve_read_retries(retries: Optional[int] = None) -> int:
     """Resolve the effective re-read retry depth.
@@ -246,6 +254,8 @@ class ApproximateDevice:
             out_bits, stats, blocks = self._exact_ecc(bits, scheme, age)
         else:
             out_bits, stats, blocks = self._analytic_ecc(bits, scheme, age)
+        if _CHAOS_READ_FAULT is not None:
+            self._chaos_damage(data, out_bits, stats, scheme, blocks)
         report = StorageReport(
             data_bits=bits.size,
             stored_bits=self.stored_bits(bits.size, scheme),
@@ -263,6 +273,40 @@ class ApproximateDevice:
         )
         self._publish_metrics(report)
         return bits_to_bytes(out_bits), report
+
+    def _chaos_damage(self, data: bytes, out_bits: np.ndarray,
+                      stats: _BlockStats, scheme: ECCScheme,
+                      blocks: int) -> None:
+        """Out-of-model read failure injected by an armed chaos policy.
+
+        One extra block is corrupted with flips the ECC model never
+        drew — and immediately escalated as uncorrectable, exactly like
+        a block that exhausted the retry ladder. The damage is therefore
+        always visible in the report: chaos widens the failure surface
+        but cannot produce silently corrected-looking data.
+        """
+        fault = _CHAOS_READ_FAULT
+        if fault is None or blocks <= 0 or out_bits.size == 0:
+            return
+        decision = fault(data)
+        if decision is None:
+            return
+        rng, flip_bits = decision
+        block_index = int(rng.integers(blocks))
+        start = block_index * scheme.data_bits
+        end = min(start + scheme.data_bits, out_bits.size)
+        if end <= start:
+            # Padding-only final block: damage the last real block.
+            block_index = max(0, (out_bits.size - 1) // scheme.data_bits)
+            start = block_index * scheme.data_bits
+            end = out_bits.size
+        flips = min(flip_bits, end - start)
+        positions = start + rng.choice(end - start, size=flips,
+                                       replace=False)
+        out_bits[positions] ^= 1
+        stats.flipped += int(flips)
+        if all(u.block != block_index for u in stats.uncorrectable):
+            self._escalate(stats, scheme, block_index, out_bits.size)
 
     @staticmethod
     def _publish_metrics(report: StorageReport) -> None:

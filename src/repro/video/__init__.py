@@ -1,5 +1,10 @@
 """Raw video substrate: containers, synthesis, and file I/O."""
 
+from .adversarial import (
+    ADVERSARIAL_PRESETS,
+    AdversarialConfig,
+    make_adversarial_suite,
+)
 from .frame import (
     MACROBLOCK_SIZE,
     VideoSequence,
@@ -20,8 +25,11 @@ from .synthesis import (
 )
 
 __all__ = [
+    "ADVERSARIAL_PRESETS",
+    "AdversarialConfig",
     "MACROBLOCK_SIZE",
     "MovingObject",
+    "make_adversarial_suite",
     "SceneConfig",
     "SUITE_PRESETS",
     "VideoSequence",

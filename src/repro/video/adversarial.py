@@ -1,0 +1,261 @@
+"""Adversarial content: sequences built to break the codec's assumptions.
+
+Every exhibit so far runs on the friendly :mod:`~repro.video.synthesis`
+suite — smooth textures, coherent motion, the content the encoder's
+heuristics (and the PR 6 motion-stats predictor) were tuned on. This
+module generates the opposite on purpose:
+
+* **scene-cut storms** — a fresh, unrelated scene every GOP-fraction,
+  so temporal prediction finds nothing to reference;
+* **timeline shuffles and reversals** — compressure's trick: frames of
+  a coherent scene re-ordered so motion estimation chases matches that
+  moved "backwards" or teleported;
+* **flicker and noise bursts** — global luminance oscillation and
+  frames of near-iid sensor noise, starving both intra and inter
+  prediction;
+* **high-frequency texture** — checkerboard-plus-noise detail at the
+  transform's Nyquist limit, defeating energy compaction;
+* **hard pans with occlusion** — camera motion beyond the search range
+  while a large object sweeps across, forcing disocclusion errors.
+
+Each generator is a drop-in :class:`~repro.video.frame.VideoSequence`
+factory, deterministic given its config, and the presets/suite helpers
+mirror :data:`~repro.video.synthesis.SUITE_PRESETS` /
+:func:`~repro.video.synthesis.make_suite` so any exhibit can swap the
+friendly suite for the hostile one. The scenario matrix
+(:mod:`repro.analysis.scenarios`) crosses these with injected
+infrastructure faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .frame import VideoSequence
+from .synthesis import (
+    SceneConfig,
+    _smooth_noise,
+    synthesize_scene,
+    textured_background,
+)
+
+
+@dataclass(frozen=True)
+class AdversarialConfig:
+    """Common knobs for every adversarial generator.
+
+    Geometry defaults match the friendly suite; the scenario matrix
+    shrinks it for quick runs. ``seed`` fully determines the output.
+    """
+
+    width: int = 128
+    height: int = 96
+    num_frames: int = 30
+    fps: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise VideoFormatError("num_frames must be positive")
+        if self.width <= 0 or self.height <= 0:
+            raise VideoFormatError(
+                f"empty geometry {self.width}x{self.height}")
+
+
+def _quantize(frames: List[np.ndarray], fps: float) -> VideoSequence:
+    stack = [np.clip(np.rint(frame), 0, 255).astype(np.uint8)
+             for frame in frames]
+    return VideoSequence(stack, fps=fps)
+
+
+def _base_scene(cfg: AdversarialConfig, *, num_objects: int = 2,
+                pan_speed: Tuple[float, float] = (0.0, 0.0),
+                seed_offset: int = 0) -> VideoSequence:
+    return synthesize_scene(SceneConfig(
+        width=cfg.width, height=cfg.height, num_frames=cfg.num_frames,
+        fps=cfg.fps, seed=cfg.seed + seed_offset,
+        num_objects=num_objects, pan_speed=pan_speed))
+
+
+def scene_cut_storm(cfg: AdversarialConfig,
+                    cut_every: int = 2) -> VideoSequence:
+    """A completely new scene every ``cut_every`` frames.
+
+    Far denser than any GOP, so nearly every inter frame faces a
+    reference it shares nothing with — motion estimation degenerates to
+    intra-by-accident and the importance analysis sees dependency
+    chains that keep being severed.
+    """
+    if cut_every < 1:
+        raise VideoFormatError(f"cut_every must be >= 1, got {cut_every}")
+    frames: List[np.ndarray] = []
+    for t in range(cfg.num_frames):
+        scene_index = t // cut_every
+        frames.append(textured_background(
+            cfg.height, cfg.width, seed=cfg.seed + 7919 * scene_index,
+            contrast=90.0, detail=30.0))
+    return _quantize(frames, cfg.fps)
+
+
+def timeline_shuffle(cfg: AdversarialConfig) -> VideoSequence:
+    """A coherent scene with its frames deterministically shuffled.
+
+    The compressure manipulation: every frame exists somewhere in the
+    timeline, but temporal neighbors are unrelated, so motion vectors
+    that assume smooth displacement point at garbage.
+    """
+    base = _base_scene(cfg, num_objects=3)
+    rng = np.random.default_rng(cfg.seed + 1)
+    order = rng.permutation(len(base))
+    return VideoSequence([base[int(i)].copy() for i in order], fps=cfg.fps)
+
+
+def timeline_reverse(cfg: AdversarialConfig) -> VideoSequence:
+    """A coherent scene played backwards.
+
+    Motion is exactly inverted relative to what forward prediction
+    models; a milder cousin of :func:`timeline_shuffle` that keeps
+    frame-to-frame deltas small but consistently wrong-signed.
+    """
+    base = _base_scene(cfg, num_objects=3)
+    return VideoSequence([base[i].copy()
+                          for i in range(len(base) - 1, -1, -1)],
+                         fps=cfg.fps)
+
+
+def flicker(cfg: AdversarialConfig, period: int = 2,
+            gain: float = 0.45) -> VideoSequence:
+    """Global luminance flicker over a coherent scene.
+
+    Every ``period`` frames the whole frame's brightness swings by
+    ``±gain``; co-located blocks differ everywhere at once, so inter
+    prediction pays a full-frame residual it never amortizes.
+    """
+    if period < 1:
+        raise VideoFormatError(f"period must be >= 1, got {period}")
+    if not 0.0 <= gain < 1.0:
+        raise VideoFormatError(f"gain must be in [0, 1), got {gain}")
+    base = _base_scene(cfg, num_objects=2)
+    frames = []
+    for t in range(len(base)):
+        sign = 1.0 if (t // period) % 2 == 0 else -1.0
+        frames.append(base[t].astype(np.float64) * (1.0 + sign * gain))
+    return _quantize(frames, cfg.fps)
+
+
+def noise_burst(cfg: AdversarialConfig, burst_every: int = 6,
+                burst_len: int = 2, sigma: float = 60.0) -> VideoSequence:
+    """A coherent scene interrupted by bursts of heavy sensor noise.
+
+    Burst frames are nearly incompressible and poison any reference
+    chain that crosses them; the frames between bursts stay friendly,
+    so rate control and the predictor see violently bimodal content.
+    """
+    if burst_every < 1 or burst_len < 1:
+        raise VideoFormatError("burst_every and burst_len must be >= 1")
+    base = _base_scene(cfg, num_objects=2)
+    rng = np.random.default_rng(cfg.seed + 2)
+    frames = []
+    for t in range(len(base)):
+        frame = base[t].astype(np.float64)
+        if (t % burst_every) < burst_len:
+            frame = frame + rng.normal(0.0, sigma, frame.shape)
+        frames.append(frame)
+    return _quantize(frames, cfg.fps)
+
+
+def high_freq_texture(cfg: AdversarialConfig,
+                      drift: int = 1) -> VideoSequence:
+    """Checkerboard-plus-noise detail at the transform's limit.
+
+    A pixel-period checkerboard concentrates energy in the highest
+    transform frequency (the one quantized hardest), and the added
+    per-frame noise denies both intra prediction and clean temporal
+    matches; ``drift`` shifts the pattern per frame so motion search
+    must track a texture with no stable landmarks.
+    """
+    rng = np.random.default_rng(cfg.seed + 3)
+    yy, xx = np.mgrid[0:cfg.height, 0:cfg.width]
+    frames = []
+    for t in range(cfg.num_frames):
+        checker = ((yy + xx + t * drift) % 2).astype(np.float64)
+        frame = (60.0 + 130.0 * checker
+                 + rng.normal(0.0, 12.0, (cfg.height, cfg.width)))
+        frames.append(frame)
+    return _quantize(frames, cfg.fps)
+
+
+def hard_pan_occlusion(cfg: AdversarialConfig,
+                       pan_per_frame: Optional[float] = None
+                       ) -> VideoSequence:
+    """A pan beyond the search range while a large occluder crosses.
+
+    ``pan_per_frame`` defaults to 1.5x the encoder's default search
+    range, so the true global motion is unfindable; the occluding bar
+    (a third of the frame wide, moving against the pan) uncovers fresh
+    background every frame that no reference contains.
+    """
+    if pan_per_frame is None:
+        pan_per_frame = 12.0  # 1.5x the default search_range of 8
+    span = int(np.ceil(abs(pan_per_frame) * cfg.num_frames)) + cfg.width
+    bg = textured_background(cfg.height, span, seed=cfg.seed + 4,
+                             contrast=90.0, detail=25.0)
+    rng = np.random.default_rng(cfg.seed + 5)
+    bar_w = max(4, cfg.width // 3)
+    bar_tex = np.clip(
+        30.0 + 40.0 * _smooth_noise(rng, cfg.height, bar_w, scale=3),
+        0.0, 255.0)
+    frames = []
+    for t in range(cfg.num_frames):
+        x0 = min(int(round(t * abs(pan_per_frame))), span - cfg.width)
+        canvas = bg[:, x0:x0 + cfg.width].copy()
+        # The occluder sweeps the other way: disocclusion on both edges.
+        bar_x = int(round((cfg.width - bar_w)
+                          * (1.0 - (t / max(1, cfg.num_frames - 1)))))
+        canvas[:, bar_x:bar_x + bar_w] = bar_tex
+        frames.append(canvas)
+    return _quantize(frames, cfg.fps)
+
+
+#: Named adversarial presets, mirroring ``SUITE_PRESETS``' shape: each
+#: entry maps a name to a generator taking one ``AdversarialConfig``.
+ADVERSARIAL_PRESETS: Tuple[Tuple[str, Callable[[AdversarialConfig],
+                                               VideoSequence]], ...] = (
+    ("scene_cut_storm", scene_cut_storm),
+    ("timeline_shuffle", timeline_shuffle),
+    ("timeline_reverse", timeline_reverse),
+    ("flicker", flicker),
+    ("noise_burst", noise_burst),
+    ("high_freq_texture", high_freq_texture),
+    ("hard_pan_occlusion", hard_pan_occlusion),
+)
+
+
+def make_adversarial_suite(width: int = 128, height: int = 96,
+                           num_frames: int = 30,
+                           names: Optional[Sequence[str]] = None,
+                           seed: int = 0
+                           ) -> List[Tuple[str, VideoSequence]]:
+    """Build the hostile evaluation suite at a common geometry.
+
+    Drop-in alongside :func:`~repro.video.synthesis.make_suite`: same
+    return shape, deterministic given ``seed``, unknown names rejected
+    with the list of known ones.
+    """
+    generators: Dict[str, Callable[[AdversarialConfig], VideoSequence]] = \
+        dict(ADVERSARIAL_PRESETS)
+    if names is None:
+        names = [name for name, _ in ADVERSARIAL_PRESETS]
+    suite = []
+    for name in names:
+        if name not in generators:
+            raise VideoFormatError(f"unknown adversarial preset {name!r}; "
+                                   f"known: {sorted(generators)}")
+        cfg = AdversarialConfig(width=width, height=height,
+                                num_frames=num_frames, seed=seed)
+        suite.append((name, generators[name](cfg)))
+    return suite

@@ -1,0 +1,90 @@
+"""The scenario matrix: hostile content × injected fault, replayably.
+
+A small single-content matrix must come back green (every invariant
+held), reproduce its matrix digest bit-for-bit under the same seed, and
+serialize losslessly to the JSON report CI consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.scenarios import (
+    ALL_CONTENTS,
+    DEFAULT_FAULTS,
+    QUICK_CONTENTS,
+    build_content,
+    run_scenario_matrix,
+)
+from repro.errors import AnalysisError
+from repro.runtime import ChaosPolicy, arm_chaos, disarm_chaos
+
+
+@pytest.fixture(scope="module")
+def small_matrix(tmp_path_factory):
+    return run_scenario_matrix(
+        contents=("scene_cut_storm",), seed=11, trials=3,
+        journal_dir=tmp_path_factory.mktemp("journals"),
+        model_checks=False)
+
+
+class TestMatrix:
+    def test_all_cells_green(self, small_matrix):
+        assert small_matrix.passed
+        assert [c.fault for c in small_matrix.cells] == list(DEFAULT_FAULTS)
+        for cell in small_matrix.cells:
+            assert cell.invariants, cell.fault
+            assert all(cell.invariants.values()), (cell.fault,
+                                                   cell.invariants)
+
+    def test_fault_cells_record_their_schedule(self, small_matrix):
+        by_fault = {c.fault: c for c in small_matrix.cells}
+        # The baseline cell runs disarmed; every chaos cell must have
+        # fired at least one parent-side or declared fault.
+        for fault in ("trial_error", "journal_torn"):
+            assert by_fault[fault].chaos_events >= 1
+        assert by_fault["none"].chaos_events == 0
+
+    def test_same_seed_same_digest(self, small_matrix, tmp_path):
+        again = run_scenario_matrix(
+            contents=("scene_cut_storm",), seed=11, trials=3,
+            journal_dir=tmp_path, model_checks=False)
+        assert again.matrix_digest == small_matrix.matrix_digest
+        assert again.journal_digest == small_matrix.journal_digest
+
+    def test_json_report_round_trips(self, small_matrix):
+        blob = json.dumps(small_matrix.to_dict(), sort_keys=True)
+        loaded = json.loads(blob)
+        assert loaded["passed"] is True
+        assert loaded["matrix_digest"] == small_matrix.matrix_digest
+        assert len(loaded["cells"]) == len(small_matrix.cells)
+        assert loaded["cells"][0]["content"] == "scene_cut_storm"
+
+
+class TestValidation:
+    def test_contents_and_faults_checked(self):
+        with pytest.raises(AnalysisError, match="unknown scenario"):
+            run_scenario_matrix(contents=("mystery",))
+        with pytest.raises(AnalysisError, match="unknown fault"):
+            run_scenario_matrix(contents=("friendly",),
+                                faults=("meteor_strike",))
+        with pytest.raises(AnalysisError, match="trials"):
+            run_scenario_matrix(contents=("friendly",), trials=2)
+
+    def test_refuses_ambient_chaos(self):
+        arm_chaos(ChaosPolicy(fail_trials=(0,)))
+        try:
+            with pytest.raises(AnalysisError, match="disarm"):
+                run_scenario_matrix(contents=("friendly",))
+        finally:
+            disarm_chaos()
+
+    def test_content_catalog(self):
+        assert set(QUICK_CONTENTS) <= set(ALL_CONTENTS)
+        assert "friendly" in QUICK_CONTENTS
+        video = build_content("friendly", 64, 48, 4, seed=0)
+        assert video.to_array().shape == (4, 48, 64)
+        hostile = build_content("flicker", 64, 48, 4, seed=0)
+        assert hostile.to_array().shape == (4, 48, 64)

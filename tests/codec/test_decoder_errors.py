@@ -130,3 +130,30 @@ class TestDecodeStructureErrors:
         liar = EncodedVideo(header=encoded_small.header, frames=frames)
         with pytest.raises(BitstreamError, match="reference"):
             Decoder().decode(liar)
+
+
+class TestDeclaredPixelGuard:
+    """The decode-work cap lives in the decoder itself: any caller is
+    protected from absurd declared geometry, not just the fuzz harness."""
+
+    def test_absurd_geometry_rejected_before_allocation(self, encoded_small):
+        liar = _with_header(encoded_small, width=1 << 20, height=1 << 20)
+        with pytest.raises(BitstreamError, match="declared pixel volume"):
+            Decoder().decode(liar)
+
+    def test_cap_is_tunable_per_decoder(self, encoded_small):
+        header = encoded_small.header
+        declared = header.width * header.height * header.num_frames
+        strict = Decoder(max_declared_pixels=declared - 1)
+        with pytest.raises(BitstreamError, match="declared pixel volume"):
+            strict.decode(encoded_small)
+        exact = Decoder(max_declared_pixels=declared)
+        assert exact.decode(encoded_small).total_pixels == declared
+
+    def test_default_cap_admits_real_content(self, encoded_small):
+        from repro.codec.decoder import MAX_DECLARED_PIXELS
+
+        header = encoded_small.header
+        assert (header.width * header.height * header.num_frames
+                <= MAX_DECLARED_PIXELS)
+        assert Decoder().decode(encoded_small) is not None

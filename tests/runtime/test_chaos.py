@@ -1,0 +1,282 @@
+"""Deterministic fault injection: the chaos harness.
+
+The contracts pinned here are the ones the scenario matrix leans on:
+disarmed chaos is invisible (no hook fires, no event, no state); an
+armed policy fires the same fault schedule for the same workload
+(schedule_digest is replayable); and every injected fault lands in the
+failure path the production machinery already handles — trial failure,
+quarantine, torn-tail journal recovery, device damage that is always
+*visible* in the storage report.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ChaosError
+from repro.runtime import (
+    ChaosPolicy,
+    TrialContext,
+    TrialFailure,
+    TrialJournal,
+    TrialResult,
+    TrialSpec,
+    arm_chaos,
+    campaign_digest,
+    chaos_events,
+    chaos_policy_from_env,
+    chaos_schedule_digest,
+    fork_available,
+    register_trial_kind,
+    run_campaign,
+    spawn_trial_seeds,
+    unregister_trial_kind,
+)
+from repro.runtime import chaos
+from repro.runtime.chaos import disarm
+from repro.storage import device as storage_device
+from repro.storage.device import ApproximateDevice
+from repro.storage.ecc import scheme_by_name
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+def _echo(state, spec):
+    rng = np.random.default_rng(spec.seed)
+    return TrialResult(spec.index, float(rng.normal()), 0, False)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    register_trial_kind("chaos-echo", _echo)
+    yield
+    disarm()
+    unregister_trial_kind("chaos-echo")
+
+
+def _specs(count, seed=3):
+    seeds = spawn_trial_seeds(np.random.default_rng(seed), count)
+    return [TrialSpec(index=i, kind="chaos-echo", seed=seeds[i])
+            for i in range(count)]
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(device_fault_rate=1.5)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(device_flip_bits=0)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(journal_tear_bytes=0)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(fail_trials=(-1,))
+
+    def test_quiet(self):
+        assert ChaosPolicy().quiet
+        assert ChaosPolicy(seed=9).quiet
+        assert not ChaosPolicy(fail_trials=(0,)).quiet
+        assert not ChaosPolicy(device_fault_rate=0.1).quiet
+
+    def test_env_round_trip(self, monkeypatch):
+        assert chaos_policy_from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "7")
+        monkeypatch.setenv("REPRO_CHAOS_DEVICE_RATE", "0.25")
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_TRIALS", "1,3")
+        monkeypatch.setenv("REPRO_CHAOS_SHM_AT", "2")
+        policy = chaos_policy_from_env()
+        assert policy == ChaosPolicy(seed=7, device_fault_rate=0.25,
+                                     fail_trials=(1, 3), shm_fail_at=2)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_TRIALS", "one,two")
+        with pytest.raises(AnalysisError, match="REPRO_CHAOS_FAIL_TRIALS"):
+            chaos_policy_from_env()
+        monkeypatch.delenv("REPRO_CHAOS_FAIL_TRIALS")
+        monkeypatch.setenv("REPRO_CHAOS_DEVICE_RATE", "lots")
+        with pytest.raises(AnalysisError, match="REPRO_CHAOS_DEVICE_RATE"):
+            chaos_policy_from_env()
+
+
+class TestArming:
+    def test_disarmed_is_invisible(self):
+        assert chaos.active() is None
+        assert chaos_events() == ()
+        assert storage_device._CHAOS_READ_FAULT is None
+        # Hooks on the armed-only path are no-ops when disarmed.
+        chaos.trial_fault(0)
+        assert chaos.device_read_fault(b"payload") is None
+
+    def test_arm_installs_and_disarm_removes_device_hook(self):
+        arm_chaos(ChaosPolicy(device_fault_rate=0.5))
+        assert storage_device._CHAOS_READ_FAULT is chaos.device_read_fault
+        assert chaos.active() == ChaosPolicy(device_fault_rate=0.5)
+        disarm()
+        assert storage_device._CHAOS_READ_FAULT is None
+        assert chaos.active() is None
+
+    def test_rearm_resets_schedule(self):
+        arm_chaos(ChaosPolicy(fail_trials=(0,)))
+        with pytest.raises(ChaosError):
+            chaos.trial_fault(0)
+        assert len(chaos_events()) == 1
+        arm_chaos(ChaosPolicy(fail_trials=(0,)))
+        assert chaos_events() == ()
+
+    def test_schedule_digest_replayable(self):
+        disarmed = chaos_schedule_digest()
+        assert disarmed == chaos_schedule_digest()
+        digests = []
+        for _ in range(2):
+            arm_chaos(ChaosPolicy(seed=5, fail_trials=(1,)))
+            with pytest.raises(ChaosError):
+                chaos.trial_fault(1)
+            digests.append(chaos_schedule_digest())
+            disarm()
+        assert digests[0] == digests[1]
+        assert digests[0] != disarmed
+        # A different schedule is a different fingerprint.
+        arm_chaos(ChaosPolicy(seed=6, fail_trials=(1,)))
+        with pytest.raises(ChaosError):
+            chaos.trial_fault(1)
+        assert chaos_schedule_digest() != digests[0]
+
+
+class TestTrialFaults:
+    def test_fail_trial_fails_survivors_bitwise_equal(self):
+        specs = _specs(5)
+        clean = run_campaign(TrialContext(), specs, workers=0)
+        arm_chaos(ChaosPolicy(fail_trials=(2,)))
+        outcomes, stats = run_campaign(TrialContext(), specs, workers=0)
+        assert stats.failed == 1 and stats.completed == 4
+        assert isinstance(outcomes[2], TrialFailure)
+        assert "chaos" in outcomes[2].message
+        for index in (0, 1, 3, 4):
+            assert outcomes[index].value_db == clean[0][index].value_db
+
+    @needs_fork
+    def test_crash_trial_quarantined_survivors_bitwise_equal(self):
+        specs = _specs(5)
+        clean = run_campaign(TrialContext(), specs, workers=0)
+        arm_chaos(ChaosPolicy(crash_trials=(1,)))
+        outcomes, stats = run_campaign(TrialContext(), specs, workers=2,
+                                       chunksize=1, max_retries=2)
+        assert stats.quarantined == 1
+        assert isinstance(outcomes[1], TrialFailure)
+        for index in (0, 2, 3, 4):
+            assert outcomes[index].value_db == clean[0][index].value_db
+
+    def test_hang_trial_hits_watchdog(self):
+        pytest.importorskip("signal")
+        from repro.runtime import alarm_capable
+
+        if not alarm_capable():
+            pytest.skip("SIGALRM deadline unavailable")
+        specs = _specs(3)
+        arm_chaos(ChaosPolicy(hang_trials=(1,), hang_seconds=0.05))
+        outcomes, stats = run_campaign(TrialContext(), specs, workers=0,
+                                       timeout=0.3)
+        assert stats.failed == 1
+        assert isinstance(outcomes[1], TrialFailure)
+        assert isinstance(outcomes[0], TrialResult)
+        assert isinstance(outcomes[2], TrialResult)
+
+
+class TestDeviceFaults:
+    def test_damage_always_visible_never_silent(self):
+        payload = bytes(range(256)) * 8
+        scheme = scheme_by_name("BCH-6")
+        arm_chaos(ChaosPolicy(seed=1, device_fault_rate=1.0))
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        _, report = device.store_and_read(payload, scheme)
+        events = [e for e in chaos_events() if e["kind"] == "device_read"]
+        assert len(events) == 1
+        # The injected failure is escalated, not silently absorbed.
+        assert report.failed_blocks >= 1
+        assert report.miscorrected_blocks == 0
+
+    def test_fault_keyed_by_content_not_order(self):
+        payload = b"stable payload" * 64
+        scheme = scheme_by_name("BCH-6")
+        reads = []
+        for _ in range(2):
+            arm_chaos(ChaosPolicy(seed=1, device_fault_rate=0.5))
+            device = ApproximateDevice(rng=np.random.default_rng(0))
+            device.store_and_read(payload, scheme)
+            reads.append(chaos_events())
+            disarm()
+        assert reads[0] == reads[1]
+
+    def test_disarmed_read_is_clean_path(self):
+        payload = b"clean" * 100
+        scheme = scheme_by_name("BCH-6")
+        device = ApproximateDevice(rng=np.random.default_rng(0),
+                                   cell_model=None)
+        _, report = device.store_and_read(payload, scheme)
+        assert chaos_events() == ()
+
+
+class TestJournalTear:
+    def test_tear_truncates_and_kills_writer(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        specs = _specs(4)
+        digest = campaign_digest(specs, None)
+        arm_chaos(ChaosPolicy(journal_tear_at=1, journal_tear_bytes=5))
+        journal = TrialJournal(path, digest)
+        journal.record(specs[0], TrialResult(0, 1.0, 0, False))
+        with pytest.raises(ChaosError, match="torn"):
+            journal.record(specs[1], TrialResult(1, 2.0, 0, False))
+        journal.close()
+        disarm()
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n")  # genuinely torn tail
+        # Recovery: reopen truncates the fragment and re-runs the trial.
+        resumed = TrialJournal(path, digest)
+        assert resumed.torn_lines == 1
+        assert resumed.completed(specs[0]) is not None
+        assert resumed.completed(specs[1]) is None
+        resumed.close()
+
+    def test_tear_is_one_shot(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        specs = _specs(4)
+        digest = campaign_digest(specs, None)
+        arm_chaos(ChaosPolicy(journal_tear_at=0, journal_tear_bytes=3))
+        journal = TrialJournal(path, digest)
+        with pytest.raises(ChaosError):
+            journal.record(specs[0], TrialResult(0, 1.0, 0, False))
+        journal.close()
+        resumed = TrialJournal(path, digest)
+        for spec in specs:
+            if resumed.completed(spec) is None:
+                resumed.record(spec, TrialResult(spec.index, 0.5, 0, False))
+        resumed.close()
+        assert len([e for e in chaos_events()
+                    if e["kind"] == "journal_tear"]) == 1
+
+
+class TestShmFault:
+    def test_scheduled_access_lost_once(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        from repro.runtime import pack_clips
+        from repro.video import SceneConfig, synthesize_scene
+
+        clips = [synthesize_scene(SceneConfig(width=32, height=32,
+                                              num_frames=2, seed=s))
+                 for s in (0, 1)]
+        store = pack_clips(clips, use_shared_memory=True)
+        if isinstance(store, tuple):
+            pytest.skip("shared memory unavailable")
+        try:
+            arm_chaos(ChaosPolicy(shm_fail_at=1))
+            _ = store[0]
+            with pytest.raises(ChaosError, match="lost at access"):
+                _ = store[1]
+            # One-shot: the same clip reads fine on retry.
+            assert store[1].to_array().shape == (2, 32, 32)
+            events = [e for e in chaos_events() if e["kind"] == "shm_loss"]
+            assert events == [{"kind": "shm_loss", "clip": 1, "ordinal": 1}]
+        finally:
+            store.close()

@@ -198,3 +198,87 @@ class TestFarmSpecs:
                              use_shared_memory=False)
         assert isinstance(result.stats, RunStats)
         assert result.stats.trials == len(result.outcomes)
+
+
+class TestBFrameFallback:
+    """B-frame GOPs cannot split into independent units; the farm must
+    fall back to whole-clip units instead of refusing the corpus."""
+
+    _BCONFIG = EncoderConfig(crf=30, gop_size=4, bframes=1)
+
+    def test_gop_unit_bounds_refuses_bframes_typed(self):
+        from repro.errors import EncoderError, GopStructureError
+
+        with pytest.raises(GopStructureError, match="B-frame"):
+            gop_unit_bounds(8, self._BCONFIG)
+        # Still catchable as the codec-layer base class.
+        assert issubclass(GopStructureError, EncoderError)
+
+    def test_clip_unit_bounds_falls_back_to_whole_clip(self):
+        from repro.runtime.farm import clip_unit_bounds
+
+        assert clip_unit_bounds(10, self._BCONFIG) == [(0, 10)]
+        assert clip_unit_bounds(8, _CONFIG) == \
+            gop_unit_bounds(8, _CONFIG)
+
+    def test_farm_matches_scalar_on_bframe_corpus(self):
+        clips = _clips(count=2, frames=6, seed=3)
+        result = encode_farm(clips, self._BCONFIG, workers=0,
+                             batch_size=4, use_shared_memory=False)
+        for clip, clip_result in zip(clips, result.clips):
+            encoded = Encoder(self._BCONFIG).encode(clip)
+            assert clip_result.complete
+            assert clip_result.units == 1
+            assert clip_result.bits == 8 * len(encoded.serialize())
+            assert clip_result.psnr_db == pytest.approx(
+                video_psnr(clip, Decoder().decode(encoded)), abs=1e-9)
+
+
+class TestSegmentLeaks:
+    """Shared segments must never outlive their campaign."""
+
+    @staticmethod
+    def _shm_names():
+        import pathlib
+
+        root = pathlib.Path("/dev/shm")
+        if not root.is_dir():
+            pytest.skip("/dev/shm unavailable")
+        return {p.name for p in root.iterdir()}
+
+    def test_failed_pack_leaves_no_segment(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+
+        class ExplodingStore(SharedClipStore):
+            def __init__(self, *args, **kwargs):
+                if kwargs.get("owner"):
+                    raise RuntimeError("simulated pack failure")
+                super().__init__(*args, **kwargs)
+
+        before = self._shm_names()
+        with pytest.raises(RuntimeError, match="simulated"):
+            ExplodingStore.pack(_clips(count=1, frames=2))
+        assert self._shm_names() <= before
+
+    def test_owner_atexit_unlinks_on_plain_exit(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        import subprocess
+        import sys
+
+        # The child packs a store, prints the segment name, and exits
+        # WITHOUT calling close(): the atexit hook must unlink.
+        script = (
+            "import numpy as np\n"
+            "from repro.runtime.shm import SharedClipStore\n"
+            "from repro.video.frame import VideoSequence\n"
+            "clip = VideoSequence.from_array(\n"
+            "    np.zeros((2, 32, 32), dtype=np.uint8))\n"
+            "store = SharedClipStore.pack([clip])\n"
+            "print(store.name)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert name
+        assert name not in self._shm_names()

@@ -311,3 +311,38 @@ class TestResume:
         _, stats = run_campaign(TrialContext(), specs, workers=0,
                                 journal=path)
         assert stats.resumed == 0
+
+
+class TestTornTailEveryOffset:
+    """Chaos-grade tear coverage: a crash can stop the final append
+    after any byte. Whatever survives, resume must truncate cleanly and
+    re-run exactly the missing trial, landing bitwise identical."""
+
+    def test_resume_from_every_tear_offset(self, tmp_path):
+        specs = _specs(3)
+        context = TrialContext()
+        full = tmp_path / "full.jsonl"
+        clean, _ = run_campaign(context, specs, workers=0, journal=full)
+        raw = full.read_bytes()
+        cut = raw.rstrip(b"\n").rfind(b"\n") + 1
+        body, last = raw[:cut], raw[cut:]
+        assert last.endswith(b"\n") and json.loads(last)
+        for offset in range(len(last)):
+            torn = tmp_path / f"torn{offset}.jsonl"
+            torn.write_bytes(body + last[:offset])
+            journal = TrialJournal.open_for(torn, specs, context)
+            # offset 0 is a cleanly missing record, anything else a
+            # genuinely torn fragment that must be counted + truncated.
+            assert journal.torn_lines == (1 if offset else 0)
+            assert journal.completed(specs[-1]) is None
+            for spec in specs[:-1]:
+                assert journal.completed(spec) is not None
+            journal.close()
+            resumed, stats = run_campaign(context, specs, workers=0,
+                                          journal=torn)
+            assert stats.resumed == len(specs) - 1
+            assert [r.value_db for r in resumed] == \
+                [r.value_db for r in clean]
+            healed = torn.read_bytes()
+            assert healed.endswith(b"\n")
+            assert healed == raw  # byte-identical to the clean journal

@@ -237,3 +237,31 @@ class TestModes:
         assert main(["modes"]) == 0
         text = capsys.readouterr().out
         assert "ECB" in text and "CTR" in text
+
+
+class TestScenarios:
+    def test_matrix_runs_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "scenarios.json"
+        args = ["scenarios", "--contents", "flicker", "--trials", "3",
+                "--seed", "4", "--no-model-checks",
+                "--journal-dir", str(tmp_path / "journals"),
+                "--json", str(report)]
+        assert main(args) == 0
+        text = capsys.readouterr().out
+        assert "scenario matrix" in text
+        assert "matrix digest" in text
+        data = json.loads(report.read_text())
+        assert data["passed"] is True
+        assert len(data["cells"]) == 6
+
+    def test_env_chaos_armed_for_any_subcommand(self, clip, monkeypatch,
+                                                capsys):
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_TRIALS", "0")
+        args = ["sweep", str(clip), "--rates", "1e-3", "--runs", "2",
+                "--workers", "0", "--crf", "26", "--gop", "6"]
+        assert main(args) == 0
+        assert "1 failed" in capsys.readouterr().out
+        # The CLI disarms on the way out.
+        from repro.runtime import chaos
+
+        assert chaos.active() is None

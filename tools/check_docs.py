@@ -29,7 +29,12 @@ from pathlib import Path
 from typing import Iterator, List, Tuple
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_PACKAGES = ("src/repro/obs", "src/repro/runtime")
+DOCSTRING_PACKAGES = (
+    "src/repro/obs",
+    "src/repro/runtime",
+    "src/repro/video/adversarial.py",
+    "src/repro/analysis/scenarios.py",
+)
 
 #: Directories never scanned for Markdown files.
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
@@ -102,11 +107,15 @@ def check_docstrings(root: Path) -> List[str]:
     """``file:line: missing docstring`` findings for DOCSTRING_PACKAGES."""
     problems: List[str] = []
     for package in DOCSTRING_PACKAGES:
-        package_dir = root / package
-        if not package_dir.is_dir():
-            problems.append(f"{package}: package directory missing")
+        package_path = root / package
+        if package_path.is_file():
+            paths = [package_path]
+        elif package_path.is_dir():
+            paths = sorted(package_path.rglob("*.py"))
+        else:
+            problems.append(f"{package}: package path missing")
             continue
-        for py_path in sorted(package_dir.rglob("*.py")):
+        for py_path in paths:
             for line, description in _missing_docstrings(py_path):
                 problems.append(
                     f"{py_path.relative_to(root)}:{line}: {description}")
