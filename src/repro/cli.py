@@ -19,6 +19,13 @@ shell, the way a downstream user would script it:
 * ``fuzz``     — decoder no-crash fuzz harness (random bit/byte/
   truncation corruptions under a deadline, crash corpus on failure,
   corpus replay with ``--replay``);
+* ``serve``    — scripted session against the sharded video store
+  service (put/get/share/retire/age/stats/audit commands from a
+  script file, stdin, or the built-in ``--demo``);
+* ``loadgen``  — seeded concurrent load against the service front-end
+  with a digest-replayable report: p50/p99 read latency, ingest
+  throughput, and the degradation curve over shard retention age (the
+  "serving under decay" exhibit — see docs/SERVICE.md);
 * ``modes``    — AES block-mode compatibility scorecard.
 
 Observability flags and the ``REPRO_*`` environment variables behind
@@ -475,6 +482,162 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+#: The ``serve --demo`` script: one shared object, one denied read,
+#: one aged re-read — the operator guide's walkthrough, executable.
+_DEMO_SCRIPT = """\
+put alice synth:1
+put alice synth:2
+share alice bob
+get alice @1 bob
+get alice @2 carol
+age 36500
+get alice @1
+stats
+audit
+"""
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import shlex
+
+    from .errors import ServiceError
+    from .service import Keyring, ServiceFrontend, ShardPool, \
+        VideoObjectStore
+
+    if args.demo:
+        lines = _DEMO_SCRIPT.splitlines()
+    elif args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    pool = ShardPool(count=args.shards, read_retries=args.read_retries)
+    store = VideoObjectStore(pool=pool, keyring=Keyring(seed=args.seed),
+                             config=_encoder_config(args))
+    frontend = ServiceFrontend(store)
+    #: ``@N`` in a script names the id returned by the N-th put (1-based).
+    placed_ids: List[str] = []
+
+    def resolve_id(token: str) -> str:
+        if token.startswith("@"):
+            return placed_ids[int(token[1:]) - 1]
+        return token
+
+    def clip_for(token: str):
+        if token.startswith("synth:"):
+            return synthesize_scene(SceneConfig(
+                width=48, height=32, num_frames=4,
+                seed=int(token.split(":", 1)[1])))
+        return read_raw_video(token)
+
+    async def run_script() -> int:
+        status = 0
+        await frontend.start()
+        op_seq = 0
+        for line in lines:
+            words = shlex.split(line, comments=True)
+            if not words:
+                continue
+            verb, rest = words[0], words[1:]
+            try:
+                if verb == "put":
+                    object_id = await frontend.ingest(
+                        rest[0], clip_for(rest[1]))
+                    placed_ids.append(object_id)
+                    print(f"put {rest[0]} -> {object_id[:16]} "
+                          f"(@{len(placed_ids)})")
+                elif verb == "get":
+                    reader = rest[2] if len(rest) > 2 else None
+                    op_seq += 1
+                    result = await frontend.read(
+                        rest[0], resolve_id(rest[1]), reader=reader,
+                        rng=np.random.default_rng(
+                            (args.seed, op_seq)))
+                    psnr = ("-" if result.psnr_db is None
+                            else f"{result.psnr_db:.2f} dB")
+                    print(f"get {result.object_id[:16]} as "
+                          f"{result.reader}: {result.outcome} "
+                          f"(psnr {psnr})")
+                elif verb == "share":
+                    store.keyring.add_tenant(rest[0])
+                    store.keyring.share(rest[0], rest[1])
+                    print(f"shared {rest[0]} -> {rest[1]}")
+                elif verb == "retire":
+                    store.keyring.retire(rest[0])
+                    print(f"retired key of {rest[0]}")
+                elif verb == "age":
+                    pool.advance_all(float(rest[0]))
+                    print(f"aged all shards by {float(rest[0]):g} days")
+                elif verb == "stats":
+                    print(format_table(
+                        ("shard", "health", "age", "reads",
+                         "uncorrectable"),
+                        list(pool.health_rows()),
+                        title=f"{len(store)} objects on "
+                              f"{len(pool)} shards"))
+                elif verb == "audit":
+                    sys.stdout.write(store.audit.to_jsonl())
+                elif verb == "quit":
+                    break
+                else:
+                    print(f"unknown command {verb!r} (put/get/share/"
+                          f"retire/age/stats/audit/quit)")
+                    status = 2
+            except ServiceError as exc:
+                # Denials, stale keys, refusals: part of the exhibit,
+                # not a crash.
+                print(f"{verb} failed: {type(exc).__name__}: {exc}")
+        await frontend.stop()
+        return status
+
+    return asyncio.run(run_script())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.loadgen import run_loadgen
+
+    report = run_loadgen(
+        clients=args.clients, ops=args.ops, seed=args.seed,
+        read_fraction=args.read_fraction, shards=args.shards,
+        read_retries=args.read_retries, t_days=args.t_days,
+        config=_encoder_config(args))
+    data = report.to_dict()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    print(format_table(("metric", "value"), [
+        ("clients", report.clients),
+        ("ops (ingest/read)",
+         f"{report.ops} ({report.ingest_count}/{report.read_count})"),
+        ("ingest throughput",
+         f"{report.ingest_clips_per_second:.2f} clips/s"),
+        ("read p50 latency", f"{report.read_p50_ms:.1f} ms"),
+        ("read p99 latency", f"{report.read_p99_ms:.1f} ms"),
+        ("read outcomes",
+         ", ".join(f"{k}={v}"
+                   for k, v in sorted(report.outcomes.items()))
+         or "-"),
+    ], title=f"loadgen seed {report.seed}"))
+    if report.degradation:
+        print(format_table(
+            ("t (days)", "outcomes", "mean PSNR dB", "raw read"),
+            [("nominal" if p["t_days"] is None else f"{p['t_days']:g}",
+              ", ".join(f"{k}={v}"
+                        for k, v in sorted(p["outcomes"].items())),
+              "-" if p["psnr_db"] is None else f"{p['psnr_db']:.2f}",
+              "ok" if p["raw_ok"]
+              else f"corrupt ({p['raw_flipped_bits']} flips)")
+             for p in report.degradation],
+            title="degradation curve (service reads vs raw device "
+                  "read)"))
+    print(f"run digest: {report.run_digest}")
+    return 0
+
+
 def _cmd_modes(_args: argparse.Namespace) -> int:
     verdicts = analyze_all_modes()
     print(format_table(
@@ -660,6 +823,53 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the full ScenarioReport here "
                                 "(CI compares matrix_digest across runs)")
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    serve = commands.add_parser(
+        "serve", help="scripted session against the video store service")
+    serve.add_argument("--script", default=None,
+                       help="command script (default: stdin); verbs: "
+                            "put TENANT RAW|synth:SEED, "
+                            "get TENANT ID|@N [READER], share OWNER "
+                            "READER, retire TENANT, age DAYS, stats, "
+                            "audit, quit")
+    serve.add_argument("--demo", action="store_true",
+                       help="run the built-in demo script instead")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="keyring + read-rng seed")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard pool width "
+                            "(default REPRO_SERVICE_SHARDS)")
+    serve.add_argument("--read-retries", type=int, default=None,
+                       help="device re-read ladder depth "
+                            "(default REPRO_SERVICE_READ_RETRIES)")
+    _add_encoder_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="seeded concurrent load + degradation curve (replayable)")
+    loadgen.add_argument("--clients", type=int, default=4,
+                         help="concurrent client coroutines")
+    loadgen.add_argument("--ops", type=int, default=12,
+                         help="total planned operations")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--read-fraction", type=float, default=0.5,
+                         help="probability an op is a read (given an "
+                              "earlier ingest exists)")
+    loadgen.add_argument("--shards", type=int, default=None,
+                         help="shard pool width "
+                              "(default REPRO_SERVICE_SHARDS)")
+    loadgen.add_argument("--read-retries", type=int, default=None,
+                         help="device re-read ladder depth "
+                              "(default REPRO_SERVICE_READ_RETRIES)")
+    loadgen.add_argument("--t-days", type=float, default=None,
+                         help="age every shard to this retention time "
+                              "for the mixed phase (default: nominal)")
+    loadgen.add_argument("--json", default=None,
+                         help="write the full report (including the "
+                              "run digest) here")
+    _add_encoder_args(loadgen)
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     modes = commands.add_parser("modes", help="AES mode scorecard")
     modes.set_defaults(func=_cmd_modes)

@@ -65,6 +65,48 @@ class ChaosError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for approximate-video-store service failures.
+
+    Raised by :mod:`repro.service` for operational failures a client of
+    the serving layer must handle: denied access, retired keys, a full
+    ingest queue, or a read the service refuses to serve rather than
+    return silently wrong data.
+    """
+
+
+class AccessDeniedError(ServiceError):
+    """A tenant asked for an object its access policy does not grant."""
+
+
+class StaleKeyError(ServiceError):
+    """An operation needed a tenant key that has been retired.
+
+    Ciphertext encrypted under a retired key stays on the shards, but
+    the keyring refuses to hand the key out again — the service fails
+    the operation instead of decrypting with a key the operator
+    revoked.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The ingest queue is full; the service sheds the request.
+
+    The front-end fails fast rather than buffering without bound —
+    callers are expected to retry with backoff or drop the clip.
+    """
+
+
+class ReadRefusedError(ServiceError):
+    """The service refused a read rather than return suspect data.
+
+    Raised (or surfaced as a ``refused`` outcome) when read-back bytes
+    fail their integrity check while the device reported a clean read —
+    the signature of a silently miscorrected ECC block — or when a
+    precise stream comes back with known-uncorrectable damage.
+    """
+
+
 class TrialTimeout(ReproError):
     """A Monte Carlo trial exceeded its wall-clock watchdog budget.
 

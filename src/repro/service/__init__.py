@@ -1,0 +1,66 @@
+"""Approximate video store *service*: shards, keys, queue, loadgen.
+
+This package lifts the single-video :class:`~repro.core.pipeline.
+ApproximateVideoStore` facade into an operable multi-tenant service:
+
+* :mod:`~repro.service.placement` — consistent-hash ring mapping
+  stream keys onto shards;
+* :mod:`~repro.service.shards` — the shard pool: aged approximate
+  devices with health/quarantine accounting;
+* :mod:`~repro.service.keyring` — per-tenant AES keys and the
+  share/retire access policy;
+* :mod:`~repro.service.store` — the content-addressed object store
+  and the four-outcome read ladder (clean / corrected / concealed /
+  refused);
+* :mod:`~repro.service.frontend` — asyncio admission layer: bounded
+  ingest queue feeding the batched encode kernel;
+* :mod:`~repro.service.audit` — replay-stable append-only audit log;
+* :mod:`~repro.service.loadgen` — the seeded, digest-replayable load
+  generator behind ``repro loadgen``;
+* :mod:`~repro.service.config` — the ``REPRO_SERVICE_*`` env surface.
+
+Operator documentation lives in docs/SERVICE.md.
+"""
+
+from .audit import AuditEvent, AuditLog
+from .frontend import ServiceFrontend
+from .keyring import Keyring, TenantKey, TenantPolicy, derive_tenant_key
+from .loadgen import LoadgenReport, build_plan, run_loadgen
+from .placement import HashRing
+from .shards import Shard, ShardPool
+from .store import (
+    CLEAN,
+    CONCEALED,
+    CORRECTED,
+    REFUSED,
+    ObjectRecord,
+    ReadResult,
+    VideoObjectStore,
+    object_id_for,
+    stream_key,
+)
+
+__all__ = [
+    "AuditEvent",
+    "AuditLog",
+    "CLEAN",
+    "CONCEALED",
+    "CORRECTED",
+    "HashRing",
+    "Keyring",
+    "LoadgenReport",
+    "ObjectRecord",
+    "REFUSED",
+    "ReadResult",
+    "ServiceFrontend",
+    "Shard",
+    "ShardPool",
+    "TenantKey",
+    "TenantPolicy",
+    "VideoObjectStore",
+    "build_plan",
+    "derive_tenant_key",
+    "object_id_for",
+    "run_loadgen",
+    "stream_key",
+]

@@ -1,0 +1,115 @@
+"""Service configuration: the ``REPRO_SERVICE_*`` environment surface.
+
+Every operator-facing knob of the serving layer lives here, resolved
+with the library-wide convention that **explicit arguments always win
+over the environment** (matching ``REPRO_NUM_WORKERS`` and friends —
+see docs/OBSERVABILITY.md). The knobs themselves are documented for
+operators in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import ServiceError
+
+#: Number of shards in the pool.
+SHARDS_ENV = "REPRO_SERVICE_SHARDS"
+#: Bounded ingest-queue depth; a full queue sheds new ingests.
+QUEUE_DEPTH_ENV = "REPRO_SERVICE_QUEUE_DEPTH"
+#: Max clips drained from the ingest queue into one encode batch.
+INGEST_BATCH_ENV = "REPRO_SERVICE_INGEST_BATCH"
+#: Re-read retry depth for detected-uncorrectable blocks on the read
+#: path (the service-scoped override of ``REPRO_READ_RETRIES``).
+READ_RETRIES_ENV = "REPRO_SERVICE_READ_RETRIES"
+#: Scrub interval in days applied to every shard (unset = no scrubbing).
+SCRUB_DAYS_ENV = "REPRO_SERVICE_SCRUB_DAYS"
+#: Uncorrectable-block events before a shard is quarantined.
+QUARANTINE_AFTER_ENV = "REPRO_SERVICE_QUARANTINE_AFTER"
+#: Virtual nodes per shard on the placement ring.
+VNODES_ENV = "REPRO_SERVICE_VNODES"
+
+_DEFAULTS = {
+    SHARDS_ENV: 4,
+    QUEUE_DEPTH_ENV: 64,
+    INGEST_BATCH_ENV: 8,
+    READ_RETRIES_ENV: 1,
+    QUARANTINE_AFTER_ENV: 3,
+    VNODES_ENV: 64,
+}
+
+
+def _resolve_int(explicit: Optional[int], env: str, minimum: int) -> int:
+    """Explicit value, else the env var, else the default — validated."""
+    if explicit is None:
+        raw = os.environ.get(env, "").strip()
+        if not raw:
+            value = _DEFAULTS[env]
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ServiceError(
+                    f"{env}={raw!r} is not an integer") from None
+    else:
+        value = int(explicit)
+    if value < minimum:
+        raise ServiceError(f"{env} must be >= {minimum}, got {value}")
+    return value
+
+
+def resolve_shards(explicit: Optional[int] = None) -> int:
+    """Shard-pool width (``REPRO_SERVICE_SHARDS``, default 4)."""
+    return _resolve_int(explicit, SHARDS_ENV, 1)
+
+
+def resolve_queue_depth(explicit: Optional[int] = None) -> int:
+    """Ingest-queue bound (``REPRO_SERVICE_QUEUE_DEPTH``, default 64)."""
+    return _resolve_int(explicit, QUEUE_DEPTH_ENV, 1)
+
+
+def resolve_ingest_batch(explicit: Optional[int] = None) -> int:
+    """Encode-batch drain width (``REPRO_SERVICE_INGEST_BATCH``,
+    default 8)."""
+    return _resolve_int(explicit, INGEST_BATCH_ENV, 1)
+
+
+def resolve_read_retries(explicit: Optional[int] = None) -> int:
+    """Service read-ladder depth (``REPRO_SERVICE_READ_RETRIES``,
+    default 1)."""
+    return _resolve_int(explicit, READ_RETRIES_ENV, 0)
+
+
+def resolve_quarantine_after(explicit: Optional[int] = None) -> int:
+    """Shard-quarantine threshold (``REPRO_SERVICE_QUARANTINE_AFTER``,
+    default 3 uncorrectable-block events)."""
+    return _resolve_int(explicit, QUARANTINE_AFTER_ENV, 1)
+
+
+def resolve_vnodes(explicit: Optional[int] = None) -> int:
+    """Placement-ring virtual nodes (``REPRO_SERVICE_VNODES``,
+    default 64)."""
+    return _resolve_int(explicit, VNODES_ENV, 1)
+
+
+def resolve_scrub_days(explicit: Optional[float] = None
+                       ) -> Optional[float]:
+    """Shard scrub interval in days (``REPRO_SERVICE_SCRUB_DAYS``,
+    unset = no scrubbing)."""
+    if explicit is not None:
+        value = float(explicit)
+    else:
+        raw = os.environ.get(SCRUB_DAYS_ENV, "").strip()
+        if not raw or raw.lower() in ("none", "off", "never"):
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ServiceError(
+                f"{SCRUB_DAYS_ENV}={raw!r} is not a number of days"
+            ) from None
+    if value <= 0:
+        raise ServiceError(
+            f"{SCRUB_DAYS_ENV} must be > 0 days, got {value}")
+    return value

@@ -1,0 +1,139 @@
+"""Async front-end: a bounded ingest queue in front of the store.
+
+:class:`ServiceFrontend` is the service's admission layer. Ingests do
+not encode inline — they park the clip on a bounded queue and await a
+future; a single worker coroutine drains the queue in batches of up to
+``ingest_batch`` clips and hands each batch (grouped by tenant) to
+:meth:`~repro.service.store.VideoObjectStore.put_many`, which routes
+same-geometry clips through the vectorized encode kernel. Reads bypass
+the queue entirely and run on the default executor so they stay
+responsive while an encode batch is in flight.
+
+Backpressure is explicit: when the queue is full the front-end sheds
+the ingest with :class:`~repro.errors.ServiceOverloadError` instead of
+buffering without bound — the ``queue overflow`` failure mode in
+docs/SERVICE.md. Queue depth is exported continuously as the
+``service_queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServiceOverloadError
+from ..obs import metrics as obs_metrics
+from ..video.frame import VideoSequence
+from . import config as service_config
+from .store import ReadResult, VideoObjectStore
+
+#: One queued ingest: (tenant, clip, future resolving to the object id).
+_QueueItem = Tuple[str, VideoSequence, "asyncio.Future"]
+
+
+class ServiceFrontend:
+    """Bounded-queue async facade over a :class:`VideoObjectStore`."""
+
+    def __init__(self, store: Optional[VideoObjectStore] = None,
+                 queue_depth: Optional[int] = None,
+                 ingest_batch: Optional[int] = None) -> None:
+        # ``store or ...`` would discard an *empty* store (len() == 0).
+        self.store = store if store is not None else VideoObjectStore()
+        self.queue_depth = service_config.resolve_queue_depth(queue_depth)
+        self.ingest_batch = service_config.resolve_ingest_batch(
+            ingest_batch)
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue and launch the ingest worker."""
+        if self._worker is not None:
+            return
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._worker = asyncio.create_task(self._ingest_worker())
+
+    async def stop(self) -> None:
+        """Drain every queued ingest, then retire the worker."""
+        if self._worker is None:
+            return
+        await self._queue.join()
+        self._worker.cancel()
+        try:
+            await self._worker
+        except asyncio.CancelledError:
+            pass
+        self._worker = None
+        self._queue = None
+        obs_metrics.gauge("service_queue_depth").set(0)
+
+    # -- client surface ---------------------------------------------------
+
+    async def ingest(self, tenant: str, video: VideoSequence) -> str:
+        """Queue one clip for encoding; resolves to its object id.
+
+        Raises :class:`ServiceOverloadError` immediately when the
+        queue is full — callers retry with backoff or drop the clip.
+        """
+        if self._queue is None:
+            raise ServiceOverloadError(
+                "front-end is not started; call start() first")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        try:
+            self._queue.put_nowait((tenant, video, future))
+        except asyncio.QueueFull:
+            obs_metrics.counter("service_overload_total").inc()
+            self.store.audit.record("overload", tenant,
+                                    detail=f"queue full "
+                                           f"({self.queue_depth})")
+            raise ServiceOverloadError(
+                f"ingest queue full ({self.queue_depth} clips); "
+                f"shedding the request") from None
+        obs_metrics.gauge("service_queue_depth").set(
+            self._queue.qsize())
+        return await future
+
+    async def read(self, tenant: str, object_id: str,
+                   reader: Optional[str] = None,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> ReadResult:
+        """Serve one read off the event loop (default executor)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, partial(self.store.get, tenant, object_id,
+                          reader=reader, rng=rng))
+
+    # -- worker -----------------------------------------------------------
+
+    async def _ingest_worker(self) -> None:
+        """Drain the queue forever, encoding in tenant-grouped batches."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch: List[_QueueItem] = [await self._queue.get()]
+            while (len(batch) < self.ingest_batch
+                   and not self._queue.empty()):
+                batch.append(self._queue.get_nowait())
+            obs_metrics.gauge("service_queue_depth").set(
+                self._queue.qsize())
+            by_tenant: dict = {}
+            for item in batch:
+                by_tenant.setdefault(item[0], []).append(item)
+            for tenant, items in by_tenant.items():
+                clips = [video for _, video, _ in items]
+                try:
+                    ids = await loop.run_in_executor(
+                        None, self.store.put_many, tenant, clips)
+                    for (_, _, future), object_id in zip(items, ids):
+                        if not future.cancelled():
+                            future.set_result(object_id)
+                except Exception as exc:  # propagate to every waiter
+                    for _, _, future in items:
+                        if not future.cancelled():
+                            future.set_exception(exc)
+            for _ in batch:
+                self._queue.task_done()

@@ -1,0 +1,186 @@
+"""The shard pool: aged approximate devices holding ciphertext streams.
+
+A :class:`Shard` is one failure domain of the object store — a slab of
+MLC PCM with its own retention age, scrub policy, and health state.
+Writes park a ciphertext blob in the shard's keyspace; reads replay the
+blob through an :class:`~repro.storage.device.ApproximateDevice` **at
+the shard's current age**, so a pool whose shards have aged returns
+exactly the damage the lifetime model predicts — per shard, not
+globally.
+
+Health: every read's :class:`~repro.storage.device.StorageReport` is
+fed back into the shard; blocks that stayed uncorrectable after the
+retry ladder accumulate, and a shard crossing its quarantine threshold
+is marked ``quarantined``. Quarantine is *observational*: the data is
+still on the shard and reads still proceed (the ladder + concealment
+downstream decide what survives) — the flag exists so operators and
+the placement layer can stop routing **new** writes there. This is
+what lets a chaos-armed device fault storm quarantine one shard while
+keys placed on the other shards keep reading clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..obs import metrics as obs_metrics
+from ..storage.device import ApproximateDevice, ScrubPolicy, StorageReport
+from ..storage.ecc import ECCScheme
+from ..storage.mlc import MLCCellModel
+from . import config as service_config
+from .placement import HashRing
+
+#: Shard health states.
+HEALTHY = "healthy"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class Shard:
+    """One failure domain: a keyed blob space over an aged device."""
+
+    shard_id: str
+    #: Retention age, in days, that reads against this shard simulate.
+    #: ``None`` is the nominal scrub-point read (the paper's setting).
+    t_days: Optional[float] = None
+    scrub: Optional[ScrubPolicy] = None
+    read_retries: int = 0
+    quarantine_after: int = 3
+    exact_ecc: bool = False
+    cell_model: MLCCellModel = field(default_factory=MLCCellModel)
+    #: Ciphertext blobs by placement key.
+    blobs: Dict[str, bytes] = field(default_factory=dict)
+    health: str = HEALTHY
+    uncorrectable_events: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def write(self, key: str, data: bytes) -> None:
+        """Park ``data`` under ``key`` (idempotent overwrite)."""
+        self.blobs[key] = data
+        self.writes += 1
+
+    def has(self, key: str) -> bool:
+        """True when ``key`` is stored on this shard."""
+        return key in self.blobs
+
+    def read(self, key: str, scheme: ECCScheme,
+             rng: np.random.Generator) -> Tuple[bytes, StorageReport]:
+        """Read ``key`` back through the device at this shard's age.
+
+        The caller supplies the RNG so every read's error draw is
+        seeded by the *operation*, not by shared device state — which
+        is what keeps concurrent loadgen runs replayable. The report is
+        also folded into the shard's health accounting.
+        """
+        blob = self.blobs.get(key)
+        if blob is None:
+            raise ServiceError(
+                f"shard {self.shard_id}: no blob under key {key!r}")
+        device = ApproximateDevice(
+            cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
+            scrub=self.scrub, read_retries=self.read_retries)
+        data, report = device.store_and_read(blob, scheme,
+                                             t_days=self.t_days)
+        self.reads += 1
+        if report.failed_blocks:
+            self.note_uncorrectable(report.failed_blocks)
+        return data, report
+
+    def note_uncorrectable(self, blocks: int) -> bool:
+        """Record uncorrectable-block events; quarantine past threshold.
+
+        Returns True the one time the shard transitions to
+        ``quarantined`` (so callers can audit the transition exactly
+        once).
+        """
+        self.uncorrectable_events += int(blocks)
+        if (self.health == HEALTHY
+                and self.uncorrectable_events >= self.quarantine_after):
+            self.health = QUARANTINED
+            obs_metrics.counter("service_shards_quarantined_total").inc()
+            return True
+        return False
+
+    def advance(self, days: float) -> None:
+        """Age the shard by ``days`` (a ``None`` age starts from 0)."""
+        if days < 0:
+            raise ServiceError(f"cannot age a shard by {days} days")
+        self.t_days = (self.t_days or 0.0) + float(days)
+
+
+class ShardPool:
+    """A fixed pool of shards behind one consistent-hash ring."""
+
+    def __init__(self, count: Optional[int] = None,
+                 t_days: Optional[float] = None,
+                 scrub_days: Optional[float] = None,
+                 read_retries: Optional[int] = None,
+                 quarantine_after: Optional[int] = None,
+                 vnodes: Optional[int] = None,
+                 exact_ecc: bool = False,
+                 cell_model: Optional[MLCCellModel] = None) -> None:
+        """Build ``count`` identically configured shards.
+
+        All sizing arguments fall back to their ``REPRO_SERVICE_*``
+        environment knobs (see :mod:`repro.service.config`).
+        """
+        count = service_config.resolve_shards(count)
+        retries = service_config.resolve_read_retries(read_retries)
+        threshold = service_config.resolve_quarantine_after(
+            quarantine_after)
+        scrub_days = service_config.resolve_scrub_days(scrub_days)
+        scrub = (ScrubPolicy(interval_days=scrub_days)
+                 if scrub_days is not None else None)
+        self.shards: Dict[str, Shard] = {}
+        for index in range(count):
+            shard_id = f"shard-{index}"
+            self.shards[shard_id] = Shard(
+                shard_id=shard_id, t_days=t_days, scrub=scrub,
+                read_retries=retries, quarantine_after=threshold,
+                exact_ecc=exact_ecc,
+                cell_model=cell_model or MLCCellModel())
+        self.ring = HashRing(sorted(self.shards),
+                             vnodes=service_config.resolve_vnodes(vnodes))
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def place(self, key: str) -> Shard:
+        """The shard owning ``key`` per the ring."""
+        return self.shards[self.ring.place(key)]
+
+    def shard(self, shard_id: str) -> Shard:
+        """Look a shard up by id."""
+        try:
+            return self.shards[shard_id]
+        except KeyError:
+            raise ServiceError(f"unknown shard {shard_id!r}") from None
+
+    def advance_all(self, days: float) -> None:
+        """Age every shard by ``days`` — the degradation-curve knob."""
+        for shard in self.shards.values():
+            shard.advance(days)
+
+    def set_age(self, t_days: Optional[float]) -> None:
+        """Pin every shard's retention age to ``t_days``."""
+        for shard in self.shards.values():
+            shard.t_days = t_days
+
+    def quarantined(self) -> List[str]:
+        """Ids of shards currently quarantined."""
+        return sorted(s.shard_id for s in self.shards.values()
+                      if s.health == QUARANTINED)
+
+    def health_rows(self) -> Iterable[Tuple[str, str, str, str, str]]:
+        """(id, health, age, reads, uncorrectable) table rows."""
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
+            age = ("nominal" if shard.t_days is None
+                   else f"{shard.t_days:g}d")
+            yield (shard_id, shard.health, age, str(shard.reads),
+                   str(shard.uncorrectable_events))

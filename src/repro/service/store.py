@@ -1,0 +1,353 @@
+"""The content-addressed object store over the shard pool.
+
+This is the service's heart: :class:`VideoObjectStore` turns raw clips
+into placed ciphertext and turns placed ciphertext back into decoded
+video, with an explicit, audited answer for *how good* that video is.
+
+Write path (:meth:`VideoObjectStore.put_many`): clips are batch-encoded
+(grouped by geometry so the vectorized kernel applies), importance-
+analyzed, partitioned into reliability streams, encrypted under the
+owning tenant's CTR key, and placed stream-by-stream onto the shard
+pool's consistent-hash ring. The object id is the SHA-256 of the
+serialized container, so identical content dedupes within a tenant.
+A SHA-256 of every ciphertext stream is recorded at write time — the
+integrity reference the read path checks against.
+
+Read path (:meth:`VideoObjectStore.get`) — the four-outcome ladder:
+
+* ``clean`` — no retries burned, no uncorrectable damage. Bit flips
+  inside weakly protected streams are *expected* here — they are the
+  approximation contract the paper sells, and they show up as PSNR
+  movement, not as a failure outcome;
+* ``corrected`` — the device retry ladder re-read detected-
+  uncorrectable blocks back to health (``retry_successes > 0``);
+* ``concealed`` — blocks stayed uncorrectable, and their stream
+  coordinates were projected through the positional cipher into frame
+  damage for the concealing decoder (never entropy-decoding known
+  garbage);
+* ``refused`` — the service will not serve the bytes: the read-back
+  hash mismatches the write-time record while the device *claims* a
+  clean read (the signature of silent miscorrection or substrate rot),
+  the exact-ECC decoder reported miscorrected blocks, or a
+  precise-scheme stream carries uncorrectable damage.
+
+Refusal is the invariant the loadgen's degradation exhibit leans on:
+aged shards may force concealment, but never a silently wrong frame.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codec.batch import encode_batch_with_recon
+from ..codec.config import EncoderConfig
+from ..codec.decoder import Decoder
+from ..core.assignment import PAPER_TABLE1, ClassAssignment
+from ..core.importance import compute_importance
+from ..core.partition import (
+    ProtectedVideo,
+    map_stream_damage,
+    merge_streams,
+    partition_video,
+)
+from ..errors import ReadRefusedError, ServiceError
+from ..metrics.psnr import video_psnr
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..storage.device import StorageReport
+from ..storage.ecc import scheme_by_name
+from ..video.frame import VideoSequence
+from .audit import AuditLog
+from .keyring import Keyring
+from .shards import ShardPool
+
+#: Read outcomes, from best to worst.
+CLEAN = "clean"
+CORRECTED = "corrected"
+CONCEALED = "concealed"
+REFUSED = "refused"
+
+
+def object_id_for(serialized: bytes) -> str:
+    """Content address of a serialized container: its SHA-256 hex."""
+    return hashlib.sha256(serialized).hexdigest()
+
+
+def stream_key(tenant: str, object_id: str, stream: str) -> str:
+    """The placement-ring key of one stored reliability stream."""
+    return f"{tenant}/{object_id}/{stream}"
+
+
+@dataclass
+class ObjectRecord:
+    """Everything the store remembers about one placed object.
+
+    The ``protected`` container (headers + pivot tables + clean
+    plaintext streams) is the object's *precise* storage — the paper
+    keeps it off the approximate device entirely — so holding it in the
+    record is the simulation's equivalent of the precise partition.
+    """
+
+    object_id: str
+    tenant: str
+    protected: ProtectedVideo
+    #: Error-free reconstruction ``(frames, H, W) uint8`` — the PSNR
+    #: reference for every later read of this object.
+    recon: np.ndarray
+    #: Write-time SHA-256 hex of each ciphertext stream.
+    stream_sha: Dict[str, str]
+    #: Stream name -> shard id chosen by the ring at write time.
+    placement: Dict[str, str]
+    frames: int = 0
+
+    def recon_sequence(self) -> VideoSequence:
+        """The reconstruction as a :class:`VideoSequence`."""
+        return VideoSequence(frames=list(self.recon))
+
+
+@dataclass
+class ReadResult:
+    """One served read, classified.
+
+    ``video`` is ``None`` exactly when ``outcome == "refused"`` — a
+    refused read never hands back frames.
+    """
+
+    object_id: str
+    tenant: str
+    reader: str
+    outcome: str
+    video: Optional[VideoSequence] = None
+    psnr_db: Optional[float] = None
+    refusal_reason: str = ""
+    #: Streams whose uncorrectable damage went to the concealer.
+    concealed_streams: Tuple[str, ...] = ()
+    flipped_bits: int = 0
+    failed_blocks: int = 0
+    retry_successes: int = 0
+    reports: Dict[str, StorageReport] = field(default_factory=dict)
+
+
+class VideoObjectStore:
+    """Sharded, content-addressed, per-tenant-encrypted video store."""
+
+    def __init__(self, pool: Optional[ShardPool] = None,
+                 keyring: Optional[Keyring] = None,
+                 config: Optional[EncoderConfig] = None,
+                 assignment: ClassAssignment = PAPER_TABLE1,
+                 audit: Optional[AuditLog] = None) -> None:
+        self.pool = pool if pool is not None else ShardPool()
+        self.keyring = keyring if keyring is not None else Keyring()
+        self.config = config if config is not None else EncoderConfig()
+        self.assignment = assignment
+        # ``audit or ...`` would discard an *empty* log (len() == 0).
+        self.audit = audit if audit is not None else AuditLog()
+        self._records: Dict[Tuple[str, str], ObjectRecord] = {}
+        self._decoder = Decoder(conceal_uncorrectable=True)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, tenant: str, object_id: str) -> ObjectRecord:
+        """The record for ``(tenant, object_id)``; error if absent."""
+        try:
+            return self._records[(tenant, object_id)]
+        except KeyError:
+            raise ServiceError(
+                f"tenant {tenant!r} has no object {object_id!r}"
+            ) from None
+
+    def objects(self, tenant: Optional[str] = None) -> List[ObjectRecord]:
+        """All records, optionally one tenant's, in insertion order."""
+        return [record for (owner, _), record in self._records.items()
+                if tenant is None or owner == tenant]
+
+    # -- write path -------------------------------------------------------
+
+    def put_many(self, tenant: str,
+                 videos: List[VideoSequence]) -> List[str]:
+        """Ingest a batch of clips for ``tenant``; returns object ids.
+
+        Clips are grouped by geometry so each group rides the batched
+        encode kernel (a lone or odd-shaped clip falls back to the
+        scalar-equivalent single-item batch). Identical content dedupes
+        against the tenant's existing objects without touching the
+        shards again.
+        """
+        self.keyring.add_tenant(tenant)
+        encryptor = self.keyring.encryptor(tenant)
+        with obs_trace.span("service.ingest", tenant=tenant,
+                            clips=len(videos)):
+            groups: Dict[Tuple[int, int, int], List[int]] = {}
+            for index, video in enumerate(videos):
+                geometry = (video.height, video.width, len(video))
+                groups.setdefault(geometry, []).append(index)
+            encoded_by_index: Dict[int, object] = {}
+            recon_by_index: Dict[int, np.ndarray] = {}
+            for indices in groups.values():
+                encodes, recons = encode_batch_with_recon(
+                    [videos[i] for i in indices], self.config)
+                for slot, i in enumerate(indices):
+                    encoded_by_index[i] = encodes[slot]
+                    recon_by_index[i] = recons[slot]
+            ids: List[str] = []
+            for index in range(len(videos)):
+                ids.append(self._place_one(
+                    tenant, encryptor, encoded_by_index[index],
+                    recon_by_index[index]))
+            return ids
+
+    def put(self, tenant: str, video: VideoSequence) -> str:
+        """Ingest one clip (see :meth:`put_many`)."""
+        return self.put_many(tenant, [video])[0]
+
+    def _place_one(self, tenant, encryptor, encoded, recon) -> str:
+        """Partition, encrypt, and place one encoded clip."""
+        object_id = object_id_for(encoded.serialize())
+        if (tenant, object_id) in self._records:
+            obs_metrics.counter("service_ingest_dedupe_total").inc()
+            self.audit.record("dedupe", tenant, object_id)
+            return object_id
+        importance = compute_importance(encoded.trace)
+        protected = partition_video(encoded, importance, self.assignment)
+        ordered = sorted(protected.streams)
+        ciphertext = encryptor.encrypt_streams(
+            {i: protected.streams[name]
+             for i, name in enumerate(ordered)})
+        stream_sha: Dict[str, str] = {}
+        placement: Dict[str, str] = {}
+        for i, name in enumerate(ordered):
+            key = stream_key(tenant, object_id, name)
+            shard = self.pool.place(key)
+            shard.write(key, ciphertext[i])
+            stream_sha[name] = hashlib.sha256(ciphertext[i]).hexdigest()
+            placement[name] = shard.shard_id
+        self._records[(tenant, object_id)] = ObjectRecord(
+            object_id=object_id, tenant=tenant, protected=protected,
+            recon=recon, stream_sha=stream_sha, placement=placement,
+            frames=len(encoded.frames))
+        obs_metrics.counter("service_ingest_objects_total").inc()
+        self.audit.record(
+            "ingest", tenant, object_id,
+            detail=f"streams={len(ordered)} "
+                   f"shards={sorted(set(placement.values()))}")
+        return object_id
+
+    # -- read path --------------------------------------------------------
+
+    def get(self, tenant: str, object_id: str,
+            reader: Optional[str] = None,
+            rng: Optional[np.random.Generator] = None) -> ReadResult:
+        """Serve one object through the full failure ladder.
+
+        ``reader`` defaults to the owning tenant; a foreign reader must
+        be on the owner's share list (:class:`~repro.errors.
+        AccessDeniedError` otherwise) and always decrypts under the
+        *owner's* key (:class:`~repro.errors.StaleKeyError` if that key
+        was retired). ``rng`` seeds the device error draws — the
+        loadgen passes one per planned operation so runs replay.
+        """
+        reader = reader if reader is not None else tenant
+        record = self.record(tenant, object_id)
+        with obs_trace.span("service.read", tenant=tenant,
+                            reader=reader, object_id=object_id[:12]):
+            self.keyring.add_tenant(reader)
+            try:
+                self.keyring.check_read(tenant, reader)
+                encryptor = self.keyring.encryptor(tenant)
+            except ServiceError as exc:
+                self.audit.record("denied", reader, object_id,
+                                  detail=str(exc))
+                obs_metrics.counter("service_reads_denied_total").inc()
+                raise
+            result = self._read_streams(record, encryptor, reader,
+                                        rng or np.random.default_rng())
+        self.audit.record(
+            "read", reader, object_id,
+            detail=(f"outcome={result.outcome}"
+                    + (f" reason={result.refusal_reason}"
+                       if result.refusal_reason else "")))
+        obs_metrics.counter(
+            f"service_reads_{result.outcome}_total").inc()
+        return result
+
+    def _read_streams(self, record: ObjectRecord, encryptor, reader: str,
+                      rng: np.random.Generator) -> ReadResult:
+        """Pull every stream off its shard and classify the outcome."""
+        protected = record.protected
+        ordered = sorted(protected.streams)
+        read_back: Dict[str, bytes] = {}
+        reports: Dict[str, StorageReport] = {}
+        refusal = ""
+        # Sorted-name order mirrors the core pipeline: a seeded rng
+        # yields one flip pattern per plan seed regardless of placement.
+        for name in ordered:
+            key = stream_key(record.tenant, record.object_id, name)
+            shard = self.pool.shard(record.placement[name])
+            data, report = shard.read(key, scheme_by_name(name), rng)
+            read_back[name] = data
+            reports[name] = report
+            refusal = refusal or self._refusal_for(record, name, data,
+                                                   report)
+        result = ReadResult(
+            object_id=record.object_id, tenant=record.tenant,
+            reader=reader, outcome=CLEAN, reports=reports,
+            flipped_bits=sum(r.flipped_bits for r in reports.values()),
+            failed_blocks=sum(r.failed_blocks for r in reports.values()),
+            retry_successes=sum(r.retry_successes
+                                for r in reports.values()))
+        if refusal:
+            result.outcome = REFUSED
+            result.refusal_reason = refusal
+            return result
+        decrypted = encryptor.decrypt_streams(
+            {i: read_back[name] for i, name in enumerate(ordered)})
+        plaintext = {name: decrypted[i][:len(protected.streams[name])]
+                     for i, name in enumerate(ordered)}
+        payloads = merge_streams(protected, plaintext)
+        corrupted = protected.encoded.with_payloads(payloads)
+        # Uncorrectable block coordinates survive the positional cipher,
+        # so stream-bit damage projects straight into frame damage —
+        # same construction as the core pipeline's conceal path.
+        damage = {
+            name: [(min(b.bit_start, protected.stream_bits[name]),
+                    min(b.bit_end, protected.stream_bits[name]))
+                   for b in report.uncorrectable]
+            for name, report in reports.items()
+            if report.uncorrectable and name in protected.stream_bits
+        }
+        frame_damage = (map_stream_damage(protected, damage)
+                        if damage else {})
+        result.video = self._decoder.decode(corrupted, frame_damage)
+        result.psnr_db = video_psnr(record.recon_sequence(), result.video)
+        if damage:
+            result.outcome = CONCEALED
+            result.concealed_streams = tuple(sorted(damage))
+        elif result.retry_successes > 0:
+            result.outcome = CORRECTED
+        return result
+
+    def _refusal_for(self, record: ObjectRecord, name: str, data: bytes,
+                     report: StorageReport) -> str:
+        """The refusal reason for one stream's read, or ``""``."""
+        if report.miscorrected_blocks > 0:
+            return (f"stream {name}: {report.miscorrected_blocks} "
+                    f"silently miscorrected block(s)")
+        clean_claim = (report.flipped_bits == 0
+                       and report.failed_blocks == 0)
+        if clean_claim:
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != record.stream_sha[name]:
+                return (f"stream {name}: integrity hash mismatch on a "
+                        f"read the device reported clean")
+        header = record.protected.assignment.header_scheme.name
+        if report.failed_blocks and name == header:
+            return (f"stream {name}: uncorrectable damage in a "
+                    f"precise-scheme stream")
+        return ""

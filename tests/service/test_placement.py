@@ -1,0 +1,49 @@
+"""Tests for the consistent-hash placement ring."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import HashRing
+
+
+KEYS = [f"tenant-{i % 3}/object-{i:04d}/BCH-6" for i in range(600)]
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing(["shard-0", "shard-1", "shard-2"])
+        assert [a.place(k) for k in KEYS] == [b.place(k) for k in KEYS]
+
+    def test_placement_independent_of_id_order(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing(["shard-2", "shard-0", "shard-1"])
+        assert a.placement(KEYS) == b.placement(KEYS)
+
+    def test_spread_roughly_even(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        counts = ring.spread(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        # 64 vnodes keeps every shard within a loose band of fair share.
+        for count in counts.values():
+            assert len(KEYS) * 0.10 < count < len(KEYS) * 0.45
+
+    def test_growth_moves_only_a_fraction(self):
+        before = HashRing([f"shard-{i}" for i in range(4)]).placement(KEYS)
+        after = HashRing([f"shard-{i}" for i in range(5)]).placement(KEYS)
+        moved = sum(1 for k in KEYS if before[k] != after[k])
+        # Consistent hashing: ~1/5 of keys move to the new shard; a full
+        # reshuffle would move ~4/5.
+        assert moved < len(KEYS) * 0.40
+        # ...and every moved key lands on the new shard only.
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "shard-4"
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ServiceError):
+            HashRing([])
+        with pytest.raises(ServiceError):
+            HashRing(["a", "a"])
+        with pytest.raises(ServiceError):
+            HashRing(["a"], vnodes=0)

@@ -265,3 +265,67 @@ class TestScenarios:
         from repro.runtime import chaos
 
         assert chaos.active() is None
+
+
+class TestServe:
+    def test_demo_script_walks_the_lifecycle(self, capsys):
+        assert main(["serve", "--demo"]) == 0
+        text = capsys.readouterr().out
+        assert "put alice ->" in text
+        assert "as bob: clean" in text or "as bob: corrected" in text
+        assert "AccessDeniedError" in text  # carol is denied
+        assert "aged all shards by 36500 days" in text
+        assert '"kind": "ingest"' in text  # audit JSONL tail
+
+    def test_script_file_with_stale_key(self, tmp_path, capsys):
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "put alice synth:1\n"
+            "retire alice\n"
+            "get alice @1\n")
+        assert main(["serve", "--script", str(script)]) == 0
+        text = capsys.readouterr().out
+        assert "retired key of alice" in text
+        assert "StaleKeyError" in text
+
+    def test_unknown_verb_sets_exit_code(self, capsys):
+        script_out = main(["serve", "--demo"])
+        assert script_out == 0
+        import io
+        import sys as _sys
+
+        stdin = _sys.stdin
+        _sys.stdin = io.StringIO("frobnicate\n")
+        try:
+            assert main(["serve"]) == 2
+        finally:
+            _sys.stdin = stdin
+        assert "unknown command" in capsys.readouterr().out
+
+
+class TestLoadgen:
+    ARGS = ["--clients", "2", "--ops", "5", "--seed", "3",
+            "--read-retries", "0"]
+
+    def test_report_and_digest(self, tmp_path, capsys):
+        out = tmp_path / "loadgen.json"
+        assert main(["loadgen", *self.ARGS, "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "ingest throughput" in text
+        assert "read p99 latency" in text
+        assert "degradation curve" in text
+        assert "run digest:" in text
+        data = json.loads(out.read_text())
+        assert data["ingest_count"] + data["read_count"] == 5
+        assert len(data["run_digest"]) == 64
+
+    def test_digest_replays_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["loadgen", *self.ARGS, "--json", str(a)]) == 0
+        assert main(["loadgen", *self.ARGS, "--json", str(b)]) == 0
+        ra = json.loads(a.read_text())
+        rb = json.loads(b.read_text())
+        assert ra["run_digest"] == rb["run_digest"]
+        # Latencies may differ run to run; outcomes may not.
+        assert ra["outcomes"] == rb["outcomes"]
+        assert ra["degradation"] == rb["degradation"]

@@ -32,6 +32,7 @@ from typing import Iterator, List, Tuple
 DOCSTRING_PACKAGES = (
     "src/repro/obs",
     "src/repro/runtime",
+    "src/repro/service",
     "src/repro/video/adversarial.py",
     "src/repro/analysis/scenarios.py",
 )

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Bench perf gate: current bench run vs committed baseline.
 
-Compares a bench output file (``BENCH_codec_throughput.json`` or
-``BENCH_batch_throughput.json``) against its committed snapshot under
+Compares a bench output file (``BENCH_codec_throughput.json``,
+``BENCH_batch_throughput.json``, or ``BENCH_service_loadgen.json``)
+against its committed snapshot under
 ``benchmarks/baselines/`` and fails when any throughput metric
 regressed by more than the tolerance band (default 25%).
 
@@ -52,6 +53,7 @@ from pathlib import Path
 EXHIBIT_METRICS = {
     "codec_throughput": ("encode_fps", "decode_fps"),
     "batch_throughput": ("clips_per_second",),
+    "service_loadgen": ("ingest_clips_per_second", "reads_per_second"),
 }
 
 #: Absolute floors, keyed by exhibit then clip label: (metric, floor).
@@ -61,6 +63,12 @@ ABSOLUTE_FLOORS = {
     "batch_throughput": {
         "batch8": ("batch_speedup", 1.5),
         "batch32": ("batch_speedup", 2.0),
+    },
+    # Sustained ingest through the queue + batch path: ~20 clips/s on a
+    # laptop; the floor only exists to catch an accidentally serialized
+    # or quadratic ingest path, so it sits far below any healthy host.
+    "service_loadgen": {
+        "mixed": ("ingest_clips_per_second", 2.0),
     },
 }
 
