@@ -26,6 +26,10 @@ shell, the way a downstream user would script it:
   with a digest-replayable report: p50/p99 read latency, ingest
   throughput, and the degradation curve over shard retention age (the
   "serving under decay" exhibit — see docs/SERVICE.md);
+* ``seek``     — random-access read exhibit: per-seek latency
+  (p50/p99), PSNR under damage, compression ratio, and the partial-
+  versus-full-decode speedup over a GOP size × CRF × shard age grid,
+  with a deterministic sweep digest (see docs/EXPERIMENTS.md);
 * ``modes``    — AES block-mode compatibility scorecard.
 
 Observability flags and the ``REPRO_*`` environment variables behind
@@ -94,7 +98,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 def _cmd_encode(args: argparse.Namespace) -> int:
     video = read_raw_video(args.input)
     encoded = Encoder(_encoder_config(args)).encode(video)
-    data = encoded.serialize()
+    # Files written by the CLI carry the v1 seek index so downstream
+    # tools get random access; --no-index emits the legacy v0 bytes.
+    data = encoded.serialize(include_index=not args.no_index)
     with open(args.output, "wb") as f:
         f.write(data)
     ratio = video.total_pixels * 8 / max(encoded.payload_bits, 1)
@@ -638,6 +644,58 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_seek(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.random_access import run_random_access_sweep
+
+    if args.input:
+        video = read_raw_video(args.input)
+    else:
+        video = synthesize_scene(SceneConfig(
+            width=args.width, height=args.height,
+            num_frames=args.frames, seed=args.scene_seed))
+    result = run_random_access_sweep(
+        video,
+        gop_sizes=tuple(args.gop_sizes),
+        crfs=tuple(args.crfs),
+        ages=tuple(None if a <= 0 else a for a in args.ages),
+        seeks=args.seeks, seed=args.seed, shards=args.shards,
+        seek_cache=args.cache)
+    data = result.to_dict()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    rows = []
+    for cell in result.cells:
+        rows.append((
+            str(cell.gop_size), str(cell.crf),
+            "nominal" if cell.t_days is None else f"{cell.t_days:g}d",
+            f"{cell.compression_ratio:.1f}x",
+            "-" if np.isnan(cell.psnr_db) else f"{cell.psnr_db:.2f}",
+            ", ".join(f"{k}={v}"
+                      for k, v in sorted(cell.outcomes.items())),
+            f"{cell.bytes_read_fraction * 100:.0f}%",
+            "-" if np.isnan(cell.seek_p50_ms)
+            else f"{cell.seek_p50_ms:.1f}",
+            "-" if np.isnan(cell.seek_p99_ms)
+            else f"{cell.seek_p99_ms:.1f}",
+            "-" if np.isnan(cell.speedup)
+            else f"{cell.speedup:.1f}x",
+        ))
+    print(format_table(
+        ("gop", "crf", "age", "compr", "PSNR dB", "outcomes",
+         "fetched", "p50 ms", "p99 ms", "speedup"),
+        rows,
+        title=f"random-access seeks ({result.frames} frames "
+              f"{result.width}x{result.height}, "
+              f"{result.cells[0].seeks} seeks/cell, "
+              f"seed {result.seed})"))
+    print(f"sweep digest: {result.sweep_digest()}")
+    return 0
+
+
 def _cmd_modes(_args: argparse.Namespace) -> int:
     verdicts = analyze_all_modes()
     print(format_table(
@@ -667,6 +725,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.set_defaults(func=_cmd_synth)
 
     encode = commands.add_parser("encode", help="encode a raw clip")
+    encode.add_argument("--no-index", action="store_true",
+                        help="write the legacy v0 container without "
+                             "the seek index")
     encode.add_argument("input")
     encode.add_argument("output")
     _add_encoder_args(encode)
@@ -870,6 +931,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "run digest) here")
     _add_encoder_args(loadgen)
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    seek = commands.add_parser(
+        "seek",
+        help="random-access seek exhibit: latency, PSNR-under-damage, "
+             "and compression over GOP size x CRF x shard age")
+    seek.add_argument("--input", default=None,
+                      help="raw REPROYUV clip (default: synthetic)")
+    seek.add_argument("--width", type=int, default=64)
+    seek.add_argument("--height", type=int, default=48)
+    seek.add_argument("--frames", type=int, default=24)
+    seek.add_argument("--scene-seed", type=int, default=7,
+                      help="synthetic clip seed")
+    seek.add_argument("--gop-sizes", type=int, nargs="+",
+                      default=[4, 12], help="GOP sizes to sweep")
+    seek.add_argument("--crfs", type=int, nargs="+", default=[24, 32],
+                      help="CRF values to sweep")
+    seek.add_argument("--ages", type=float, nargs="+",
+                      default=[0.0, 3650.0],
+                      help="shard ages in days (<= 0 means nominal)")
+    seek.add_argument("--seeks", type=int, default=24,
+                      help="frame reads per cell")
+    seek.add_argument("--seed", type=int, default=17,
+                      help="sweep seed (schedules + device draws)")
+    seek.add_argument("--shards", type=int, default=3)
+    seek.add_argument("--cache", type=int, default=16,
+                      help="decoded-GOP LRU capacity (0 disables)")
+    seek.add_argument("--json", default=None,
+                      help="also write the report as JSON")
+    seek.set_defaults(func=_cmd_seek)
 
     modes = commands.add_parser("modes", help="AES mode scorecard")
     modes.set_defaults(func=_cmd_modes)

@@ -15,10 +15,17 @@ from .config import (
     EncoderConfig,
     EntropyCoder,
 )
-from .decoder import DamageMap, DamageRanges, Decoder
+from .decoder import DamageMap, DamageRanges, Decoder, dependency_closure
 from .encoded import EncodedFrame, EncodedVideo, FrameHeader, VideoHeader
 from .encoder import Encoder, slice_bands
 from .gop import FramePlan, coded_to_display_order, plan_gop
+from .seek import (
+    SEEK_INDEX_VERSION,
+    GopEntry,
+    SeekIndex,
+    build_seek_index,
+    validate_seek_index,
+)
 from .types import (
     DependencyRecord,
     EncodingTrace,
@@ -51,15 +58,21 @@ __all__ = [
     "FramePlan",
     "FrameTrace",
     "FrameType",
+    "GopEntry",
     "IntraMode",
     "MacroblockMode",
     "MacroblockTrace",
     "MotionVector",
     "PartitionType",
     "PredictionDirection",
+    "SEEK_INDEX_VERSION",
+    "SeekIndex",
     "SubPartitionType",
     "VideoHeader",
+    "build_seek_index",
     "coded_to_display_order",
+    "dependency_closure",
     "plan_gop",
     "slice_bands",
+    "validate_seek_index",
 ]

@@ -137,6 +137,98 @@ class Decoder:
             frames = [reconstructed[i] for i in range(header.num_frames)]
             return VideoSequence(frames, fps=header.fps)
 
+    # -- random access -----------------------------------------------------
+
+    def decode_frame_at(self, encoded: EncodedVideo, display: int,
+                        damage: Optional[DamageMap] = None) -> np.ndarray:
+        """Decode display frame ``display`` without decoding the clip.
+
+        Locates the nearest preceding I frame through the container's
+        seek index (rebuilt from the precise frame headers when the
+        embedded one is absent or damaged), decodes only that frame's
+        dependency chain — the GOP's anchors up to the target, plus the
+        backward anchor for a B target — and returns the single
+        reconstructed frame.
+
+        On a clean stream the result is bitwise identical to
+        ``decode(encoded)[display]``: every chain frame sees exactly
+        the references the full decode would have given it. ``damage``
+        is honoured the same way as in :meth:`decode` (frame positions
+        -> unreadable payload bit ranges) for the chain frames actually
+        decoded; under concealment the partial decode may pick a
+        different (sparser) temporal concealment source than the full
+        decode, which is the documented cost of not decoding frames the
+        chain does not need.
+
+        A structurally inconsistent stream — reference cycles, refs the
+        closure cannot resolve, no opening I frame — falls back to one
+        full :meth:`decode` rather than failing where the sequential
+        decoder would have succeeded.
+        """
+        frames = self.decode_range(encoded, display, display + 1,
+                                   damage=damage)
+        return frames.frames[0]
+
+    def decode_range(self, encoded: EncodedVideo, start: int, stop: int,
+                     damage: Optional[DamageMap] = None) -> VideoSequence:
+        """Decode display frames ``[start, stop)`` via their dependency
+        closure (see :meth:`decode_frame_at`)."""
+        header = encoded.header
+        if not 0 <= start < stop <= header.num_frames:
+            raise BitstreamError(
+                f"display range [{start}, {stop}) outside the "
+                f"container's 0..{header.num_frames - 1}")
+        if len(encoded.frames) != header.num_frames:
+            raise BitstreamError(
+                f"header promises {header.num_frames} frames, "
+                f"container has {len(encoded.frames)}"
+            )
+        self._validate_structure(encoded)
+        if not self.conceal_uncorrectable:
+            damage = None
+        targets = range(start, stop)
+        with obs_trace.span("seek.decode", start=start, stop=stop):
+            try:
+                positions = dependency_closure(encoded, targets)
+            except BitstreamError:
+                positions = None
+            if positions is None:
+                # Index/reference structure unusable for a partial
+                # decode: the sequential decoder is the authority.
+                obs_metrics.counter("decode_seek_fallback_total").inc()
+                full = self.decode(encoded, damage)
+                return VideoSequence([full.frames[d] for d in targets],
+                                     fps=header.fps)
+            obs_metrics.counter("decode_seek_requests_total").inc()
+            obs_metrics.counter("decode_seek_frames_decoded_total").inc(
+                len(positions))
+            obs_metrics.counter("decode_seek_frames_skipped_total").inc(
+                len(encoded.frames) - len(positions))
+            pad = header.search_range
+            reconstructed: Dict[int, np.ndarray] = {}
+            padded: Dict[int, np.ndarray] = {}
+            try:
+                for position in positions:
+                    frame = encoded.frames[position]
+                    frame_damage = (damage.get(position) if damage
+                                    else None)
+                    recon = self._decode_frame(frame, encoded, padded,
+                                               frame_damage)
+                    if header.deblocking:
+                        recon = deblock_frame(recon, frame.header.base_qp)
+                    reconstructed[frame.header.display_index] = recon
+                    padded[frame.header.display_index] = \
+                        pad_reference(recon, pad)
+            except BitstreamError:
+                # A chain the closure accepted but the frame decoder
+                # rejects (hostile refs): same fallback as above.
+                obs_metrics.counter("decode_seek_fallback_total").inc()
+                full = self.decode(encoded, damage)
+                return VideoSequence([full.frames[d] for d in targets],
+                                     fps=header.fps)
+            return VideoSequence([reconstructed[d] for d in targets],
+                                 fps=header.fps)
+
     def _validate_structure(self, encoded: EncodedVideo) -> None:
         """Reject streams whose *precise* metadata is inconsistent.
 
@@ -444,3 +536,43 @@ class Decoder:
             return {}
         residuals = reconstruct_residuals_many(np.stack(stacks), qps)
         return {index: residuals[i] for i, index in enumerate(indices)}
+
+
+def dependency_closure(encoded: EncodedVideo,
+                       targets: Sequence[int]) -> List[int]:
+    """Container positions (coded order) a display set depends on.
+
+    Walks ``ref_forward``/``ref_backward`` display references from
+    the targets until they terminate in I frames, exactly the
+    closure the sequential decode would have made available.
+    Raises :class:`BitstreamError` on unresolvable references; callers
+    treat that as "use the full decode". The storage layer uses the
+    same closure to decide which byte ranges to fetch, so fetch plans
+    and decode workloads can never disagree.
+    """
+    index = encoded.seek_index_or_build()
+    by_display = index.display_to_coded
+    needed: set = set()
+    worklist = list(targets)
+    while worklist:
+        display = worklist.pop()
+        if display in needed:
+            continue
+        if not 0 <= display < len(by_display):
+            raise BitstreamError(
+                f"reference display {display} outside the container")
+        needed.add(display)
+        fh = encoded.frames[by_display[display]].header
+        if fh.display_index != display:
+            raise BitstreamError(
+                f"seek mapping for display {display} points at "
+                f"display {fh.display_index}")
+        for ref in (fh.ref_forward, fh.ref_backward):
+            if ref is not None:
+                worklist.append(ref)
+        if len(needed) > len(encoded.frames):
+            raise BitstreamError("reference closure does not close")
+    # Every reference must be decoded before its dependent; coded
+    # order guarantees that for encoder-produced streams, and the
+    # per-frame decode re-checks it for hostile ones.
+    return sorted(by_display[d] for d in needed)

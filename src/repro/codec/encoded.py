@@ -11,6 +11,23 @@ paper distinguishes:
 Frame payload byte lengths live in the frame header, which is what lets
 the decoder resynchronize at every frame boundary no matter how damaged
 the previous payload was — the paper's entropy-context reset point.
+
+Two container versions serialize:
+
+* **v0** (magic ``RVAP``): header + frame records, the original layout.
+  ``serialize()`` still emits it by default, so every byte-identity
+  contract in the repo (golden digests, farm GOP assembly, content
+  addressing) is untouched.
+* **v1** (magic ``RVP1``): a CRC-guarded :class:`~repro.codec.seek.
+  SeekIndex` block followed by the unchanged v0 body. Produced by
+  ``serialize(include_index=True)``; this is what the CLI writes by
+  default so files on disk support random access.
+
+``deserialize`` accepts both. A v1 container whose index block is
+damaged (CRC mismatch, truncated entries, inconsistent with the frame
+headers) still round-trips: the index is dropped (``seek_index`` comes
+back ``None``) and consumers rebuild it from the precise frame headers
+— a corrupted index can cost a scan, never pixels or a crash.
 """
 
 from __future__ import annotations
@@ -21,9 +38,11 @@ from typing import List, Optional
 
 from ..errors import BitstreamError
 from .config import EncoderConfig, EntropyCoder
+from .seek import SeekIndex, build_seek_index, validate_seek_index
 from .types import EncodingTrace, FrameType
 
 _MAGIC = b"RVAP"
+_MAGIC_V1 = b"RVP1"
 
 
 def _write_uint(out: io.BytesIO, value: int, size: int) -> None:
@@ -99,6 +118,10 @@ class EncodedVideo:
     #: VideoApp. Not serialized (the paper's analysis is a one-time
     #: encoder-side post-processing step).
     trace: Optional[EncodingTrace] = None
+    #: Seek index parsed from a v1 container (``None`` for v0 streams,
+    #: or when the embedded index arrived damaged). Derived metadata:
+    #: :meth:`seek_index_or_build` reconstructs it on demand.
+    seek_index: Optional[SeekIndex] = None
 
     @property
     def payload_bits(self) -> int:
@@ -137,12 +160,49 @@ class EncodedVideo:
                     f"{len(payload)} != {len(frame.payload)}"
                 )
             frames.append(EncodedFrame(header=frame.header, payload=payload))
+        # Payload lengths are preserved, so the byte layout — and with
+        # it any seek index — is unchanged.
         return EncodedVideo(header=self.header, frames=frames,
-                            trace=self.trace)
+                            trace=self.trace, seek_index=self.seek_index)
+
+    # -- random access -----------------------------------------------------
+
+    def seek_index_or_build(self) -> SeekIndex:
+        """A trustworthy seek index for this container.
+
+        The embedded index is used only when it validates against the
+        precise frame headers; otherwise (v0 stream, damaged or stale
+        index) a fresh one is derived. Raises
+        :class:`BitstreamError` when the headers themselves cannot
+        anchor an index (no opening I frame).
+        """
+        if self.seek_index is not None and \
+                validate_seek_index(self.seek_index, self):
+            return self.seek_index
+        return build_seek_index(self)
 
     # -- serialization ----------------------------------------------------
 
-    def serialize(self) -> bytes:
+    def serialize(self, include_index: bool = False) -> bytes:
+        """Serialized container bytes.
+
+        ``include_index=False`` (default) emits the v0 layout — byte
+        identical to every container this codec has ever produced.
+        ``include_index=True`` emits v1: the seek index block (built
+        fresh from the frame headers) framed ahead of the same v0 body.
+        """
+        body = self._serialize_body()
+        if not include_index:
+            return body
+        index = build_seek_index(self).serialize()
+        out = io.BytesIO()
+        out.write(_MAGIC_V1)
+        _write_uint(out, len(index), 4)
+        out.write(index)
+        out.write(body)
+        return out.getvalue()
+
+    def _serialize_body(self) -> bytes:
         out = io.BytesIO()
         out.write(_MAGIC)
         header = self.header
@@ -173,6 +233,27 @@ class EncodedVideo:
 
     @staticmethod
     def deserialize(data: bytes) -> "EncodedVideo":
+        index: Optional[SeekIndex] = None
+        if data[:len(_MAGIC_V1)] == _MAGIC_V1:
+            index_len, offset = _read_uint(data, len(_MAGIC_V1), 4)
+            if offset + index_len > len(data):
+                raise BitstreamError("truncated seek index framing")
+            try:
+                index = SeekIndex.deserialize(data[offset:offset
+                                                   + index_len])
+            except BitstreamError:
+                # Damaged index: random access degrades to a header
+                # scan, decoding is unaffected.
+                index = None
+            data = data[offset + index_len:]
+        video = EncodedVideo._deserialize_body(data)
+        if index is not None and not validate_seek_index(index, video):
+            index = None
+        video.seek_index = index
+        return video
+
+    @staticmethod
+    def _deserialize_body(data: bytes) -> "EncodedVideo":
         if data[:len(_MAGIC)] != _MAGIC:
             raise BitstreamError("not a serialized EncodedVideo")
         offset = len(_MAGIC)

@@ -1,0 +1,253 @@
+"""Container seek index: random access without whole-stream decode.
+
+Serving workloads (and robot-learning dataset loaders) are dominated by
+"decode frame *t* now", not whole-clip decode. The seek index is the
+container-level metadata that makes that cheap:
+
+* a **display -> coded** mapping, so a display timestamp resolves to a
+  container frame position without scanning frame headers;
+* one :class:`GopEntry` per closed GOP, recording the anchor I-frame's
+  position and the **byte extent** of the GOP's frame records inside the
+  serialized container body — the ranges a storage layer must fetch to
+  decode any frame of that GOP.
+
+The index is *derived* metadata: :func:`build_seek_index` reconstructs
+it from the precise frame headers alone, so a container that never
+serialized one (the v0 format), or whose embedded index arrives
+damaged, loses nothing but the scan. Consumers therefore treat the
+embedded index as a hint, validate it against the headers
+(:func:`validate_seek_index`), and rebuild on any inconsistency — a
+corrupted index must never change decoded pixels, only the amount of
+work needed to produce them.
+
+Serialization is versioned and CRC-guarded: a flipped bit in the index
+block is detected and reported as :class:`~repro.errors.BitstreamError`
+by :func:`SeekIndex.deserialize`, which container deserialization turns
+into "carry no index" rather than a failure (the satellite contract
+exercised by :mod:`repro.fuzz`'s ``seek_index`` strategy).
+"""
+
+from __future__ import annotations
+
+import io
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import BitstreamError
+
+#: Current seek-index format version.
+SEEK_INDEX_VERSION = 1
+
+#: Magic prefix of a serialized seek index block.
+SEEK_MAGIC = b"SIDX"
+
+
+def _write_uint(out: io.BytesIO, value: int, size: int) -> None:
+    out.write(int(value).to_bytes(size, "big"))
+
+
+def _read_uint(data: bytes, offset: int, size: int) -> Tuple[int, int]:
+    if offset + size > len(data):
+        raise BitstreamError("truncated seek index")
+    return int.from_bytes(data[offset:offset + size], "big"), offset + size
+
+
+@dataclass(frozen=True)
+class GopEntry:
+    """One closed GOP's location inside the serialized container body.
+
+    ``byte_start``/``byte_end`` are offsets into the *v0 container
+    body* (the ``RVAP``-magic byte string), covering every frame record
+    — header and payload — of the GOP in coded order. ``frame_pos`` is
+    the anchor I-frame's position in ``encoded.frames`` (== its coded
+    index), and ``frame_count`` the number of coded frames the GOP's
+    records span, so ``frames[frame_pos:frame_pos + frame_count]`` is
+    exactly the GOP's decode workload.
+    """
+
+    anchor_display: int  #: display index of the opening I frame
+    frame_pos: int       #: container position of the opening I frame
+    frame_count: int     #: coded frames in this GOP's record span
+    byte_start: int      #: first byte of the GOP's records in the body
+    byte_end: int        #: one past the GOP's last record byte
+
+
+@dataclass(frozen=True)
+class SeekIndex:
+    """Display->coded mapping plus per-GOP byte extents."""
+
+    version: int
+    #: ``display_to_coded[d]`` is the container position (coded index)
+    #: of display frame ``d``.
+    display_to_coded: Tuple[int, ...]
+    gops: Tuple[GopEntry, ...]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.display_to_coded)
+
+    def gop_for_display(self, display: int) -> GopEntry:
+        """The GOP whose anchor is the nearest I frame at/before
+        ``display``."""
+        if not 0 <= display < self.num_frames:
+            raise BitstreamError(
+                f"display index {display} outside 0..{self.num_frames - 1}")
+        chosen: Optional[GopEntry] = None
+        for entry in self.gops:
+            if entry.anchor_display <= display:
+                chosen = entry
+            else:
+                break
+        if chosen is None:
+            raise BitstreamError(
+                f"seek index has no GOP anchored at/before {display}")
+        return chosen
+
+    # -- serialization ----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Self-delimiting, CRC-guarded index block."""
+        body = io.BytesIO()
+        _write_uint(body, self.version, 1)
+        _write_uint(body, len(self.display_to_coded), 2)
+        for coded in self.display_to_coded:
+            _write_uint(body, coded, 2)
+        _write_uint(body, len(self.gops), 2)
+        for entry in self.gops:
+            _write_uint(body, entry.anchor_display, 2)
+            _write_uint(body, entry.frame_pos, 2)
+            _write_uint(body, entry.frame_count, 2)
+            _write_uint(body, entry.byte_start, 8)
+            _write_uint(body, entry.byte_end, 8)
+        payload = body.getvalue()
+        out = io.BytesIO()
+        out.write(SEEK_MAGIC)
+        _write_uint(out, zlib.crc32(payload), 4)
+        out.write(payload)
+        return out.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "SeekIndex":
+        """Parse an index block; any damage raises
+        :class:`BitstreamError`."""
+        if data[:len(SEEK_MAGIC)] != SEEK_MAGIC:
+            raise BitstreamError("not a serialized seek index")
+        offset = len(SEEK_MAGIC)
+        crc, offset = _read_uint(data, offset, 4)
+        payload = data[offset:]
+        if zlib.crc32(payload) != crc:
+            raise BitstreamError("seek index CRC mismatch")
+        offset = 0
+        version, offset = _read_uint(payload, offset, 1)
+        if version != SEEK_INDEX_VERSION:
+            raise BitstreamError(
+                f"unsupported seek index version {version}")
+        num_frames, offset = _read_uint(payload, offset, 2)
+        mapping: List[int] = []
+        for _ in range(num_frames):
+            coded, offset = _read_uint(payload, offset, 2)
+            mapping.append(coded)
+        num_gops, offset = _read_uint(payload, offset, 2)
+        gops: List[GopEntry] = []
+        for _ in range(num_gops):
+            anchor_display, offset = _read_uint(payload, offset, 2)
+            frame_pos, offset = _read_uint(payload, offset, 2)
+            frame_count, offset = _read_uint(payload, offset, 2)
+            byte_start, offset = _read_uint(payload, offset, 8)
+            byte_end, offset = _read_uint(payload, offset, 8)
+            gops.append(GopEntry(
+                anchor_display=anchor_display, frame_pos=frame_pos,
+                frame_count=frame_count, byte_start=byte_start,
+                byte_end=byte_end))
+        if offset != len(payload):
+            raise BitstreamError(
+                f"{len(payload) - offset} trailing bytes after seek index")
+        return SeekIndex(version=version,
+                         display_to_coded=tuple(mapping),
+                         gops=tuple(gops))
+
+
+def build_seek_index(encoded) -> SeekIndex:
+    """Derive the seek index from a container's precise frame headers.
+
+    ``encoded`` is an :class:`~repro.codec.encoded.EncodedVideo` (typed
+    loosely to avoid an import cycle). Byte offsets mirror
+    ``EncodedVideo.serialize``'s v0 body layout exactly: the fixed
+    stream header, then per frame a header record followed by the
+    payload bytes.
+    """
+    from .encoded import EncodedVideo  # cycle guard
+    from .types import FrameType
+
+    if not isinstance(encoded, EncodedVideo):
+        raise BitstreamError(
+            f"cannot index a {type(encoded).__name__}")
+    header_bytes = encoded.header.serialized_bits() // 8
+    mapping = [0] * len(encoded.frames)
+    starts: List[Tuple[int, int, int]] = []  # (display, pos, byte_start)
+    offset = header_bytes
+    boundaries: List[int] = []
+    for position, frame in enumerate(encoded.frames):
+        fh = frame.header
+        if not 0 <= fh.display_index < len(mapping):
+            raise BitstreamError(
+                f"frame {position} display index {fh.display_index} "
+                f"outside the container")
+        mapping[fh.display_index] = position
+        if fh.frame_type == FrameType.I:
+            starts.append((fh.display_index, position, offset))
+        boundaries.append(offset)
+        offset += fh.serialized_bits() // 8 + len(frame.payload)
+    boundaries.append(offset)
+    if not starts or starts[0][1] != 0:
+        raise BitstreamError("container does not open with an I frame")
+    gops: List[GopEntry] = []
+    for which, (display, position, byte_start) in enumerate(starts):
+        next_pos = (starts[which + 1][1] if which + 1 < len(starts)
+                    else len(encoded.frames))
+        gops.append(GopEntry(
+            anchor_display=display, frame_pos=position,
+            frame_count=next_pos - position, byte_start=byte_start,
+            byte_end=boundaries[next_pos]))
+    return SeekIndex(version=SEEK_INDEX_VERSION,
+                     display_to_coded=tuple(mapping), gops=tuple(gops))
+
+
+def validate_seek_index(index: SeekIndex, encoded) -> bool:
+    """True when ``index`` is consistent with the container's headers.
+
+    Cheap structural cross-check (not a byte-level re-derivation): the
+    mapping must cover every display index with the position the frame
+    headers record, and every GOP entry must point at an I frame with a
+    sane extent. Used by consumers to decide whether an embedded index
+    can be trusted or must be rebuilt.
+    """
+    from .types import FrameType
+
+    if index.num_frames != len(encoded.frames):
+        return False
+    if len(index.gops) == 0:
+        return False
+    for display, position in enumerate(index.display_to_coded):
+        if not 0 <= position < len(encoded.frames):
+            return False
+        if encoded.frames[position].header.display_index != display:
+            return False
+    previous_end = None
+    for entry in index.gops:
+        if not 0 <= entry.frame_pos < len(encoded.frames):
+            return False
+        fh = encoded.frames[entry.frame_pos].header
+        if fh.frame_type != FrameType.I:
+            return False
+        if fh.display_index != entry.anchor_display:
+            return False
+        if entry.frame_count < 1 or entry.byte_end <= entry.byte_start:
+            return False
+        if entry.frame_pos + entry.frame_count > len(encoded.frames):
+            return False
+        if previous_end is not None and entry.frame_pos != previous_end:
+            return False
+        previous_end = entry.frame_pos + entry.frame_count
+    return previous_end == len(encoded.frames)

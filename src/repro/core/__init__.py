@@ -42,6 +42,7 @@ from .partition import (
     map_stream_damage,
     merge_streams,
     partition_video,
+    stream_ranges_for_frames,
 )
 from .pipeline import ApproximateVideoStore, StoredVideo
 from .pivots import FramePivots, Segment, build_frame_pivots, total_pivot_bits
@@ -78,6 +79,7 @@ __all__ = [
     "map_stream_damage",
     "merge_streams",
     "partition_video",
+    "stream_ranges_for_frames",
     "storage_fraction_by_class",
     "topological_order",
     "total_pivot_bits",

@@ -135,6 +135,48 @@ def merge_streams(protected: ProtectedVideo,
     return payloads
 
 
+def stream_ranges_for_frames(protected: ProtectedVideo,
+                             frame_positions: Sequence[int]
+                             ) -> Dict[str, Tuple[int, int]]:
+    """Per-stream bit extents a set of frames' payloads live in.
+
+    ``frame_positions`` are container positions (coded order). The
+    return value maps each stream name to the half-open ``(bit_start,
+    bit_end)`` range — in *stream* bit coordinates, the same coordinates
+    :func:`map_stream_damage` consumes — covering every payload segment
+    those frames contributed to the stream; streams the frames never
+    touch are absent. The walk mirrors :func:`merge_streams`'s cursor
+    sweep, so fetching exactly these ranges (padded to whatever block
+    granularity the device needs) is sufficient to reassemble the
+    requested frames' payloads.
+
+    Positions need not be contiguous; the range per stream is the
+    convex hull of the touched segments, which over-fetches only when
+    the requested set skips frames — the random-access path requests
+    dependency closures, which are nearly contiguous GOP spans.
+    """
+    wanted = set(int(p) for p in frame_positions)
+    if not wanted:
+        return {}
+    for position in wanted:
+        if not 0 <= position < len(protected.pivots):
+            raise AnalysisError(
+                f"frame position {position} outside the container")
+    ranges: Dict[str, Tuple[int, int]] = {}
+    cursors: Dict[str, int] = {name: 0 for name in protected.streams}
+    for frame_index, table in enumerate(protected.pivots):
+        for segment in table.segments:
+            cursor = cursors[segment.scheme_name]
+            cursors[segment.scheme_name] = cursor + segment.bits
+            if frame_index not in wanted or segment.bits == 0:
+                continue
+            lo, hi = ranges.get(segment.scheme_name,
+                                (cursor, cursor + segment.bits))
+            ranges[segment.scheme_name] = (min(lo, cursor),
+                                           max(hi, cursor + segment.bits))
+    return ranges
+
+
 def map_stream_damage(protected: ProtectedVideo,
                       damage: Dict[str, Sequence[Tuple[int, int]]]
                       ) -> Dict[int, List[Tuple[int, int]]]:

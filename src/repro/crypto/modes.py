@@ -52,6 +52,19 @@ class BlockMode(abc.ABC):
     def decrypt(self, ciphertext: bytes) -> bytes:
         ...
 
+    def decrypt_range(self, ciphertext: bytes, byte_offset: int) -> bytes:
+        """Decrypt a slice that starts ``byte_offset`` bytes into the
+        full message.
+
+        Only the keystream modes support this (the whole point of the
+        paper preferring CTR for a storage system): block modes chain
+        ciphertext, so a slice cannot be decrypted without its
+        neighbours.
+        """
+        raise CryptoError(
+            f"{type(self).__name__} does not support random-access "
+            f"decryption")
+
 
 class ECB(BlockMode):
     """Electronic codebook: block-wise, stateless.
@@ -166,6 +179,15 @@ class OFB(BlockMode):
     def decrypt(self, ciphertext: bytes) -> bytes:
         return _xor_bytes(ciphertext, self._keystream(len(ciphertext)))
 
+    def decrypt_range(self, ciphertext: bytes, byte_offset: int) -> bytes:
+        """OFB random access: the feedback chain must be iterated from
+        the IV, so seeking costs ``O(byte_offset)`` cipher calls — it
+        works, but CTR is the mode a random-access store wants."""
+        if byte_offset < 0:
+            raise CryptoError(f"negative byte offset {byte_offset}")
+        stream = self._keystream(byte_offset + len(ciphertext))
+        return _xor_bytes(ciphertext, stream[byte_offset:])
+
 
 class CTR(BlockMode):
     """Counter mode: keystream from encrypting nonce+counter.
@@ -187,6 +209,21 @@ class CTR(BlockMode):
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         return _xor_bytes(ciphertext, self._keystream(len(ciphertext)))
+
+    def decrypt_range(self, ciphertext: bytes, byte_offset: int) -> bytes:
+        """CTR random access: jump the counter to the slice's block and
+        phase into it — ``O(len(ciphertext))`` regardless of offset."""
+        if byte_offset < 0:
+            raise CryptoError(f"negative byte offset {byte_offset}")
+        skip_blocks, phase = divmod(byte_offset, BLOCK_SIZE)
+        counter = (int.from_bytes(self.iv, "big")
+                   + skip_blocks) % (1 << (8 * BLOCK_SIZE))
+        stream = bytearray()
+        while len(stream) < phase + len(ciphertext):
+            stream += self.cipher.encrypt_block(
+                counter.to_bytes(BLOCK_SIZE, "big"))
+            counter = (counter + 1) % (1 << (8 * BLOCK_SIZE))
+        return _xor_bytes(ciphertext, bytes(stream[phase:]))
 
 
 #: Mode registry by canonical name.

@@ -81,6 +81,22 @@ class StreamEncryptor:
                 for stream_id, data in streams.items()
             }
 
+    def decrypt_at(self, stream_id: int, data: bytes,
+                   byte_offset: int) -> bytes:
+        """Decrypt a slice of stream ``stream_id`` that begins
+        ``byte_offset`` bytes into the ciphertext.
+
+        This is the random-access primitive the seek path rides: both
+        approved modes are keystream XORs, so a slice decrypts without
+        its neighbours (CTR jumps the counter; OFB pays an
+        ``O(offset)`` keystream walk — see
+        :meth:`~repro.crypto.modes.OFB.decrypt_range`).
+        """
+        with obs_trace.span("aes.decrypt_at", mode=self.mode,
+                            offset=byte_offset, size=len(data)):
+            return self._mode_for(stream_id).decrypt_range(
+                data, byte_offset)
+
     def encrypt_list(self, payloads: List[bytes]) -> List[bytes]:
         """Encrypt an ordered payload list (ids are list positions)."""
         with obs_trace.span("aes.encrypt", mode=self.mode,

@@ -11,6 +11,12 @@ That gives :meth:`~repro.codec.decoder.Decoder.decode` a hard contract:
   stream, precise headers included): ``deserialize``/``decode`` may
   reject the stream, but only ever with :class:`BitstreamError` —
   internal ``KeyError``/``ValueError`` artifacts are bugs.
+* **seek-index damage** (the v1 container's index block truncated or
+  scribbled over, body intact): same ``BitstreamError``-only rule for
+  ``deserialize``, and any container that *does* parse must still serve
+  :meth:`~repro.codec.decoder.Decoder.decode_frame_at` — a damaged
+  index degrades random access to a full-decode fallback, never a
+  crash.
 * **concealment** (payload damage plus a randomized uncorrectable-range
   damage map, decoded with ``conceal_uncorrectable=True``): decode must
   neither raise nor drop pixels — it must return a video with exactly
@@ -60,6 +66,7 @@ STRATEGY_RANDOM_PAYLOAD = "random_payload"  #: one payload fully random
 #: ``BitstreamError`` is an acceptable (expected) outcome.
 STRATEGY_TRUNCATE = "truncate"        #: stream cut short at a random point
 STRATEGY_CONTAINER = "container"      #: random bytes anywhere in the stream
+STRATEGY_SEEK_INDEX = "seek_index"    #: v1 seek-index block damaged/truncated
 
 #: Concealment strategy: payload bit flips *plus* a randomized damage
 #: map, decoded with ``conceal_uncorrectable=True``. Same zero-exception
@@ -69,7 +76,8 @@ STRATEGY_CONCEAL = "conceal"
 
 PAYLOAD_STRATEGIES = (STRATEGY_BITFLIP, STRATEGY_BYTESWAP,
                       STRATEGY_ZERO_TAIL, STRATEGY_RANDOM_PAYLOAD)
-CONTAINER_STRATEGIES = (STRATEGY_TRUNCATE, STRATEGY_CONTAINER)
+CONTAINER_STRATEGIES = (STRATEGY_TRUNCATE, STRATEGY_CONTAINER,
+                        STRATEGY_SEEK_INDEX)
 ALL_STRATEGIES = PAYLOAD_STRATEGIES + CONTAINER_STRATEGIES + \
     (STRATEGY_CONCEAL,)
 
@@ -203,6 +211,31 @@ def _corrupt_blob(blob: bytes, strategy: str,
     raise AnalysisError(f"unknown container strategy {strategy!r}")
 
 
+def _corrupt_seek_index(blob_v1: bytes,
+                        rng: np.random.Generator) -> bytes:
+    """Damage only the v1 index framing/bytes; the v0 body stays intact.
+
+    v1 layout: 4-byte magic, big-endian u32 index length, index block,
+    body. One of three damage shapes per trial: truncate inside the
+    index region, scribble over the length field (desyncing the body
+    offset), or scribble inside the index block itself (which the CRC
+    or the header cross-validation must catch).
+    """
+    index_len = int.from_bytes(blob_v1[4:8], "big")
+    index_end = 8 + index_len
+    choice = int(rng.integers(0, 3))
+    if choice == 0:
+        return blob_v1[:int(rng.integers(4, index_end))]
+    buffer = bytearray(blob_v1)
+    if choice == 1:
+        buffer[int(rng.integers(4, 8))] = int(rng.integers(0, 256))
+    else:
+        for _ in range(int(rng.integers(1, 9))):
+            position = int(rng.integers(8, index_end))
+            buffer[position] = int(rng.integers(0, 256))
+    return bytes(buffer)
+
+
 def _persist_counterexample(corpus_dir: Path, blob: bytes, trial: int,
                             strategy: str, seed: int, exception: str,
                             message: str,
@@ -266,6 +299,7 @@ def fuzz_decoder(encoded: EncodedVideo,
     decoder = decoder or Decoder()
     concealer = Decoder(conceal_uncorrectable=True)
     clean_blob = encoded.serialize()
+    clean_blob_v1 = encoded.serialize(include_index=True)
     children = np.random.SeedSequence(seed).spawn(trials)
     report = FuzzReport(trials=trials, elapsed_seconds=0.0,
                         by_strategy={name: 0 for name in strategies})
@@ -288,6 +322,10 @@ def fuzz_decoder(encoded: EncodedVideo,
                 victim = encoded.with_payloads(
                     _corrupt_payloads(payloads, strategy, rng))
                 allowed = ()
+            elif strategy == STRATEGY_SEEK_INDEX:
+                blob = _corrupt_seek_index(clean_blob_v1, rng)
+                victim = None
+                allowed = (BitstreamError,)
             else:
                 blob = _corrupt_blob(clean_blob, strategy, rng)
                 victim = None
@@ -305,6 +343,13 @@ def fuzz_decoder(encoded: EncodedVideo,
                         if strategy == STRATEGY_CONCEAL:
                             _check_full_geometry(
                                 concealer.decode(victim, damage), victim)
+                        elif strategy == STRATEGY_SEEK_INDEX and \
+                                victim.header.num_frames:
+                            # A container that parses must still serve
+                            # random access; a dropped index means the
+                            # seek falls back to a full decode.
+                            decoder.decode_frame_at(victim, int(
+                                rng.integers(0, victim.header.num_frames)))
                         else:
                             decoder.decode(victim)
             except allowed:
@@ -379,6 +424,9 @@ def replay_corpus(corpus_dir: Union[str, Path],
                         if strategy == STRATEGY_CONCEAL:
                             _check_full_geometry(
                                 concealer.decode(victim, damage), victim)
+                        elif strategy == STRATEGY_SEEK_INDEX and \
+                                victim.header.num_frames:
+                            decoder.decode_frame_at(victim, 0)
                         else:
                             decoder.decode(victim)
             except allowed:

@@ -23,6 +23,7 @@ Operator documentation lives in docs/SERVICE.md.
 """
 
 from .audit import AuditEvent, AuditLog
+from .cache import CachedGop, GopCache
 from .frontend import ServiceFrontend
 from .keyring import Keyring, TenantKey, TenantPolicy, derive_tenant_key
 from .loadgen import LoadgenReport, build_plan, run_loadgen
@@ -33,6 +34,7 @@ from .store import (
     CONCEALED,
     CORRECTED,
     REFUSED,
+    FrameReadResult,
     ObjectRecord,
     ReadResult,
     VideoObjectStore,
@@ -46,6 +48,9 @@ __all__ = [
     "CLEAN",
     "CONCEALED",
     "CORRECTED",
+    "CachedGop",
+    "FrameReadResult",
+    "GopCache",
     "HashRing",
     "Keyring",
     "LoadgenReport",

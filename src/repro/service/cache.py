@@ -1,0 +1,101 @@
+"""Decoded-GOP LRU cache for the random-access read path.
+
+``get_frame`` decodes a whole display GOP per miss (partial decode
+already paid for the anchor chain, and serving workloads scrub
+neighbouring frames), so the natural cache unit is the decoded GOP:
+``(tenant, object_id, anchor_display) -> {display: frame}`` plus the
+read classification the GOP was served under. A hit replays the cached
+outcome — including a refusal — which keeps repeated seeks into the
+same GOP consistent within one cache generation.
+
+The cache is deliberately tiny and deterministic: an ``OrderedDict``
+LRU with a capacity measured in GOPs (``REPRO_SEEK_CACHE``), hit/miss/
+eviction counters on the ``obs`` metrics registry, and an explicit
+``invalidate`` for tests and operators. Capacity 0 disables caching
+without disabling the partial-read path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+
+#: Cache key: (tenant, object_id, anchor display index).
+GopKey = Tuple[str, str, int]
+
+
+@dataclass
+class CachedGop:
+    """One decoded display-GOP and the outcome it was served under."""
+
+    anchor_display: int
+    #: Display index -> reconstructed frame ``(H, W) uint8``.
+    frames: Dict[int, np.ndarray]
+    outcome: str
+    psnr_db: Optional[float] = None
+    refusal_reason: str = ""
+    concealed_streams: Tuple[str, ...] = ()
+
+
+@dataclass
+class GopCache:
+    """LRU over decoded GOPs with observable hit/miss accounting."""
+
+    capacity: int = 16
+    _entries: "OrderedDict[GopKey, CachedGop]" = field(
+        default_factory=OrderedDict)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: GopKey) -> Optional[CachedGop]:
+        """The cached GOP for ``key``, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            obs_metrics.counter("service_gop_cache_misses_total").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs_metrics.counter("service_gop_cache_hits_total").inc()
+        return entry
+
+    def put(self, key: GopKey, entry: CachedGop) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU past capacity."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs_metrics.counter(
+                "service_gop_cache_evictions_total").inc()
+
+    def invalidate(self, tenant: Optional[str] = None,
+                   object_id: Optional[str] = None) -> int:
+        """Drop entries matching the given scope; returns the count.
+
+        With no arguments the whole cache is cleared; ``tenant`` alone
+        scopes to that tenant, ``object_id`` narrows to one object.
+        """
+        doomed = [key for key in self._entries
+                  if (tenant is None or key[0] == tenant)
+                  and (object_id is None or key[1] == object_id)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for exhibits and the CLI."""
+        return {"size": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

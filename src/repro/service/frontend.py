@@ -28,7 +28,7 @@ from ..errors import ServiceOverloadError
 from ..obs import metrics as obs_metrics
 from ..video.frame import VideoSequence
 from . import config as service_config
-from .store import ReadResult, VideoObjectStore
+from .store import FrameReadResult, ReadResult, VideoObjectStore
 
 #: One queued ingest: (tenant, clip, future resolving to the object id).
 _QueueItem = Tuple[str, VideoSequence, "asyncio.Future"]
@@ -107,6 +107,16 @@ class ServiceFrontend:
         return await loop.run_in_executor(
             None, partial(self.store.get, tenant, object_id,
                           reader=reader, rng=rng))
+
+    async def read_frame(self, tenant: str, object_id: str,
+                         display: int, reader: Optional[str] = None,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> FrameReadResult:
+        """Serve one random-access frame off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, partial(self.store.get_frame, tenant, object_id,
+                          display, reader=reader, rng=rng))
 
     # -- worker -----------------------------------------------------------
 

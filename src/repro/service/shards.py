@@ -91,6 +91,47 @@ class Shard:
             self.note_uncorrectable(report.failed_blocks)
         return data, report
 
+    def read_range(self, key: str, scheme: ECCScheme,
+                   rng: np.random.Generator, byte_start: int,
+                   byte_end: int
+                   ) -> Tuple[bytes, StorageReport, int, int]:
+        """Read only ``[byte_start, byte_end)`` of ``key``'s blob.
+
+        The requested window is widened to the scheme's ECC block
+        granularity (a BCH block is the smallest unit the device can
+        decode; raw ``t=0`` schemes are byte-granular), replayed
+        through an aged device exactly like :meth:`read`, and returned
+        together with the *aligned* ``(start, end)`` byte bounds
+        actually read — the report's :class:`~repro.storage.device.
+        UncorrectableBlock` bit coordinates are relative to the aligned
+        start, so callers shift by ``8 * aligned_start`` to recover
+        blob coordinates. Health accounting is identical to a full
+        read.
+        """
+        blob = self.blobs.get(key)
+        if blob is None:
+            raise ServiceError(
+                f"shard {self.shard_id}: no blob under key {key!r}")
+        if byte_start < 0 or byte_end < byte_start:
+            raise ServiceError(
+                f"shard {self.shard_id}: bad byte range "
+                f"[{byte_start}, {byte_end})")
+        block_bytes = scheme.data_bits // 8 if scheme.t > 0 else 1
+        aligned_start = min(len(blob),
+                            (byte_start // block_bytes) * block_bytes)
+        aligned_end = min(len(blob),
+                          -(-byte_end // block_bytes) * block_bytes)
+        device = ApproximateDevice(
+            cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
+            scrub=self.scrub, read_retries=self.read_retries)
+        data, report = device.store_and_read(
+            blob[aligned_start:aligned_end], scheme, t_days=self.t_days)
+        self.reads += 1
+        obs_metrics.counter("service_shard_range_reads_total").inc()
+        if report.failed_blocks:
+            self.note_uncorrectable(report.failed_blocks)
+        return data, report, aligned_start, aligned_end
+
     def note_uncorrectable(self, blocks: int) -> bool:
         """Record uncorrectable-block events; quarantine past threshold.
 

@@ -45,7 +45,7 @@ import numpy as np
 
 from ..codec.batch import encode_batch_with_recon
 from ..codec.config import EncoderConfig
-from ..codec.decoder import Decoder
+from ..codec.decoder import Decoder, dependency_closure
 from ..core.assignment import PAPER_TABLE1, ClassAssignment
 from ..core.importance import compute_importance
 from ..core.partition import (
@@ -53,6 +53,7 @@ from ..core.partition import (
     map_stream_damage,
     merge_streams,
     partition_video,
+    stream_ranges_for_frames,
 )
 from ..errors import ReadRefusedError, ServiceError
 from ..metrics.psnr import video_psnr
@@ -61,7 +62,9 @@ from ..obs import trace as obs_trace
 from ..storage.device import StorageReport
 from ..storage.ecc import scheme_by_name
 from ..video.frame import VideoSequence
+from . import config as service_config
 from .audit import AuditLog
+from .cache import CachedGop, GopCache
 from .keyring import Keyring
 from .shards import ShardPool
 
@@ -132,6 +135,36 @@ class ReadResult:
     reports: Dict[str, StorageReport] = field(default_factory=dict)
 
 
+@dataclass
+class FrameReadResult:
+    """One served random-access frame read, classified.
+
+    Same four-outcome ladder as :class:`ReadResult`; ``frame`` is
+    ``None`` exactly when ``outcome == "refused"``. ``psnr_db`` is the
+    PSNR of the decoded *GOP* against the write-time reconstruction —
+    the quality of the cache unit the frame was served from.
+    ``bytes_read``/``bytes_total`` expose the partial-read economics:
+    how much ciphertext the seek actually pulled off the shards versus
+    the object's full footprint.
+    """
+
+    object_id: str
+    tenant: str
+    reader: str
+    display: int
+    outcome: str
+    frame: Optional[np.ndarray] = None
+    psnr_db: Optional[float] = None
+    refusal_reason: str = ""
+    concealed_streams: Tuple[str, ...] = ()
+    cache_hit: bool = False
+    gop_anchor: int = 0
+    frames_decoded: int = 0
+    bytes_read: int = 0
+    bytes_total: int = 0
+    reports: Dict[str, StorageReport] = field(default_factory=dict)
+
+
 class VideoObjectStore:
     """Sharded, content-addressed, per-tenant-encrypted video store."""
 
@@ -139,7 +172,8 @@ class VideoObjectStore:
                  keyring: Optional[Keyring] = None,
                  config: Optional[EncoderConfig] = None,
                  assignment: ClassAssignment = PAPER_TABLE1,
-                 audit: Optional[AuditLog] = None) -> None:
+                 audit: Optional[AuditLog] = None,
+                 seek_cache: Optional[int] = None) -> None:
         self.pool = pool if pool is not None else ShardPool()
         self.keyring = keyring if keyring is not None else Keyring()
         self.config = config if config is not None else EncoderConfig()
@@ -148,6 +182,8 @@ class VideoObjectStore:
         self.audit = audit if audit is not None else AuditLog()
         self._records: Dict[Tuple[str, str], ObjectRecord] = {}
         self._decoder = Decoder(conceal_uncorrectable=True)
+        self.gop_cache = GopCache(
+            capacity=service_config.resolve_seek_cache(seek_cache))
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -332,6 +368,207 @@ class VideoObjectStore:
         elif result.retry_successes > 0:
             result.outcome = CORRECTED
         return result
+
+    # -- random-access read path ------------------------------------------
+
+    def get_frame(self, tenant: str, object_id: str, display: int,
+                  reader: Optional[str] = None,
+                  rng: Optional[np.random.Generator] = None
+                  ) -> FrameReadResult:
+        """Serve one display frame, reading only what the seek index
+        says is needed.
+
+        The read unit is the frame's display GOP: the seek index
+        resolves ``display`` to its anchor I frame, the dependency
+        closure of the GOP's frames decides which container positions
+        must decode, and only the ECC blocks carrying those frames'
+        stream segments are pulled off the shards, decrypted in place
+        (CTR counter jump), merged, and partially decoded. Decoded
+        GOPs land in the store's LRU (:class:`~repro.service.cache.
+        GopCache`), so scrubbing within a GOP hits memory.
+
+        ``REPRO_SEEK_DISABLE`` forces the whole-clip :meth:`get` path
+        (the fast path's escape hatch); the same four-outcome ladder
+        applies either way, minus the whole-stream integrity hash on
+        partial reads — a partial read cannot hash bytes it never
+        fetched, so silent-miscorrection refusal rides the per-block
+        ECC verdicts instead (the hash check still runs whenever the
+        aligned window happens to cover a whole stream).
+        """
+        reader = reader if reader is not None else tenant
+        record = self.record(tenant, object_id)
+        if not 0 <= display < record.frames:
+            raise ServiceError(
+                f"display {display} outside object "
+                f"{object_id[:12]}'s 0..{record.frames - 1}")
+        with obs_trace.span("seek.get_frame", tenant=tenant,
+                            reader=reader, object_id=object_id[:12],
+                            display=display):
+            self.keyring.add_tenant(reader)
+            try:
+                self.keyring.check_read(tenant, reader)
+                encryptor = self.keyring.encryptor(tenant)
+            except ServiceError as exc:
+                self.audit.record("denied", reader, object_id,
+                                  detail=str(exc))
+                obs_metrics.counter("service_reads_denied_total").inc()
+                raise
+            rng = rng if rng is not None else np.random.default_rng()
+            if service_config.seek_disabled():
+                result = self._frame_via_full_read(record, encryptor,
+                                                   reader, display, rng)
+            else:
+                result = self._frame_via_seek(record, encryptor, reader,
+                                              display, rng)
+        self.audit.record(
+            "read_frame", reader, object_id,
+            detail=(f"display={display} outcome={result.outcome}"
+                    + (" cache_hit" if result.cache_hit else "")
+                    + (f" reason={result.refusal_reason}"
+                       if result.refusal_reason else "")))
+        obs_metrics.counter(
+            f"service_frame_reads_{result.outcome}_total").inc()
+        return result
+
+    def _frame_via_full_read(self, record: ObjectRecord, encryptor,
+                             reader: str, display: int,
+                             rng: np.random.Generator) -> FrameReadResult:
+        """The escape hatch: whole-clip read, then slice the frame."""
+        full = self._read_streams(record, encryptor, reader, rng)
+        total = sum(len(record.protected.streams[name])
+                    for name in record.protected.streams)
+        result = FrameReadResult(
+            object_id=record.object_id, tenant=record.tenant,
+            reader=reader, display=display, outcome=full.outcome,
+            psnr_db=full.psnr_db, refusal_reason=full.refusal_reason,
+            concealed_streams=full.concealed_streams,
+            frames_decoded=record.frames, bytes_read=total,
+            bytes_total=total, reports=full.reports)
+        if full.video is not None:
+            result.frame = full.video.frames[display]
+        return result
+
+    def _frame_via_seek(self, record: ObjectRecord, encryptor,
+                        reader: str, display: int,
+                        rng: np.random.Generator) -> FrameReadResult:
+        """Partial read + partial decode of the frame's display GOP."""
+        protected = record.protected
+        encoded = protected.encoded
+        index = encoded.seek_index_or_build()
+        entry = index.gop_for_display(display)
+        anchors = [e.anchor_display for e in index.gops]
+        which = anchors.index(entry.anchor_display)
+        gop_start = entry.anchor_display
+        gop_stop = (anchors[which + 1] if which + 1 < len(anchors)
+                    else index.num_frames)
+        bytes_total = sum(len(protected.streams[name])
+                          for name in protected.streams)
+        key = (record.tenant, record.object_id, gop_start)
+        cached = self.gop_cache.get(key)
+        if cached is not None:
+            return FrameReadResult(
+                object_id=record.object_id, tenant=record.tenant,
+                reader=reader, display=display, outcome=cached.outcome,
+                frame=cached.frames[display], psnr_db=cached.psnr_db,
+                refusal_reason=cached.refusal_reason,
+                concealed_streams=cached.concealed_streams,
+                cache_hit=True, gop_anchor=gop_start,
+                bytes_total=bytes_total)
+        positions = dependency_closure(encoded,
+                                       range(gop_start, gop_stop))
+        bit_ranges = stream_ranges_for_frames(protected, positions)
+        ordered = sorted(protected.streams)
+        buffers: Dict[str, bytes] = {}
+        reports: Dict[str, StorageReport] = {}
+        damage: Dict[str, List[Tuple[int, int]]] = {}
+        refusal = ""
+        bytes_read = 0
+        header_scheme = protected.assignment.header_scheme.name
+        with obs_trace.span("seek.fetch", gop=gop_start,
+                            frames=len(positions)):
+            for stream_id, name in enumerate(ordered):
+                buffer = bytearray(len(protected.streams[name]))
+                if name in bit_ranges:
+                    lo_bit, hi_bit = bit_ranges[name]
+                    blob_key = stream_key(record.tenant,
+                                          record.object_id, name)
+                    shard = self.pool.shard(record.placement[name])
+                    data, report, a_start, a_end = shard.read_range(
+                        blob_key, scheme_by_name(name), rng,
+                        lo_bit // 8, -(-hi_bit // 8))
+                    buffer[a_start:a_start + len(data)] = \
+                        encryptor.decrypt_at(stream_id, data, a_start)
+                    reports[name] = report
+                    bytes_read += len(data)
+                    refusal = refusal or self._partial_refusal_for(
+                        record, name, data, report, a_start, a_end,
+                        header_scheme)
+                    if report.uncorrectable:
+                        limit = protected.stream_bits[name]
+                        shifted = [
+                            (min(8 * a_start + b.bit_start, limit),
+                             min(8 * a_start + b.bit_end, limit))
+                            for b in report.uncorrectable]
+                        shifted = [(lo, hi) for lo, hi in shifted
+                                   if hi > lo]
+                        if shifted:
+                            damage[name] = shifted
+                buffers[name] = bytes(buffer)
+        result = FrameReadResult(
+            object_id=record.object_id, tenant=record.tenant,
+            reader=reader, display=display, outcome=CLEAN,
+            gop_anchor=gop_start, frames_decoded=len(positions),
+            bytes_read=bytes_read, bytes_total=bytes_total,
+            reports=reports)
+        if refusal:
+            result.outcome = REFUSED
+            result.refusal_reason = refusal
+            return result
+        payloads = merge_streams(protected, buffers)
+        corrupted = encoded.with_payloads(payloads)
+        frame_damage = (map_stream_damage(protected, damage)
+                        if damage else {})
+        gop = self._decoder.decode_range(corrupted, gop_start, gop_stop,
+                                         frame_damage)
+        reference = VideoSequence(
+            frames=list(record.recon[gop_start:gop_stop]))
+        result.psnr_db = video_psnr(reference, gop)
+        if damage:
+            result.outcome = CONCEALED
+            result.concealed_streams = tuple(sorted(damage))
+        elif sum(r.retry_successes for r in reports.values()) > 0:
+            result.outcome = CORRECTED
+        frames = {gop_start + k: frame
+                  for k, frame in enumerate(gop.frames)}
+        result.frame = frames[display]
+        self.gop_cache.put(key, CachedGop(
+            anchor_display=gop_start, frames=frames,
+            outcome=result.outcome, psnr_db=result.psnr_db,
+            refusal_reason=result.refusal_reason,
+            concealed_streams=result.concealed_streams))
+        return result
+
+    def _partial_refusal_for(self, record: ObjectRecord, name: str,
+                             data: bytes, report: StorageReport,
+                             a_start: int, a_end: int,
+                             header_scheme: str) -> str:
+        """Refusal reason for one partial stream read, or ``""``."""
+        if report.miscorrected_blocks > 0:
+            return (f"stream {name}: {report.miscorrected_blocks} "
+                    f"silently miscorrected block(s)")
+        whole = (a_start == 0
+                 and a_end >= len(record.protected.streams[name]))
+        clean_claim = (report.flipped_bits == 0
+                       and report.failed_blocks == 0)
+        if whole and clean_claim:
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != record.stream_sha[name]:
+                return (f"stream {name}: integrity hash mismatch on a "
+                        f"read the device reported clean")
+        if report.failed_blocks and name == header_scheme:
+            return (f"stream {name}: uncorrectable damage in a "
+                    f"precise-scheme stream")
+        return ""
 
     def _refusal_for(self, record: ObjectRecord, name: str, data: bytes,
                      report: StorageReport) -> str:

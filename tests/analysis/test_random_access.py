@@ -1,0 +1,73 @@
+"""Tests for the random-access seek exhibit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RandomAccessResult,
+    SeekCell,
+    run_random_access_sweep,
+)
+from repro.errors import AnalysisError
+from repro.storage import MLCCellModel
+from repro.video import SceneConfig, synthesize_scene
+
+
+@pytest.fixture(scope="module")
+def sweep_video():
+    return synthesize_scene(SceneConfig(
+        width=48, height=32, num_frames=8, seed=4, num_objects=2))
+
+
+def _sweep(video, **kwargs):
+    settings = dict(gop_sizes=(4,), crfs=(30,), ages=(None,), seeks=6,
+                    seed=3, shards=2,
+                    cell_model=MLCCellModel(write_sigma=1e-9))
+    settings.update(kwargs)
+    return run_random_access_sweep(video, **settings)
+
+
+class TestDeterminism:
+    def test_digest_replays_across_runs(self, sweep_video):
+        first = _sweep(sweep_video)
+        second = _sweep(sweep_video)
+        assert first.sweep_digest() == second.sweep_digest()
+
+    def test_digest_ignores_wall_clock(self, sweep_video):
+        result = _sweep(sweep_video)
+        cell = result.cells[0]
+        fields = cell.digest_fields()
+        for latency_field in ("seek_p50_ms", "seek_p99_ms",
+                              "full_read_ms", "speedup"):
+            assert latency_field not in fields
+
+
+class TestCellAccounting:
+    def test_grid_and_outcome_bookkeeping(self, sweep_video):
+        result = _sweep(sweep_video, gop_sizes=(4, 8), ages=(None,))
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert isinstance(cell, SeekCell)
+            assert sum(cell.outcomes.values()) == cell.seeks == 6
+            assert cell.compression_ratio > 1.0
+            assert 0.0 < cell.bytes_read_fraction <= 1.0
+            assert cell.frames_decoded_mean > 0.0
+
+    def test_to_dict_carries_digest_and_latencies(self, sweep_video):
+        result = _sweep(sweep_video)
+        payload = result.to_dict()
+        assert payload["sweep_digest"] == result.sweep_digest()
+        assert payload["frames"] == len(sweep_video)
+        for cell in payload["cells"]:
+            assert "seek_p50_ms" in cell and "speedup" in cell
+
+    def test_result_type(self, sweep_video):
+        assert isinstance(_sweep(sweep_video), RandomAccessResult)
+
+
+class TestValidation:
+    def test_rejects_empty_axes_and_zero_seeks(self, sweep_video):
+        with pytest.raises(AnalysisError):
+            run_random_access_sweep(sweep_video, gop_sizes=())
+        with pytest.raises(AnalysisError):
+            run_random_access_sweep(sweep_video, seeks=0)

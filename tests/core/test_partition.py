@@ -195,3 +195,30 @@ class TestMapStreamDamage:
     def test_unknown_stream_rejected(self, protected):
         with pytest.raises(AnalysisError, match="unknown stream"):
             map_stream_damage(protected, {"BCH-99": [(0, 10)]})
+
+
+class TestStreamRangesForFrames:
+    def test_all_frames_cover_every_stream(self, protected):
+        from repro.core import stream_ranges_for_frames
+        positions = range(len(protected.encoded.frames))
+        ranges = stream_ranges_for_frames(protected, positions)
+        assert set(ranges) == set(protected.streams)
+        for name, (lo, hi) in ranges.items():
+            assert (lo, hi) == (0, protected.stream_bits[name])
+
+    def test_single_frame_is_a_subwindow(self, protected):
+        from repro.core import stream_ranges_for_frames
+        ranges = stream_ranges_for_frames(protected, [0])
+        assert ranges  # an I frame always lands in some stream
+        for name, (lo, hi) in ranges.items():
+            assert 0 <= lo < hi <= protected.stream_bits[name]
+
+    def test_empty_input_is_empty(self, protected):
+        from repro.core import stream_ranges_for_frames
+        assert stream_ranges_for_frames(protected, []) == {}
+
+    def test_out_of_range_positions_are_rejected(self, protected):
+        from repro.core import stream_ranges_for_frames
+        with pytest.raises(AnalysisError):
+            stream_ranges_for_frames(
+                protected, [len(protected.encoded.frames)])

@@ -121,3 +121,24 @@ class TestErrorPropagation:
         decrypted = ECB(KEY).decrypt(_flip_bit(ciphertext, 0))
         assert decrypted[:16] != plaintext[:16]
         assert decrypted[16:] == plaintext[16:]
+
+
+class TestRandomAccessDecryption:
+    """Keystream modes must decrypt an arbitrary byte window in place."""
+
+    PLAINTEXT = bytes(range(256)) * 3
+
+    @pytest.mark.parametrize("name", ["OFB", "CTR"])
+    @pytest.mark.parametrize("window", [(0, 16), (5, 21), (31, 33),
+                                        (100, 768), (767, 768), (40, 40)])
+    def test_range_decrypt_matches_the_slice(self, name, window):
+        start, end = window
+        ciphertext = make_mode(name, KEY, IV).encrypt(self.PLAINTEXT)
+        mode = make_mode(name, KEY, IV)
+        assert mode.decrypt_range(ciphertext[start:end], start) == \
+            self.PLAINTEXT[start:end]
+
+    @pytest.mark.parametrize("name", ["ECB", "CBC", "CFB"])
+    def test_chained_modes_refuse_random_access(self, name):
+        with pytest.raises(CryptoError):
+            make_mode(name, KEY, IV).decrypt_range(bytes(16), 16)

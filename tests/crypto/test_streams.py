@@ -88,3 +88,20 @@ class TestStreamEncryptor:
         diff = sum(bin(a ^ b).count("1")
                    for a, b in zip(decrypted, plaintext))
         assert diff == 1
+
+
+class TestRandomAccessStreams:
+    def test_decrypt_at_matches_the_slice(self):
+        encryptor = StreamEncryptor(key=KEY, master_iv=MASTER_IV)
+        plaintext = bytes(range(256)) * 2
+        ciphertext = encryptor.encrypt_streams({2: plaintext})[2]
+        for start, end in ((0, 64), (17, 93), (500, 512)):
+            assert encryptor.decrypt_at(2, ciphertext[start:end],
+                                        start) == plaintext[start:end]
+
+    def test_streams_keep_distinct_offset_keystreams(self):
+        encryptor = StreamEncryptor(key=KEY, master_iv=MASTER_IV)
+        plaintext = bytes(64)
+        encrypted = encryptor.encrypt_streams({0: plaintext, 1: plaintext})
+        # Same window, same plaintext, different stream: different bytes.
+        assert encryptor.decrypt_at(0, encrypted[1][16:32], 16) != plaintext[16:32]

@@ -2,8 +2,8 @@
 """Bench perf gate: current bench run vs committed baseline.
 
 Compares a bench output file (``BENCH_codec_throughput.json``,
-``BENCH_batch_throughput.json``, or ``BENCH_service_loadgen.json``)
-against its committed snapshot under
+``BENCH_batch_throughput.json``, ``BENCH_service_loadgen.json``, or
+``BENCH_seek_latency.json``) against its committed snapshot under
 ``benchmarks/baselines/`` and fails when any throughput metric
 regressed by more than the tolerance band (default 25%).
 
@@ -54,6 +54,7 @@ EXHIBIT_METRICS = {
     "codec_throughput": ("encode_fps", "decode_fps"),
     "batch_throughput": ("clips_per_second",),
     "service_loadgen": ("ingest_clips_per_second", "reads_per_second"),
+    "seek_latency": ("seeks_per_second",),
 }
 
 #: Absolute floors, keyed by exhibit then clip label: (metric, floor).
@@ -69,6 +70,13 @@ ABSOLUTE_FLOORS = {
     # or quadratic ingest path, so it sits far below any healthy host.
     "service_loadgen": {
         "mixed": ("ingest_clips_per_second", 2.0),
+    },
+    # A random-access seek must be measurably cheaper than a whole-clip
+    # read: speedup is timed interleaved within one run, so it is gated
+    # against a constant. 2.0x at GOP 8 is deliberately conservative
+    # for a 4-GOP clip (a seek touches ~1 of 4 GOPs).
+    "seek_latency": {
+        "gop8": ("seek_speedup", 2.0),
     },
 }
 
