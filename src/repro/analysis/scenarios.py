@@ -561,3 +561,272 @@ def _run_fault_cell(fault: str, content: str, video: VideoSequence,
         return cell
 
     raise AnalysisError(f"unknown fault cell {fault!r}")
+
+
+# ----------------------------------------------------------------------
+# The repair matrix: fault × replication × repair
+# ----------------------------------------------------------------------
+
+#: Fault cells of the self-healing matrix.
+REPAIR_FAULTS: Tuple[str, ...] = (
+    "single_shard_storm", "correlated_burst", "burst_on_scrub")
+
+
+@dataclass
+class RepairCell:
+    """One (fault, replicas, repair) cell's verdict."""
+
+    fault: str
+    replicas: int
+    repair: bool
+    #: Every invariant held.
+    passed: bool
+    invariants: Dict[str, bool] = field(default_factory=dict)
+    flags: List[str] = field(default_factory=list)
+    schedule_digest: str = ""
+    chaos_events: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class RepairMatrixReport:
+    """A full (fault × replication × repair) self-healing matrix run."""
+
+    cells: List[RepairCell]
+    seed: int
+    width: int
+    height: int
+    num_frames: int
+    objects: int
+    reads: int
+
+    @property
+    def passed(self) -> bool:
+        """Every cell's invariants held."""
+        return all(cell.passed for cell in self.cells)
+
+    @property
+    def matrix_digest(self) -> str:
+        """Replayable fingerprint of the whole repair-matrix outcome.
+
+        Covers every cell's fault schedule, invariants, and measured
+        details (exact float repr); wall clock never enters, so CI can
+        run the matrix twice and compare digests byte for byte.
+        """
+        payload = {
+            "seed": self.seed,
+            "geometry": [self.width, self.height, self.num_frames,
+                         self.objects, self.reads],
+            "cells": [{
+                "fault": c.fault, "replicas": c.replicas,
+                "repair": c.repair, "passed": c.passed,
+                "invariants": c.invariants, "flags": c.flags,
+                "schedule": c.schedule_digest, "events": c.chaos_events,
+                "details": {k: repr(v)
+                            for k, v in sorted(c.details.items())},
+            } for c in self.cells],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()[:32]
+
+    def to_dict(self) -> dict:
+        """JSON-ready report: all cells plus the derived verdicts."""
+        data = dataclasses.asdict(self)
+        data["passed"] = self.passed
+        data["matrix_digest"] = self.matrix_digest
+        return data
+
+
+def _storm_victim(store) -> str:
+    """The shard holding the most blobs (ties → smallest id).
+
+    Storming the fullest shard maximizes the blast radius, which is
+    the point: the invariants must hold on the worst single-domain
+    loss the placement allows.
+    """
+    counts = {shard_id: len(shard.blobs)
+              for shard_id, shard in store.pool.shards.items()}
+    return min(counts, key=lambda sid: (-counts[sid], sid))
+
+
+def _repair_outcomes(store, tenant: str, ids: Sequence[str],
+                     reads: int, entropy: Sequence[int]) -> Dict[str, int]:
+    """``reads`` seeded reads per object; outcome tally."""
+    tally = {"clean": 0, "corrected": 0, "concealed": 0, "refused": 0}
+    for op, object_id in enumerate(object_id
+                                   for object_id in ids
+                                   for _ in range(reads)):
+        rng = np.random.default_rng([*entropy, op])
+        result = store.get(tenant, object_id, rng=rng)
+        tally[result.outcome] += 1
+    return tally
+
+
+def run_repair_matrix(faults: Sequence[str] = REPAIR_FAULTS,
+                      replicas_axis: Sequence[int] = (1, 2),
+                      repair_axis: Sequence[bool] = (False, True),
+                      width: int = 48, height: int = 32,
+                      num_frames: int = 4, objects: int = 2,
+                      reads: int = 3, seed: int = 0,
+                      config: Optional[EncoderConfig] = None
+                      ) -> RepairMatrixReport:
+    """Run the (fault × replication × repair) self-healing matrix.
+
+    Each cell builds a fresh 4-shard pool and replicated store, ingests
+    ``objects`` clips, reads every object ``reads`` times under the
+    armed fault, optionally runs the repair daemon to convergence, and
+    re-reads. Per-cell invariants:
+
+    * always: nothing silently miscorrected; chaos damage that fired
+      is visible (uncorrectable blocks / refusals, never clean lies);
+    * ``single_shard_storm`` at R≥2: **zero refused reads** — every
+      read escalates to an unstormed replica (no data loss);
+    * repair arm: the daemon converges within three passes (empty
+      backlog, no placement violations), the store ends fully
+      replicated on healthy shards, and a storm's quarantined victim
+      is drained to empty;
+    * ``single_shard_storm`` + repair: the post-repair read round is
+      storm-free (the victim no longer serves) — every read clean.
+
+    Same ``seed`` → same fault schedule and the same
+    :attr:`RepairMatrixReport.matrix_digest`.
+    """
+    from ..service.repair import replication_health, run_repair_pass
+    from ..service.shards import QUARANTINED, ShardPool
+    from ..service.store import VideoObjectStore
+
+    if chaos.active() is not None:
+        raise AnalysisError(
+            "repair matrix manages its own chaos policies; disarm the "
+            "ambient one first")
+    unknown = [f for f in faults if f not in REPAIR_FAULTS]
+    if unknown:
+        raise AnalysisError(
+            f"unknown repair fault cells {unknown}; known: "
+            f"{list(REPAIR_FAULTS)}")
+    if any(r < 1 for r in replicas_axis):
+        raise AnalysisError(f"replicas axis must be >= 1: "
+                            f"{list(replicas_axis)}")
+    config = config or EncoderConfig(crf=30, gop_size=4)
+    tenant = "matrix"
+    clips = [synthesize_scene(SceneConfig(
+        width=width, height=height, num_frames=num_frames,
+        seed=seed + index, num_objects=2)) for index in range(objects)]
+    cells: List[RepairCell] = []
+    for fault in faults:
+        for replicas in replicas_axis:
+            for repair in repair_axis:
+                cell = RepairCell(fault=fault, replicas=replicas,
+                                  repair=repair, passed=False)
+                cell_seed = _cell_seed(seed, fault,
+                                       f"r{replicas}-{repair}")
+                scrubbed = fault == "burst_on_scrub"
+                pool = ShardPool(count=4, read_retries=1,
+                                 quarantine_after=2,
+                                 scrub_days=365.0 if scrubbed else None)
+                store = VideoObjectStore(pool=pool, config=config,
+                                         replicas=replicas)
+                ids = store.put_many(tenant, clips)
+                if scrubbed:
+                    # Age the written keys to the far end of the scrub
+                    # interval: the burst lands on cells already
+                    # carrying a cycle's worth of drift, and repair
+                    # rewrites (which stamp the moved clock) read as
+                    # fresh afterwards.
+                    pool.advance_all(360.0)
+                victim = _storm_victim(store)
+                if fault == "single_shard_storm":
+                    policy = chaos.ChaosPolicy(
+                        seed=cell_seed, shard_storm=victim,
+                        device_burst_blocks=3)
+                else:
+                    # burst_on_scrub draws at a higher rate: uncoded
+                    # (t=0) streams return before the device's chaos
+                    # seam, so a low rate can leave a cell with no
+                    # coded blob faulting at all.
+                    rate = 0.7 if fault == "correlated_burst" else 0.9
+                    policy = chaos.ChaosPolicy(
+                        seed=cell_seed, device_burst_rate=rate,
+                        device_burst_blocks=3)
+                before = _counters(
+                    "storage_miscorrected_blocks_total",
+                    "storage_uncorrectable_blocks_total",
+                    "chaos_device_storm_total",
+                    "chaos_device_burst_total")
+                chaos.arm(policy)
+                try:
+                    storm_tally = _repair_outcomes(
+                        store, tenant, ids, reads, [cell_seed, 1])
+                    after = _counters(*before)
+                    events = (
+                        after["chaos_device_storm_total"]
+                        - before["chaos_device_storm_total"]
+                        + after["chaos_device_burst_total"]
+                        - before["chaos_device_burst_total"])
+                    uncorrectable = (
+                        after["storage_uncorrectable_blocks_total"]
+                        - before["storage_uncorrectable_blocks_total"])
+                    miscorrected = (
+                        after["storage_miscorrected_blocks_total"]
+                        - before["storage_miscorrected_blocks_total"])
+                    cell.invariants["no_silent_miscorrection"] = (
+                        miscorrected == 0)
+                    cell.invariants["damage_visible"] = (
+                        events == 0 or uncorrectable >= events)
+                    if events == 0:
+                        cell.flags.append("no-chaos-fault-fired")
+                    if fault == "single_shard_storm" and replicas >= 2:
+                        cell.invariants["zero_refusals"] = (
+                            storm_tally["refused"] == 0)
+                        cell.invariants["no_data_loss"] = (
+                            sum(storm_tally.values())
+                            == len(ids) * reads
+                            and storm_tally["refused"] == 0)
+                    cell.details.update(
+                        victim=victim, storm_outcomes=storm_tally,
+                        chaos_fired=events,
+                        uncorrectable_blocks=uncorrectable,
+                        backlog_after_storm=store.repair.backlog())
+                    if repair:
+                        reports = []
+                        for _ in range(3):
+                            report = run_repair_pass(store)
+                            reports.append(report.to_dict())
+                            if (report.backlog == 0
+                                    and report.scan_enqueued == 0
+                                    and report.tickets_drained == 0):
+                                break
+                        health = replication_health(store)
+                        cell.invariants["repair_converges"] = (
+                            reports[-1]["backlog"] == 0
+                            and reports[-1]["scan_enqueued"] == 0
+                            and reports[-1]["tickets_drained"] == 0)
+                        cell.invariants["fully_replicated"] = (
+                            health["under_replicated"] == 0)
+                        if fault == "single_shard_storm":
+                            victim_shard = store.pool.shard(victim)
+                            cell.invariants["victim_drained"] = (
+                                victim_shard.health == QUARANTINED
+                                and len(victim_shard.blobs) == 0)
+                        post_tally = _repair_outcomes(
+                            store, tenant, ids, reads, [cell_seed, 2])
+                        if fault == "single_shard_storm":
+                            cell.invariants["post_repair_clean"] = (
+                                post_tally["refused"] == 0
+                                and post_tally["concealed"] == 0)
+                        cell.details.update(
+                            repair_passes=reports, health=health,
+                            post_outcomes=post_tally)
+                    cells.append(_finish_cell_repair(cell))
+                finally:
+                    chaos.disarm()
+    return RepairMatrixReport(cells=cells, seed=seed, width=width,
+                              height=height, num_frames=num_frames,
+                              objects=objects, reads=reads)
+
+
+def _finish_cell_repair(cell: RepairCell) -> RepairCell:
+    cell.schedule_digest = chaos.schedule_digest()
+    cell.chaos_events = len(chaos.chaos_events())
+    cell.passed = all(cell.invariants.values())
+    return cell

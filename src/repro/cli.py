@@ -488,6 +488,39 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_repair(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.scenarios import run_repair_matrix
+    from .obs import trace as obs_trace
+
+    replicas_axis = tuple(
+        int(r) for r in args.replicas_axis.split(","))
+    with obs_trace.span("repro.repair", seed=args.seed):
+        report = run_repair_matrix(replicas_axis=replicas_axis,
+                                   seed=args.seed, reads=args.reads)
+    rows = []
+    for cell in report.cells:
+        broken = sorted(k for k, ok in cell.invariants.items() if not ok)
+        status = "PASS" if cell.passed else "FAIL"
+        if cell.flags:
+            status += " *"
+        rows.append((cell.fault, f"R={cell.replicas}",
+                     "repair" if cell.repair else "-", status,
+                     ", ".join(broken) if broken
+                     else f"{len(cell.invariants)} invariants held"))
+    print(format_table(
+        ("fault", "replicas", "daemon", "verdict", "detail"), rows,
+        title=f"repair matrix: {len(report.cells)} cells, seed "
+              f"{report.seed}"))
+    print(f"matrix digest: {report.matrix_digest}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 #: The ``serve --demo`` script: one shared object, one denied read,
 #: one aged re-read — the operator guide's walkthrough, executable.
 _DEMO_SCRIPT = """\
@@ -520,7 +553,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lines = sys.stdin.read().splitlines()
     pool = ShardPool(count=args.shards, read_retries=args.read_retries)
     store = VideoObjectStore(pool=pool, keyring=Keyring(seed=args.seed),
-                             config=_encoder_config(args))
+                             config=_encoder_config(args),
+                             replicas=args.replicas)
     frontend = ServiceFrontend(store)
     #: ``@N`` in a script names the id returned by the N-th put (1-based).
     placed_ids: List[str] = []
@@ -578,17 +612,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 elif verb == "stats":
                     print(format_table(
                         ("shard", "health", "age", "reads",
-                         "uncorrectable"),
+                         "uncorrectable", "blobs", "repairs",
+                         "repaired@"),
                         list(pool.health_rows()),
                         title=f"{len(store)} objects on "
-                              f"{len(pool)} shards"))
+                              f"{len(pool)} shards "
+                              f"(R={store.replicas})"))
+                    print(f"repair backlog: {store.repair.backlog()}")
+                elif verb == "repair":
+                    rep = await frontend.repair_pass()
+                    print(f"repair pass: scanned "
+                          f"{rep.scanned_objects}, repaired "
+                          f"{rep.objects_repaired} objects "
+                          f"({rep.streams_rewritten} streams, "
+                          f"{rep.cell_writes} cell writes, "
+                          f"{rep.strays_deleted} strays), backlog "
+                          f"{rep.backlog}")
                 elif verb == "audit":
                     sys.stdout.write(store.audit.to_jsonl())
                 elif verb == "quit":
                     break
                 else:
                     print(f"unknown command {verb!r} (put/get/share/"
-                          f"retire/age/stats/audit/quit)")
+                          f"retire/age/stats/repair/audit/quit)")
                     status = 2
             except ServiceError as exc:
                 # Denials, stale keys, refusals: part of the exhibit,
@@ -603,13 +649,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
-    from .service.loadgen import run_loadgen
+    from .service.loadgen import run_durability_contrast, run_loadgen
+
+    if args.durability_contrast:
+        contrast = run_durability_contrast(
+            clients=args.clients, ops=args.ops, seed=args.seed,
+            read_fraction=args.read_fraction, shards=args.shards,
+            read_retries=args.read_retries,
+            config=_encoder_config(args))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(contrast, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        print(format_table(("metric", "R=1 bare", "R=2 + repair"), [
+            ("refusal rate",
+             f"{contrast['refusal_rate_baseline']:.2%}",
+             f"{contrast['refusal_rate_healed']:.2%}"),
+            ("run digest", contrast["baseline"]["run_digest"][:16],
+             contrast["healed"]["run_digest"][:16]),
+        ], title=f"durability contrast, seed {args.seed}"))
+        delta = contrast["mean_psnr_delta_db"]
+        print(f"mean PSNR delta (healed - bare): "
+              f"{'-' if delta is None else f'{delta:+.2f} dB'}")
+        print(f"contrast digest: {contrast['contrast_digest']}")
+        return 0
 
     report = run_loadgen(
         clients=args.clients, ops=args.ops, seed=args.seed,
         read_fraction=args.read_fraction, shards=args.shards,
         read_retries=args.read_retries, t_days=args.t_days,
-        config=_encoder_config(args))
+        config=_encoder_config(args), replicas=args.replicas,
+        repair=args.repair)
     data = report.to_dict()
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -640,6 +710,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
              for p in report.degradation],
             title="degradation curve (service reads vs raw device "
                   "read)"))
+    if report.degradation_repair:
+        print(format_table(
+            ("t (days)", "outcomes", "mean PSNR dB"),
+            [("nominal" if p["t_days"] is None else f"{p['t_days']:g}",
+              ", ".join(f"{k}={v}"
+                        for k, v in sorted(p["outcomes"].items())),
+              "-" if p["psnr_db"] is None else f"{p['psnr_db']:.2f}")
+             for p in report.degradation_repair],
+            title="post-repair re-reads (same samples, repaired "
+                  "replicas)"))
     print(f"run digest: {report.run_digest}")
     return 0
 
@@ -885,6 +965,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(CI compares matrix_digest across runs)")
     scenarios.set_defaults(func=_cmd_scenarios)
 
+    repair = commands.add_parser(
+        "repair",
+        help="self-healing matrix: fault x replication x repair")
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument("--reads", type=int, default=3,
+                        help="reads per object per round")
+    repair.add_argument("--replicas-axis", default="1,2",
+                        help="comma-separated replica counts to sweep")
+    repair.add_argument("--json", default=None,
+                        help="write the full RepairMatrixReport here "
+                             "(CI compares matrix_digest across runs)")
+    repair.set_defaults(func=_cmd_repair)
+
     serve = commands.add_parser(
         "serve", help="scripted session against the video store service")
     serve.add_argument("--script", default=None,
@@ -892,7 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "put TENANT RAW|synth:SEED, "
                             "get TENANT ID|@N [READER], share OWNER "
                             "READER, retire TENANT, age DAYS, stats, "
-                            "audit, quit")
+                            "repair, audit, quit")
     serve.add_argument("--demo", action="store_true",
                        help="run the built-in demo script instead")
     serve.add_argument("--seed", type=int, default=0,
@@ -903,6 +996,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--read-retries", type=int, default=None,
                        help="device re-read ladder depth "
                             "(default REPRO_SERVICE_READ_RETRIES)")
+    serve.add_argument("--replicas", type=int, default=None,
+                       help="copies written per stream "
+                            "(default REPRO_SERVICE_REPLICAS)")
     _add_encoder_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -926,6 +1022,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--t-days", type=float, default=None,
                          help="age every shard to this retention time "
                               "for the mixed phase (default: nominal)")
+    loadgen.add_argument("--replicas", type=int, default=None,
+                         help="copies written per stream "
+                              "(default REPRO_SERVICE_REPLICAS)")
+    loadgen.add_argument("--repair", action="store_true",
+                         help="run a repair pass after each "
+                              "degradation age and re-read the samples")
+    loadgen.add_argument("--durability-contrast", action="store_true",
+                         help="run the R=1 bare vs R=2+repair contrast "
+                              "(same seeds) instead of a single run")
     loadgen.add_argument("--json", default=None,
                          help="write the full report (including the "
                               "run digest) here")

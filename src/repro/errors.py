@@ -97,6 +97,18 @@ class ServiceOverloadError(ServiceError):
     """
 
 
+class TransientShardError(ServiceError):
+    """A shard read failed transiently (flake, brown-out, timeout).
+
+    Unlike device-level bit damage — which is *data* the ladder and
+    concealment machinery grade — this is an *operational* fault: the
+    read never produced bytes at all. Callers retry with backoff
+    (:meth:`repro.service.frontend.ServiceFrontend.read_with_retry`)
+    or escalate to another replica; today it is raised only from the
+    chaos seam in :mod:`repro.service.shards`.
+    """
+
+
 class ReadRefusedError(ServiceError):
     """The service refused a read rather than return suspect data.
 

@@ -10,7 +10,18 @@ schedule:
   makes :meth:`~repro.storage.device.ApproximateDevice.store_and_read`
   corrupt extra ECC blocks *and escalate them* as uncorrectable, so the
   damage is always visible in the :class:`StorageReport` (the device's
-  never-silently-corrupted contract holds even under chaos);
+  never-silently-corrupted contract holds even under chaos). Faults
+  come in three shapes: content-keyed single blocks, content-keyed
+  *correlated bursts* (contiguous block spans), and the shard-scoped
+  *single-shard storm* below;
+* **shard-scoped faults** — reads served through a
+  :class:`~repro.service.shards.Shard` set a shard context, letting a
+  policy storm one failure domain (``shard_storm``: every read off
+  that shard bursts while its neighbours read clean — what replication
+  and the repair daemon exist to absorb) or flake scheduled shard-read
+  ordinals with :class:`~repro.errors.TransientShardError`
+  (``shard_flake_reads``: what the front-end's retry/backoff ladder
+  absorbs);
 * **trial faults** — a chosen trial raises mid-execution (a stand-in
   for a decoder exception), hangs past its watchdog budget, or kills
   its worker process outright;
@@ -55,7 +66,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import AnalysisError, ChaosError
+from ..errors import AnalysisError, ChaosError, TransientShardError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
@@ -63,6 +74,10 @@ from ..obs import trace as obs_trace
 #: the CLI calls :func:`policy_from_env`). See docs/OBSERVABILITY.md.
 CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
 CHAOS_DEVICE_RATE_ENV = "REPRO_CHAOS_DEVICE_RATE"
+CHAOS_BURST_RATE_ENV = "REPRO_CHAOS_BURST_RATE"
+CHAOS_BURST_BLOCKS_ENV = "REPRO_CHAOS_BURST_BLOCKS"
+CHAOS_SHARD_STORM_ENV = "REPRO_CHAOS_SHARD_STORM"
+CHAOS_SHARD_FLAKES_ENV = "REPRO_CHAOS_SHARD_FLAKES"
 CHAOS_FAIL_TRIALS_ENV = "REPRO_CHAOS_FAIL_TRIALS"
 CHAOS_CRASH_TRIALS_ENV = "REPRO_CHAOS_CRASH_TRIALS"
 CHAOS_HANG_TRIALS_ENV = "REPRO_CHAOS_HANG_TRIALS"
@@ -88,6 +103,27 @@ class ChaosPolicy:
     device_fault_rate: float = 0.0
     #: Bits flipped inside the one extra failed block per faulted read.
     device_flip_bits: int = 4
+    #: Probability that a device read suffers a *correlated burst*:
+    #: ``device_burst_blocks`` contiguous blocks corrupted and
+    #: escalated in one read — the worn-region / disturbed-neighbour
+    #: failure mode single-block faults cannot model. Content-keyed
+    #: like ``device_fault_rate``.
+    device_burst_rate: float = 0.0
+    #: Contiguous blocks corrupted per burst fault.
+    device_burst_blocks: int = 4
+    #: Shard id under a *single-shard storm*: device reads served from
+    #: this shard fault (with the burst span above) at
+    #: ``shard_storm_rate``, while every other shard reads unfaulted —
+    #: the one-failure-domain disaster replication exists to absorb.
+    #: Requires the read to flow through :class:`repro.service.shards.
+    #: Shard` (the shard context hook); bare device reads are exempt.
+    shard_storm: Optional[str] = None
+    #: Per-read fault probability while the storm shard is serving.
+    shard_storm_rate: float = 1.0
+    #: Shard-read ordinals (0-based, process-wide) that fail with
+    #: :class:`~repro.errors.TransientShardError` before touching the
+    #: device — flakes the front-end's retry/backoff ladder absorbs.
+    shard_flake_reads: Tuple[int, ...] = ()
     #: Trials that raise a :class:`ChaosError` mid-execution (the
     #: stand-in for a decoder blowing up on hostile input).
     fail_trials: Tuple[int, ...] = ()
@@ -118,10 +154,24 @@ class ChaosPolicy:
             raise AnalysisError(
                 f"device_fault_rate must be in [0, 1], got "
                 f"{self.device_fault_rate}")
+        if not 0.0 <= self.device_burst_rate <= 1.0:
+            raise AnalysisError(
+                f"device_burst_rate must be in [0, 1], got "
+                f"{self.device_burst_rate}")
+        if not 0.0 <= self.shard_storm_rate <= 1.0:
+            raise AnalysisError(
+                f"shard_storm_rate must be in [0, 1], got "
+                f"{self.shard_storm_rate}")
         if self.device_flip_bits < 1:
             raise AnalysisError(
                 f"device_flip_bits must be >= 1, got "
                 f"{self.device_flip_bits}")
+        if self.device_burst_blocks < 1:
+            raise AnalysisError(
+                f"device_burst_blocks must be >= 1, got "
+                f"{self.device_burst_blocks}")
+        if any(i < 0 for i in self.shard_flake_reads):
+            raise AnalysisError("shard_flake_reads ordinals must be >= 0")
         if self.journal_tear_bytes < 1:
             raise AnalysisError(
                 f"journal_tear_bytes must be >= 1, got "
@@ -133,7 +183,11 @@ class ChaosPolicy:
     @property
     def quiet(self) -> bool:
         """True when this policy schedules no fault at all."""
-        return (self.device_fault_rate == 0.0 and not self.fail_trials
+        return (self.device_fault_rate == 0.0
+                and self.device_burst_rate == 0.0
+                and self.shard_storm is None
+                and not self.shard_flake_reads
+                and not self.fail_trials
                 and not self.hang_trials and not self.crash_trials
                 and self.shm_fail_at is None
                 and self.journal_tear_at is None)
@@ -149,6 +203,12 @@ class _ChaosState:
     shm_fired: bool = False
     journal_records: int = 0
     journal_fired: bool = False
+    #: Process-wide shard-read ordinal (drives flake scheduling).
+    shard_reads: int = 0
+    #: The shard currently serving a device read, set by the shard
+    #: hook — lets content-keyed device faults become shard-scoped
+    #: (the single-shard storm).
+    shard_context: Optional[str] = None
 
 
 #: The armed policy's state, or None (the common, zero-cost case).
@@ -166,18 +226,24 @@ def arm(policy: ChaosPolicy) -> None:
     """
     global _ACTIVE
     _ACTIVE = _ChaosState(policy)
+    from ..service import shards as service_shards
     from ..storage import device as storage_device
 
     storage_device._CHAOS_READ_FAULT = device_read_fault
+    service_shards._CHAOS_SHARD_READ = shard_read_begin
+    service_shards._CHAOS_SHARD_DONE = shard_read_end
 
 
 def disarm() -> None:
     """Disarm chaos: every hook returns to its zero-cost path."""
     global _ACTIVE
     _ACTIVE = None
+    from ..service import shards as service_shards
     from ..storage import device as storage_device
 
     storage_device._CHAOS_READ_FAULT = None
+    service_shards._CHAOS_SHARD_READ = None
+    service_shards._CHAOS_SHARD_DONE = None
 
 
 def active() -> Optional[ChaosPolicy]:
@@ -228,28 +294,102 @@ def _record(kind: str, **attrs) -> None:
 # ----------------------------------------------------------------------
 
 def device_read_fault(data: bytes) -> Optional[Tuple[np.random.Generator,
-                                                     int]]:
+                                                     int, int]]:
     """Decide whether a device read of ``data`` fails beyond the model.
 
-    Returns ``None`` (no fault), or ``(rng, flip_bits)`` the device
-    uses to pick the extra failed block and its flipped bits. The
-    decision is keyed by ``sha256(policy.seed | data)``: a given
-    payload either always or never faults under a given policy, so the
-    schedule cannot depend on trial ordering or worker scheduling.
+    Returns ``None`` (no fault), or ``(rng, flip_bits, burst_blocks)``
+    the device uses to pick the extra failed block span and its
+    flipped bits. Three escalating fault classes, checked in order:
+
+    1. **single-shard storm** — when the serving shard (set by the
+       shard-context hook) matches ``policy.shard_storm``, the read
+       faults at ``shard_storm_rate`` with the burst span, keyed by
+       ``sha256(seed | storm | shard_read_ordinal)`` so *every* read
+       off the storm shard draws independently (the same ciphertext
+       read twice can fault twice — a dying shard, not a bad payload);
+    2. **correlated burst** — content-keyed like the single fault but
+       corrupting ``device_burst_blocks`` contiguous blocks;
+    3. **single-block fault** — the original content-keyed fault.
+
+    Content-keyed decisions are identical wherever and whenever the
+    payload is read, so the schedule cannot depend on trial ordering
+    or worker scheduling; the storm is ordinal-keyed precisely because
+    it models a *location*, not a payload.
     """
     state = _ACTIVE
-    if state is None or state.policy.device_fault_rate <= 0.0:
+    if state is None:
         return None
+    policy = state.policy
+    if (policy.shard_storm is not None
+            and state.shard_context == policy.shard_storm):
+        key = hashlib.sha256(
+            f"{policy.seed}|storm|{state.shard_reads}".encode()).digest()
+        u = int.from_bytes(key[:8], "big") / 2.0 ** 64
+        if u < policy.shard_storm_rate:
+            _record("device_storm", shard=policy.shard_storm,
+                    ordinal=state.shard_reads - 1,
+                    blocks=policy.device_burst_blocks)
+            rng = np.random.default_rng(
+                int.from_bytes(key[8:16], "big"))
+            return (rng, policy.device_flip_bits,
+                    policy.device_burst_blocks)
+    content_sha = None
+    if policy.device_burst_rate > 0.0:
+        content_sha = hashlib.sha256(data).digest()
+        key = hashlib.sha256(
+            f"{policy.seed}|burst|".encode() + content_sha).digest()
+        u = int.from_bytes(key[:8], "big") / 2.0 ** 64
+        if u < policy.device_burst_rate:
+            _record("device_burst",
+                    payload_sha=content_sha.hex()[:16],
+                    data_bytes=len(data),
+                    blocks=policy.device_burst_blocks)
+            rng = np.random.default_rng(
+                int.from_bytes(key[8:16], "big"))
+            return (rng, policy.device_flip_bits,
+                    policy.device_burst_blocks)
+    if policy.device_fault_rate <= 0.0:
+        return None
+    if content_sha is None:
+        content_sha = hashlib.sha256(data).digest()
     key = hashlib.sha256(
-        f"{state.policy.seed}|device|".encode()
-        + hashlib.sha256(data).digest()).digest()
+        f"{policy.seed}|device|".encode() + content_sha).digest()
     u = int.from_bytes(key[:8], "big") / 2.0 ** 64
-    if u >= state.policy.device_fault_rate:
+    if u >= policy.device_fault_rate:
         return None
-    _record("device_read", payload_sha=hashlib.sha256(data).hexdigest()[:16],
+    _record("device_read", payload_sha=content_sha.hex()[:16],
             data_bytes=len(data))
     rng = np.random.default_rng(int.from_bytes(key[8:16], "big"))
-    return rng, state.policy.device_flip_bits
+    return rng, policy.device_flip_bits, 1
+
+
+def shard_read_begin(shard_id: str, key: str) -> None:
+    """Shard-read hook: fire scheduled flakes, set the storm context.
+
+    Called by :class:`repro.service.shards.Shard` before every device
+    read it serves. Flake ordinals are process-wide and one-shot each;
+    a flaked read raises :class:`~repro.errors.TransientShardError`
+    *before* the context is set (no device read happens), which the
+    store's replica walk or the front-end's backoff ladder absorbs.
+    """
+    state = _ACTIVE
+    if state is None:
+        return
+    ordinal = state.shard_reads
+    state.shard_reads += 1
+    if ordinal in state.policy.shard_flake_reads:
+        _record("shard_flake", shard=shard_id, ordinal=ordinal)
+        raise TransientShardError(
+            f"chaos: shard {shard_id} flaked at read {ordinal} "
+            f"(key {key!r})")
+    state.shard_context = shard_id
+
+
+def shard_read_end() -> None:
+    """Clear the storm context after a shard-served device read."""
+    state = _ACTIVE
+    if state is not None:
+        state.shard_context = None
 
 
 def trial_fault(index: int) -> None:
@@ -369,24 +509,37 @@ def policy_from_env() -> Optional[ChaosPolicy]:
     schedule without code changes.
     """
     rate_raw = os.environ.get(CHAOS_DEVICE_RATE_ENV, "").strip()
+    burst_raw = os.environ.get(CHAOS_BURST_RATE_ENV, "").strip()
+    storm = os.environ.get(CHAOS_SHARD_STORM_ENV, "").strip() or None
+    flakes = _env_indices(CHAOS_SHARD_FLAKES_ENV)
     seed = _env_int(CHAOS_SEED_ENV)
     fail = _env_indices(CHAOS_FAIL_TRIALS_ENV)
     crash = _env_indices(CHAOS_CRASH_TRIALS_ENV)
     hang = _env_indices(CHAOS_HANG_TRIALS_ENV)
     shm_at = _env_int(CHAOS_SHM_AT_ENV)
     journal_at = _env_int(CHAOS_JOURNAL_AT_ENV)
-    if (not rate_raw and seed is None and not fail and not crash
+    if (not rate_raw and not burst_raw and storm is None and not flakes
+            and seed is None and not fail and not crash
             and not hang and shm_at is None and journal_at is None):
         return None
-    rate = 0.0
-    if rate_raw:
+
+    def _rate(raw: str, env: str) -> float:
+        if not raw:
+            return 0.0
         try:
-            rate = float(rate_raw)
+            return float(raw)
         except ValueError:
             raise AnalysisError(
-                f"{CHAOS_DEVICE_RATE_ENV}={rate_raw!r} is not a "
-                f"probability") from None
-    return ChaosPolicy(seed=seed or 0, device_fault_rate=rate,
-                       fail_trials=fail, crash_trials=crash,
-                       hang_trials=hang, shm_fail_at=shm_at,
-                       journal_tear_at=journal_at)
+                f"{env}={raw!r} is not a probability") from None
+
+    burst_blocks = _env_int(CHAOS_BURST_BLOCKS_ENV)
+    return ChaosPolicy(
+        seed=seed or 0,
+        device_fault_rate=_rate(rate_raw, CHAOS_DEVICE_RATE_ENV),
+        device_burst_rate=_rate(burst_raw, CHAOS_BURST_RATE_ENV),
+        device_burst_blocks=(burst_blocks if burst_blocks is not None
+                             else 4),
+        shard_storm=storm, shard_flake_reads=flakes,
+        fail_trials=fail, crash_trials=crash,
+        hang_trials=hang, shm_fail_at=shm_at,
+        journal_tear_at=journal_at)

@@ -15,6 +15,8 @@ ApproximateVideoStore` facade into an operable multi-tenant service:
 * :mod:`~repro.service.frontend` — asyncio admission layer: bounded
   ingest queue feeding the batched encode kernel;
 * :mod:`~repro.service.audit` — replay-stable append-only audit log;
+* :mod:`~repro.service.repair` — read-repair queue and the
+  deterministic background repair pass (the self-healing half);
 * :mod:`~repro.service.loadgen` — the seeded, digest-replayable load
   generator behind ``repro loadgen``;
 * :mod:`~repro.service.config` — the ``REPRO_SERVICE_*`` env surface.
@@ -26,8 +28,21 @@ from .audit import AuditEvent, AuditLog
 from .cache import CachedGop, GopCache
 from .frontend import ServiceFrontend
 from .keyring import Keyring, TenantKey, TenantPolicy, derive_tenant_key
-from .loadgen import LoadgenReport, build_plan, run_loadgen
+from .loadgen import (
+    LoadgenReport,
+    build_plan,
+    run_durability_contrast,
+    run_loadgen,
+)
 from .placement import HashRing
+from .repair import (
+    RepairPassReport,
+    RepairQueue,
+    RepairTicket,
+    replication_health,
+    run_repair_pass,
+    scan_placement,
+)
 from .shards import Shard, ShardPool
 from .store import (
     CLEAN,
@@ -57,6 +72,9 @@ __all__ = [
     "ObjectRecord",
     "REFUSED",
     "ReadResult",
+    "RepairPassReport",
+    "RepairQueue",
+    "RepairTicket",
     "ServiceFrontend",
     "Shard",
     "ShardPool",
@@ -66,6 +84,10 @@ __all__ = [
     "build_plan",
     "derive_tenant_key",
     "object_id_for",
+    "replication_health",
+    "run_durability_contrast",
     "run_loadgen",
+    "run_repair_pass",
+    "scan_placement",
     "stream_key",
 ]

@@ -29,6 +29,12 @@ from ..obs import metrics as obs_metrics
 GopKey = Tuple[str, str, int]
 
 
+#: Outcomes a cache must not pin at full weight: the data improves the
+#: moment the repair daemon rewrites the object, so damaged GOPs are
+#: admitted evict-first with a hit TTL instead of LRU-pinned.
+DAMAGED_OUTCOMES = ("concealed", "refused")
+
+
 @dataclass
 class CachedGop:
     """One decoded display-GOP and the outcome it was served under."""
@@ -40,6 +46,9 @@ class CachedGop:
     psnr_db: Optional[float] = None
     refusal_reason: str = ""
     concealed_streams: Tuple[str, ...] = ()
+    #: Hits this entry may still serve; ``None`` = no TTL (clean
+    #: entries live by LRU alone). Set by the cache on admission.
+    remaining_ttl: Optional[int] = None
 
 
 @dataclass
@@ -47,33 +56,69 @@ class GopCache:
     """LRU over decoded GOPs with observable hit/miss accounting."""
 
     capacity: int = 16
+    #: Hits a damaged (concealed/refused) admission may serve before it
+    #: expires and forces a re-fetch (``REPRO_REPAIR_CACHE_TTL``).
+    concealed_ttl: int = 1
     _entries: "OrderedDict[GopKey, CachedGop]" = field(
         default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    expirations: int = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: GopKey) -> Optional[CachedGop]:
-        """The cached GOP for ``key``, refreshing its recency."""
+        """The cached GOP for ``key``, refreshing its recency.
+
+        Damaged admissions carry a hit TTL: once it is spent the entry
+        expires (counted as a miss), so the caller re-fetches from the
+        shards — where the repair daemon may since have rewritten the
+        object clean. Serving a damaged hit does *not* refresh its
+        recency; it stays first in line for eviction.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             obs_metrics.counter("service_gop_cache_misses_total").inc()
             return None
+        if entry.remaining_ttl is not None:
+            if entry.remaining_ttl <= 0:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                obs_metrics.counter(
+                    "service_gop_cache_expired_total").inc()
+                obs_metrics.counter(
+                    "service_gop_cache_misses_total").inc()
+                return None
+            entry.remaining_ttl -= 1
+            self.hits += 1
+            obs_metrics.counter("service_gop_cache_hits_total").inc()
+            return entry
         self._entries.move_to_end(key)
         self.hits += 1
         obs_metrics.counter("service_gop_cache_hits_total").inc()
         return entry
 
     def put(self, key: GopKey, entry: CachedGop) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU past capacity."""
+        """Insert (or refresh) ``key``, evicting the LRU past capacity.
+
+        Clean/corrected GOPs enter at the MRU end as before. Damaged
+        GOPs are admitted *evict-first* (LRU end) with
+        ``concealed_ttl`` hits to give — they are placeholders until
+        repair, not working-set members.
+        """
         if self.capacity <= 0:
             return
+        damaged = entry.outcome in DAMAGED_OUTCOMES
+        if damaged:
+            entry.remaining_ttl = self.concealed_ttl
+            obs_metrics.counter(
+                "service_gop_cache_damaged_admits_total").inc()
         self._entries[key] = entry
-        self._entries.move_to_end(key)
+        self._entries.move_to_end(key, last=not damaged)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
@@ -98,4 +143,5 @@ class GopCache:
         """Counters snapshot for exhibits and the CLI."""
         return {"size": len(self._entries), "capacity": self.capacity,
                 "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "expirations": self.expirations}

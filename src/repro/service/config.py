@@ -16,6 +16,18 @@ from ..errors import ServiceError
 
 #: Number of shards in the pool.
 SHARDS_ENV = "REPRO_SERVICE_SHARDS"
+#: Replicas written per reliability stream (1 = the pre-replication
+#: single-copy store).
+REPLICAS_ENV = "REPRO_SERVICE_REPLICAS"
+#: Bounded front-end retry attempts for overload/transient faults.
+RETRY_ATTEMPTS_ENV = "REPRO_SERVICE_RETRY_ATTEMPTS"
+#: Base backoff delay in milliseconds for front-end retries.
+BACKOFF_MS_ENV = "REPRO_SERVICE_BACKOFF_MS"
+#: Max repair tickets drained per background repair pass.
+REPAIR_BATCH_ENV = "REPRO_REPAIR_BATCH"
+#: Concealed-GOP cache admissions survive this many hits before they
+#: are expired so a repaired read can replace them.
+REPAIR_CACHE_TTL_ENV = "REPRO_REPAIR_CACHE_TTL"
 #: Bounded ingest-queue depth; a full queue sheds new ingests.
 QUEUE_DEPTH_ENV = "REPRO_SERVICE_QUEUE_DEPTH"
 #: Max clips drained from the ingest queue into one encode batch.
@@ -38,12 +50,17 @@ SEEK_DISABLE_ENV = "REPRO_SEEK_DISABLE"
 
 _DEFAULTS = {
     SHARDS_ENV: 4,
+    REPLICAS_ENV: 2,
     QUEUE_DEPTH_ENV: 64,
     INGEST_BATCH_ENV: 8,
     READ_RETRIES_ENV: 1,
     QUARANTINE_AFTER_ENV: 3,
     VNODES_ENV: 64,
     SEEK_CACHE_ENV: 16,
+    RETRY_ATTEMPTS_ENV: 3,
+    BACKOFF_MS_ENV: 50,
+    REPAIR_BATCH_ENV: 32,
+    REPAIR_CACHE_TTL_ENV: 1,
 }
 
 
@@ -69,6 +86,35 @@ def _resolve_int(explicit: Optional[int], env: str, minimum: int) -> int:
 def resolve_shards(explicit: Optional[int] = None) -> int:
     """Shard-pool width (``REPRO_SERVICE_SHARDS``, default 4)."""
     return _resolve_int(explicit, SHARDS_ENV, 1)
+
+
+def resolve_replicas(explicit: Optional[int] = None) -> int:
+    """Replicas per stream (``REPRO_SERVICE_REPLICAS``, default 2)."""
+    return _resolve_int(explicit, REPLICAS_ENV, 1)
+
+
+def resolve_retry_attempts(explicit: Optional[int] = None) -> int:
+    """Front-end retry bound (``REPRO_SERVICE_RETRY_ATTEMPTS``,
+    default 3 attempts total)."""
+    return _resolve_int(explicit, RETRY_ATTEMPTS_ENV, 1)
+
+
+def resolve_backoff_ms(explicit: Optional[int] = None) -> int:
+    """Base front-end backoff (``REPRO_SERVICE_BACKOFF_MS``,
+    default 50 ms, doubled per retry)."""
+    return _resolve_int(explicit, BACKOFF_MS_ENV, 0)
+
+
+def resolve_repair_batch(explicit: Optional[int] = None) -> int:
+    """Repair-pass drain width (``REPRO_REPAIR_BATCH``, default 32
+    tickets per pass)."""
+    return _resolve_int(explicit, REPAIR_BATCH_ENV, 1)
+
+
+def resolve_repair_cache_ttl(explicit: Optional[int] = None) -> int:
+    """Concealed-GOP cache TTL in hits (``REPRO_REPAIR_CACHE_TTL``,
+    default 1: serve one hit, then force a re-fetch)."""
+    return _resolve_int(explicit, REPAIR_CACHE_TTL_ENV, 0)
 
 
 def resolve_queue_depth(explicit: Optional[int] = None) -> int:

@@ -20,14 +20,15 @@ from __future__ import annotations
 
 import asyncio
 from functools import partial
-from typing import List, Optional, Tuple
+from typing import Awaitable, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ServiceOverloadError
+from ..errors import ServiceOverloadError, TransientShardError
 from ..obs import metrics as obs_metrics
 from ..video.frame import VideoSequence
 from . import config as service_config
+from .repair import RepairPassReport, run_repair_pass
 from .store import FrameReadResult, ReadResult, VideoObjectStore
 
 #: One queued ingest: (tenant, clip, future resolving to the object id).
@@ -39,35 +40,53 @@ class ServiceFrontend:
 
     def __init__(self, store: Optional[VideoObjectStore] = None,
                  queue_depth: Optional[int] = None,
-                 ingest_batch: Optional[int] = None) -> None:
+                 ingest_batch: Optional[int] = None,
+                 retry_attempts: Optional[int] = None,
+                 backoff_ms: Optional[int] = None,
+                 repair_interval_s: Optional[float] = None) -> None:
         # ``store or ...`` would discard an *empty* store (len() == 0).
         self.store = store if store is not None else VideoObjectStore()
         self.queue_depth = service_config.resolve_queue_depth(queue_depth)
         self.ingest_batch = service_config.resolve_ingest_batch(
             ingest_batch)
+        self.retry_attempts = service_config.resolve_retry_attempts(
+            retry_attempts)
+        self.backoff_ms = service_config.resolve_backoff_ms(backoff_ms)
+        #: Seconds between background repair passes; ``None`` disables
+        #: the daemon task (repair still runs via :meth:`repair_pass`).
+        self.repair_interval_s = repair_interval_s
         self._queue: Optional[asyncio.Queue] = None
         self._worker: Optional[asyncio.Task] = None
+        self._repair_daemon: Optional[asyncio.Task] = None
 
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
-        """Create the queue and launch the ingest worker."""
+        """Create the queue and launch the ingest worker (and, when
+        ``repair_interval_s`` is set, the background repair daemon)."""
         if self._worker is not None:
             return
         self._queue = asyncio.Queue(maxsize=self.queue_depth)
         self._worker = asyncio.create_task(self._ingest_worker())
+        if self.repair_interval_s is not None:
+            self._repair_daemon = asyncio.create_task(
+                self._repair_loop())
 
     async def stop(self) -> None:
-        """Drain every queued ingest, then retire the worker."""
+        """Drain every queued ingest, then retire the workers."""
         if self._worker is None:
             return
         await self._queue.join()
-        self._worker.cancel()
-        try:
-            await self._worker
-        except asyncio.CancelledError:
-            pass
+        for task in (self._worker, self._repair_daemon):
+            if task is None:
+                continue
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         self._worker = None
+        self._repair_daemon = None
         self._queue = None
         obs_metrics.gauge("service_queue_depth").set(0)
 
@@ -117,6 +136,123 @@ class ServiceFrontend:
         return await loop.run_in_executor(
             None, partial(self.store.get_frame, tenant, object_id,
                           display, reader=reader, rng=rng))
+
+    # -- retry / backoff / hedging ----------------------------------------
+
+    def backoff_delays(self, attempts: Optional[int] = None,
+                       backoff_ms: Optional[int] = None) -> List[float]:
+        """The deterministic backoff schedule, in seconds.
+
+        ``attempts`` total tries yield ``attempts - 1`` sleeps of
+        ``backoff_ms * 2^i`` milliseconds — no jitter, so a retried
+        run replays bit-identically (the fleet-desynchronization role
+        of jitter is meaningless in a single-process simulation).
+        """
+        attempts = (self.retry_attempts if attempts is None
+                    else service_config.resolve_retry_attempts(attempts))
+        base = (self.backoff_ms if backoff_ms is None
+                else service_config.resolve_backoff_ms(backoff_ms))
+        return [base * (2 ** i) / 1000.0 for i in range(attempts - 1)]
+
+    async def _with_retry(self, label: str,
+                          attempt: Callable[[], Awaitable],
+                          sleep: Optional[Callable[[float],
+                                                   Awaitable]] = None):
+        """Run ``attempt`` under the bounded backoff ladder.
+
+        Retries :class:`ServiceOverloadError` and
+        :class:`TransientShardError` only — data-integrity refusals
+        are never retried (a refusal is an answer, not a fault).
+        ``sleep`` is injectable so tests drive a seeded fake clock.
+        """
+        sleep = sleep if sleep is not None else asyncio.sleep
+        delays = self.backoff_delays()
+        last: Optional[Exception] = None
+        for index in range(len(delays) + 1):
+            try:
+                return await attempt()
+            except (ServiceOverloadError, TransientShardError) as exc:
+                last = exc
+                obs_metrics.counter(
+                    f"service_{label}_retries_total").inc()
+                if index < len(delays):
+                    await sleep(delays[index])
+        obs_metrics.counter(
+            f"service_{label}_retries_exhausted_total").inc()
+        assert last is not None
+        raise last
+
+    async def ingest_with_retry(
+            self, tenant: str, video: VideoSequence,
+            sleep: Optional[Callable[[float], Awaitable]] = None) -> str:
+        """:meth:`ingest` under the bounded backoff ladder."""
+        return await self._with_retry(
+            "ingest", lambda: self.ingest(tenant, video), sleep)
+
+    async def read_with_retry(
+            self, tenant: str, object_id: str,
+            reader: Optional[str] = None,
+            rng: Optional[np.random.Generator] = None,
+            sleep: Optional[Callable[[float], Awaitable]] = None
+    ) -> ReadResult:
+        """:meth:`read` under the bounded backoff ladder.
+
+        Retries only operational faults (all replicas flaked); each
+        retry re-reads with the same ``rng``, whose stream has
+        advanced, so the chaos flake schedule decides whether the
+        retry lands.
+        """
+        return await self._with_retry(
+            "read",
+            lambda: self.read(tenant, object_id, reader=reader, rng=rng),
+            sleep)
+
+    async def read_hedged(self, tenant: str, object_id: str,
+                          reader: Optional[str] = None,
+                          rng: Optional[np.random.Generator] = None,
+                          hedge_after_s: float = 0.05,
+                          hedge_rng: Optional[np.random.Generator] = None
+                          ) -> ReadResult:
+        """Read with a hedged secondary attempt after a deadline.
+
+        If the primary read has not completed within ``hedge_after_s``
+        a second, independent read is launched (seeded by
+        ``hedge_rng`` so the hedge's error draws replay) and the first
+        to finish wins. The loser keeps running on the executor — a
+        shard read cannot be revoked — but its result is discarded.
+        """
+        primary = asyncio.ensure_future(
+            self.read(tenant, object_id, reader=reader, rng=rng))
+        try:
+            return await asyncio.wait_for(asyncio.shield(primary),
+                                          timeout=hedge_after_s)
+        except asyncio.TimeoutError:
+            pass
+        obs_metrics.counter("service_hedged_reads_total").inc()
+        hedge = asyncio.ensure_future(
+            self.read(tenant, object_id, reader=reader, rng=hedge_rng))
+        done, pending = await asyncio.wait(
+            {primary, hedge}, return_when=asyncio.FIRST_COMPLETED)
+        winner = primary if primary in done else hedge
+        for task in pending:
+            task.cancel()
+        return await winner
+
+    # -- repair -----------------------------------------------------------
+
+    async def repair_pass(self, limit: Optional[int] = None,
+                          scan: bool = True) -> RepairPassReport:
+        """Run one repair-daemon iteration off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, partial(run_repair_pass, self.store, limit=limit,
+                          scan=scan))
+
+    async def _repair_loop(self) -> None:
+        """The background repair daemon: one pass per interval."""
+        while True:
+            await asyncio.sleep(self.repair_interval_s)
+            await self.repair_pass()
 
     # -- worker -----------------------------------------------------------
 

@@ -48,6 +48,7 @@ from ..storage.ecc import NONE_SCHEME
 from ..video.synthesis import SceneConfig, synthesize_scene
 from .frontend import ServiceFrontend
 from .keyring import Keyring
+from .repair import run_repair_pass
 from .shards import ShardPool
 from .store import VideoObjectStore, stream_key
 
@@ -96,6 +97,12 @@ class LoadgenReport:
     read_p99_ms: float = 0.0
     outcomes: Dict[str, int] = field(default_factory=dict)
     degradation: List[dict] = field(default_factory=list)
+    #: Post-repair re-reads per grid age (only when ``repair=True``).
+    degradation_repair: List[dict] = field(default_factory=list)
+    #: One :meth:`RepairPassReport.to_dict` per grid age repaired.
+    repair_passes: List[dict] = field(default_factory=list)
+    replicas: int = 1
+    repair_enabled: bool = False
     shard_health: List[dict] = field(default_factory=list)
     audit_events: int = 0
 
@@ -114,9 +121,24 @@ class LoadgenReport:
             "read_p99_ms": round(self.read_p99_ms, 3),
             "outcomes": dict(sorted(self.outcomes.items())),
             "degradation": self.degradation,
+            "degradation_repair": self.degradation_repair,
+            "repair_passes": self.repair_passes,
+            "replicas": self.replicas,
+            "repair_enabled": self.repair_enabled,
             "shard_health": self.shard_health,
             "audit_events": self.audit_events,
         }
+
+    def refusal_rate(self, phase: str = "degradation") -> float:
+        """Fraction of the phase's sample reads that were refused."""
+        points = (self.degradation_repair
+                  if phase == "degradation_repair" else self.degradation)
+        served = refused = 0
+        for point in points:
+            for outcome, count in point["outcomes"].items():
+                served += count
+                refused += count if outcome == "refused" else 0
+        return refused / served if served else 0.0
 
 
 def build_plan(seed: int, clients: int, ops: int,
@@ -172,24 +194,31 @@ def run_loadgen(clients: int = 4, ops: int = 12, seed: int = 0,
                 t_grid: Sequence[Optional[float]] = DEFAULT_T_GRID,
                 degradation_samples: int = 2,
                 ingest_batch: Optional[int] = None,
-                config: Optional[EncoderConfig] = None
-                ) -> LoadgenReport:
+                config: Optional[EncoderConfig] = None,
+                replicas: Optional[int] = None,
+                repair: bool = False) -> LoadgenReport:
     """Run one seeded load, then the degradation sweep.
 
     ``t_days`` ages the shard pool for the mixed phase (``None`` =
     nominal); ``t_grid`` is the degradation sweep, skipped when empty.
     The ingest queue is sized to the whole plan so backpressure never
     sheds a planned op (overload behaviour has its own unit tests).
+    ``replicas`` sets the copies written per stream; ``repair`` runs a
+    repair pass after each degradation grid point's sample reads and
+    re-reads the samples (the ``degradation_repair`` phase) — same
+    seeds, so an R=1 run and an R=2+repair run contrast cleanly.
     """
     plan = build_plan(seed, clients, ops, read_fraction)
     pool = ShardPool(count=shards, t_days=t_days,
                      read_retries=read_retries)
     store = VideoObjectStore(pool=pool, keyring=Keyring(seed=seed),
-                             config=config)
+                             config=config, replicas=replicas)
     frontend = ServiceFrontend(store, queue_depth=ops + 1,
                                ingest_batch=ingest_batch)
     report = LoadgenReport(seed=seed, clients=clients, ops=ops,
-                           read_fraction=read_fraction)
+                           read_fraction=read_fraction,
+                           replicas=store.replicas,
+                           repair_enabled=repair)
     records: List[dict] = []
     read_ms: List[float] = []
     object_ids: Dict[int, str] = {}
@@ -258,7 +287,7 @@ def run_loadgen(clients: int = 4, ops: int = 12, seed: int = 0,
 
     records.extend(_degradation_sweep(
         store, pool, plan, object_ids, seed, t_grid,
-        degradation_samples, report))
+        degradation_samples, report, repair=repair))
 
     records.sort(key=lambda r: (r.get("phase", ""), r["op"]))
     digest = hashlib.sha256()
@@ -277,14 +306,16 @@ def _degradation_sweep(store: VideoObjectStore, pool: ShardPool,
                        plan: List[PlannedOp],
                        object_ids: Dict[int, str], seed: int,
                        t_grid: Sequence[Optional[float]],
-                       samples: int, report: LoadgenReport
-                       ) -> List[dict]:
+                       samples: int, report: LoadgenReport,
+                       repair: bool = False) -> List[dict]:
     """Re-read sample objects across the age grid, vs a raw baseline."""
     ingest_ordinals = sorted(object_ids)[:max(0, samples)]
     if not ingest_ordinals or not t_grid:
         return []
+    per_age = (len(ingest_ordinals) + 1
+               + (len(ingest_ordinals) if repair else 0))
     sweep_entropy = np.random.SeedSequence(
-        [seed, 0xDECA7]).spawn(len(t_grid) * (len(ingest_ordinals) + 1))
+        [seed, 0xDECA7]).spawn(len(t_grid) * per_age)
     sweep_records: List[dict] = []
     draw = 0
     for t in t_grid:
@@ -326,5 +357,82 @@ def _degradation_sweep(store: VideoObjectStore, pool: ShardPool,
         point["psnr_db"] = (round(float(np.mean(point["psnr_db"])), 2)
                             if point["psnr_db"] else None)
         report.degradation.append(point)
+        if repair:
+            # The sample reads above enqueued read-repair tickets for
+            # anything damaged at this age; drain them (rewrites reset
+            # the keys' retention age) and re-read the same samples.
+            pass_report = run_repair_pass(store)
+            report.repair_passes.append(
+                {"t_days": t, **pass_report.to_dict()})
+            healed = {"t_days": t, "outcomes": {}, "psnr_db": []}
+            for ordinal in ingest_ordinals:
+                op = plan[ordinal]
+                result = store.get(
+                    op.tenant, object_ids[ordinal],
+                    rng=np.random.default_rng(sweep_entropy[draw]))
+                draw += 1
+                healed["outcomes"][result.outcome] = (
+                    healed["outcomes"].get(result.outcome, 0) + 1)
+                if result.psnr_db is not None:
+                    healed["psnr_db"].append(round(result.psnr_db, 2))
+                sweep_records.append({
+                    "phase": "degradation_repair", "op": ordinal,
+                    "t_days": t, "outcome": result.outcome,
+                    "psnr": (None if result.psnr_db is None
+                             else round(result.psnr_db, 2)),
+                    "failed_blocks": result.failed_blocks,
+                })
+            healed["psnr_db"] = (
+                round(float(np.mean(healed["psnr_db"])), 2)
+                if healed["psnr_db"] else None)
+            report.degradation_repair.append(healed)
     pool.set_age(None)
     return sweep_records
+
+
+def run_durability_contrast(clients: int = 4, ops: int = 12,
+                            seed: int = 0, read_fraction: float = 0.5,
+                            shards: Optional[int] = None,
+                            read_retries: Optional[int] = None,
+                            t_grid: Sequence[Optional[float]]
+                            = DEFAULT_T_GRID,
+                            degradation_samples: int = 2,
+                            config: Optional[EncoderConfig] = None
+                            ) -> dict:
+    """The durability exhibit: R=1 bare vs R=2 + repair, same seeds.
+
+    Runs the identical seeded load twice — once single-copy with no
+    repair, once with two replicas and a repair pass per degradation
+    age — and reports the refusal-rate and PSNR contrast. Both arms
+    draw their op plans and device errors from the same seed, so every
+    difference is attributable to replication + repair, and the
+    combined ``contrast_digest`` replays bit-identically.
+    """
+    kwargs = dict(clients=clients, ops=ops, seed=seed,
+                  read_fraction=read_fraction, shards=shards,
+                  read_retries=read_retries, t_grid=t_grid,
+                  degradation_samples=degradation_samples,
+                  config=config)
+    baseline = run_loadgen(replicas=1, repair=False, **kwargs)
+    healed = run_loadgen(replicas=2, repair=True, **kwargs)
+    deltas = []
+    for base_point, healed_point in zip(baseline.degradation,
+                                        healed.degradation_repair):
+        if (base_point["psnr_db"] is not None
+                and healed_point["psnr_db"] is not None):
+            deltas.append(round(
+                healed_point["psnr_db"] - base_point["psnr_db"], 2))
+    digest = hashlib.sha256(
+        f"{baseline.run_digest}|{healed.run_digest}".encode()
+    ).hexdigest()[:32]
+    return {
+        "baseline": baseline.to_dict(),
+        "healed": healed.to_dict(),
+        "refusal_rate_baseline": round(baseline.refusal_rate(), 4),
+        "refusal_rate_healed": round(
+            healed.refusal_rate("degradation_repair"), 4),
+        "psnr_delta_db": deltas,
+        "mean_psnr_delta_db": (round(float(np.mean(deltas)), 2)
+                               if deltas else None),
+        "contrast_digest": digest,
+    }

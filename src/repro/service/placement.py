@@ -73,6 +73,32 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def place_n(self, key: str, r: int) -> Tuple[str, ...]:
+        """The first ``r`` *distinct* shards clockwise from ``key``.
+
+        This is the replica set: element 0 is the primary (identical
+        to :meth:`place`), the rest are the successor shards walking
+        the ring — so shrinking or growing ``r`` never moves the
+        primary, and R=1 degenerates to the single-copy placement.
+        ``r`` is clamped to the pool width (a 2-shard ring can hold at
+        most 2 distinct replicas).
+        """
+        if r < 1:
+            raise ServiceError(f"replica count must be >= 1, got {r}")
+        want = min(int(r), len(self.shard_ids))
+        start = bisect.bisect_right(self._keys, _point(key))
+        chosen: List[str] = []
+        seen = set()
+        for step in range(len(self._points)):
+            shard_id = self._points[(start + step) % len(self._points)][1]
+            if shard_id in seen:
+                continue
+            seen.add(shard_id)
+            chosen.append(shard_id)
+            if len(chosen) == want:
+                break
+        return tuple(chosen)
+
     def placement(self, keys: Sequence[str]) -> Dict[str, str]:
         """``{key: shard_id}`` for a batch of keys."""
         return {key: self.place(key) for key in keys}

@@ -21,6 +21,7 @@ keys placed on the other shards keep reading clean.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -37,6 +38,16 @@ from .placement import HashRing
 #: Shard health states.
 HEALTHY = "healthy"
 QUARANTINED = "quarantined"
+
+#: Chaos seams: :func:`repro.runtime.chaos.arm` installs shard-scoped
+#: hooks here (and ``disarm`` clears them) so single-shard fault storms
+#: and transient shard flakes can target one failure domain without the
+#: service layer importing the runtime. ``_CHAOS_SHARD_READ(shard_id,
+#: key)`` runs before a device read (it may raise
+#: :class:`~repro.errors.TransientShardError`); ``_CHAOS_SHARD_DONE()``
+#: runs after, armed or faulted alike.
+_CHAOS_SHARD_READ = None
+_CHAOS_SHARD_DONE = None
 
 
 @dataclass
@@ -58,15 +69,71 @@ class Shard:
     uncorrectable_events: int = 0
     reads: int = 0
     writes: int = 0
+    #: Shard-day each key was last (re)written — repair rewrites reset
+    #: this so the key's cells age from the rewrite, like a scrub.
+    written_day: Dict[str, float] = field(default_factory=dict)
+    repairs: int = 0
+    last_repair_day: Optional[float] = None
 
     def write(self, key: str, data: bytes) -> None:
-        """Park ``data`` under ``key`` (idempotent overwrite)."""
+        """Park ``data`` under ``key`` (idempotent overwrite).
+
+        Ordinary writes stamp day 0: the shard's ``t_days`` is the
+        retention overhang for everything written through this path
+        (an aged pool reads its data at that age, as the retention
+        sweeps assume). Only :meth:`rewrite` — repair's refresh —
+        stamps the current clock.
+        """
         self.blobs[key] = data
         self.writes += 1
+        self.written_day[key] = 0.0
 
     def has(self, key: str) -> bool:
         """True when ``key`` is stored on this shard."""
         return key in self.blobs
+
+    def blob_sha(self, key: str) -> str:
+        """SHA-256 of the at-rest blob under ``key`` (hex)."""
+        blob = self.blobs.get(key)
+        if blob is None:
+            raise ServiceError(
+                f"shard {self.shard_id}: no blob under key {key!r}")
+        return hashlib.sha256(blob).hexdigest()
+
+    def delete(self, key: str) -> None:
+        """Drop ``key``'s blob (no-op when absent) — the drain step."""
+        self.blobs.pop(key, None)
+        self.written_day.pop(key, None)
+
+    def rewrite(self, key: str, data: bytes, scheme: ECCScheme) -> int:
+        """Repair-rewrite ``key``: fresh cells, age reset, writes charged.
+
+        Like a scrub rewrite, the cells holding ``key`` are programmed
+        anew, so subsequent reads age from *now* rather than from the
+        original write. Returns the cell writes charged (same
+        accounting as :attr:`~repro.storage.device.StorageReport.
+        scrub_cell_writes`).
+        """
+        self.blobs[key] = data
+        self.writes += 1
+        self.written_day[key] = self.t_days or 0.0
+        self.repairs += 1
+        self.last_repair_day = self.t_days or 0.0
+        device = ApproximateDevice(cell_model=self.cell_model)
+        cells = device.cells_used(8 * len(data), scheme)
+        obs_metrics.counter("service_repair_cell_writes_total").inc(cells)
+        return cells
+
+    def _key_age(self, key: str) -> Optional[float]:
+        """Effective retention age of ``key`` at this shard's clock.
+
+        ``None`` (nominal) shards stay nominal; otherwise the key has
+        aged only since its last (re)write, so a repair at day ``d``
+        reads as a fresh write until the shard clock moves past ``d``.
+        """
+        if self.t_days is None:
+            return None
+        return max(0.0, self.t_days - self.written_day.get(key, 0.0))
 
     def read(self, key: str, scheme: ECCScheme,
              rng: np.random.Generator) -> Tuple[bytes, StorageReport]:
@@ -81,11 +148,17 @@ class Shard:
         if blob is None:
             raise ServiceError(
                 f"shard {self.shard_id}: no blob under key {key!r}")
-        device = ApproximateDevice(
-            cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
-            scrub=self.scrub, read_retries=self.read_retries)
-        data, report = device.store_and_read(blob, scheme,
-                                             t_days=self.t_days)
+        if _CHAOS_SHARD_READ is not None:
+            _CHAOS_SHARD_READ(self.shard_id, key)
+        try:
+            device = ApproximateDevice(
+                cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
+                scrub=self.scrub, read_retries=self.read_retries)
+            data, report = device.store_and_read(
+                blob, scheme, t_days=self._key_age(key))
+        finally:
+            if _CHAOS_SHARD_DONE is not None:
+                _CHAOS_SHARD_DONE()
         self.reads += 1
         if report.failed_blocks:
             self.note_uncorrectable(report.failed_blocks)
@@ -121,11 +194,18 @@ class Shard:
                             (byte_start // block_bytes) * block_bytes)
         aligned_end = min(len(blob),
                           -(-byte_end // block_bytes) * block_bytes)
-        device = ApproximateDevice(
-            cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
-            scrub=self.scrub, read_retries=self.read_retries)
-        data, report = device.store_and_read(
-            blob[aligned_start:aligned_end], scheme, t_days=self.t_days)
+        if _CHAOS_SHARD_READ is not None:
+            _CHAOS_SHARD_READ(self.shard_id, key)
+        try:
+            device = ApproximateDevice(
+                cell_model=self.cell_model, rng=rng, exact=self.exact_ecc,
+                scrub=self.scrub, read_retries=self.read_retries)
+            data, report = device.store_and_read(
+                blob[aligned_start:aligned_end], scheme,
+                t_days=self._key_age(key))
+        finally:
+            if _CHAOS_SHARD_DONE is not None:
+                _CHAOS_SHARD_DONE()
         self.reads += 1
         obs_metrics.counter("service_shard_range_reads_total").inc()
         if report.failed_blocks:
@@ -195,6 +275,24 @@ class ShardPool:
         """The shard owning ``key`` per the ring."""
         return self.shards[self.ring.place(key)]
 
+    def place_n(self, key: str, r: int,
+                healthy_only: bool = False) -> List[Shard]:
+        """The first ``r`` distinct replica shards for ``key``.
+
+        ``healthy_only`` skips quarantined shards while walking the
+        ring — the placement the repair daemon targets when draining a
+        quarantined shard. Falls back to the unfiltered walk when fewer
+        than ``r`` healthy shards exist (degraded redundancy beats no
+        placement at all).
+        """
+        if healthy_only:
+            healthy = [s for s in self.shards
+                       if self.shards[s].health == HEALTHY]
+            if len(healthy) >= min(r, 1):
+                sub = HashRing(sorted(healthy), vnodes=self.ring.vnodes)
+                return [self.shards[s] for s in sub.place_n(key, r)]
+        return [self.shards[s] for s in self.ring.place_n(key, r)]
+
     def shard(self, shard_id: str) -> Shard:
         """Look a shard up by id."""
         try:
@@ -217,11 +315,15 @@ class ShardPool:
         return sorted(s.shard_id for s in self.shards.values()
                       if s.health == QUARANTINED)
 
-    def health_rows(self) -> Iterable[Tuple[str, str, str, str, str]]:
-        """(id, health, age, reads, uncorrectable) table rows."""
+    def health_rows(self) -> Iterable[Tuple[str, ...]]:
+        """(id, health, age, reads, uncorrectable, blobs, repairs,
+        last-repair) table rows — the ``repro serve stats`` surface."""
         for shard_id in sorted(self.shards):
             shard = self.shards[shard_id]
             age = ("nominal" if shard.t_days is None
                    else f"{shard.t_days:g}d")
+            last = ("-" if shard.last_repair_day is None
+                    else f"{shard.last_repair_day:g}d")
             yield (shard_id, shard.health, age, str(shard.reads),
-                   str(shard.uncorrectable_events))
+                   str(shard.uncorrectable_events), str(len(shard.blobs)),
+                   str(shard.repairs), last)

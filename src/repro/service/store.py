@@ -55,7 +55,7 @@ from ..core.partition import (
     partition_video,
     stream_ranges_for_frames,
 )
-from ..errors import ReadRefusedError, ServiceError
+from ..errors import ReadRefusedError, ServiceError, TransientShardError
 from ..metrics.psnr import video_psnr
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -66,6 +66,7 @@ from . import config as service_config
 from .audit import AuditLog
 from .cache import CachedGop, GopCache
 from .keyring import Keyring
+from .repair import RepairQueue
 from .shards import ShardPool
 
 #: Read outcomes, from best to worst.
@@ -103,9 +104,17 @@ class ObjectRecord:
     recon: np.ndarray
     #: Write-time SHA-256 hex of each ciphertext stream.
     stream_sha: Dict[str, str]
-    #: Stream name -> shard id chosen by the ring at write time.
+    #: Stream name -> *primary* shard id (the first replica); kept as
+    #: a plain map so single-copy callers and exhibits keep working.
     placement: Dict[str, str]
     frames: int = 0
+    #: Stream name -> full replica chain in ring order (element 0 is
+    #: the primary). Updated by the repair daemon as shards drain.
+    replicas: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def replica_chain(self, name: str) -> Tuple[str, ...]:
+        """The replica shards of stream ``name``, primary first."""
+        return self.replicas.get(name) or (self.placement[name],)
 
     def recon_sequence(self) -> VideoSequence:
         """The reconstruction as a :class:`VideoSequence`."""
@@ -133,6 +142,8 @@ class ReadResult:
     failed_blocks: int = 0
     retry_successes: int = 0
     reports: Dict[str, StorageReport] = field(default_factory=dict)
+    #: Streams served by a non-primary replica (read escalation).
+    escalated_streams: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -173,7 +184,8 @@ class VideoObjectStore:
                  config: Optional[EncoderConfig] = None,
                  assignment: ClassAssignment = PAPER_TABLE1,
                  audit: Optional[AuditLog] = None,
-                 seek_cache: Optional[int] = None) -> None:
+                 seek_cache: Optional[int] = None,
+                 replicas: Optional[int] = None) -> None:
         self.pool = pool if pool is not None else ShardPool()
         self.keyring = keyring if keyring is not None else Keyring()
         self.config = config if config is not None else EncoderConfig()
@@ -183,7 +195,13 @@ class VideoObjectStore:
         self._records: Dict[Tuple[str, str], ObjectRecord] = {}
         self._decoder = Decoder(conceal_uncorrectable=True)
         self.gop_cache = GopCache(
-            capacity=service_config.resolve_seek_cache(seek_cache))
+            capacity=service_config.resolve_seek_cache(seek_cache),
+            concealed_ttl=service_config.resolve_repair_cache_ttl())
+        #: Replicas written per stream (``REPRO_SERVICE_REPLICAS``),
+        #: clamped to the pool width at placement time.
+        self.replicas = service_config.resolve_replicas(replicas)
+        #: Read-repair queue the background repair pass drains.
+        self.repair = RepairQueue()
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -258,16 +276,19 @@ class VideoObjectStore:
              for i, name in enumerate(ordered)})
         stream_sha: Dict[str, str] = {}
         placement: Dict[str, str] = {}
+        replicas: Dict[str, Tuple[str, ...]] = {}
         for i, name in enumerate(ordered):
             key = stream_key(tenant, object_id, name)
-            shard = self.pool.place(key)
-            shard.write(key, ciphertext[i])
+            chain = self.pool.place_n(key, self.replicas)
+            for shard in chain:
+                shard.write(key, ciphertext[i])
             stream_sha[name] = hashlib.sha256(ciphertext[i]).hexdigest()
-            placement[name] = shard.shard_id
+            placement[name] = chain[0].shard_id
+            replicas[name] = tuple(s.shard_id for s in chain)
         self._records[(tenant, object_id)] = ObjectRecord(
             object_id=object_id, tenant=tenant, protected=protected,
             recon=recon, stream_sha=stream_sha, placement=placement,
-            frames=len(encoded.frames))
+            frames=len(encoded.frames), replicas=replicas)
         obs_metrics.counter("service_ingest_objects_total").inc()
         self.audit.record(
             "ingest", tenant, object_id,
@@ -313,31 +334,102 @@ class VideoObjectStore:
             f"service_reads_{result.outcome}_total").inc()
         return result
 
+    @staticmethod
+    def _rung(refusal: str, report: StorageReport) -> int:
+        """Ladder rank of one replica read: 0 clean, 1 corrected,
+        2 concealed-tier damage, 3 refused. Lower is better."""
+        if refusal:
+            return 3
+        if report.uncorrectable:
+            return 2
+        if report.retry_successes > 0:
+            return 1
+        return 0
+
+    def _read_one_replicated(self, record: ObjectRecord, name: str,
+                             rng: np.random.Generator):
+        """Walk ``name``'s replica chain; serve the best rung.
+
+        Replicas are read in ring order (primary first) and the walk
+        stops at the first *clean* copy — a damaged or refused primary
+        escalates to the next replica rather than straight to
+        concealment or refusal. Returns ``(data, report, refusal,
+        replica_index, rung)``; ``data``/``report`` are ``None`` only
+        when every replica was unreadable (flaked or drained).
+        """
+        key = stream_key(record.tenant, record.object_id, name)
+        scheme = scheme_by_name(name)
+        chain = record.replica_chain(name)
+        best = None
+        flaked = 0
+        for index, shard_id in enumerate(chain):
+            shard = self.pool.shard(shard_id)
+            if not shard.has(key):
+                continue
+            obs_metrics.counter("service_replica_reads_total").inc()
+            try:
+                data, report = shard.read(key, scheme, rng)
+            except TransientShardError:
+                flaked += 1
+                obs_metrics.counter(
+                    "service_replica_read_faults_total").inc()
+                continue
+            refusal = self._refusal_for(record, name, data, report)
+            rung = self._rung(refusal, report)
+            if best is None or rung < best[4]:
+                best = (data, report, refusal, index, rung)
+            if rung == 0:
+                break
+        if best is None:
+            if flaked:
+                # An operational fault, not data damage: every replica
+                # flaked mid-read. Retryable — let the front-end's
+                # backoff ladder have it rather than refusing.
+                raise TransientShardError(
+                    f"stream {name}: all {flaked} readable replica(s) "
+                    f"flaked")
+            return (None, None,
+                    f"stream {name}: no replica holds the stream",
+                    0, 3)
+        if best[3] > 0:
+            obs_metrics.counter(
+                "service_read_escalations_total").inc()
+        return best
+
     def _read_streams(self, record: ObjectRecord, encryptor, reader: str,
                       rng: np.random.Generator) -> ReadResult:
-        """Pull every stream off its shard and classify the outcome."""
+        """Pull every stream off its replicas and classify the outcome."""
         protected = record.protected
         ordered = sorted(protected.streams)
         read_back: Dict[str, bytes] = {}
         reports: Dict[str, StorageReport] = {}
         refusal = ""
+        escalated: List[str] = []
+        needs_repair = False
         # Sorted-name order mirrors the core pipeline: a seeded rng
         # yields one flip pattern per plan seed regardless of placement.
         for name in ordered:
-            key = stream_key(record.tenant, record.object_id, name)
-            shard = self.pool.shard(record.placement[name])
-            data, report = shard.read(key, scheme_by_name(name), rng)
-            read_back[name] = data
-            reports[name] = report
-            refusal = refusal or self._refusal_for(record, name, data,
-                                                   report)
+            data, report, stream_refusal, index, rung = \
+                self._read_one_replicated(record, name, rng)
+            if data is not None:
+                read_back[name] = data
+            if report is not None:
+                reports[name] = report
+            if index > 0:
+                escalated.append(name)
+            if rung > 0 or index > 0:
+                needs_repair = True
+            refusal = refusal or stream_refusal
+        if needs_repair:
+            self.repair.enqueue(record.tenant, record.object_id)
         result = ReadResult(
             object_id=record.object_id, tenant=record.tenant,
             reader=reader, outcome=CLEAN, reports=reports,
             flipped_bits=sum(r.flipped_bits for r in reports.values()),
             failed_blocks=sum(r.failed_blocks for r in reports.values()),
             retry_successes=sum(r.retry_successes
-                                for r in reports.values()))
+                                for r in reports.values()),
+            escalated_streams=tuple(escalated))
         if refusal:
             result.outcome = REFUSED
             result.refusal_reason = refusal
@@ -484,25 +576,29 @@ class VideoObjectStore:
         refusal = ""
         bytes_read = 0
         header_scheme = protected.assignment.header_scheme.name
+        needs_repair = False
         with obs_trace.span("seek.fetch", gop=gop_start,
                             frames=len(positions)):
             for stream_id, name in enumerate(ordered):
                 buffer = bytearray(len(protected.streams[name]))
                 if name in bit_ranges:
                     lo_bit, hi_bit = bit_ranges[name]
-                    blob_key = stream_key(record.tenant,
-                                          record.object_id, name)
-                    shard = self.pool.shard(record.placement[name])
-                    data, report, a_start, a_end = shard.read_range(
-                        blob_key, scheme_by_name(name), rng,
-                        lo_bit // 8, -(-hi_bit // 8))
+                    got = self._range_read_replicated(
+                        record, name, rng, lo_bit // 8, -(-hi_bit // 8),
+                        header_scheme)
+                    (data, report, stream_refusal, a_start, a_end,
+                     index, rung) = got
+                    if data is None:
+                        refusal = refusal or stream_refusal
+                        needs_repair = True
+                        continue
+                    if rung > 0 or index > 0:
+                        needs_repair = True
                     buffer[a_start:a_start + len(data)] = \
                         encryptor.decrypt_at(stream_id, data, a_start)
                     reports[name] = report
                     bytes_read += len(data)
-                    refusal = refusal or self._partial_refusal_for(
-                        record, name, data, report, a_start, a_end,
-                        header_scheme)
+                    refusal = refusal or stream_refusal
                     if report.uncorrectable:
                         limit = protected.stream_bits[name]
                         shifted = [
@@ -514,6 +610,8 @@ class VideoObjectStore:
                         if shifted:
                             damage[name] = shifted
                 buffers[name] = bytes(buffer)
+        if needs_repair:
+            self.repair.enqueue(record.tenant, record.object_id)
         result = FrameReadResult(
             object_id=record.object_id, tenant=record.tenant,
             reader=reader, display=display, outcome=CLEAN,
@@ -547,6 +645,55 @@ class VideoObjectStore:
             refusal_reason=result.refusal_reason,
             concealed_streams=result.concealed_streams))
         return result
+
+    def _range_read_replicated(self, record: ObjectRecord, name: str,
+                               rng: np.random.Generator, lo_byte: int,
+                               hi_byte: int, header_scheme: str):
+        """Replica-walking :meth:`Shard.read_range` for the seek path.
+
+        Same escalation contract as :meth:`_read_one_replicated`, but
+        over a byte window. Returns ``(data, report, refusal,
+        aligned_start, aligned_end, replica_index, rung)``; ``data``
+        is ``None`` only when no replica could be read at all.
+        """
+        key = stream_key(record.tenant, record.object_id, name)
+        scheme = scheme_by_name(name)
+        chain = record.replica_chain(name)
+        best = None
+        flaked = 0
+        for index, shard_id in enumerate(chain):
+            shard = self.pool.shard(shard_id)
+            if not shard.has(key):
+                continue
+            obs_metrics.counter("service_replica_reads_total").inc()
+            try:
+                data, report, a_start, a_end = shard.read_range(
+                    key, scheme, rng, lo_byte, hi_byte)
+            except TransientShardError:
+                flaked += 1
+                obs_metrics.counter(
+                    "service_replica_read_faults_total").inc()
+                continue
+            refusal = self._partial_refusal_for(
+                record, name, data, report, a_start, a_end,
+                header_scheme)
+            rung = self._rung(refusal, report)
+            if best is None or rung < best[6]:
+                best = (data, report, refusal, a_start, a_end, index,
+                        rung)
+            if rung == 0:
+                break
+        if best is None:
+            if flaked:
+                raise TransientShardError(
+                    f"stream {name}: all {flaked} readable replica(s) "
+                    f"flaked")
+            return (None, None,
+                    f"stream {name}: no replica holds the stream",
+                    0, 0, 0, 3)
+        if best[5] > 0:
+            obs_metrics.counter("service_read_escalations_total").inc()
+        return best
 
     def _partial_refusal_for(self, record: ObjectRecord, name: str,
                              data: bytes, report: StorageReport,

@@ -279,11 +279,14 @@ class ApproximateDevice:
                       blocks: int) -> None:
         """Out-of-model read failure injected by an armed chaos policy.
 
-        One extra block is corrupted with flips the ECC model never
+        Extra blocks are corrupted with flips the ECC model never
         drew — and immediately escalated as uncorrectable, exactly like
-        a block that exhausted the retry ladder. The damage is therefore
-        always visible in the report: chaos widens the failure surface
-        but cannot produce silently corrected-looking data.
+        blocks that exhausted the retry ladder. A decision may span
+        ``burst_blocks`` *contiguous* blocks (correlated damage: a worn
+        region, a row-hammered neighbourhood), every one of which is
+        escalated. The damage is therefore always visible in the
+        report: chaos widens the failure surface but cannot produce
+        silently corrected-looking data.
         """
         fault = _CHAOS_READ_FAULT
         if fault is None or blocks <= 0 or out_bits.size == 0:
@@ -291,22 +294,27 @@ class ApproximateDevice:
         decision = fault(data)
         if decision is None:
             return
-        rng, flip_bits = decision
-        block_index = int(rng.integers(blocks))
-        start = block_index * scheme.data_bits
-        end = min(start + scheme.data_bits, out_bits.size)
-        if end <= start:
-            # Padding-only final block: damage the last real block.
-            block_index = max(0, (out_bits.size - 1) // scheme.data_bits)
+        rng, flip_bits, burst_blocks = decision
+        burst_blocks = max(1, min(int(burst_blocks), blocks))
+        first = int(rng.integers(blocks))
+        if first + burst_blocks > blocks:
+            first = blocks - burst_blocks
+        for block_index in range(first, first + burst_blocks):
             start = block_index * scheme.data_bits
-            end = out_bits.size
-        flips = min(flip_bits, end - start)
-        positions = start + rng.choice(end - start, size=flips,
-                                       replace=False)
-        out_bits[positions] ^= 1
-        stats.flipped += int(flips)
-        if all(u.block != block_index for u in stats.uncorrectable):
-            self._escalate(stats, scheme, block_index, out_bits.size)
+            end = min(start + scheme.data_bits, out_bits.size)
+            if end <= start:
+                # Padding-only final block: damage the last real block.
+                block_index = max(0,
+                                  (out_bits.size - 1) // scheme.data_bits)
+                start = block_index * scheme.data_bits
+                end = out_bits.size
+            flips = min(flip_bits, end - start)
+            positions = start + rng.choice(end - start, size=flips,
+                                           replace=False)
+            out_bits[positions] ^= 1
+            stats.flipped += int(flips)
+            if all(u.block != block_index for u in stats.uncorrectable):
+                self._escalate(stats, scheme, block_index, out_bits.size)
 
     @staticmethod
     def _publish_metrics(report: StorageReport) -> None:

@@ -152,6 +152,71 @@ def inject_into_payloads(payloads: Sequence[bytes], error_rate: float,
         )
 
 
+def inject_correlated_burst(payloads: Sequence[bytes], burst_bits: int,
+                            rng: np.random.Generator,
+                            ranges: Optional[Sequence[BitRange]] = None
+                            ) -> InjectionResult:
+    """Flip one *contiguous* span of ``burst_bits`` bits.
+
+    The independent-uniform model of :func:`inject_into_payloads`
+    understates real device failure modes where damage clusters — a
+    worn cell neighbourhood, a disturbed wordline — so this injector
+    places a single burst: a start position uniform over the
+    injectable bit space (clamped so the span fits), then every bit in
+    the span flipped. Spans are measured in the *cumulative* range
+    space, so a burst can straddle two adjacent ranges exactly like
+    physical damage straddling a partition boundary. Validation
+    mirrors :func:`inject_into_payloads`.
+    """
+    if not payloads:
+        raise StorageError("no payloads to inject into")
+    if burst_bits < 1:
+        raise StorageError(f"burst_bits must be >= 1, got {burst_bits}")
+    if ranges is None:
+        ranges = [(index, 0, 8 * len(payload))
+                  for index, payload in enumerate(payloads)
+                  if len(payload)]
+    if not ranges:
+        raise StorageError(
+            "no injectable bits: the bit-range list is empty (every "
+            "payload is zero-length?)")
+    lengths = []
+    for payload_index, start, end in ranges:
+        if not 0 <= payload_index < len(payloads):
+            raise StorageError(f"range names payload {payload_index}")
+        if start >= end:
+            raise StorageError(
+                f"inverted or empty bit range ({start}, {end}) on "
+                f"payload {payload_index}: start must be < end")
+        if not 0 <= start <= end <= 8 * len(payloads[payload_index]):
+            raise StorageError(
+                f"range ({start}, {end}) outside payload "
+                f"{payload_index} of "
+                f"{8 * len(payloads[payload_index])} bits")
+        lengths.append(end - start)
+    cumulative = np.concatenate([[0], np.cumsum(lengths)])
+    total_bits = int(cumulative[-1])
+    burst = min(int(burst_bits), total_bits)
+    with obs_trace.span("inject", total_bits=total_bits,
+                        burst_bits=burst) as live:
+        start_at = (int(rng.integers(total_bits - burst + 1))
+                    if total_bits > burst else 0)
+        buffers = [bytearray(p) for p in payloads]
+        for position in range(start_at, start_at + burst):
+            range_index = bisect_right(cumulative, position) - 1
+            payload_index, start, _end = ranges[range_index]
+            offset = position - int(cumulative[range_index])
+            flip_bit(buffers[payload_index], start + offset)
+        if live is not None:
+            live.attrs["flips"] = burst
+            live.attrs["burst_start"] = start_at
+        return InjectionResult(
+            payloads=[bytes(b) for b in buffers],
+            num_flips=burst,
+            forced=False,
+        )
+
+
 def inject_single_flip(payloads: Sequence[bytes], payload_index: int,
                        bit_index: int) -> List[bytes]:
     """Deterministically flip exactly one bit (Figure 3's probe)."""

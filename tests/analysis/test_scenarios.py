@@ -16,6 +16,7 @@ from repro.analysis.scenarios import (
     DEFAULT_FAULTS,
     QUICK_CONTENTS,
     build_content,
+    run_repair_matrix,
     run_scenario_matrix,
 )
 from repro.errors import AnalysisError
@@ -88,3 +89,49 @@ class TestValidation:
         assert video.to_array().shape == (4, 48, 64)
         hostile = build_content("flicker", 64, 48, 4, seed=0)
         assert hostile.to_array().shape == (4, 48, 64)
+
+
+@pytest.fixture(scope="module")
+def storm_matrix():
+    return run_repair_matrix(faults=("single_shard_storm",), seed=11,
+                             objects=2, reads=2)
+
+
+class TestRepairMatrix:
+    def test_storm_column_green(self, storm_matrix):
+        assert storm_matrix.passed
+        assert len(storm_matrix.cells) == 4  # R x repair axes
+        for cell in storm_matrix.cells:
+            assert cell.invariants["no_silent_miscorrection"], cell
+            assert cell.chaos_events >= 1
+        by_axes = {(c.replicas, c.repair): c for c in storm_matrix.cells}
+        assert by_axes[(2, False)].invariants["zero_refusals"]
+        assert by_axes[(2, True)].invariants["repair_converges"]
+        assert by_axes[(2, True)].invariants["victim_drained"]
+        assert by_axes[(2, True)].invariants["post_repair_clean"]
+
+    def test_same_seed_same_digest(self, storm_matrix):
+        again = run_repair_matrix(faults=("single_shard_storm",),
+                                  seed=11, objects=2, reads=2)
+        assert again.matrix_digest == storm_matrix.matrix_digest
+
+    def test_json_report_round_trips(self, storm_matrix):
+        blob = json.dumps(storm_matrix.to_dict(), sort_keys=True)
+        loaded = json.loads(blob)
+        assert loaded["passed"] is True
+        assert loaded["matrix_digest"] == storm_matrix.matrix_digest
+        assert len(loaded["cells"]) == 4
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown repair fault"):
+            run_repair_matrix(faults=("meteor_strike",))
+        with pytest.raises(AnalysisError, match="replicas axis"):
+            run_repair_matrix(replicas_axis=(0,))
+
+    def test_refuses_ambient_chaos(self):
+        arm_chaos(ChaosPolicy(fail_trials=(0,)))
+        try:
+            with pytest.raises(AnalysisError, match="disarm"):
+                run_repair_matrix()
+        finally:
+            disarm_chaos()

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import AnalysisError, ChaosError
+from repro.errors import AnalysisError, ChaosError, TransientShardError
 from repro.runtime import (
     ChaosPolicy,
     TrialContext,
@@ -216,6 +216,113 @@ class TestDeviceFaults:
                                    cell_model=None)
         _, report = device.store_and_read(payload, scheme)
         assert chaos_events() == ()
+
+
+class TestCorrelatedAndShardFaults:
+    PAYLOAD = bytes(range(256)) * 8
+
+    def test_burst_damages_a_multi_block_span(self):
+        arm_chaos(ChaosPolicy(seed=1, device_burst_rate=1.0,
+                              device_burst_blocks=3))
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        _, report = device.store_and_read(self.PAYLOAD,
+                                          scheme_by_name("BCH-6"))
+        events = [e for e in chaos_events()
+                  if e["kind"] == "device_burst"]
+        assert len(events) == 1
+        assert events[0]["blocks"] == 3
+        # The whole span surfaces as failed blocks, never silently.
+        assert report.failed_blocks >= 3
+        assert report.miscorrected_blocks == 0
+
+    def test_burst_is_content_keyed_and_replayable(self):
+        runs = []
+        for _ in range(2):
+            arm_chaos(ChaosPolicy(seed=4, device_burst_rate=0.5,
+                                  device_burst_blocks=2))
+            device = ApproximateDevice(rng=np.random.default_rng(0))
+            device.store_and_read(self.PAYLOAD, scheme_by_name("BCH-6"))
+            runs.append((chaos_events(), chaos_schedule_digest()))
+            disarm()
+        assert runs[0] == runs[1]
+
+    def test_storm_ignores_bare_device_reads(self):
+        # The storm models a failing *location*: a device read with no
+        # shard context (no Shard served it) is exempt.
+        arm_chaos(ChaosPolicy(seed=1, shard_storm="shard-0"))
+        device = ApproximateDevice(rng=np.random.default_rng(0),
+                                   cell_model=None)
+        device.store_and_read(self.PAYLOAD, scheme_by_name("BCH-6"))
+        assert chaos_events() == ()
+
+    def test_storm_scoped_to_the_named_shard(self):
+        arm_chaos(ChaosPolicy(seed=1, shard_storm="shard-1",
+                              device_burst_blocks=3))
+        scheme = scheme_by_name("BCH-6")
+        chaos.shard_read_begin("shard-0", "key")
+        device = ApproximateDevice(rng=np.random.default_rng(0))
+        device.store_and_read(self.PAYLOAD, scheme)
+        chaos.shard_read_end()
+        assert chaos_events() == ()  # bystander shard reads unfaulted
+        chaos.shard_read_begin("shard-1", "key")
+        _, report = ApproximateDevice(
+            rng=np.random.default_rng(1)).store_and_read(
+                self.PAYLOAD, scheme)
+        chaos.shard_read_end()
+        events = [e for e in chaos_events()
+                  if e["kind"] == "device_storm"]
+        assert len(events) == 1
+        assert events[0]["shard"] == "shard-1"
+        assert events[0]["ordinal"] == 1
+        assert report.failed_blocks >= 3
+
+    def test_storm_is_ordinal_keyed_not_content_keyed(self):
+        # The same payload read twice off the dying shard faults both
+        # times: the storm keys on the read ordinal, not the bytes.
+        arm_chaos(ChaosPolicy(seed=1, shard_storm="shard-0"))
+        scheme = scheme_by_name("BCH-6")
+        for attempt in range(2):
+            chaos.shard_read_begin("shard-0", "key")
+            ApproximateDevice(
+                rng=np.random.default_rng(attempt)).store_and_read(
+                    self.PAYLOAD, scheme)
+            chaos.shard_read_end()
+        ordinals = [e["ordinal"] for e in chaos_events()
+                    if e["kind"] == "device_storm"]
+        assert ordinals == [0, 1]
+
+    def test_flake_ordinals_fire_once(self):
+        arm_chaos(ChaosPolicy(seed=0, shard_flake_reads=(0,)))
+        with pytest.raises(TransientShardError):
+            chaos.shard_read_begin("shard-0", "key")
+        # The ordinal was consumed: the next read sails through.
+        chaos.shard_read_begin("shard-0", "key")
+        chaos.shard_read_end()
+        kinds = [e["kind"] for e in chaos_events()]
+        assert kinds == ["shard_flake"]
+
+    def test_env_round_trip_for_shard_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_BURST_RATE", "0.25")
+        monkeypatch.setenv("REPRO_CHAOS_BURST_BLOCKS", "5")
+        monkeypatch.setenv("REPRO_CHAOS_SHARD_STORM", "shard-2")
+        monkeypatch.setenv("REPRO_CHAOS_SHARD_FLAKES", "1,4")
+        policy = chaos_policy_from_env()
+        assert policy == ChaosPolicy(
+            device_burst_rate=0.25, device_burst_blocks=5,
+            shard_storm="shard-2", shard_flake_reads=(1, 4))
+
+    def test_new_field_validation_and_quiet(self):
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(device_burst_rate=1.5)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(device_burst_blocks=0)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(shard_storm_rate=-0.1)
+        with pytest.raises(AnalysisError):
+            ChaosPolicy(shard_flake_reads=(-1,))
+        assert not ChaosPolicy(shard_storm="s").quiet
+        assert not ChaosPolicy(device_burst_rate=0.1).quiet
+        assert not ChaosPolicy(shard_flake_reads=(0,)).quiet
 
 
 class TestJournalTear:

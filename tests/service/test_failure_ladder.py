@@ -79,12 +79,14 @@ def test_substrate_corruption_is_refused_not_served():
     assert protected, "clip too small to exercise a protected stream"
     name = protected[0]
     key = stream_key("alice", object_id, name)
-    shard = store.pool.shard(record.placement[name])
-    # Rot ciphertext bytes behind the device's back: a nominal-age read
-    # reports clean, but the bytes are not what was written.
-    blob = bytearray(shard.blobs[key])
-    blob[0] ^= 0xFF
-    shard.blobs[key] = bytes(blob)
+    # Rot ciphertext bytes behind the device's back on *every* replica:
+    # a nominal-age read reports clean, but the bytes are not what was
+    # written anywhere, so no replica walk can save the read.
+    for shard_id in record.replica_chain(name):
+        shard = store.pool.shard(shard_id)
+        blob = bytearray(shard.blobs[key])
+        blob[0] ^= 0xFF
+        shard.blobs[key] = bytes(blob)
     result = store.get("alice", object_id,
                        rng=np.random.default_rng(0))
     assert result.outcome == "refused"
@@ -95,17 +97,24 @@ def test_substrate_corruption_is_refused_not_served():
 
 
 def test_chaos_fault_storm_quarantines_only_the_hit_shards():
+    # Six shards: with two replicas per stream a bystander whose full
+    # replica set avoids the victim's still exists.
     store = VideoObjectStore(
-        pool=ShardPool(count=4, quarantine_after=3),
+        pool=ShardPool(count=6, quarantine_after=3),
         keyring=Keyring(seed=5))
     victim_id = store.put("alice", _clip(1))
-    victim_shards = set(
-        store.record("alice", victim_id).placement.values())
-    # Find a second object placed entirely on other shards.
+
+    def replica_union(object_id):
+        record = store.record("alice", object_id)
+        return {sid for name in record.stream_sha
+                for sid in record.replica_chain(name)}
+
+    victim_shards = replica_union(victim_id)
+    # Find a second object whose full replica set avoids the victim's.
     bystander_id = None
     for seed in range(2, 16):
         candidate = store.put("alice", _clip(seed))
-        shards = set(store.record("alice", candidate).placement.values())
+        shards = replica_union(candidate)
         if not (shards & victim_shards):
             bystander_id, bystander_shards = candidate, shards
             break

@@ -14,6 +14,8 @@ import pytest
 from repro.codec import EncoderConfig
 from repro.errors import AccessDeniedError, ServiceError
 from repro.service import (
+    CachedGop,
+    GopCache,
     Keyring,
     ServiceFrontend,
     ShardPool,
@@ -118,6 +120,57 @@ class TestGopCache:
             assert not result.cache_hit
 
 
+class TestDamagedAdmission:
+    """Concealed/refused GOPs are placeholders until repair: short TTL,
+    evict-first, never LRU-pinned."""
+
+    @staticmethod
+    def _entry(outcome, anchor=0):
+        return CachedGop(
+            anchor_display=anchor,
+            frames={anchor: np.zeros((4, 4), dtype=np.uint8)},
+            outcome=outcome)
+
+    def test_damaged_admission_gets_the_ttl(self):
+        cache = GopCache(capacity=4, concealed_ttl=2)
+        cache.put(("t", "o", 0), self._entry("concealed"))
+        cache.put(("t", "o", 4), self._entry("clean", anchor=4))
+        assert cache._entries[("t", "o", 0)].remaining_ttl == 2
+        assert cache._entries[("t", "o", 4)].remaining_ttl is None
+
+    def test_damaged_entry_expires_after_its_hits(self):
+        cache = GopCache(capacity=4, concealed_ttl=1)
+        cache.put(("t", "o", 0), self._entry("concealed"))
+        assert cache.get(("t", "o", 0)) is not None  # the one TTL hit
+        assert cache.get(("t", "o", 0)) is None  # expired -> re-fetch
+        assert cache.expirations == 1
+        assert ("t", "o", 0) not in cache._entries
+
+    def test_refused_gops_expire_too(self):
+        cache = GopCache(capacity=4, concealed_ttl=1)
+        cache.put(("t", "o", 0), self._entry("refused"))
+        assert cache.get(("t", "o", 0)).outcome == "refused"
+        assert cache.get(("t", "o", 0)) is None
+
+    def test_damaged_entries_evict_first(self):
+        cache = GopCache(capacity=2, concealed_ttl=5)
+        cache.put(("t", "o", 0), self._entry("clean"))
+        cache.put(("t", "o", 4), self._entry("concealed", anchor=4))
+        # The clean entry is older, but the damaged one is LRU-end.
+        cache.put(("t", "o", 8), self._entry("clean", anchor=8))
+        assert ("t", "o", 4) not in cache._entries
+        assert ("t", "o", 0) in cache._entries
+
+    def test_damaged_hits_do_not_refresh_recency(self):
+        cache = GopCache(capacity=2, concealed_ttl=5)
+        cache.put(("t", "o", 0), self._entry("concealed"))
+        cache.put(("t", "o", 4), self._entry("clean", anchor=4))
+        cache.get(("t", "o", 0))  # a hit, but stays evict-first
+        cache.put(("t", "o", 8), self._entry("clean", anchor=8))
+        assert ("t", "o", 0) not in cache._entries
+        assert ("t", "o", 4) in cache._entries
+
+
 class TestEscapeHatchAndErrors:
     def test_seek_disable_env_forces_full_reads(self, monkeypatch):
         store, object_id = _store()
@@ -151,12 +204,14 @@ class TestEscapeHatchAndErrors:
 
 class TestDamageLadder:
     def test_heavily_aged_shards_conceal_not_crash(self):
-        # No retries and a sky-high quarantine threshold: uncorrectable
-        # damage must surface as concealment through the partial path.
+        # No retries, a sky-high quarantine threshold, and a single
+        # copy (no replica walk to escape to): uncorrectable damage
+        # must surface as concealment through the partial path.
         pool = ShardPool(count=3, t_days=200000.0, read_retries=0,
                          quarantine_after=10**9)
         store = VideoObjectStore(pool=pool, config=CONFIG,
-                                 keyring=Keyring(seed=5), seek_cache=0)
+                                 keyring=Keyring(seed=5), seek_cache=0,
+                                 replicas=1)
         object_id = store.put("alice", _clip())
         outcomes = set()
         for display in range(store.record("alice", object_id).frames):

@@ -1,0 +1,184 @@
+"""Replica placement and the escalating replicated read ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError, TransientShardError
+from repro.obs import metrics as obs_metrics
+from repro.runtime import chaos
+from repro.service import (
+    HashRing,
+    Keyring,
+    ShardPool,
+    VideoObjectStore,
+    stream_key,
+)
+from repro.video import SceneConfig, synthesize_scene
+
+
+def _clip(seed: int):
+    return synthesize_scene(SceneConfig(
+        width=48, height=32, num_frames=4, seed=seed))
+
+
+def _counter(name: str) -> int:
+    snapshot = obs_metrics.get_registry().snapshot()["counters"]
+    return int(snapshot.get(name, 0))
+
+
+class TestPlaceN:
+    IDS = [f"shard-{i}" for i in range(6)]
+
+    def test_replicas_are_distinct_shards(self):
+        ring = HashRing(self.IDS)
+        for key in ("a", "b", "stream/9", "x" * 40):
+            chain = ring.place_n(key, 3)
+            assert len(chain) == 3
+            assert len(set(chain)) == 3
+
+    def test_primary_is_stable_across_r(self):
+        ring = HashRing(self.IDS)
+        for key in map(str, range(32)):
+            primary = ring.place(key)
+            for r in (1, 2, 3, 4):
+                assert ring.place_n(key, r)[0] == primary
+
+    def test_r_one_matches_single_placement(self):
+        ring = HashRing(self.IDS)
+        for key in map(str, range(32)):
+            assert ring.place_n(key, 1) == (ring.place(key),)
+
+    def test_chain_is_a_prefix_of_longer_chains(self):
+        ring = HashRing(self.IDS)
+        for key in map(str, range(16)):
+            full = ring.place_n(key, 4)
+            for r in (1, 2, 3):
+                assert full[:r] == ring.place_n(key, r)
+
+    def test_r_clamped_to_pool_width(self):
+        ring = HashRing(self.IDS[:2])
+        assert len(ring.place_n("k", 5)) == 2
+
+    def test_rejects_nonpositive_r(self):
+        ring = HashRing(self.IDS)
+        with pytest.raises(ServiceError):
+            ring.place_n("k", 0)
+
+
+class TestReplicatedWrites:
+    def test_put_writes_every_replica(self):
+        store = VideoObjectStore(pool=ShardPool(count=4),
+                                 keyring=Keyring(seed=5), replicas=2)
+        object_id = store.put("alice", _clip(1))
+        record = store.record("alice", object_id)
+        for name in record.stream_sha:
+            chain = record.replica_chain(name)
+            assert len(chain) == 2
+            assert record.placement[name] == chain[0]
+            key = stream_key("alice", object_id, name)
+            blobs = [store.pool.shard(sid).blobs[key] for sid in chain]
+            assert blobs[0] == blobs[1]
+
+    def test_r_one_keeps_single_copy(self):
+        store = VideoObjectStore(pool=ShardPool(count=4),
+                                 keyring=Keyring(seed=5), replicas=1)
+        object_id = store.put("alice", _clip(1))
+        record = store.record("alice", object_id)
+        for name in record.stream_sha:
+            key = stream_key("alice", object_id, name)
+            holders = [sid for sid in store.pool.shards
+                       if store.pool.shard(sid).has(key)]
+            assert holders == [record.placement[name]]
+
+
+class TestReplicatedReads:
+    def _stormed_store(self, replicas):
+        store = VideoObjectStore(pool=ShardPool(count=4),
+                                 keyring=Keyring(seed=5),
+                                 replicas=replicas)
+        object_id = store.put("alice", _clip(1))
+        record = store.record("alice", object_id)
+        # Storm the shard serving the most primaries.
+        primaries = list(record.placement.values())
+        victim = max(sorted(set(primaries)), key=primaries.count)
+        return store, object_id, victim
+
+    def test_storm_on_primary_escalates_to_secondary(self):
+        store, object_id, victim = self._stormed_store(replicas=2)
+        before = _counter("service_read_escalations_total")
+        chaos.arm(chaos.ChaosPolicy(seed=0, shard_storm=victim))
+        try:
+            for attempt in range(3):
+                result = store.get(
+                    "alice", object_id,
+                    rng=np.random.default_rng(100 + attempt))
+                assert result.outcome != "refused"
+                assert result.video is not None
+        finally:
+            chaos.disarm()
+        assert _counter("service_read_escalations_total") > before
+
+    def test_storm_at_r_one_stays_visible(self):
+        store, object_id, victim = self._stormed_store(replicas=1)
+        chaos.arm(chaos.ChaosPolicy(seed=0, shard_storm=victim))
+        try:
+            result = store.get("alice", object_id,
+                               rng=np.random.default_rng(0))
+            # No replica to walk to: the damage must surface, never be
+            # served as a silently wrong read.
+            assert result.outcome in ("concealed", "refused")
+        finally:
+            chaos.disarm()
+
+    def test_escalated_read_enqueues_repair(self):
+        store, object_id, victim = self._stormed_store(replicas=2)
+        assert store.repair.backlog() == 0
+        chaos.arm(chaos.ChaosPolicy(seed=0, shard_storm=victim))
+        try:
+            store.get("alice", object_id, rng=np.random.default_rng(0))
+        finally:
+            chaos.disarm()
+        assert store.repair.backlog() == 1
+
+    def test_all_replicas_flaking_raises_transient(self):
+        store = VideoObjectStore(pool=ShardPool(count=4),
+                                 keyring=Keyring(seed=5), replicas=1)
+        object_id = store.put("alice", _clip(1))
+        chaos.arm(chaos.ChaosPolicy(
+            seed=0, shard_flake_reads=tuple(range(16))))
+        try:
+            with pytest.raises(TransientShardError):
+                store.get("alice", object_id,
+                          rng=np.random.default_rng(0))
+        finally:
+            chaos.disarm()
+
+    def test_one_shot_flake_is_absorbed_by_the_replica_walk(self):
+        store = VideoObjectStore(pool=ShardPool(count=4),
+                                 keyring=Keyring(seed=5), replicas=2)
+        object_id = store.put("alice", _clip(1))
+        before = _counter("service_replica_read_faults_total")
+        chaos.arm(chaos.ChaosPolicy(seed=0, shard_flake_reads=(0,)))
+        try:
+            result = store.get("alice", object_id,
+                               rng=np.random.default_rng(0))
+        finally:
+            chaos.disarm()
+        assert result.outcome != "refused"
+        assert result.video is not None
+        assert _counter("service_replica_read_faults_total") == before + 1
+
+    def test_replicated_read_replays_bit_identically(self):
+        outcomes = []
+        for _ in range(2):
+            store, object_id, victim = self._stormed_store(replicas=2)
+            chaos.arm(chaos.ChaosPolicy(seed=7, shard_storm=victim))
+            try:
+                result = store.get("alice", object_id,
+                                   rng=np.random.default_rng(3))
+                outcomes.append(
+                    (result.outcome, result.escalated_streams,
+                     chaos.schedule_digest()))
+            finally:
+                chaos.disarm()
+        assert outcomes[0] == outcomes[1]

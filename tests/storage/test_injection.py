@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import StorageError
 from repro.storage import (
     flip_bit,
+    inject_correlated_burst,
     inject_into_payloads,
     inject_single_flip,
     occurrence_probability,
@@ -200,3 +201,50 @@ class TestSingleFlip:
     def test_payload_index_out_of_range(self):
         with pytest.raises(StorageError, match="payload index"):
             inject_single_flip([bytes(4)], 2, 0)
+
+
+class TestCorrelatedBurst:
+    def test_flips_exactly_burst_bits_contiguously(self, rng):
+        payloads = [bytes(64)]
+        for _ in range(10):
+            result = inject_correlated_burst(payloads, 12, rng)
+            assert result.num_flips == 12
+            assert _count_bit_diffs(payloads[0], result.payloads[0]) == 12
+            bits = np.unpackbits(
+                np.frombuffer(result.payloads[0], dtype=np.uint8))
+            flipped = np.flatnonzero(bits)
+            # Contiguous span: last - first + 1 == count.
+            assert flipped[-1] - flipped[0] + 1 == 12
+
+    def test_burst_clamps_to_total_bits(self, rng):
+        payloads = [bytes(4)]  # 32 bits
+        result = inject_correlated_burst(payloads, 1000, rng)
+        assert result.num_flips == 32
+        assert result.payloads[0] == b"\xff" * 4
+
+    def test_burst_straddles_adjacent_ranges(self, rng):
+        # Two 8-bit ranges on different payloads form one 16-bit
+        # cumulative space; a 16-bit burst must damage both sides of
+        # the partition boundary, like physical damage would.
+        payloads = [bytes(10), bytes(10)]
+        ranges = [(0, 72, 80), (1, 0, 8)]
+        result = inject_correlated_burst(payloads, 16, rng,
+                                         ranges=ranges)
+        assert result.num_flips == 16
+        assert result.payloads[0][9] == 0xFF
+        assert result.payloads[1][0] == 0xFF
+        assert result.payloads[0][:9] == bytes(9)
+        assert result.payloads[1][1:] == bytes(9)
+
+    def test_inputs_not_mutated(self, rng):
+        payloads = [bytes(32)]
+        inject_correlated_burst(payloads, 8, rng)
+        assert payloads[0] == bytes(32)
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(StorageError, match="no payloads"):
+            inject_correlated_burst([], 4, rng)
+        with pytest.raises(StorageError, match="burst_bits"):
+            inject_correlated_burst([bytes(4)], 0, rng)
+        with pytest.raises(StorageError, match="no injectable bits"):
+            inject_correlated_burst([b""], 4, rng)
